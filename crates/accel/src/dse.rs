@@ -1,0 +1,209 @@
+//! Design-space exploration over MATCHA configurations.
+//!
+//! The paper fixes one design point (8 pipelines, 128 butterfly cores,
+//! 640 GB/s). This module sweeps the structural parameters, evaluates each
+//! candidate with the pipeline simulator and the area/power model, and
+//! extracts Pareto-optimal designs — the ablation study DESIGN.md calls
+//! out for the paper's sizing choices.
+
+use crate::area_power;
+use crate::config::{MatchaConfig, WorkloadParams};
+use crate::pipeline;
+
+/// One evaluated design candidate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DesignPoint {
+    /// The configuration evaluated.
+    pub config: MatchaConfig,
+    /// The unroll factor used.
+    pub unroll: usize,
+    /// Gate latency in seconds.
+    pub latency_s: f64,
+    /// Gate throughput in gates/s.
+    pub throughput: f64,
+    /// Total power in watts.
+    pub power_w: f64,
+    /// Total area in mm².
+    pub area_mm2: f64,
+}
+
+impl DesignPoint {
+    /// Throughput per watt, the paper's efficiency metric (Figure 11).
+    pub fn throughput_per_watt(&self) -> f64 {
+        self.throughput / self.power_w
+    }
+
+    /// Returns `true` if `self` dominates `other`: no worse on power,
+    /// latency *and* throughput, strictly better on at least one.
+    /// (Latency alone would discard every multi-pipeline design: extra
+    /// pipelines buy throughput, not single-gate latency.)
+    pub fn dominates(&self, other: &DesignPoint) -> bool {
+        let no_worse = self.power_w <= other.power_w
+            && self.latency_s <= other.latency_s
+            && self.throughput >= other.throughput;
+        let better = self.power_w < other.power_w
+            || self.latency_s < other.latency_s
+            || self.throughput > other.throughput;
+        no_worse && better
+    }
+}
+
+/// The structural axes to sweep.
+#[derive(Clone, Debug)]
+pub struct SweepSpace {
+    /// Pipeline counts (TGSW clusters = EP cores).
+    pub pipelines: Vec<usize>,
+    /// Butterfly cores per FFT/IFFT core.
+    pub butterfly_cores: Vec<usize>,
+    /// HBM bandwidths in GB/s.
+    pub hbm_gb_s: Vec<f64>,
+    /// Unroll factors to try per design (the best is kept).
+    pub unrolls: Vec<usize>,
+}
+
+impl Default for SweepSpace {
+    fn default() -> Self {
+        Self {
+            pipelines: vec![2, 4, 8, 16],
+            butterfly_cores: vec![64, 128, 256],
+            hbm_gb_s: vec![320.0, 640.0, 1280.0],
+            unrolls: vec![1, 2, 3, 4],
+        }
+    }
+}
+
+/// Evaluates one configuration at its best unroll factor.
+pub fn evaluate(cfg: &MatchaConfig, w: &WorkloadParams, unrolls: &[usize]) -> DesignPoint {
+    let best = unrolls
+        .iter()
+        .map(|&m| pipeline::simulate_gate(cfg, w, m))
+        .min_by(|a, b| a.latency_s.total_cmp(&b.latency_s))
+        .expect("at least one unroll factor");
+    let budget = area_power::design_budget(cfg);
+    DesignPoint {
+        config: cfg.clone(),
+        unroll: best.unroll,
+        latency_s: best.latency_s,
+        throughput: best.throughput,
+        power_w: budget.total_power_w(),
+        area_mm2: budget.total_area_mm2(),
+    }
+}
+
+/// Sweeps the whole space.
+pub fn sweep(space: &SweepSpace, w: &WorkloadParams) -> Vec<DesignPoint> {
+    let mut out = Vec::new();
+    for &p in &space.pipelines {
+        for &b in &space.butterfly_cores {
+            for &hbm in &space.hbm_gb_s {
+                let mut cfg = MatchaConfig::paper();
+                cfg.tgsw_clusters = p;
+                cfg.ep_cores = p;
+                cfg.butterfly_cores = b;
+                cfg.hbm_gb_s = hbm;
+                out.push(evaluate(&cfg, w, &space.unrolls));
+            }
+        }
+    }
+    out
+}
+
+/// Extracts the Pareto front (minimizing power and latency), sorted by
+/// ascending power.
+pub fn pareto_front(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    let mut front: Vec<DesignPoint> = points
+        .iter()
+        .filter(|p| !points.iter().any(|q| q.dominates(p)))
+        .cloned()
+        .collect();
+    front.sort_by(|a, b| a.power_w.total_cmp(&b.power_w));
+    front.dedup_by(|a, b| a.power_w == b.power_w && a.latency_s == b.latency_s);
+    front
+}
+
+/// The cheapest (lowest-power) design meeting a latency target, if any.
+pub fn cheapest_meeting_latency(
+    points: &[DesignPoint],
+    latency_target_s: f64,
+) -> Option<DesignPoint> {
+    points
+        .iter()
+        .filter(|p| p.latency_s <= latency_target_s)
+        .min_by(|a, b| a.power_w.total_cmp(&b.power_w))
+        .cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_space() -> SweepSpace {
+        SweepSpace {
+            pipelines: vec![4, 8],
+            butterfly_cores: vec![64, 128],
+            hbm_gb_s: vec![320.0, 640.0],
+            unrolls: vec![1, 2, 3, 4],
+        }
+    }
+
+    #[test]
+    fn sweep_covers_product_of_axes() {
+        let points = sweep(&small_space(), &WorkloadParams::MATCHA);
+        assert_eq!(points.len(), 8);
+    }
+
+    #[test]
+    fn pareto_front_is_nondominated_and_sorted() {
+        let points = sweep(&small_space(), &WorkloadParams::MATCHA);
+        let front = pareto_front(&points);
+        assert!(!front.is_empty() && front.len() <= points.len());
+        for (i, p) in front.iter().enumerate() {
+            for q in &front {
+                assert!(!q.dominates(p), "front point dominated");
+            }
+            if i > 0 {
+                assert!(front[i - 1].power_w <= p.power_w, "front not sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_design_is_efficient() {
+        // Among designs with the paper's HBM bandwidth (a board-level
+        // constraint, not a free knob), the paper configuration must not
+        // be dominated with 10% slack on every objective.
+        let points = sweep(&SweepSpace::default(), &WorkloadParams::MATCHA);
+        let paper = evaluate(&MatchaConfig::paper(), &WorkloadParams::MATCHA, &[1, 2, 3, 4]);
+        let strictly_better = points
+            .iter()
+            .filter(|p| p.config.hbm_gb_s == paper.config.hbm_gb_s)
+            .filter(|p| {
+                p.power_w < paper.power_w * 0.9
+                    && p.latency_s < paper.latency_s * 0.9
+                    && p.throughput > paper.throughput * 1.1
+            })
+            .count();
+        assert_eq!(strictly_better, 0, "paper design clearly dominated");
+    }
+
+    #[test]
+    fn latency_target_selection() {
+        let points = sweep(&small_space(), &WorkloadParams::MATCHA);
+        let pick = cheapest_meeting_latency(&points, 1e-3).expect("1 ms is generous");
+        assert!(pick.latency_s <= 1e-3);
+        // Every cheaper design must miss the target.
+        for p in &points {
+            if p.power_w < pick.power_w {
+                assert!(p.latency_s > 1e-3);
+            }
+        }
+        assert!(cheapest_meeting_latency(&points, 1e-9).is_none());
+    }
+
+    #[test]
+    fn best_unroll_recorded() {
+        let paper = evaluate(&MatchaConfig::paper(), &WorkloadParams::MATCHA, &[1, 2, 3, 4]);
+        assert_eq!(paper.unroll, 3, "paper config should prefer m = 3");
+        assert!(paper.throughput_per_watt() > 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Cycle-level performance and energy model of the MATCHA accelerator
+//! (paper §4.3–§6) and of the paper's CPU/GPU/FPGA/ASIC baselines.
+//!
+//! The crate answers the evaluation's questions without the authors' RTL
+//! and testbeds (see DESIGN.md for the substitution rationale):
+//!
+//! * [`config`] — the Figure 7 microarchitecture as data.
+//! * [`kernels`] — per-kernel cycle costs (transforms, TGSW scales, MACs).
+//! * [`pipeline`] — an event-driven simulation of the Figure 6 two-stage
+//!   bootstrapping pipeline, with HBM key streaming.
+//! * [`area_power`] — the Table 2 power/area budget, parameterized by
+//!   component counts.
+//! * [`platforms`] — the baseline platform models and the MATCHA wrapper,
+//!   producing the series of Figures 9–11.
+//! * [`report`] — text renderers for those figures/tables.
+//!
+//! # Examples
+//!
+//! ```
+//! use matcha_accel::{pipeline, MatchaConfig, WorkloadParams};
+//!
+//! let r = pipeline::simulate_gate(&MatchaConfig::paper(), &WorkloadParams::MATCHA, 3);
+//! assert!(r.latency_s < 1e-3); // sub-millisecond NAND gates
+//! ```
+
+pub mod area_power;
+pub mod banking;
+pub mod config;
+pub mod dse;
+pub mod kernels;
+pub mod pipeline;
+pub mod platforms;
+pub mod report;
+pub mod schedule;
+
+pub use config::{MatchaConfig, WorkloadParams};
+pub use pipeline::{simulate_gate, Bottleneck, GateSimResult};
+pub use platforms::{evaluation_platforms, Platform};

@@ -1,0 +1,281 @@
+//! Gate-netlist scheduling on parallel bootstrapping pipelines.
+//!
+//! The paper motivates MATCHA with whole circuits (a TFHE RISC-V CPU at
+//! 1.25 Hz, §1). A circuit is a DAG of bootstrapped gates; with `P`
+//! pipelines the achievable latency is bounded below by both the critical
+//! path (`depth × gate latency`) and the total work (`gates/P × gate
+//! latency`). This module builds gate DAGs for the standard circuits of
+//! `matcha-circuits`, list-schedules them onto a platform's pipelines, and
+//! reports circuit-level latency — turning the per-gate numbers of
+//! Figures 9/10 into end-to-end application estimates.
+
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+/// A dependency DAG of equal-cost bootstrapped gates.
+#[derive(Clone, Debug, Default)]
+pub struct Netlist {
+    /// `deps[i]` lists the gate indices gate `i` consumes.
+    deps: Vec<Vec<usize>>,
+}
+
+impl Netlist {
+    /// An empty netlist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a gate depending on `deps` (indices of earlier gates) and
+    /// returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dependency references a not-yet-added gate.
+    pub fn add_gate(&mut self, deps: &[usize]) -> usize {
+        let id = self.deps.len();
+        assert!(
+            deps.iter().all(|&d| d < id),
+            "dependencies must reference earlier gates"
+        );
+        self.deps.push(deps.to_vec());
+        id
+    }
+
+    /// Number of gates.
+    pub fn len(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// Returns `true` when the netlist has no gates.
+    pub fn is_empty(&self) -> bool {
+        self.deps.is_empty()
+    }
+
+    /// Length (in gates) of the longest dependency chain.
+    pub fn critical_path(&self) -> usize {
+        let mut depth = vec![0usize; self.deps.len()];
+        let mut best = 0;
+        for (i, deps) in self.deps.iter().enumerate() {
+            depth[i] = deps.iter().map(|&d| depth[d]).max().map_or(1, |m| m + 1);
+            best = best.max(depth[i]);
+        }
+        best
+    }
+
+    /// A `width`-bit ripple-carry adder: 5 gates per full adder, with the
+    /// carry chaining between stages (the circuit of
+    /// `matcha_circuits::adder`).
+    pub fn ripple_adder(width: usize) -> Self {
+        let mut net = Self::new();
+        let mut carry: Option<usize> = None;
+        for _ in 0..width {
+            let axb = net.add_gate(&[]); // XOR(a, b): inputs are primary
+            let and_ab = net.add_gate(&[]);
+            let (sum, and_cx) = match carry {
+                None => {
+                    let sum = net.add_gate(&[axb]);
+                    let and_cx = net.add_gate(&[axb]);
+                    (sum, and_cx)
+                }
+                Some(c) => {
+                    let sum = net.add_gate(&[axb, c]);
+                    let and_cx = net.add_gate(&[axb, c]);
+                    (sum, and_cx)
+                }
+            };
+            let _ = sum;
+            let cout = net.add_gate(&[and_ab, and_cx]);
+            carry = Some(cout);
+        }
+        net
+    }
+
+    /// A `width × width` schoolbook multiplier: `width²` partial-product
+    /// ANDs plus `width − 1` chained ripple additions of width `2·width`.
+    pub fn multiplier(width: usize) -> Self {
+        let mut net = Self::new();
+        // Partial products: all independent.
+        let mut partials: Vec<Vec<usize>> = Vec::new();
+        for _ in 0..width {
+            partials.push((0..width).map(|_| net.add_gate(&[])).collect());
+        }
+        // Chain of additions; each full adder column depends on the two
+        // partial-product bits and the previous carry.
+        let mut acc: Vec<usize> = partials[0].clone();
+        for row in partials.iter().skip(1) {
+            let mut carry: Option<usize> = None;
+            let mut next_acc = Vec::with_capacity(acc.len().max(row.len()) + 1);
+            for col in 0..acc.len().max(row.len()) {
+                let mut deps = Vec::new();
+                if let Some(&a) = acc.get(col) {
+                    deps.push(a);
+                }
+                if let Some(&r) = row.get(col) {
+                    deps.push(r);
+                }
+                if let Some(c) = carry {
+                    deps.push(c);
+                }
+                // Full adder ≈ 5 gates; model as sum gate + carry gate with
+                // three internal gates charged to the sum side.
+                let g1 = net.add_gate(&deps);
+                let g2 = net.add_gate(&deps);
+                let sum = net.add_gate(&[g1, g2]);
+                let g3 = net.add_gate(&deps);
+                let cout = net.add_gate(&[g3]);
+                next_acc.push(sum);
+                carry = Some(cout);
+            }
+            if let Some(c) = carry {
+                next_acc.push(c);
+            }
+            acc = next_acc;
+        }
+        net
+    }
+
+    /// A balanced `width`-bit equality comparator: XNOR leaves + AND tree.
+    pub fn comparator(width: usize) -> Self {
+        let mut net = Self::new();
+        let mut layer: Vec<usize> = (0..width).map(|_| net.add_gate(&[])).collect();
+        while layer.len() > 1 {
+            layer = layer
+                .chunks(2)
+                .map(|pair| match pair {
+                    [a, b] => net.add_gate(&[*a, *b]),
+                    [a] => *a,
+                    _ => unreachable!(),
+                })
+                .collect();
+        }
+        net
+    }
+}
+
+/// The outcome of scheduling a netlist.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScheduleResult {
+    /// End-to-end circuit latency in seconds.
+    pub makespan_s: f64,
+    /// Total gates executed.
+    pub gates: usize,
+    /// Depth of the critical path in gates.
+    pub critical_path: usize,
+    /// Mean pipeline utilization (0–1).
+    pub utilization: f64,
+}
+
+/// List-schedules `netlist` on `pipelines` identical units with a fixed
+/// per-gate latency.
+///
+/// # Panics
+///
+/// Panics if `pipelines == 0` or `gate_latency_s <= 0`.
+pub fn schedule(netlist: &Netlist, pipelines: usize, gate_latency_s: f64) -> ScheduleResult {
+    assert!(pipelines > 0, "need at least one pipeline");
+    assert!(gate_latency_s > 0.0, "gate latency must be positive");
+    let n = netlist.len();
+    if n == 0 {
+        return ScheduleResult { makespan_s: 0.0, gates: 0, critical_path: 0, utilization: 0.0 };
+    }
+    let mut finish = vec![0.0f64; n];
+    // Pipelines as a min-heap of free times (f64 bits as ordered ints —
+    // all values are non-negative, so the bit pattern orders correctly).
+    let mut free: BinaryHeap<Reverse<u64>> =
+        (0..pipelines).map(|_| Reverse(0u64)).collect();
+    for i in 0..n {
+        let ready = netlist.deps[i]
+            .iter()
+            .map(|&d| finish[d])
+            .fold(0.0f64, f64::max);
+        let Reverse(free_bits) = free.pop().expect("heap has `pipelines` entries");
+        let start = ready.max(f64::from_bits(free_bits));
+        let done = start + gate_latency_s;
+        finish[i] = done;
+        free.push(Reverse(done.to_bits()));
+    }
+    let makespan_s = finish.iter().fold(0.0f64, |a, &b| a.max(b));
+    let busy = n as f64 * gate_latency_s;
+    ScheduleResult {
+        makespan_s,
+        gates: n,
+        critical_path: netlist.critical_path(),
+        utilization: busy / (makespan_s * pipelines as f64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ripple_adder_counts() {
+        let net = Netlist::ripple_adder(8);
+        assert_eq!(net.len(), 40); // 5 gates per full adder
+        // Critical path: the carry chain, 3 gates deep per stage after
+        // the first XOR level.
+        assert!(net.critical_path() >= 8);
+    }
+
+    #[test]
+    fn schedule_respects_bounds() {
+        let net = Netlist::ripple_adder(8);
+        for pipelines in [1usize, 2, 8, 64] {
+            let r = schedule(&net, pipelines, 1.0);
+            let cp_bound = net.critical_path() as f64;
+            let work_bound = net.len() as f64 / pipelines as f64;
+            assert!(r.makespan_s >= cp_bound - 1e-9, "p={pipelines}");
+            assert!(r.makespan_s >= work_bound - 1e-9, "p={pipelines}");
+            assert!(r.makespan_s <= net.len() as f64 + 1e-9);
+            assert!(r.utilization > 0.0 && r.utilization <= 1.0);
+        }
+    }
+
+    #[test]
+    fn single_pipeline_serializes_everything() {
+        let net = Netlist::comparator(8);
+        let r = schedule(&net, 1, 2.0);
+        assert!((r.makespan_s - net.len() as f64 * 2.0).abs() < 1e-9);
+        assert!((r.utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_pipelines_never_slower() {
+        let net = Netlist::multiplier(4);
+        let mut prev = f64::INFINITY;
+        for pipelines in [1usize, 2, 4, 8, 16] {
+            let r = schedule(&net, pipelines, 1.0);
+            assert!(r.makespan_s <= prev + 1e-9, "p={pipelines}");
+            prev = r.makespan_s;
+        }
+    }
+
+    #[test]
+    fn comparator_tree_depth_is_logarithmic() {
+        let net = Netlist::comparator(16);
+        // 1 XNOR level + 4 AND-tree levels.
+        assert_eq!(net.critical_path(), 5);
+        assert_eq!(net.len(), 16 + 15);
+    }
+
+    #[test]
+    fn saturating_pipelines_hits_critical_path() {
+        let net = Netlist::ripple_adder(4);
+        let r = schedule(&net, 1000, 1.0);
+        assert!((r.makespan_s - net.critical_path() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_netlist() {
+        let r = schedule(&Netlist::new(), 4, 1.0);
+        assert_eq!(r.gates, 0);
+        assert_eq!(r.makespan_s, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier gates")]
+    fn forward_dependency_rejected() {
+        let mut net = Netlist::new();
+        let _ = net.add_gate(&[3]);
+    }
+}

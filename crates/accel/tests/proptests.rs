@@ -1,0 +1,123 @@
+//! Property-based tests of the accelerator model: physical sanity
+//! (latencies positive, more hardware never slower, traffic monotone in m)
+//! across randomized configurations.
+
+use matcha_accel::{area_power, kernels, pipeline, MatchaConfig, WorkloadParams};
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = MatchaConfig> {
+    (
+        1usize..=16,  // pipelines
+        1usize..=8,   // ifft cores per EP
+        32usize..=512, // butterfly cores (power-of-two-ish not required)
+        1usize..=64,  // ep mac lanes
+        1usize..=128, // tgsw mac lanes
+        100.0f64..4000.0, // HBM GB/s
+    )
+        .prop_map(|(pipes, ifft, butt, ep_lanes, tgsw_lanes, hbm)| {
+            let mut cfg = MatchaConfig::paper();
+            cfg.tgsw_clusters = pipes;
+            cfg.ep_cores = pipes;
+            cfg.ifft_cores_per_ep = ifft;
+            cfg.butterfly_cores = butt;
+            cfg.ep_mac_lanes = ep_lanes;
+            cfg.tgsw_mac_lanes = tgsw_lanes;
+            cfg.hbm_gb_s = hbm;
+            cfg
+        })
+}
+
+fn workload_strategy() -> impl Strategy<Value = WorkloadParams> {
+    (6usize..=11, 100usize..=800, 2usize..=3).prop_map(|(log_n, n, l)| WorkloadParams {
+        lwe_dimension: n,
+        ring_degree: 1 << log_n,
+        decomp_levels: l,
+        ks_levels: 8,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn latency_positive_and_finite(cfg in config_strategy(), w in workload_strategy(), m in 1usize..=4) {
+        let r = pipeline::simulate_gate(&cfg, &w, m);
+        prop_assert!(r.latency_s.is_finite() && r.latency_s > 0.0);
+        prop_assert!(r.throughput.is_finite() && r.throughput > 0.0);
+        prop_assert!(r.ep_utilization > 0.0 && r.ep_utilization <= 1.0);
+    }
+
+    #[test]
+    fn doubling_every_resource_never_hurts(
+        cfg in config_strategy(),
+        w in workload_strategy(),
+        m in 1usize..=4,
+    ) {
+        let base = pipeline::simulate_gate(&cfg, &w, m).latency_s;
+        let mut big = cfg.clone();
+        big.butterfly_cores *= 2;
+        big.ep_mac_lanes *= 2;
+        big.tgsw_mac_lanes *= 2;
+        big.hbm_gb_s *= 2.0;
+        big.poly_unit_lanes *= 2;
+        big.ifft_cores_per_ep *= 2;
+        let faster = pipeline::simulate_gate(&big, &w, m).latency_s;
+        prop_assert!(faster <= base + 1e-12, "{faster} > {base}");
+    }
+
+    #[test]
+    fn hbm_traffic_monotone_in_m(w in workload_strategy()) {
+        for m in 1usize..4 {
+            prop_assert!(w.bk_bytes_per_gate(m + 1) >= w.bk_bytes_per_gate(m));
+        }
+    }
+
+    #[test]
+    fn steps_decrease_with_m(w in workload_strategy()) {
+        for m in 1usize..4 {
+            prop_assert!(w.steps(m + 1) <= w.steps(m));
+        }
+    }
+
+    #[test]
+    fn tgsw_work_grows_exponentially(cfg in config_strategy(), w in workload_strategy()) {
+        let c2 = kernels::tgsw_cluster_cycles(&cfg, &w, 2);
+        let c3 = kernels::tgsw_cluster_cycles(&cfg, &w, 3);
+        let c4 = kernels::tgsw_cluster_cycles(&cfg, &w, 4);
+        prop_assert!((c3 / c2 - 7.0 / 3.0).abs() < 1e-9);
+        prop_assert!((c4 / c3 - 15.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_and_area_positive_and_monotone(cfg in config_strategy()) {
+        let b = area_power::design_budget(&cfg);
+        prop_assert!(b.total_power_w() > 0.0);
+        prop_assert!(b.total_area_mm2() > 0.0);
+        let mut bigger = cfg.clone();
+        bigger.ep_cores += 1;
+        bigger.tgsw_clusters += 1;
+        let b2 = area_power::design_budget(&bigger);
+        prop_assert!(b2.total_power_w() > b.total_power_w());
+        prop_assert!(b2.total_area_mm2() > b.total_area_mm2());
+    }
+
+    #[test]
+    fn throughput_equals_pipelines_over_latency(
+        cfg in config_strategy(),
+        w in workload_strategy(),
+        m in 1usize..=4,
+    ) {
+        let r = pipeline::simulate_gate(&cfg, &w, m);
+        let expected = cfg.pipelines() as f64 / r.latency_s;
+        prop_assert!((r.throughput - expected).abs() < expected * 1e-9);
+    }
+
+    #[test]
+    fn best_unroll_is_actually_best(cfg in config_strategy(), w in workload_strategy()) {
+        let best = pipeline::best_unroll(&cfg, &w, 4);
+        let best_latency = pipeline::simulate_gate(&cfg, &w, best).latency_s;
+        for m in 1..=4 {
+            prop_assert!(pipeline::simulate_gate(&cfg, &w, m).latency_s >= best_latency - 1e-15);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Accelerator-model benchmarks: the pipeline simulator itself is cheap
+//! enough for design-space sweeps (thousands of configurations per second).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use matcha_accel::{pipeline, MatchaConfig, WorkloadParams};
+
+fn benches(c: &mut Criterion) {
+    let cfg = MatchaConfig::paper();
+    let w = WorkloadParams::MATCHA;
+    let mut group = c.benchmark_group("pipeline_sim");
+    for m in [1usize, 3] {
+        group.bench_with_input(BenchmarkId::new("gate", m), &m, |b, &m| {
+            b.iter(|| std::hint::black_box(pipeline::simulate_gate(&cfg, &w, m)))
+        });
+    }
+    group.bench_function("design_space_64_points", |b| {
+        b.iter(|| {
+            let mut best = f64::INFINITY;
+            for ep in [4usize, 8, 16, 32] {
+                for hbm in [320.0f64, 640.0, 1280.0, 2560.0] {
+                    for m in 1..=4 {
+                        let mut cfg = MatchaConfig::paper();
+                        cfg.ep_cores = ep;
+                        cfg.tgsw_clusters = ep;
+                        cfg.hbm_gb_s = hbm;
+                        let r = pipeline::simulate_gate(&cfg, &w, m);
+                        best = best.min(r.latency_s);
+                    }
+                }
+            }
+            std::hint::black_box(best)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(group, benches);
+criterion_main!(group);

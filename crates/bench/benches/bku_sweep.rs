@@ -1,0 +1,30 @@
+//! Bootstrapping latency versus unroll factor on this machine — the live
+//! software counterpart of the paper's CPU curve in Figure 9 (m = 2 helps,
+//! aggressive unrolling regresses without a pipelined datapath).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use matcha_fft::F64Fft;
+use matcha_math::Torus32;
+use matcha_tfhe::{BootstrapKit, ClientKey, ParameterSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn benches(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let client = ClientKey::generate(ParameterSet::MATCHA, &mut rng);
+    let engine = F64Fft::new(1024);
+    let mu = Torus32::from_dyadic(1, 3);
+    let input = client.encrypt_with(true, &mut rng);
+    let mut group = c.benchmark_group("bootstrap_vs_unroll");
+    group.sample_size(10);
+    for m in 1..=4usize {
+        let kit = BootstrapKit::generate(&client, &engine, m, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &kit, |b, kit| {
+            b.iter(|| std::hint::black_box(kit.bootstrap(&engine, &input, mu)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(group, benches);
+criterion_main!(group);

@@ -1,0 +1,32 @@
+//! Full TFHE gate benchmarks at the paper's parameters (Table 1's "13 ms
+//! on a CPU" row and Figure 1's workload), on both FFT engines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use matcha_fft::{ApproxIntFft, F64Fft, FftEngine};
+use matcha_tfhe::{ClientKey, ParameterSet, ServerKey};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_gate<E: FftEngine>(c: &mut Criterion, name: &str, engine: E, unroll: usize) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let client = ClientKey::generate(ParameterSet::MATCHA, &mut rng);
+    let server = ServerKey::with_unrolling(&client, engine, unroll, &mut rng);
+    let a = client.encrypt_with(true, &mut rng);
+    let b = client.encrypt_with(false, &mut rng);
+    c.bench_function(name, |bench| {
+        bench.iter(|| std::hint::black_box(server.nand(&a, &b)))
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    bench_gate(c, "nand/f64_m1", F64Fft::new(1024), 1);
+    bench_gate(c, "nand/f64_m2", F64Fft::new(1024), 2);
+    bench_gate(c, "nand/approx38_m2", ApproxIntFft::new(1024, 38), 2);
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(group);

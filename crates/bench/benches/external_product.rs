@@ -1,0 +1,36 @@
+//! External product (TGSW ⊡ TRLWE) benchmarks at the paper's parameters —
+//! the operation each blind-rotation step performs once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use matcha_fft::{ApproxIntFft, F64Fft, FftEngine};
+use matcha_math::{GadgetDecomposer, Torus32, TorusPolynomial, TorusSampler};
+use matcha_tfhe::{ParameterSet, RingSecretKey, TgswCiphertext, TrlweCiphertext};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_external_product<E: FftEngine>(c: &mut Criterion, name: &str, engine: &E) {
+    let params = ParameterSet::MATCHA;
+    let mut sampler = TorusSampler::new(StdRng::seed_from_u64(5));
+    let key = RingSecretKey::generate(params.ring_degree, &mut sampler);
+    let decomp = GadgetDecomposer::new(params.decomp_base_log, params.decomp_levels);
+    let tgsw = TgswCiphertext::encrypt_constant(1, &key, &params, engine, &mut sampler)
+        .to_spectrum(engine);
+    let mu = TorusPolynomial::constant(Torus32::from_dyadic(1, 3), params.ring_degree);
+    let acc = TrlweCiphertext::encrypt(&mu, &key, params.ring_noise_stdev, engine, &mut sampler);
+    c.bench_function(name, |b| {
+        b.iter(|| std::hint::black_box(tgsw.external_product(engine, &acc, &decomp)))
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    bench_external_product(c, "external_product/f64", &F64Fft::new(1024));
+    bench_external_product(c, "external_product/approx_int_38", &ApproxIntFft::new(1024, 38));
+    bench_external_product(c, "external_product/approx_int_62", &ApproxIntFft::new(1024, 62));
+}
+
+criterion_group! {
+    name = group;
+    config = Criterion::default().sample_size(20);
+    targets = benches
+}
+criterion_main!(group);

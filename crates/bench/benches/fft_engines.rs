@@ -1,0 +1,81 @@
+//! FFT engine micro-benchmarks: the kernels Figure 1 shows dominating TFHE
+//! gate latency, across the reference, depth-first, and approximate
+//! integer engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use matcha_fft::{ApproxIntFft, DepthFirstFft, F64Fft, FftEngine};
+use matcha_math::{IntPolynomial, Torus32, TorusPolynomial};
+
+const N: usize = 1024; // the paper's ring degree
+
+fn torus_poly(seed: u32) -> TorusPolynomial {
+    TorusPolynomial::from_coeffs(
+        (0..N as u32)
+            .map(|i| Torus32::from_raw((i ^ seed).wrapping_mul(0x9e37_79b9)))
+            .collect(),
+    )
+}
+
+fn digit_poly(seed: u32) -> IntPolynomial {
+    IntPolynomial::from_coeffs(
+        (0..N as u32)
+            .map(|i| ((i ^ seed).wrapping_mul(0x85eb_ca6b) % 1024) as i32 - 512)
+            .collect(),
+    )
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forward_transform");
+    let p = torus_poly(1);
+    let f64_engine = F64Fft::new(N);
+    group.bench_function("f64_breadth_first", |b| {
+        b.iter(|| std::hint::black_box(f64_engine.forward_torus(&p)))
+    });
+    let df = DepthFirstFft::new(N);
+    group.bench_function("f64_depth_first_cp", |b| {
+        b.iter(|| std::hint::black_box(df.forward_torus(&p)))
+    });
+    for bits in [16u32, 38, 62] {
+        let engine = ApproxIntFft::new(N, bits);
+        group.bench_with_input(
+            BenchmarkId::new("approx_int", bits),
+            &engine,
+            |b, engine| b.iter(|| std::hint::black_box(engine.forward_torus(&p))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_poly_mul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("negacyclic_poly_mul");
+    let p = torus_poly(2);
+    let q = digit_poly(3);
+    let f64_engine = F64Fft::new(N);
+    group.bench_function("f64", |b| {
+        b.iter(|| std::hint::black_box(f64_engine.poly_mul(&p, &q)))
+    });
+    let approx = ApproxIntFft::new(N, 38);
+    group.bench_function("approx_int_38", |b| {
+        b.iter(|| std::hint::black_box(approx.poly_mul(&p, &q)))
+    });
+    group.finish();
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backward_transform");
+    let p = torus_poly(4);
+    let f64_engine = F64Fft::new(N);
+    let spec = f64_engine.forward_torus(&p);
+    group.bench_function("f64", |b| {
+        b.iter(|| std::hint::black_box(f64_engine.backward_torus(&spec)))
+    });
+    let approx = ApproxIntFft::new(N, 38);
+    let spec_i = approx.forward_torus(&p);
+    group.bench_function("approx_int_38", |b| {
+        b.iter(|| std::hint::black_box(approx.backward_torus(&spec_i)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_poly_mul, bench_backward);
+criterion_main!(benches);

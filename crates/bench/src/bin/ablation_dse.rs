@@ -1,0 +1,47 @@
+//! Ablation / design-space exploration: sweeps pipelines, butterfly cores
+//! and HBM bandwidth, and prints the power–latency Pareto front with the
+//! paper's design point highlighted.
+//!
+//! Run with: `cargo run --release -p matcha-bench --bin ablation_dse`
+
+use matcha::accel::dse::{self, SweepSpace};
+use matcha::{MatchaConfig, WorkloadParams};
+
+fn main() {
+    let w = WorkloadParams::MATCHA;
+    let points = dse::sweep(&SweepSpace::default(), &w);
+    let front = dse::pareto_front(&points);
+    let paper = dse::evaluate(&MatchaConfig::paper(), &w, &[1, 2, 3, 4]);
+
+    println!("# Ablation: power-latency Pareto front over {} designs", points.len());
+    println!(
+        "{:>6} {:>10} {:>10} {:>3} {:>12} {:>12} {:>12} {:>12}",
+        "pipes", "butt", "HBM", "m", "latency(ms)", "power(W)", "area(mm2)", "gates/s/W"
+    );
+    for p in &front {
+        println!(
+            "{:>6} {:>10} {:>10.0} {:>3} {:>12.4} {:>12.2} {:>12.2} {:>12.1}",
+            p.config.ep_cores,
+            p.config.butterfly_cores,
+            p.config.hbm_gb_s,
+            p.unroll,
+            p.latency_s * 1e3,
+            p.power_w,
+            p.area_mm2,
+            p.throughput_per_watt(),
+        );
+    }
+    println!(
+        "\npaper design: 8 pipes, 128 butt, 640 GB/s -> m={} {:.4} ms, {:.2} W, {:.1} gates/s/W",
+        paper.unroll,
+        paper.latency_s * 1e3,
+        paper.power_w,
+        paper.throughput_per_watt(),
+    );
+    if let Some(pick) = dse::cheapest_meeting_latency(&points, 0.2e-3) {
+        println!(
+            "cheapest design under 0.2 ms: {} pipes, {} butterfly cores, {:.0} GB/s ({:.2} W)",
+            pick.config.ep_cores, pick.config.butterfly_cores, pick.config.hbm_gb_s, pick.power_w
+        );
+    }
+}

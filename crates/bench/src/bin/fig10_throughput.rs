@@ -1,0 +1,14 @@
+//! Figure 10: NAND gate throughput across platforms, m = 1..4.
+//!
+//! Run with: `cargo run --release -p matcha-bench --bin fig10_throughput`
+
+use matcha::accel::{evaluation_platforms, report, Platform};
+
+fn main() {
+    let plats = evaluation_platforms();
+    print!("{}", report::figure10(&plats));
+    let matcha = Platform::matcha_paper();
+    let gpu = Platform::gpu();
+    let ratio = matcha.throughput(3).unwrap() / gpu.throughput(3).unwrap();
+    println!("\nMATCHA/GPU throughput at m=3: {ratio:.2}x (paper: 2.3x)");
+}

@@ -1,0 +1,18 @@
+//! Figure 11: NAND throughput per Watt across platforms, m = 1..4.
+//!
+//! Run with: `cargo run --release -p matcha-bench --bin fig11_throughput_per_watt`
+
+use matcha::accel::{evaluation_platforms, report, Platform};
+
+fn main() {
+    let plats = evaluation_platforms();
+    print!("{}", report::figure11(&plats));
+    let matcha = Platform::matcha_paper();
+    let asic = Platform::asic();
+    let gpu = Platform::gpu();
+    let eff = matcha.throughput_per_watt(3).unwrap() / asic.throughput_per_watt(1).unwrap();
+    let gpu_vs_asic =
+        gpu.throughput_per_watt(4).unwrap() / asic.throughput_per_watt(1).unwrap();
+    println!("\nMATCHA/ASIC throughput-per-Watt at m=3: {eff:.1}x (paper: 6.3x)");
+    println!("GPU best vs ASIC: {:.0}% (paper: ~58%)", gpu_vs_asic * 100.0);
+}

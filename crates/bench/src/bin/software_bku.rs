@@ -1,0 +1,42 @@
+//! Live software BKU sweep at the paper's parameters — our measured
+//! counterpart of the CPU curve in Figure 9 (m = 2 helps; aggressive
+//! unrolling stops helping without a pipelined datapath).
+//!
+//! Run with: `cargo run --release -p matcha-bench --bin software_bku`
+
+use matcha::tfhe::BootstrapKit;
+use matcha::{ClientKey, F64Fft, ParameterSet, Torus32};
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let client = ClientKey::generate(ParameterSet::MATCHA, &mut rng);
+    let engine = F64Fft::new(1024);
+    let c = client.encrypt_with(true, &mut rng);
+    let mu = Torus32::from_dyadic(1, 3);
+    let trials = 5;
+
+    println!("# Software bootstrap latency vs BKU factor (this machine, 1 thread)");
+    println!("{:<4} {:>10} {:>14} {:>14}", "m", "BK keys", "keygen (s)", "bootstrap (ms)");
+    for m in 1..=4usize {
+        let t0 = Instant::now();
+        let kit = BootstrapKit::generate(&client, &engine, m, &mut rng);
+        let keygen = t0.elapsed().as_secs_f64();
+        let out = kit.bootstrap(&engine, &c, mu); // warm up
+        assert!(client.decrypt(&out));
+        let t0 = Instant::now();
+        for _ in 0..trials {
+            std::hint::black_box(kit.bootstrap(&engine, &c, mu));
+        }
+        let ms = t0.elapsed().as_secs_f64() * 1e3 / trials as f64;
+        println!(
+            "{:<4} {:>10} {:>14.2} {:>14.2}",
+            m,
+            kit.bootstrapping_key().key_count(),
+            keygen,
+            ms
+        );
+    }
+    println!("\npaper CPU row: 13.1 ms (m=1), 6.67 ms (m=2), m>=3 regresses.");
+}

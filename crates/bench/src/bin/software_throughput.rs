@@ -1,0 +1,30 @@
+//! Live software gate throughput with the batched evaluator — our
+//! measured point on the Figure 10 axis (CPU-class hardware).
+//!
+//! Run with: `cargo run --release -p matcha-bench --bin software_throughput`
+
+use matcha::tfhe::batch;
+use matcha::{ClientKey, F64Fft, Gate, ParameterSet, ServerKey};
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let client = ClientKey::generate(ParameterSet::MATCHA, &mut rng);
+    let server = ServerKey::with_unrolling(&client, F64Fft::new(1024), 2, &mut rng);
+    let pairs: Vec<_> = (0..32)
+        .map(|i| {
+            (
+                client.encrypt_with(i % 2 == 0, &mut rng),
+                client.encrypt_with(i % 3 == 0, &mut rng),
+            )
+        })
+        .collect();
+
+    println!("# Software NAND throughput (m = 2, batched over threads)");
+    println!("{:<8} {:>14} {:>12}", "threads", "gates/s", "batch (s)");
+    for threads in [1usize, 2, 4, 8] {
+        let r = batch::run_gate_batch(&server, Gate::Nand, &pairs, threads);
+        println!("{:<8} {:>14.1} {:>12.2}", r.threads, r.gates_per_second, r.elapsed_s);
+    }
+    println!("\npaper CPU throughput: ~1.2k gates/s at m=2 (8 cores).");
+}

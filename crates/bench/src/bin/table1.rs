@@ -1,0 +1,44 @@
+//! Table 1: comparison of HE schemes, with the TFHE bootstrapping row
+//! measured live on this machine using our implementation.
+//!
+//! Run with: `cargo run --release -p matcha-bench --bin table1`
+
+use matcha::{ClientKey, F64Fft, ParameterSet, ServerKey, Torus32};
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let client = ClientKey::generate(ParameterSet::MATCHA, &mut rng);
+    let engine = F64Fft::new(1024);
+    let server = ServerKey::new(&client, engine, &mut rng);
+
+    // Measure one gate bootstrap (the dominant cost of every TFHE gate).
+    let c = client.encrypt_with(true, &mut rng);
+    let warm = server.kit().bootstrap(server.engine(), &c, Torus32::from_dyadic(1, 3));
+    assert!(client.decrypt(&warm));
+    let trials = 5;
+    let t0 = Instant::now();
+    for _ in 0..trials {
+        std::hint::black_box(server.kit().bootstrap(
+            server.engine(),
+            &c,
+            Torus32::from_dyadic(1, 3),
+        ));
+    }
+    let ms = t0.elapsed().as_secs_f64() * 1e3 / trials as f64;
+
+    println!("# Table 1: comparison between HE schemes");
+    println!("{:<8} {:<12} {:<12} {:<24}", "scheme", "FHE op", "data type", "bootstrapping");
+    println!("{:<8} {:<12} {:<12} {:<24}", "BGV", "mult, add", "integer", "~800 s (literature)");
+    println!("{:<8} {:<12} {:<12} {:<24}", "BFV", "mult, add", "integer", ">1000 s (literature)");
+    println!("{:<8} {:<12} {:<12} {:<24}", "CKKS", "mult, add", "fixed point", "~500 s (literature)");
+    println!("{:<8} {:<12} {:<12} {:<24}", "FHEW", "Boolean", "binary", "<1 s (literature)");
+    println!(
+        "{:<8} {:<12} {:<12} {:<24}",
+        "TFHE",
+        "Boolean",
+        "binary",
+        format!("{ms:.1} ms (measured here; paper: 13 ms)")
+    );
+}

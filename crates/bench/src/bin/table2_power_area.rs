@@ -1,0 +1,13 @@
+//! Table 2: MATCHA power and area budget at 2 GHz / 16 nm.
+//!
+//! Run with: `cargo run -p matcha-bench --bin table2_power_area`
+
+use matcha::accel::area_power;
+use matcha::accel::report;
+use matcha::MatchaConfig;
+
+fn main() {
+    let budget = area_power::design_budget(&MatchaConfig::paper());
+    print!("{}", report::table2(&budget));
+    println!("\npaper totals: 39.98 W, 36.96 mm^2.");
+}

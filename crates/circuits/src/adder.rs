@@ -1,0 +1,163 @@
+//! Ripple-carry arithmetic on encrypted words.
+//!
+//! A full adder costs 5 bootstrapped gates in the naive XOR/AND/OR
+//! formulation; an n-bit add is therefore ~5n TFHE gates, each dominated by
+//! a bootstrap — exactly the workload MATCHA's throughput numbers
+//! (Figure 10) are about.
+
+use crate::word::EncryptedWord;
+use matcha_fft::FftEngine;
+use matcha_tfhe::{LweCiphertext, ServerKey};
+
+/// The outputs of an addition: the sum word and the final carry.
+#[derive(Clone, Debug)]
+pub struct AddResult {
+    /// Sum bits, LSB first, same width as the inputs.
+    pub sum: EncryptedWord,
+    /// Carry out of the most significant bit.
+    pub carry: LweCiphertext,
+}
+
+/// One-bit half adder: returns `(sum, carry)`.
+pub fn half_adder<E: FftEngine>(
+    server: &ServerKey<E>,
+    a: &LweCiphertext,
+    b: &LweCiphertext,
+) -> (LweCiphertext, LweCiphertext) {
+    (server.xor(a, b), server.and(a, b))
+}
+
+/// One-bit full adder: returns `(sum, carry_out)`.
+pub fn full_adder<E: FftEngine>(
+    server: &ServerKey<E>,
+    a: &LweCiphertext,
+    b: &LweCiphertext,
+    carry_in: &LweCiphertext,
+) -> (LweCiphertext, LweCiphertext) {
+    let axb = server.xor(a, b);
+    let sum = server.xor(&axb, carry_in);
+    let and_ab = server.and(a, b);
+    let and_cx = server.and(&axb, carry_in);
+    let carry = server.or(&and_ab, &and_cx);
+    (sum, carry)
+}
+
+/// Ripple-carry addition of two equal-width words.
+///
+/// # Panics
+///
+/// Panics if the words have different widths or are empty.
+pub fn add<E: FftEngine>(server: &ServerKey<E>, a: &EncryptedWord, b: &EncryptedWord) -> AddResult {
+    add_with_carry(server, a, b, &server.trivial(false))
+}
+
+/// Ripple-carry addition with an explicit carry-in.
+///
+/// # Panics
+///
+/// Panics if the words have different widths or are empty.
+pub fn add_with_carry<E: FftEngine>(
+    server: &ServerKey<E>,
+    a: &EncryptedWord,
+    b: &EncryptedWord,
+    carry_in: &LweCiphertext,
+) -> AddResult {
+    assert_eq!(a.len(), b.len(), "operand widths differ");
+    assert!(!a.is_empty(), "empty operands");
+    let mut carry = carry_in.clone();
+    let mut sum = Vec::with_capacity(a.len());
+    for (abit, bbit) in a.iter().zip(b.iter()) {
+        let (s, c) = full_adder(server, abit, bbit, &carry);
+        sum.push(s);
+        carry = c;
+    }
+    AddResult { sum, carry }
+}
+
+/// Two's-complement subtraction `a − b`: returns the difference and a
+/// carry that equals `1` when `a ≥ b` (no borrow).
+///
+/// # Panics
+///
+/// Panics if the words have different widths or are empty.
+pub fn sub<E: FftEngine>(server: &ServerKey<E>, a: &EncryptedWord, b: &EncryptedWord) -> AddResult {
+    let not_b: EncryptedWord = b.iter().map(|bit| server.not(bit)).collect();
+    add_with_carry(server, a, &not_b, &server.trivial(true))
+}
+
+/// Adds a plaintext constant 1 (increment).
+pub fn increment<E: FftEngine>(server: &ServerKey<E>, a: &EncryptedWord) -> AddResult {
+    let zero: EncryptedWord = (0..a.len()).map(|_| server.trivial(false)).collect();
+    add_with_carry(server, a, &zero, &server.trivial(true))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::setup;
+    use crate::word;
+
+    #[test]
+    fn full_adder_truth_table() {
+        let (client, server, mut rng) = setup(201);
+        for a in [false, true] {
+            for b in [false, true] {
+                for cin in [false, true] {
+                    let ca = client.encrypt_with(a, &mut rng);
+                    let cb = client.encrypt_with(b, &mut rng);
+                    let cc = client.encrypt_with(cin, &mut rng);
+                    let (s, cout) = full_adder(&server, &ca, &cb, &cc);
+                    let total = u8::from(a) + u8::from(b) + u8::from(cin);
+                    assert_eq!(client.decrypt(&s), total & 1 == 1, "{a} {b} {cin}");
+                    assert_eq!(client.decrypt(&cout), total >= 2, "{a} {b} {cin}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn four_bit_addition() {
+        let (client, server, mut rng) = setup(202);
+        for (x, y) in [(3u64, 5u64), (15, 1), (9, 9), (0, 0)] {
+            let a = word::encrypt(&client, x, 4, &mut rng);
+            let b = word::encrypt(&client, y, 4, &mut rng);
+            let r = add(&server, &a, &b);
+            assert_eq!(word::decrypt(&client, &r.sum), (x + y) & 0xF, "{x}+{y}");
+            assert_eq!(client.decrypt(&r.carry), x + y > 15, "carry {x}+{y}");
+        }
+    }
+
+    #[test]
+    fn subtraction_and_borrow() {
+        let (client, server, mut rng) = setup(203);
+        for (x, y) in [(9u64, 4u64), (4, 9), (7, 7), (0, 1)] {
+            let a = word::encrypt(&client, x, 4, &mut rng);
+            let b = word::encrypt(&client, y, 4, &mut rng);
+            let r = sub(&server, &a, &b);
+            assert_eq!(
+                word::decrypt(&client, &r.sum),
+                x.wrapping_sub(y) & 0xF,
+                "{x}-{y}"
+            );
+            assert_eq!(client.decrypt(&r.carry), x >= y, "no-borrow {x}-{y}");
+        }
+    }
+
+    #[test]
+    fn increment_wraps() {
+        let (client, server, mut rng) = setup(204);
+        let a = word::encrypt(&client, 7, 3, &mut rng);
+        let r = increment(&server, &a);
+        assert_eq!(word::decrypt(&client, &r.sum), 0);
+        assert!(client.decrypt(&r.carry));
+    }
+
+    #[test]
+    #[should_panic(expected = "widths differ")]
+    fn mismatched_widths_rejected() {
+        let (client, server, mut rng) = setup(205);
+        let a = word::encrypt(&client, 1, 2, &mut rng);
+        let b = word::encrypt(&client, 1, 3, &mut rng);
+        let _ = add(&server, &a, &b);
+    }
+}

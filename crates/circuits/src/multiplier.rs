@@ -1,0 +1,116 @@
+//! Schoolbook multiplication on encrypted words.
+//!
+//! An `n×n`-bit multiply costs `n²` AND gates for the partial products plus
+//! `n − 1` ripple additions — hundreds of bootstrapped gates even at small
+//! widths, which is exactly why the paper cares about gate *throughput*
+//! (Figure 10), not just latency.
+
+use crate::adder;
+use crate::word::EncryptedWord;
+use matcha_fft::FftEngine;
+use matcha_tfhe::ServerKey;
+
+/// Full-width product of two equal-width words: `a · b` with `2·width`
+/// output bits.
+///
+/// # Panics
+///
+/// Panics if the words have different widths or are empty.
+pub fn mul<E: FftEngine>(
+    server: &ServerKey<E>,
+    a: &EncryptedWord,
+    b: &EncryptedWord,
+) -> EncryptedWord {
+    assert_eq!(a.len(), b.len(), "operand widths differ");
+    assert!(!a.is_empty(), "empty operands");
+    let width = a.len();
+    let out_width = 2 * width;
+
+    // acc starts as the first partial product (a · b_0), zero-extended.
+    let mut acc: EncryptedWord = (0..out_width)
+        .map(|i| {
+            if i < width {
+                server.and(&a[i], &b[0])
+            } else {
+                server.trivial(false)
+            }
+        })
+        .collect();
+
+    for (j, bj) in b.iter().enumerate().skip(1) {
+        // Partial product a · b_j, shifted left by j within out_width bits.
+        let partial: EncryptedWord = (0..out_width)
+            .map(|i| {
+                if i >= j && i - j < width {
+                    server.and(&a[i - j], bj)
+                } else {
+                    server.trivial(false)
+                }
+            })
+            .collect();
+        acc = adder::add(server, &acc, &partial).sum;
+    }
+    acc
+}
+
+/// Truncated (wrapping) product: only the low `width` bits.
+pub fn mul_low<E: FftEngine>(
+    server: &ServerKey<E>,
+    a: &EncryptedWord,
+    b: &EncryptedWord,
+) -> EncryptedWord {
+    let mut full = mul(server, a, b);
+    full.truncate(a.len());
+    full
+}
+
+/// Square of a word (same cost shape as [`mul`]; kept separate so
+/// call sites read naturally).
+pub fn square<E: FftEngine>(server: &ServerKey<E>, a: &EncryptedWord) -> EncryptedWord {
+    mul(server, a, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::setup;
+    use crate::word;
+
+    #[test]
+    fn two_bit_products_exhaustive() {
+        let (client, server, mut rng) = setup(701);
+        for x in 0u64..4 {
+            for y in 0u64..4 {
+                let a = word::encrypt(&client, x, 2, &mut rng);
+                let b = word::encrypt(&client, y, 2, &mut rng);
+                let p = mul(&server, &a, &b);
+                assert_eq!(p.len(), 4);
+                assert_eq!(word::decrypt(&client, &p), x * y, "{x}*{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn three_bit_product() {
+        let (client, server, mut rng) = setup(702);
+        let a = word::encrypt(&client, 5, 3, &mut rng);
+        let b = word::encrypt(&client, 6, 3, &mut rng);
+        assert_eq!(word::decrypt(&client, &mul(&server, &a, &b)), 30);
+    }
+
+    #[test]
+    fn low_product_wraps() {
+        let (client, server, mut rng) = setup(703);
+        let a = word::encrypt(&client, 3, 2, &mut rng);
+        let b = word::encrypt(&client, 3, 2, &mut rng);
+        // 9 mod 4 = 1.
+        assert_eq!(word::decrypt(&client, &mul_low(&server, &a, &b)), 1);
+    }
+
+    #[test]
+    fn square_matches_mul() {
+        let (client, server, mut rng) = setup(704);
+        let a = word::encrypt(&client, 3, 2, &mut rng);
+        assert_eq!(word::decrypt(&client, &square(&server, &a)), 9);
+    }
+}

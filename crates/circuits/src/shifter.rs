@@ -1,0 +1,120 @@
+//! Barrel shifter on encrypted words.
+//!
+//! Shifting by a *plaintext* amount is free (bit re-wiring); shifting by an
+//! *encrypted* amount uses one mux layer per index bit, the classic barrel
+//! construction.
+
+use crate::mux;
+use crate::word::EncryptedWord;
+use matcha_fft::FftEngine;
+use matcha_tfhe::{LweCiphertext, ServerKey};
+
+/// Logical left shift by a plaintext amount (zero fill, free).
+pub fn shl_const<E: FftEngine>(
+    server: &ServerKey<E>,
+    a: &EncryptedWord,
+    amount: usize,
+) -> EncryptedWord {
+    let width = a.len();
+    let mut out = Vec::with_capacity(width);
+    for i in 0..width {
+        if i < amount {
+            out.push(server.trivial(false));
+        } else {
+            out.push(a[i - amount].clone());
+        }
+    }
+    out
+}
+
+/// Logical right shift by a plaintext amount (zero fill, free).
+pub fn shr_const<E: FftEngine>(
+    server: &ServerKey<E>,
+    a: &EncryptedWord,
+    amount: usize,
+) -> EncryptedWord {
+    let width = a.len();
+    (0..width)
+        .map(|i| {
+            if i + amount < width {
+                a[i + amount].clone()
+            } else {
+                server.trivial(false)
+            }
+        })
+        .collect()
+}
+
+/// Barrel left shift by an encrypted amount (LSB-first index bits).
+///
+/// Level `j` conditionally shifts by `2^j`, so `k` index bits cover shifts
+/// `0..2^k − 1`; shifts ≥ width produce zero.
+pub fn shl<E: FftEngine>(
+    server: &ServerKey<E>,
+    a: &EncryptedWord,
+    amount: &[LweCiphertext],
+) -> EncryptedWord {
+    let mut cur = a.to_vec();
+    for (j, bit) in amount.iter().enumerate() {
+        let shifted = shl_const(server, &cur, 1 << j);
+        cur = mux::select_word(server, bit, &shifted, &cur);
+    }
+    cur
+}
+
+/// Barrel right shift by an encrypted amount (LSB-first index bits).
+pub fn shr<E: FftEngine>(
+    server: &ServerKey<E>,
+    a: &EncryptedWord,
+    amount: &[LweCiphertext],
+) -> EncryptedWord {
+    let mut cur = a.to_vec();
+    for (j, bit) in amount.iter().enumerate() {
+        let shifted = shr_const(server, &cur, 1 << j);
+        cur = mux::select_word(server, bit, &shifted, &cur);
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::setup;
+    use crate::word;
+
+    #[test]
+    fn constant_shifts() {
+        let (client, server, mut rng) = setup(501);
+        let a = word::encrypt(&client, 0b0110, 4, &mut rng);
+        assert_eq!(word::decrypt(&client, &shl_const(&server, &a, 1)), 0b1100);
+        assert_eq!(word::decrypt(&client, &shr_const(&server, &a, 1)), 0b0011);
+        assert_eq!(word::decrypt(&client, &shl_const(&server, &a, 4)), 0);
+        assert_eq!(word::decrypt(&client, &shr_const(&server, &a, 0)), 0b0110);
+    }
+
+    #[test]
+    fn encrypted_left_shift() {
+        let (client, server, mut rng) = setup(502);
+        let a = word::encrypt(&client, 0b0011, 4, &mut rng);
+        for amt in 0..4u64 {
+            let enc_amt = word::encrypt(&client, amt, 2, &mut rng);
+            let out = shl(&server, &a, &enc_amt);
+            assert_eq!(
+                word::decrypt(&client, &out),
+                (0b0011 << amt) & 0xF,
+                "amt={amt}"
+            );
+        }
+    }
+
+    #[test]
+    fn encrypted_right_shift() {
+        let (client, server, mut rng) = setup(503);
+        let a = word::encrypt(&client, 0b1100, 4, &mut rng);
+        for amt in 0..4u64 {
+            let enc_amt = word::encrypt(&client, amt, 2, &mut rng);
+            let out = shr(&server, &a, &enc_amt);
+            assert_eq!(word::decrypt(&client, &out), 0b1100 >> amt, "amt={amt}");
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Multi-bit encrypted words (little-endian bit vectors of LWE samples).
+
+use matcha_tfhe::{ClientKey, LweCiphertext};
+use rand::Rng;
+
+/// An encrypted fixed-width word, least-significant bit first.
+pub type EncryptedWord = Vec<LweCiphertext>;
+
+/// Encrypts the low `width` bits of `value`, LSB first.
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or exceeds 64.
+///
+/// # Examples
+///
+/// ```
+/// use matcha_circuits::word;
+/// use matcha_tfhe::{ClientKey, params::ParameterSet};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+/// let w = word::encrypt(&client, 0b1010, 4, &mut rng);
+/// assert_eq!(word::decrypt(&client, &w), 0b1010);
+/// ```
+pub fn encrypt<R: Rng>(
+    client: &ClientKey,
+    value: u64,
+    width: usize,
+    rng: &mut R,
+) -> EncryptedWord {
+    assert!((1..=64).contains(&width), "width {width} outside 1..=64");
+    (0..width)
+        .map(|i| client.encrypt_with((value >> i) & 1 == 1, rng))
+        .collect()
+}
+
+/// Decrypts a word back to its integer value (LSB first).
+///
+/// # Panics
+///
+/// Panics if the word is wider than 64 bits.
+pub fn decrypt(client: &ClientKey, word: &[LweCiphertext]) -> u64 {
+    assert!(word.len() <= 64, "word wider than 64 bits");
+    word.iter()
+        .enumerate()
+        .map(|(i, bit)| u64::from(client.decrypt(bit)) << i)
+        .sum()
+}
+
+/// The largest value a `width`-bit word can hold.
+pub fn max_value(width: usize) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1 << width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::setup;
+
+    #[test]
+    fn roundtrip_various_values() {
+        let (client, _, mut rng) = setup(101);
+        for (value, width) in [(0u64, 4), (15, 4), (0b1011, 4), (200, 8), (1, 1)] {
+            let w = encrypt(&client, value, width, &mut rng);
+            assert_eq!(decrypt(&client, &w), value, "value={value} width={width}");
+            assert_eq!(w.len(), width);
+        }
+    }
+
+    #[test]
+    fn truncates_to_width() {
+        let (client, _, mut rng) = setup(102);
+        let w = encrypt(&client, 0xFF, 4, &mut rng);
+        assert_eq!(decrypt(&client, &w), 0xF);
+    }
+
+    #[test]
+    fn max_value_formula() {
+        assert_eq!(max_value(4), 15);
+        assert_eq!(max_value(1), 1);
+        assert_eq!(max_value(64), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=64")]
+    fn zero_width_rejected() {
+        let (client, _, mut rng) = setup(103);
+        let _ = encrypt(&client, 0, 0, &mut rng);
+    }
+}

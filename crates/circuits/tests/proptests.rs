@@ -1,0 +1,114 @@
+//! Property-based tests of the circuit layer against plaintext oracles.
+//! Case counts are small: every gate is a full bootstrap.
+
+use matcha_circuits::{adder, alu, comparator, mux, popcount, shifter, word};
+use matcha_fft::F64Fft;
+use matcha_tfhe::{ClientKey, ParameterSet, ServerKey};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+struct Fixture {
+    client: ClientKey,
+    server: ServerKey<F64Fft>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xC1BC);
+        let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+        let engine = F64Fft::new(client.params().ring_degree);
+        let server = ServerKey::with_unrolling(&client, engine, 2, &mut rng);
+        Fixture { client, server }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn addition_matches_plaintext(x in 0u64..16, y in 0u64..16, seed in any::<u64>()) {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = word::encrypt(&f.client, x, 4, &mut rng);
+        let b = word::encrypt(&f.client, y, 4, &mut rng);
+        let r = adder::add(&f.server, &a, &b);
+        prop_assert_eq!(word::decrypt(&f.client, &r.sum), (x + y) & 0xF);
+        prop_assert_eq!(f.client.decrypt(&r.carry), x + y > 0xF);
+    }
+
+    #[test]
+    fn subtraction_matches_plaintext(x in 0u64..16, y in 0u64..16, seed in any::<u64>()) {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = word::encrypt(&f.client, x, 4, &mut rng);
+        let b = word::encrypt(&f.client, y, 4, &mut rng);
+        let r = adder::sub(&f.server, &a, &b);
+        prop_assert_eq!(word::decrypt(&f.client, &r.sum), x.wrapping_sub(y) & 0xF);
+        prop_assert_eq!(f.client.decrypt(&r.carry), x >= y);
+    }
+
+    #[test]
+    fn comparisons_match_plaintext(x in 0u64..8, y in 0u64..8, seed in any::<u64>()) {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = word::encrypt(&f.client, x, 3, &mut rng);
+        let b = word::encrypt(&f.client, y, 3, &mut rng);
+        prop_assert_eq!(f.client.decrypt(&comparator::lt(&f.server, &a, &b)), x < y);
+        prop_assert_eq!(f.client.decrypt(&comparator::eq(&f.server, &a, &b)), x == y);
+    }
+
+    #[test]
+    fn mux_selects_correctly(sel in any::<bool>(), x in 0u64..8, y in 0u64..8, seed in any::<u64>()) {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cs = f.client.encrypt_with(sel, &mut rng);
+        let a = word::encrypt(&f.client, x, 3, &mut rng);
+        let b = word::encrypt(&f.client, y, 3, &mut rng);
+        let out = mux::select_word(&f.server, &cs, &a, &b);
+        prop_assert_eq!(word::decrypt(&f.client, &out), if sel { x } else { y });
+    }
+
+    #[test]
+    fn shifts_match_plaintext(x in 0u64..16, amt in 0u64..4, seed in any::<u64>()) {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = word::encrypt(&f.client, x, 4, &mut rng);
+        let enc_amt = word::encrypt(&f.client, amt, 2, &mut rng);
+        let left = shifter::shl(&f.server, &a, &enc_amt);
+        prop_assert_eq!(word::decrypt(&f.client, &left), (x << amt) & 0xF);
+    }
+
+    #[test]
+    fn popcount_matches_plaintext(x in 0u64..16, seed in any::<u64>()) {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bits = word::encrypt(&f.client, x, 4, &mut rng);
+        let count = popcount::popcount(&f.server, &bits);
+        prop_assert_eq!(word::decrypt(&f.client, &count), x.count_ones() as u64);
+    }
+
+    #[test]
+    fn alu_matches_oracle(
+        op in prop::sample::select(vec![
+            alu::AluOp::Add, alu::AluOp::Sub, alu::AluOp::And, alu::AluOp::Xor,
+        ]),
+        x in 0u64..8,
+        y in 0u64..8,
+        seed in any::<u64>(),
+    ) {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = word::encrypt(&f.client, x, 3, &mut rng);
+        let b = word::encrypt(&f.client, y, 3, &mut rng);
+        let bits = op.opcode_bits();
+        let opcode = vec![
+            f.client.encrypt_with(bits[0], &mut rng),
+            f.client.encrypt_with(bits[1], &mut rng),
+        ];
+        let out = alu::execute(&f.server, &opcode, &a, &b);
+        prop_assert_eq!(word::decrypt(&f.client, &out), op.eval(x, y, 3));
+    }
+}

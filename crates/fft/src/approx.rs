@@ -1,0 +1,530 @@
+//! MATCHA's approximate multiplication-less integer FFT engine (§4.1).
+//!
+//! All data stays in 64-bit integers. Every twiddle rotation — including the
+//! negacyclic twist — is performed by a three-step lifting structure whose
+//! dyadic-value-quantized coefficients (`α/2^β`, `β =` [`ApproxIntFft::twiddle_bits`])
+//! need only adders and shifters. The approximation error this introduces is
+//! far below TFHE's noise threshold and is rounded off together with the
+//! ordinary ciphertext noise at decryption (paper's key observation), so
+//! ciphertexts processed with this engine still decrypt correctly.
+//!
+//! Scaling scheme (`M = N/2` evaluation points, radix-2, `log2 M` stages):
+//!
+//! * inputs are pre-scaled with as many fractional bits as the 64-bit lanes
+//!   allow (41 for gadget digits and 20 for torus values at `N = 1024`), so
+//!   per-lifting-step rounding noise (±½ ulp) lands ≈ 2⁻⁴⁰ torus units below
+//!   the signal — twiddle quantization, not rounding, dominates the error;
+//! * forward transforms grow values by at most `×M·√2`;
+//! * pointwise products run in 128-bit and drop both pre-scales;
+//! * the inverse transform halves after every stage, realizing the `1/M`
+//!   normalization with one rounding shift per stage;
+//! * the final reduction mod `2^32` is an exact two's-complement truncation.
+
+use crate::engine::{FftEngine, Spectrum};
+use crate::lifting::LiftingRotation;
+use crate::tables::bit_reverse_permute;
+use matcha_math::{IntPolynomial, Torus32, TorusPolynomial};
+
+/// Largest digit magnitude [`ApproxIntFft::forward_int`] accepts.
+pub const MAX_DIGIT: i64 = 1 << 10;
+
+/// Fractional bits of the quantized `ε_k^e − 1` factors used by the
+/// TGSW-scale path. `|ε^e − 1| ≤ 2`, so 30 fractional bits keep every
+/// factor within an `i32` — matching the 32-bit integer multipliers of
+/// MATCHA's TGSW clusters — while contributing less bundle noise than the
+/// external product itself.
+pub const MONO_FRAC_BITS: u32 = 30;
+
+/// Fractional bits dropped when opening a bundle accumulator, creating
+/// headroom for summing up to `2^m − 1` scaled key terms.
+pub const BUNDLE_DROP_BITS: u32 = 4;
+
+/// Integer Lagrange half-complex spectrum with a fixed-point scale.
+#[derive(Clone, Debug)]
+pub struct FixedSpectrum {
+    /// Real parts.
+    pub re: Vec<i64>,
+    /// Imaginary parts.
+    pub im: Vec<i64>,
+    /// Fixed-point fractional bits carried by the values.
+    pub frac_bits: u32,
+}
+
+impl Spectrum for FixedSpectrum {
+    fn len(&self) -> usize {
+        self.re.len()
+    }
+}
+
+/// The approximate multiplication-less integer FFT engine.
+///
+/// `twiddle_bits` is the dyadic quantization width `β` of Figure 8: the
+/// paper finds 38 bits already avoid decryption failures for `m = 2` and
+/// adopts 64 bits to survive aggressive key unrolling; we support 4..=62.
+///
+/// # Examples
+///
+/// ```
+/// use matcha_fft::{ApproxIntFft, FftEngine};
+/// use matcha_math::{IntPolynomial, TorusPolynomial, Torus32};
+///
+/// let engine = ApproxIntFft::new(16, 40);
+/// let p = TorusPolynomial::constant(Torus32::from_f64(0.125), 16);
+/// let mut q = IntPolynomial::zero(16);
+/// q.coeffs_mut()[0] = 4;
+/// let r = engine.poly_mul(&p, &q);
+/// assert!(r.coeffs()[0].signed_diff(Torus32::from_f64(0.5)).abs() < 1e-6);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ApproxIntFft {
+    n: usize,
+    twiddle_bits: u32,
+    /// Fractional pre-scale for integer (digit) polynomials.
+    int_frac_bits: u32,
+    /// Fractional pre-scale for torus polynomials.
+    torus_frac_bits: u32,
+    /// Rotations by `+2πk/M`, `k < M/2`.
+    fwd_twiddles: Vec<LiftingRotation>,
+    /// Rotations by `-2πk/M`.
+    inv_twiddles: Vec<LiftingRotation>,
+    /// Twist rotations `+πj/N`, `j < M`.
+    twist: Vec<LiftingRotation>,
+    /// Untwist rotations `-πj/N`.
+    untwist: Vec<LiftingRotation>,
+}
+
+impl ApproxIntFft {
+    /// Creates an engine for ring degree `n` with `twiddle_bits`-bit
+    /// dyadic-value-quantized twiddle factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 4`, `n` is not a power of two, or
+    /// `twiddle_bits ∉ [4, 62]`.
+    pub fn new(n: usize, twiddle_bits: u32) -> Self {
+        assert!(n >= 4 && n.is_power_of_two(), "ring degree {n} must be a power of two ≥ 4");
+        assert!(
+            (4..=62).contains(&twiddle_bits),
+            "twiddle_bits {twiddle_bits} outside supported range 4..=62"
+        );
+        let m = n / 2;
+        let tau = std::f64::consts::TAU;
+        let pi = std::f64::consts::PI;
+        let fwd_twiddles = (0..m / 2)
+            .map(|k| LiftingRotation::from_angle(tau * k as f64 / m as f64, twiddle_bits))
+            .collect();
+        let inv_twiddles = (0..m / 2)
+            .map(|k| LiftingRotation::from_angle(-tau * k as f64 / m as f64, twiddle_bits))
+            .collect();
+        let twist = (0..m)
+            .map(|j| LiftingRotation::from_angle(pi * j as f64 / n as f64, twiddle_bits))
+            .collect();
+        let untwist = (0..m)
+            .map(|j| LiftingRotation::from_angle(-pi * j as f64 / n as f64, twiddle_bits))
+            .collect();
+        // Leave headroom so forward buffers stay below 2^61·√2: a signed
+        // value of `b` bits grows to at most `b + frac + log2(M)` bits.
+        let log2m = m.trailing_zeros();
+        let int_frac_bits = (61 - 11 - log2m).min(42);
+        let torus_frac_bits = (61 - 32 - log2m).min(26);
+        Self {
+            n,
+            twiddle_bits,
+            int_frac_bits,
+            torus_frac_bits,
+            fwd_twiddles,
+            inv_twiddles,
+            twist,
+            untwist,
+        }
+    }
+
+    /// The dyadic quantization width `β`.
+    pub fn twiddle_bits(&self) -> u32 {
+        self.twiddle_bits
+    }
+
+    /// Total adder operations one forward transform needs in the shift-add
+    /// realization (feeds the accelerator energy model).
+    pub fn adder_ops_per_transform(&self) -> u64 {
+        let m = self.n as u64 / 2;
+        let stages = m.trailing_zeros() as u64;
+        // Each stage performs M/2 rotations; approximate with the mean cost
+        // over the twiddle table plus 2 butterfly adds per butterfly.
+        let mean_rot: f64 = self
+            .fwd_twiddles
+            .iter()
+            .map(|r| r.adder_ops() as f64)
+            .sum::<f64>()
+            / self.fwd_twiddles.len().max(1) as f64;
+        ((m / 2) as f64 * stages as f64 * (mean_rot + 2.0)) as u64
+    }
+
+    fn dft_forward(&self, re: &mut [i64], im: &mut [i64]) {
+        let m = re.len();
+        bit_reverse_pairs(re, im);
+        let mut len = 2;
+        while len <= m {
+            let half = len / 2;
+            let step = m / len;
+            for start in (0..m).step_by(len) {
+                for k in 0..half {
+                    let rot = self.fwd_twiddles[k * step];
+                    let (vr, vi) = rot.apply(re[start + half + k], im[start + half + k]);
+                    let (ur, ui) = (re[start + k], im[start + k]);
+                    re[start + k] = ur + vr;
+                    im[start + k] = ui + vi;
+                    re[start + half + k] = ur - vr;
+                    im[start + half + k] = ui - vi;
+                }
+            }
+            len *= 2;
+        }
+    }
+
+    fn dft_inverse_halving(&self, re: &mut [i64], im: &mut [i64]) {
+        let m = re.len();
+        bit_reverse_pairs(re, im);
+        let mut len = 2;
+        while len <= m {
+            let half = len / 2;
+            let step = m / len;
+            for start in (0..m).step_by(len) {
+                for k in 0..half {
+                    let rot = self.inv_twiddles[k * step];
+                    let (vr, vi) = rot.apply(re[start + half + k], im[start + half + k]);
+                    let (ur, ui) = (re[start + k], im[start + k]);
+                    // Halve each output: log2(M) halvings realize the 1/M
+                    // inverse normalization without any multiplier.
+                    re[start + k] = half_round(ur + vr);
+                    im[start + k] = half_round(ui + vi);
+                    re[start + half + k] = half_round(ur - vr);
+                    im[start + half + k] = half_round(ui - vi);
+                }
+            }
+            len *= 2;
+        }
+    }
+}
+
+/// Round-half-up division by two.
+#[inline]
+fn half_round(v: i64) -> i64 {
+    (v + 1) >> 1
+}
+
+/// Bit-reversal permutation applied to both component arrays coherently.
+fn bit_reverse_pairs(re: &mut [i64], im: &mut [i64]) {
+    debug_assert_eq!(re.len(), im.len());
+    bit_reverse_permute(re);
+    bit_reverse_permute(im);
+}
+
+impl FftEngine for ApproxIntFft {
+    type Spectrum = FixedSpectrum;
+    type MonomialFactors = Vec<(i32, i32)>;
+
+    fn ring_degree(&self) -> usize {
+        self.n
+    }
+
+    fn zero_spectrum(&self) -> FixedSpectrum {
+        let m = self.n / 2;
+        FixedSpectrum { re: vec![0; m], im: vec![0; m], frac_bits: 0 }
+    }
+
+    fn forward_int(&self, p: &IntPolynomial) -> FixedSpectrum {
+        let m = self.n / 2;
+        debug_assert_eq!(p.len(), self.n);
+        debug_assert!(
+            p.norm_inf() <= MAX_DIGIT,
+            "digit magnitude {} exceeds supported bound {MAX_DIGIT}",
+            p.norm_inf()
+        );
+        let c = p.coeffs();
+        let mut re = Vec::with_capacity(m);
+        let mut im = Vec::with_capacity(m);
+        for j in 0..m {
+            let (x, y) = self.twist[j].apply(
+                (c[j] as i64) << self.int_frac_bits,
+                (c[j + m] as i64) << self.int_frac_bits,
+            );
+            re.push(x);
+            im.push(y);
+        }
+        self.dft_forward(&mut re, &mut im);
+        FixedSpectrum { re, im, frac_bits: self.int_frac_bits }
+    }
+
+    fn forward_torus(&self, p: &TorusPolynomial) -> FixedSpectrum {
+        let m = self.n / 2;
+        debug_assert_eq!(p.len(), self.n);
+        let c = p.coeffs();
+        let mut re = Vec::with_capacity(m);
+        let mut im = Vec::with_capacity(m);
+        for j in 0..m {
+            let (x, y) = self.twist[j].apply(
+                (c[j].raw() as i32 as i64) << self.torus_frac_bits,
+                (c[j + m].raw() as i32 as i64) << self.torus_frac_bits,
+            );
+            re.push(x);
+            im.push(y);
+        }
+        self.dft_forward(&mut re, &mut im);
+        FixedSpectrum { re, im, frac_bits: self.torus_frac_bits }
+    }
+
+    fn backward_torus(&self, s: &FixedSpectrum) -> TorusPolynomial {
+        let m = self.n / 2;
+        assert_eq!(s.re.len(), m, "spectrum size mismatch");
+        let mut re = s.re.clone();
+        let mut im = s.im.clone();
+        self.dft_inverse_halving(&mut re, &mut im);
+        let frac = s.frac_bits;
+        let descale = |v: i64| -> i64 {
+            if frac == 0 {
+                v
+            } else {
+                (v + (1 << (frac - 1))) >> frac
+            }
+        };
+        let mut coeffs = vec![Torus32::ZERO; self.n];
+        for j in 0..m {
+            let (x, y) = self.untwist[j].apply(re[j], im[j]);
+            // Two's-complement truncation is the exact reduction mod 2^32.
+            coeffs[j] = Torus32::from_raw(descale(x) as u32);
+            coeffs[j + m] = Torus32::from_raw(descale(y) as u32);
+        }
+        TorusPolynomial::from_coeffs(coeffs)
+    }
+
+    fn mul_accumulate(&self, acc: &mut FixedSpectrum, a: &FixedSpectrum, b: &FixedSpectrum) {
+        assert_eq!(acc.re.len(), a.re.len(), "spectrum size mismatch");
+        assert_eq!(a.re.len(), b.re.len(), "spectrum size mismatch");
+        assert_eq!(acc.frac_bits, 0, "accumulator must be unscaled");
+        let shift = a.frac_bits + b.frac_bits;
+        assert!(shift > 0, "at least one operand must be an integer-side spectrum");
+        let round = 1i128 << (shift - 1);
+        for k in 0..acc.re.len() {
+            let (ar, ai) = (a.re[k] as i128, a.im[k] as i128);
+            let (br, bi) = (b.re[k] as i128, b.im[k] as i128);
+            let pr = ar * br - ai * bi;
+            let pi = ar * bi + ai * br;
+            acc.re[k] += ((pr + round) >> shift) as i64;
+            acc.im[k] += ((pi + round) >> shift) as i64;
+        }
+    }
+
+    fn add_assign(&self, acc: &mut FixedSpectrum, a: &FixedSpectrum) {
+        assert_eq!(acc.re.len(), a.re.len(), "spectrum size mismatch");
+        assert_eq!(acc.frac_bits, a.frac_bits, "fixed-point scale mismatch");
+        for k in 0..acc.re.len() {
+            acc.re[k] += a.re[k];
+            acc.im[k] += a.im[k];
+        }
+    }
+
+    /// TGSW-scale factor table: `ε_k^e − 1` quantized to 24 fractional bits
+    /// so its components fit the 32-bit integer multipliers of MATCHA's
+    /// TGSW clusters (§4.3) — the FFT butterflies stay multiplication-less,
+    /// but TGSW scaling legitimately uses the cluster's multipliers.
+    fn monomial_minus_one(&self, exponent: i64) -> Vec<(i32, i32)> {
+        let m = self.n / 2;
+        let base = std::f64::consts::PI / self.n as f64;
+        let e = exponent.rem_euclid(2 * self.n as i64) as f64;
+        let quant = (1i64 << MONO_FRAC_BITS) as f64;
+        let step = crate::cplx::Cplx::from_angle(4.0 * base * e);
+        let mut cur = crate::cplx::Cplx::from_angle(base * e);
+        let mut out = Vec::with_capacity(m);
+        for _ in 0..m {
+            out.push((
+                ((cur.re - 1.0) * quant).round() as i32,
+                (cur.im * quant).round() as i32,
+            ));
+            cur *= step;
+        }
+        out
+    }
+
+    fn scale_accumulate(
+        &self,
+        acc: &mut FixedSpectrum,
+        src: &FixedSpectrum,
+        factors: &Vec<(i32, i32)>,
+    ) {
+        assert_eq!(acc.re.len(), src.re.len(), "spectrum size mismatch");
+        assert_eq!(acc.re.len(), factors.len(), "factor table size mismatch");
+        assert_eq!(
+            acc.frac_bits + BUNDLE_DROP_BITS,
+            src.frac_bits,
+            "accumulator must come from bundle_accumulator"
+        );
+        let shift = MONO_FRAC_BITS + BUNDLE_DROP_BITS;
+        let round = 1i128 << (shift - 1);
+        for k in 0..acc.re.len() {
+            let (ar, ai) = (factors[k].0 as i128, factors[k].1 as i128);
+            let (sr, si) = (src.re[k] as i128, src.im[k] as i128);
+            acc.re[k] += ((sr * ar - si * ai + round) >> shift) as i64;
+            acc.im[k] += ((sr * ai + si * ar + round) >> shift) as i64;
+        }
+    }
+
+    fn bundle_accumulator(&self, from: &FixedSpectrum) -> FixedSpectrum {
+        assert!(
+            from.frac_bits >= BUNDLE_DROP_BITS,
+            "source spectrum lacks fractional headroom"
+        );
+        let half = 1i64 << (BUNDLE_DROP_BITS - 1);
+        FixedSpectrum {
+            re: from.re.iter().map(|&v| (v + half) >> BUNDLE_DROP_BITS).collect(),
+            im: from.im.iter().map(|&v| (v + half) >> BUNDLE_DROP_BITS).collect(),
+            frac_bits: from.frac_bits - BUNDLE_DROP_BITS,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_torus_poly(n: usize, seed: u32) -> TorusPolynomial {
+        TorusPolynomial::from_coeffs(
+            (0..n as u32)
+                .map(|i| Torus32::from_raw((i ^ seed).wrapping_mul(0x9e37_79b9).wrapping_add(1)))
+                .collect(),
+        )
+    }
+
+    fn random_digit_poly(n: usize, seed: u32) -> IntPolynomial {
+        IntPolynomial::from_coeffs(
+            (0..n as u32)
+                .map(|i| ((i ^ seed).wrapping_mul(0x85eb_ca6b) % 1024) as i32 - 512)
+                .collect(),
+        )
+    }
+
+    /// Exact negacyclic product reference in i64, reduced mod 2^32.
+    fn exact_mul(p: &TorusPolynomial, q: &IntPolynomial) -> TorusPolynomial {
+        p.naive_mul_int(q)
+    }
+
+    #[test]
+    fn poly_mul_close_to_exact() {
+        for n in [8usize, 64, 256] {
+            let engine = ApproxIntFft::new(n, 50);
+            let p = random_torus_poly(n, 3);
+            let q = random_digit_poly(n, 7);
+            let approx = engine.poly_mul(&p, &q);
+            let exact = exact_mul(&p, &q);
+            let dist = approx.max_distance(&exact);
+            assert!(dist < 1e-6, "n={n}: distance {dist}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_torus_identity() {
+        let n = 128;
+        let engine = ApproxIntFft::new(n, 50);
+        let p = random_torus_poly(n, 9);
+        let back = engine.backward_torus(&engine.forward_torus(&p));
+        // Forward/backward only pass through rotations: error is tiny.
+        assert!(back.max_distance(&p) < 1e-6);
+    }
+
+    #[test]
+    fn error_decreases_with_twiddle_bits() {
+        let n = 256;
+        let p = random_torus_poly(n, 21);
+        let q = random_digit_poly(n, 22);
+        let exact = exact_mul(&p, &q);
+        let mut last = f64::INFINITY;
+        for bits in [8u32, 16, 28, 44] {
+            let engine = ApproxIntFft::new(n, bits);
+            let dist = engine.poly_mul(&p, &q).max_distance(&exact);
+            assert!(
+                dist < last * 1.5,
+                "error should not grow with bits: {bits} bits → {dist} (prev {last})"
+            );
+            last = dist;
+        }
+        assert!(last < 1e-6, "44-bit twiddles should be very accurate, got {last}");
+    }
+
+    #[test]
+    fn monomial_multiplication() {
+        let n = 64;
+        let engine = ApproxIntFft::new(n, 45);
+        let p = random_torus_poly(n, 5);
+        for power in [0usize, 1, 17, 63] {
+            let mut q = IntPolynomial::zero(n);
+            q.coeffs_mut()[power] = 1;
+            let approx = engine.poly_mul(&p, &q);
+            let exact = p.mul_by_monomial(power as i64);
+            assert!(approx.max_distance(&exact) < 1e-6, "power={power}");
+        }
+    }
+
+    #[test]
+    fn accumulation_linearity() {
+        let n = 32;
+        let engine = ApproxIntFft::new(n, 48);
+        let p1 = random_torus_poly(n, 1);
+        let p2 = random_torus_poly(n, 2);
+        let q = random_digit_poly(n, 3);
+        let fq = engine.forward_int(&q);
+        let mut acc = engine.zero_spectrum();
+        engine.mul_accumulate(&mut acc, &engine.forward_torus(&p1), &fq);
+        engine.mul_accumulate(&mut acc, &engine.forward_torus(&p2), &fq);
+        let combined = engine.backward_torus(&acc);
+        let expected = exact_mul(&(p1 + &p2), &q);
+        assert!(combined.max_distance(&expected) < 1e-6);
+    }
+
+    #[test]
+    fn backward_descales_int_spectrum() {
+        // backward(forward_int(q)) reads q's digits as raw torus values.
+        let engine = ApproxIntFft::new(16, 50);
+        let mut q = IntPolynomial::zero(16);
+        q.coeffs_mut()[0] = 7;
+        q.coeffs_mut()[3] = -2;
+        let back = engine.backward_torus(&engine.forward_int(&q));
+        assert_eq!(back.coeffs()[0], Torus32::from_raw(7));
+        assert_eq!(back.coeffs()[3], Torus32::from_raw(2u32.wrapping_neg()));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside supported range")]
+    fn rejects_bad_twiddle_bits() {
+        let _ = ApproxIntFft::new(16, 63);
+    }
+
+    #[test]
+    fn monomial_scale_matches_coefficient_domain() {
+        let n = 64;
+        let engine = ApproxIntFft::new(n, 50);
+        let base = random_torus_poly(n, 31);
+        let src = random_torus_poly(n, 32);
+        for e in [0i64, 1, 5, 63, 64, 127, -3] {
+            let mut acc = engine.bundle_accumulator(&engine.forward_torus(&base));
+            engine.scale_monomial_accumulate(&mut acc, &engine.forward_torus(&src), e);
+            let got = engine.backward_torus(&acc);
+            let mut expected = base.clone();
+            expected.add_rotate_minus_one(&src, e);
+            assert!(
+                got.max_distance(&expected) < 1e-5,
+                "e={e}: distance {}",
+                got.max_distance(&expected)
+            );
+        }
+    }
+
+    #[test]
+    fn zero_times_anything_is_zero() {
+        let n = 16;
+        let engine = ApproxIntFft::new(n, 40);
+        let z = TorusPolynomial::zero(n);
+        let q = random_digit_poly(n, 4);
+        let r = engine.poly_mul(&z, &q);
+        assert!(r.max_distance(&TorusPolynomial::zero(n)) < 1e-7);
+    }
+}

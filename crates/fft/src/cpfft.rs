@@ -1,0 +1,248 @@
+//! Depth-first conjugate-pair FFT (paper §4.1, Figure 2).
+//!
+//! Breadth-first Cooley–Tukey sweeps the whole array once per stage; the
+//! conjugate-pair flow instead completes each sub-transform before moving to
+//! the next (depth-first recursion), which captures spatial locality, and it
+//! pairs the butterflies for twiddles `w^k` and `w^{len/2-k} = -conj(w^k)`
+//! so one twiddle-buffer read serves two butterflies — the property MATCHA's
+//! FFT cores exploit to halve twiddle-factor reads.
+//!
+//! The numerics are identical to [`crate::F64Fft`]; what differs is the
+//! traversal order and the number of twiddle loads, which this engine
+//! counts so the claim is measurable.
+
+use crate::cplx::Cplx;
+use crate::engine::FftEngine;
+use crate::ref_fft::CplxSpectrum;
+use crate::tables::TwiddleTables;
+use crate::twist;
+use matcha_math::{IntPolynomial, TorusPolynomial};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Depth-first conjugate-pair double-precision engine with twiddle-read
+/// accounting.
+///
+/// # Examples
+///
+/// ```
+/// use matcha_fft::{DepthFirstFft, F64Fft, FftEngine};
+/// use matcha_math::{TorusPolynomial, IntPolynomial, Torus32};
+///
+/// let df = DepthFirstFft::new(16);
+/// let bf = F64Fft::new(16);
+/// let p = TorusPolynomial::constant(Torus32::from_f64(0.25), 16);
+/// let mut q = IntPolynomial::zero(16);
+/// q.coeffs_mut()[2] = 1;
+/// assert!(df.poly_mul(&p, &q).max_distance(&bf.poly_mul(&p, &q)) < 1e-9);
+/// assert!(df.twiddle_reads() > 0);
+/// ```
+#[derive(Debug)]
+pub struct DepthFirstFft {
+    n: usize,
+    tables: TwiddleTables,
+    twiddle_reads: AtomicU64,
+}
+
+impl DepthFirstFft {
+    /// Creates an engine for ring degree `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 4` or `n` is not a power of two.
+    pub fn new(n: usize) -> Self {
+        Self { n, tables: TwiddleTables::new(n), twiddle_reads: AtomicU64::new(0) }
+    }
+
+    /// Total twiddle-buffer reads since construction (or the last reset).
+    pub fn twiddle_reads(&self) -> u64 {
+        self.twiddle_reads.load(Ordering::Relaxed)
+    }
+
+    /// Resets the twiddle-read counter.
+    pub fn reset_twiddle_reads(&self) {
+        self.twiddle_reads.store(0, Ordering::Relaxed);
+    }
+
+    /// Twiddle reads a breadth-first radix-2 flow would need for one
+    /// transform of the same size (one read per butterfly).
+    pub fn breadth_first_reads_per_transform(&self) -> u64 {
+        let m = self.n as u64 / 2;
+        (m / 2) * m.trailing_zeros() as u64
+    }
+
+    /// Depth-first transform with conjugate-pair twiddle sharing.
+    fn transform(&self, buf: &mut [Cplx], inverse: bool) {
+        let m = buf.len();
+        self.recurse(buf, 1, inverse);
+        if inverse {
+            let scale = 1.0 / m as f64;
+            for v in buf.iter_mut() {
+                *v = v.scale(scale);
+            }
+        }
+    }
+
+    /// Recursive decimation-in-time: `buf` holds the sub-sequence with the
+    /// given stride already gathered contiguously.
+    fn recurse(&self, buf: &mut [Cplx], stride: usize, inverse: bool) {
+        let len = buf.len();
+        if len == 1 {
+            return;
+        }
+        let half = len / 2;
+        // Gather even/odd sub-sequences, recurse on each *completely* before
+        // combining: this is the depth-first traversal of Figure 2(b).
+        let mut even: Vec<Cplx> = (0..half).map(|i| buf[2 * i]).collect();
+        let mut odd: Vec<Cplx> = (0..half).map(|i| buf[2 * i + 1]).collect();
+        self.recurse(&mut even, stride * 2, inverse);
+        self.recurse(&mut odd, stride * 2, inverse);
+
+        let m = self.tables.size();
+        let step = m / len;
+        // Conjugate-pair combination: butterflies k and half-k share the
+        // same twiddle load because w^{half-k} = -conj(w^k).
+        let quarter = half / 2;
+        for k in 0..=quarter {
+            let mirror = half - k;
+            let mut w = self.tables.root(k * step);
+            self.twiddle_reads.fetch_add(1, Ordering::Relaxed);
+            if inverse {
+                w = w.conj();
+            }
+            // Butterfly k.
+            let v = odd[k] * w;
+            let (u0, u1) = (even[k] + v, even[k] - v);
+            buf[k] = u0;
+            buf[k + half] = u1;
+            // Mirror butterfly reusing the conjugate of the same twiddle.
+            if mirror < half && mirror != k {
+                let wm = -w.conj();
+                let vm = odd[mirror] * wm;
+                buf[mirror] = even[mirror] + vm;
+                buf[mirror + half] = even[mirror] - vm;
+            }
+        }
+    }
+}
+
+impl FftEngine for DepthFirstFft {
+    type Spectrum = CplxSpectrum;
+    type MonomialFactors = Vec<Cplx>;
+
+    fn ring_degree(&self) -> usize {
+        self.n
+    }
+
+    fn zero_spectrum(&self) -> CplxSpectrum {
+        CplxSpectrum(vec![Cplx::ZERO; self.n / 2])
+    }
+
+    fn forward_int(&self, p: &IntPolynomial) -> CplxSpectrum {
+        let mut buf = Vec::new();
+        twist::fold_int(p, &self.tables, &mut buf);
+        self.transform(&mut buf, false);
+        CplxSpectrum(buf)
+    }
+
+    fn forward_torus(&self, p: &TorusPolynomial) -> CplxSpectrum {
+        let mut buf = Vec::new();
+        twist::fold_torus(p, &self.tables, &mut buf);
+        self.transform(&mut buf, false);
+        CplxSpectrum(buf)
+    }
+
+    fn backward_torus(&self, s: &CplxSpectrum) -> TorusPolynomial {
+        let mut buf = s.0.clone();
+        self.transform(&mut buf, true);
+        twist::unfold_torus(&buf, &self.tables)
+    }
+
+    fn mul_accumulate(&self, acc: &mut CplxSpectrum, a: &CplxSpectrum, b: &CplxSpectrum) {
+        assert_eq!(acc.0.len(), a.0.len(), "spectrum size mismatch");
+        assert_eq!(a.0.len(), b.0.len(), "spectrum size mismatch");
+        for ((dst, &x), &y) in acc.0.iter_mut().zip(a.0.iter()).zip(b.0.iter()) {
+            *dst += x * y;
+        }
+    }
+
+    fn add_assign(&self, acc: &mut CplxSpectrum, a: &CplxSpectrum) {
+        assert_eq!(acc.0.len(), a.0.len(), "spectrum size mismatch");
+        for (dst, &x) in acc.0.iter_mut().zip(a.0.iter()) {
+            *dst += x;
+        }
+    }
+
+    fn monomial_minus_one(&self, exponent: i64) -> Vec<Cplx> {
+        crate::ref_fft::monomial_minus_one_cplx(self.n, exponent)
+    }
+
+    fn scale_accumulate(&self, acc: &mut CplxSpectrum, src: &CplxSpectrum, factors: &Vec<Cplx>) {
+        crate::ref_fft::scale_accumulate_cplx(acc, src, factors);
+    }
+
+    fn bundle_accumulator(&self, from: &CplxSpectrum) -> CplxSpectrum {
+        from.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ref_fft::F64Fft;
+    use matcha_math::Torus32;
+
+    fn random_torus_poly(n: usize, seed: u32) -> TorusPolynomial {
+        TorusPolynomial::from_coeffs(
+            (0..n as u32)
+                .map(|i| Torus32::from_raw((i ^ seed).wrapping_mul(0x9e37_79b9)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn matches_breadth_first_engine() {
+        for n in [8usize, 32, 256] {
+            let df = DepthFirstFft::new(n);
+            let bf = F64Fft::new(n);
+            let p = random_torus_poly(n, 9);
+            let mut q = IntPolynomial::zero(n);
+            q.coeffs_mut()[1] = 5;
+            q.coeffs_mut()[n - 1] = -3;
+            let a = df.poly_mul(&p, &q);
+            let b = bf.poly_mul(&p, &q);
+            assert!(a.max_distance(&b) < 1e-7, "n={n}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let df = DepthFirstFft::new(64);
+        let p = random_torus_poly(64, 4);
+        let back = df.backward_torus(&df.forward_torus(&p));
+        assert!(back.max_distance(&p) < 1e-7);
+    }
+
+    #[test]
+    fn conjugate_pair_halves_twiddle_reads() {
+        let df = DepthFirstFft::new(256);
+        df.reset_twiddle_reads();
+        let p = random_torus_poly(256, 1);
+        let _ = df.forward_torus(&p);
+        let reads = df.twiddle_reads();
+        let breadth_first = df.breadth_first_reads_per_transform();
+        assert!(
+            reads < breadth_first * 3 / 4,
+            "conjugate-pair sharing should cut reads: {reads} vs {breadth_first}"
+        );
+        assert!(reads > 0);
+    }
+
+    #[test]
+    fn counter_resets() {
+        let df = DepthFirstFft::new(16);
+        let _ = df.forward_torus(&random_torus_poly(16, 2));
+        assert!(df.twiddle_reads() > 0);
+        df.reset_twiddle_reads();
+        assert_eq!(df.twiddle_reads(), 0);
+    }
+}

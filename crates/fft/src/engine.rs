@@ -1,0 +1,182 @@
+//! The [`FftEngine`] abstraction shared by the reference and approximate
+//! transforms.
+//!
+//! TFHE's external product needs exactly three spectral operations:
+//! transform small integer polynomials (gadget digits, binary secrets) into
+//! the Lagrange domain, transform torus polynomials likewise, and bring an
+//! accumulated pointwise product back to coefficients. Keeping the engine
+//! behind a trait lets the whole scheme run on either the double-precision
+//! reference kernel or MATCHA's approximate integer kernel, which is how the
+//! paper's accuracy experiments (Figure 8, Table 3) compare the two.
+
+use matcha_math::{IntPolynomial, TorusPolynomial};
+use std::fmt::Debug;
+
+/// A Lagrange half-complex spectrum owned by a specific engine family.
+pub trait Spectrum: Clone + Debug + Send + Sync {
+    /// Number of complex evaluation points (`N/2`).
+    fn len(&self) -> usize;
+    /// Returns `true` for the degenerate empty spectrum.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A negacyclic FFT engine over `T_N[X]`.
+///
+/// Implementations must satisfy, up to their documented accuracy:
+/// `backward_torus(fwd_torus(p) ⊙ fwd_int(q)) = p·q mod (X^N+1, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use matcha_fft::{F64Fft, FftEngine};
+/// use matcha_math::{IntPolynomial, TorusPolynomial, Torus32};
+///
+/// let engine = F64Fft::new(8);
+/// let p = TorusPolynomial::constant(Torus32::from_f64(0.25), 8);
+/// let mut q = IntPolynomial::zero(8);
+/// q.coeffs_mut()[0] = 2;
+/// let mut acc = engine.zero_spectrum();
+/// engine.mul_accumulate(&mut acc, &engine.forward_torus(&p), &engine.forward_int(&q));
+/// let r = engine.backward_torus(&acc);
+/// assert!(r.coeffs()[0].signed_diff(Torus32::from_f64(0.5)).abs() < 1e-6);
+/// ```
+pub trait FftEngine {
+    /// The engine's spectral representation.
+    type Spectrum: Spectrum;
+
+    /// Pointwise factors `(X^e − 1)` evaluated at the engine's Lagrange
+    /// points, reusable across the `2ℓ·(k+1)` polynomials of a TGSW sample.
+    type MonomialFactors: Clone + Debug + Send + Sync;
+
+    /// Ring degree `N`.
+    fn ring_degree(&self) -> usize;
+
+    /// The zero spectrum, ready for [`FftEngine::mul_accumulate`].
+    fn zero_spectrum(&self) -> Self::Spectrum;
+
+    /// Coefficients → Lagrange domain for an integer polynomial.
+    ///
+    /// Integer inputs are gadget digits or binary secrets; implementations
+    /// may assume `‖p‖∞ ≤ 2^10` (the largest digit magnitude produced by the
+    /// decompositions in this workspace).
+    fn forward_int(&self, p: &IntPolynomial) -> Self::Spectrum;
+
+    /// Coefficients → Lagrange domain for a torus polynomial.
+    fn forward_torus(&self, p: &TorusPolynomial) -> Self::Spectrum;
+
+    /// Lagrange domain → torus coefficients (with reduction mod 1).
+    fn backward_torus(&self, s: &Self::Spectrum) -> TorusPolynomial;
+
+    /// `acc += a ⊙ b` (pointwise complex multiply-accumulate).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if the spectra come from incompatible
+    /// transforms (mismatched sizes or scales).
+    fn mul_accumulate(&self, acc: &mut Self::Spectrum, a: &Self::Spectrum, b: &Self::Spectrum);
+
+    /// `acc += a` (pointwise addition, used to fuse accumulator updates).
+    fn add_assign(&self, acc: &mut Self::Spectrum, a: &Self::Spectrum);
+
+    /// `acc += (X^exponent − 1) ⊙ src`, evaluated directly in the Lagrange
+    /// domain: at evaluation point `ε_k = e^{iπ(4k+1)/N}` the monomial
+    /// `X^e` is the scalar `ε_k^e`.
+    ///
+    /// This is the *TGSW scale* operation of MATCHA's TGSW clusters
+    /// (paper Fig. 5/7b): bootstrapping-key bundles are linear combinations
+    /// of pre-transformed keys, so building them needs pointwise complex
+    /// multiplications (32-bit integer multipliers in hardware) but **no
+    /// additional FFTs** — the property that makes aggressive key unrolling
+    /// reduce FFT counts.
+    ///
+    /// `acc` must come from [`FftEngine::bundle_accumulator`] (or another
+    /// call with the same provenance); `src` must be a `forward_torus`
+    /// spectrum.
+    fn scale_monomial_accumulate(
+        &self,
+        acc: &mut Self::Spectrum,
+        src: &Self::Spectrum,
+        exponent: i64,
+    ) {
+        let factors = self.monomial_minus_one(exponent);
+        self.scale_accumulate(acc, src, &factors);
+    }
+
+    /// Precomputes the pointwise factors `ε_k^e − 1` for
+    /// [`FftEngine::scale_accumulate`]. One factor table serves every row
+    /// of a TGSW sample, so bundle construction computes it once per
+    /// pattern per blind-rotation step.
+    fn monomial_minus_one(&self, exponent: i64) -> Self::MonomialFactors;
+
+    /// `acc += factors ⊙ src` — the TGSW scale inner loop.
+    fn scale_accumulate(
+        &self,
+        acc: &mut Self::Spectrum,
+        src: &Self::Spectrum,
+        factors: &Self::MonomialFactors,
+    );
+
+    /// Copies a `forward_torus` spectrum into an accumulator suitable for
+    /// [`FftEngine::scale_monomial_accumulate`].
+    ///
+    /// Fixed-point engines drop a few fractional bits here so that summing
+    /// up to `2^m − 1` scaled terms (`|X^e − 1| ≤ 2` each) cannot overflow.
+    fn bundle_accumulator(&self, from: &Self::Spectrum) -> Self::Spectrum;
+
+    /// Convenience: the full negacyclic product `p · q`.
+    fn poly_mul(&self, p: &TorusPolynomial, q: &IntPolynomial) -> TorusPolynomial {
+        let mut acc = self.zero_spectrum();
+        self.mul_accumulate(&mut acc, &self.forward_torus(p), &self.forward_int(q));
+        self.backward_torus(&acc)
+    }
+}
+
+impl<E: FftEngine + ?Sized> FftEngine for &E {
+    type Spectrum = E::Spectrum;
+    type MonomialFactors = E::MonomialFactors;
+    fn ring_degree(&self) -> usize {
+        (**self).ring_degree()
+    }
+    fn zero_spectrum(&self) -> Self::Spectrum {
+        (**self).zero_spectrum()
+    }
+    fn forward_int(&self, p: &IntPolynomial) -> Self::Spectrum {
+        (**self).forward_int(p)
+    }
+    fn forward_torus(&self, p: &TorusPolynomial) -> Self::Spectrum {
+        (**self).forward_torus(p)
+    }
+    fn backward_torus(&self, s: &Self::Spectrum) -> TorusPolynomial {
+        (**self).backward_torus(s)
+    }
+    fn mul_accumulate(&self, acc: &mut Self::Spectrum, a: &Self::Spectrum, b: &Self::Spectrum) {
+        (**self).mul_accumulate(acc, a, b)
+    }
+    fn add_assign(&self, acc: &mut Self::Spectrum, a: &Self::Spectrum) {
+        (**self).add_assign(acc, a)
+    }
+    fn scale_monomial_accumulate(
+        &self,
+        acc: &mut Self::Spectrum,
+        src: &Self::Spectrum,
+        exponent: i64,
+    ) {
+        (**self).scale_monomial_accumulate(acc, src, exponent)
+    }
+    fn monomial_minus_one(&self, exponent: i64) -> Self::MonomialFactors {
+        (**self).monomial_minus_one(exponent)
+    }
+    fn scale_accumulate(
+        &self,
+        acc: &mut Self::Spectrum,
+        src: &Self::Spectrum,
+        factors: &Self::MonomialFactors,
+    ) {
+        (**self).scale_accumulate(acc, src, factors)
+    }
+    fn bundle_accumulator(&self, from: &Self::Spectrum) -> Self::Spectrum {
+        (**self).bundle_accumulator(from)
+    }
+}

@@ -1,0 +1,110 @@
+//! High-level negacyclic polynomial multiplication helpers.
+
+use crate::engine::FftEngine;
+use matcha_math::{IntPolynomial, TorusPolynomial};
+
+/// Negacyclic product `p · q mod (X^N + 1)` through the given engine.
+///
+/// Equivalent to [`FftEngine::poly_mul`] but usable as a free function in
+/// generic code.
+///
+/// # Examples
+///
+/// ```
+/// use matcha_fft::{negacyclic, F64Fft};
+/// use matcha_math::{IntPolynomial, TorusPolynomial, Torus32};
+///
+/// let engine = F64Fft::new(8);
+/// let p = TorusPolynomial::constant(Torus32::from_f64(0.25), 8);
+/// let mut q = IntPolynomial::zero(8);
+/// q.coeffs_mut()[0] = -1;
+/// let r = negacyclic::poly_mul(&engine, &p, &q);
+/// assert!(r.coeffs()[0].signed_diff(Torus32::from_f64(-0.25)).abs() < 1e-7);
+/// ```
+pub fn poly_mul<E: FftEngine>(
+    engine: &E,
+    p: &TorusPolynomial,
+    q: &IntPolynomial,
+) -> TorusPolynomial {
+    engine.poly_mul(p, q)
+}
+
+/// Sum of products `Σ_i p_i · q_i` with a single backward transform, the
+/// access pattern of the TGSW external product.
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths.
+pub fn poly_mul_sum<E: FftEngine>(
+    engine: &E,
+    ps: &[TorusPolynomial],
+    qs: &[IntPolynomial],
+) -> TorusPolynomial {
+    assert_eq!(ps.len(), qs.len(), "mismatched product term counts");
+    let mut acc = engine.zero_spectrum();
+    for (p, q) in ps.iter().zip(qs.iter()) {
+        let fp = engine.forward_torus(p);
+        let fq = engine.forward_int(q);
+        engine.mul_accumulate(&mut acc, &fp, &fq);
+    }
+    engine.backward_torus(&acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ApproxIntFft;
+    use crate::F64Fft;
+    use matcha_math::Torus32;
+
+    fn tp(n: usize, seed: u32) -> TorusPolynomial {
+        TorusPolynomial::from_coeffs(
+            (0..n as u32)
+                .map(|i| Torus32::from_raw((i ^ seed).wrapping_mul(0x9e37_79b9)))
+                .collect(),
+        )
+    }
+
+    fn ip(n: usize, seed: u32) -> IntPolynomial {
+        IntPolynomial::from_coeffs(
+            (0..n as u32)
+                .map(|i| ((i ^ seed).wrapping_mul(0x85eb_ca6b) % 512) as i32 - 256)
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn sum_matches_separate_products() {
+        let n = 64;
+        let engine = F64Fft::new(n);
+        let ps = vec![tp(n, 1), tp(n, 2), tp(n, 3)];
+        let qs = vec![ip(n, 4), ip(n, 5), ip(n, 6)];
+        let fused = poly_mul_sum(&engine, &ps, &qs);
+        let mut separate = TorusPolynomial::zero(n);
+        for (p, q) in ps.iter().zip(qs.iter()) {
+            separate += &p.naive_mul_int(q);
+        }
+        assert!(fused.max_distance(&separate) < 1e-6);
+    }
+
+    #[test]
+    fn sum_matches_for_integer_engine() {
+        let n = 32;
+        let engine = ApproxIntFft::new(n, 48);
+        let ps = vec![tp(n, 7), tp(n, 8)];
+        let qs = vec![ip(n, 9), ip(n, 10)];
+        let fused = poly_mul_sum(&engine, &ps, &qs);
+        let mut separate = TorusPolynomial::zero(n);
+        for (p, q) in ps.iter().zip(qs.iter()) {
+            separate += &p.naive_mul_int(q);
+        }
+        assert!(fused.max_distance(&separate) < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn mismatched_lengths_rejected() {
+        let engine = F64Fft::new(8);
+        let _ = poly_mul_sum(&engine, &[TorusPolynomial::zero(8)], &[]);
+    }
+}

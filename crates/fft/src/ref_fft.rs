@@ -1,0 +1,316 @@
+//! The double-precision reference engine: breadth-first iterative
+//! Cooley–Tukey, matching what the TFHE reference library uses and what the
+//! paper's Figure 8 labels "double".
+
+use crate::cplx::Cplx;
+use crate::engine::{FftEngine, Spectrum};
+use crate::tables::{bit_reverse_permute, TwiddleTables};
+use crate::twist;
+use matcha_math::{IntPolynomial, TorusPolynomial};
+
+/// Lagrange half-complex spectrum in double precision.
+#[derive(Clone, Debug, Default)]
+pub struct CplxSpectrum(pub Vec<Cplx>);
+
+impl Spectrum for CplxSpectrum {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// Transform direction / kernel sign.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Kernel `e^{+2πijk/M}` (coefficients → evaluations).
+    Forward,
+    /// Kernel `e^{-2πijk/M}` with `1/M` normalization.
+    Inverse,
+}
+
+/// Iterative radix-2 transform with the requested kernel sign.
+///
+/// Exposed so the depth-first engine's tests can compare flows; library
+/// users should go through [`FftEngine`].
+pub fn dft_in_place(buf: &mut [Cplx], tables: &TwiddleTables, dir: Direction) {
+    let m = buf.len();
+    debug_assert_eq!(m, tables.size());
+    bit_reverse_permute(buf);
+    let mut len = 2;
+    while len <= m {
+        let half = len / 2;
+        let step = m / len;
+        for start in (0..m).step_by(len) {
+            for k in 0..half {
+                let mut w = tables.root(k * step);
+                if dir == Direction::Inverse {
+                    w = w.conj();
+                }
+                let u = buf[start + k];
+                let v = buf[start + half + k] * w;
+                buf[start + k] = u + v;
+                buf[start + half + k] = u - v;
+            }
+        }
+        len *= 2;
+    }
+    if dir == Direction::Inverse {
+        let scale = 1.0 / m as f64;
+        for v in buf {
+            *v = v.scale(scale);
+        }
+    }
+}
+
+/// Breadth-first double-precision negacyclic FFT engine.
+///
+/// # Examples
+///
+/// ```
+/// use matcha_fft::{F64Fft, FftEngine};
+/// use matcha_math::{IntPolynomial, TorusPolynomial, Torus32};
+///
+/// let engine = F64Fft::new(16);
+/// let p = TorusPolynomial::constant(Torus32::from_f64(0.125), 16);
+/// let mut one = IntPolynomial::zero(16);
+/// one.coeffs_mut()[0] = 1;
+/// let r = engine.poly_mul(&p, &one);
+/// assert!(r.max_distance(&p) < 1e-7);
+/// ```
+#[derive(Clone, Debug)]
+pub struct F64Fft {
+    n: usize,
+    tables: TwiddleTables,
+}
+
+impl F64Fft {
+    /// Creates an engine for ring degree `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 4` or `n` is not a power of two.
+    pub fn new(n: usize) -> Self {
+        Self { n, tables: TwiddleTables::new(n) }
+    }
+
+    /// The twiddle tables (shared with the depth-first engine).
+    pub fn tables(&self) -> &TwiddleTables {
+        &self.tables
+    }
+}
+
+impl FftEngine for F64Fft {
+    type Spectrum = CplxSpectrum;
+    type MonomialFactors = Vec<Cplx>;
+
+    fn ring_degree(&self) -> usize {
+        self.n
+    }
+
+    fn zero_spectrum(&self) -> CplxSpectrum {
+        CplxSpectrum(vec![Cplx::ZERO; self.n / 2])
+    }
+
+    fn forward_int(&self, p: &IntPolynomial) -> CplxSpectrum {
+        let mut buf = Vec::new();
+        twist::fold_int(p, &self.tables, &mut buf);
+        dft_in_place(&mut buf, &self.tables, Direction::Forward);
+        CplxSpectrum(buf)
+    }
+
+    fn forward_torus(&self, p: &TorusPolynomial) -> CplxSpectrum {
+        let mut buf = Vec::new();
+        twist::fold_torus(p, &self.tables, &mut buf);
+        dft_in_place(&mut buf, &self.tables, Direction::Forward);
+        CplxSpectrum(buf)
+    }
+
+    fn backward_torus(&self, s: &CplxSpectrum) -> TorusPolynomial {
+        let mut buf = s.0.clone();
+        dft_in_place(&mut buf, &self.tables, Direction::Inverse);
+        twist::unfold_torus(&buf, &self.tables)
+    }
+
+    fn mul_accumulate(&self, acc: &mut CplxSpectrum, a: &CplxSpectrum, b: &CplxSpectrum) {
+        assert_eq!(acc.0.len(), a.0.len(), "spectrum size mismatch");
+        assert_eq!(a.0.len(), b.0.len(), "spectrum size mismatch");
+        for ((dst, &x), &y) in acc.0.iter_mut().zip(a.0.iter()).zip(b.0.iter()) {
+            *dst += x * y;
+        }
+    }
+
+    fn add_assign(&self, acc: &mut CplxSpectrum, a: &CplxSpectrum) {
+        assert_eq!(acc.0.len(), a.0.len(), "spectrum size mismatch");
+        for (dst, &x) in acc.0.iter_mut().zip(a.0.iter()) {
+            *dst += x;
+        }
+    }
+
+    fn monomial_minus_one(&self, exponent: i64) -> Vec<Cplx> {
+        monomial_minus_one_cplx(self.n, exponent)
+    }
+
+    fn scale_accumulate(&self, acc: &mut CplxSpectrum, src: &CplxSpectrum, factors: &Vec<Cplx>) {
+        scale_accumulate_cplx(acc, src, factors);
+    }
+
+    fn bundle_accumulator(&self, from: &CplxSpectrum) -> CplxSpectrum {
+        from.clone()
+    }
+}
+
+/// Factor table `ε_k^e − 1` for the double-precision engines, computed with
+/// one `sin_cos` pair and an iterative rotation: `ε_k = e^{iπ(4k+1)/N}`, so
+/// consecutive factors differ by the fixed rotation `e^{i4πe/N}`.
+pub(crate) fn monomial_minus_one_cplx(n: usize, exponent: i64) -> Vec<Cplx> {
+    let m = n / 2;
+    // Reduce e mod 2N first: X has order 2N in the negacyclic ring.
+    let e = exponent.rem_euclid(2 * n as i64) as f64;
+    let base = std::f64::consts::PI / n as f64;
+    let mut cur = Cplx::from_angle(base * e);
+    let step = Cplx::from_angle(4.0 * base * e);
+    let mut out = Vec::with_capacity(m);
+    for _ in 0..m {
+        out.push(cur - Cplx::ONE);
+        cur *= step;
+    }
+    out
+}
+
+/// Shared `acc += factors ⊙ src` for the double-precision engines.
+pub(crate) fn scale_accumulate_cplx(acc: &mut CplxSpectrum, src: &CplxSpectrum, factors: &[Cplx]) {
+    assert_eq!(acc.0.len(), src.0.len(), "spectrum size mismatch");
+    assert_eq!(acc.0.len(), factors.len(), "factor table size mismatch");
+    for ((dst, &s), &f) in acc.0.iter_mut().zip(src.0.iter()).zip(factors.iter()) {
+        *dst += f * s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matcha_math::Torus32;
+
+    fn random_torus_poly(n: usize, seed: u32) -> TorusPolynomial {
+        TorusPolynomial::from_coeffs(
+            (0..n as u32)
+                .map(|i| Torus32::from_raw((i ^ seed).wrapping_mul(0x9e37_79b9).wrapping_add(seed)))
+                .collect(),
+        )
+    }
+
+    fn random_int_poly(n: usize, seed: u32, bound: i32) -> IntPolynomial {
+        IntPolynomial::from_coeffs(
+            (0..n as u32)
+                .map(|i| {
+                    let r = (i ^ seed).wrapping_mul(0x85eb_ca6b).wrapping_add(7) % (2 * bound as u32);
+                    r as i32 - bound
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn dft_roundtrip() {
+        let tables = TwiddleTables::new(32);
+        let mut buf: Vec<Cplx> =
+            (0..16).map(|i| Cplx::new(i as f64, (i * i % 7) as f64)).collect();
+        let orig = buf.clone();
+        dft_in_place(&mut buf, &tables, Direction::Forward);
+        dft_in_place(&mut buf, &tables, Direction::Inverse);
+        for (a, b) in buf.iter().zip(orig.iter()) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dft_of_delta_is_flat() {
+        let tables = TwiddleTables::new(16);
+        let mut buf = vec![Cplx::ZERO; 8];
+        buf[0] = Cplx::ONE;
+        dft_in_place(&mut buf, &tables, Direction::Forward);
+        for v in &buf {
+            assert!((*v - Cplx::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let tables = TwiddleTables::new(64);
+        let mut buf: Vec<Cplx> =
+            (0..32).map(|i| Cplx::new((i as f64).sin(), (i as f64).cos())).collect();
+        let e_time: f64 = buf.iter().map(|v| v.norm_sqr()).sum();
+        dft_in_place(&mut buf, &tables, Direction::Forward);
+        let e_freq: f64 = buf.iter().map(|v| v.norm_sqr()).sum();
+        assert!((e_freq - 32.0 * e_time).abs() / (32.0 * e_time) < 1e-12);
+    }
+
+    #[test]
+    fn poly_mul_matches_naive() {
+        for n in [8usize, 32, 128] {
+            let engine = F64Fft::new(n);
+            let p = random_torus_poly(n, 3);
+            let q = random_int_poly(n, 5, 512);
+            let fast = engine.poly_mul(&p, &q);
+            let naive = p.naive_mul_int(&q);
+            assert!(
+                fast.max_distance(&naive) < 1e-6,
+                "n={n}: max distance {}",
+                fast.max_distance(&naive)
+            );
+        }
+    }
+
+    #[test]
+    fn mul_by_monomial_matches_rotation() {
+        let n = 64;
+        let engine = F64Fft::new(n);
+        let p = random_torus_poly(n, 11);
+        let mut x3 = IntPolynomial::zero(n);
+        x3.coeffs_mut()[3] = 1;
+        let fast = engine.poly_mul(&p, &x3);
+        assert!(fast.max_distance(&p.mul_by_monomial(3)) < 1e-7);
+    }
+
+    #[test]
+    fn accumulate_is_linear() {
+        let n = 32;
+        let engine = F64Fft::new(n);
+        let p1 = random_torus_poly(n, 1);
+        let p2 = random_torus_poly(n, 2);
+        let q = random_int_poly(n, 3, 100);
+        let fq = engine.forward_int(&q);
+        let mut acc = engine.zero_spectrum();
+        engine.mul_accumulate(&mut acc, &engine.forward_torus(&p1), &fq);
+        engine.mul_accumulate(&mut acc, &engine.forward_torus(&p2), &fq);
+        let sum_first = engine.poly_mul(&(p1.clone() + &p2), &q);
+        let acc_result = engine.backward_torus(&acc);
+        assert!(acc_result.max_distance(&sum_first) < 1e-6);
+    }
+
+    #[test]
+    fn monomial_scale_matches_coefficient_domain() {
+        let n = 32;
+        let engine = F64Fft::new(n);
+        let base = random_torus_poly(n, 31);
+        let src = random_torus_poly(n, 32);
+        for e in [0i64, 1, 7, 31, 32, 63, -5] {
+            let mut acc = engine.bundle_accumulator(&engine.forward_torus(&base));
+            engine.scale_monomial_accumulate(&mut acc, &engine.forward_torus(&src), e);
+            let got = engine.backward_torus(&acc);
+            let mut expected = base.clone();
+            expected.add_rotate_minus_one(&src, e);
+            assert!(
+                got.max_distance(&expected) < 1e-6,
+                "e={e}: distance {}",
+                got.max_distance(&expected)
+            );
+        }
+    }
+
+    #[test]
+    fn backward_of_zero_is_zero() {
+        let engine = F64Fft::new(16);
+        let z = engine.backward_torus(&engine.zero_spectrum());
+        assert_eq!(z, TorusPolynomial::zero(16));
+    }
+}

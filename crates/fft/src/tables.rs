@@ -1,0 +1,116 @@
+//! Precomputed twiddle-factor tables and the bit-reversal permutation.
+//!
+//! The transform size used throughout is `M = N/2` complex points for a ring
+//! of degree `N` (Lagrange half-complex folding, see [`crate::twist`]).
+
+use crate::cplx::Cplx;
+
+/// Twiddle factors `e^{+2πik/M}` for `k ∈ [0, M/2)` plus the twist factors
+/// `e^{+iπj/N}` for `j ∈ [0, M)`.
+#[derive(Clone, Debug)]
+pub struct TwiddleTables {
+    m: usize,
+    /// `roots[k] = e^{2πik/M}`, `k < M/2` — enough for radix-2 butterflies.
+    roots: Vec<Cplx>,
+    /// `twist[j] = e^{iπj/N}`, `j < M`.
+    twist: Vec<Cplx>,
+}
+
+impl TwiddleTables {
+    /// Builds tables for ring degree `n` (transform size `M = n/2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 4` or `n` is not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 4 && n.is_power_of_two(), "ring degree {n} must be a power of two ≥ 4");
+        let m = n / 2;
+        let roots = (0..m / 2)
+            .map(|k| Cplx::from_angle(std::f64::consts::TAU * k as f64 / m as f64))
+            .collect();
+        let twist = (0..m)
+            .map(|j| Cplx::from_angle(std::f64::consts::PI * j as f64 / n as f64))
+            .collect();
+        Self { m, roots, twist }
+    }
+
+    /// Transform size `M = N/2`.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.m
+    }
+
+    /// `e^{2πik/M}` for `k < M/2`.
+    #[inline]
+    pub fn root(&self, k: usize) -> Cplx {
+        self.roots[k]
+    }
+
+    /// `e^{iπj/N}` for `j < M`.
+    #[inline]
+    pub fn twist(&self, j: usize) -> Cplx {
+        self.twist[j]
+    }
+}
+
+/// Applies the bit-reversal permutation in place (the "irregular memory
+/// access" stage the paper attributes to breadth-first Cooley–Tukey flows).
+pub fn bit_reverse_permute<T>(buf: &mut [T]) {
+    let n = buf.len();
+    debug_assert!(n.is_power_of_two());
+    let shift = (n.leading_zeros() + 1) % usize::BITS;
+    for i in 0..n {
+        let j = i.reverse_bits() >> shift;
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roots_are_on_unit_circle() {
+        let t = TwiddleTables::new(32);
+        for k in 0..t.size() / 2 {
+            assert!((t.root(k).abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn root_zero_is_one() {
+        let t = TwiddleTables::new(16);
+        assert!((t.root(0) - Cplx::ONE).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quarter_root_is_i() {
+        let t = TwiddleTables::new(32); // M = 16
+        assert!((t.root(4) - Cplx::new(0.0, 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bit_reverse_involution() {
+        let mut v: Vec<usize> = (0..64).collect();
+        bit_reverse_permute(&mut v);
+        bit_reverse_permute(&mut v);
+        assert_eq!(v, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bit_reverse_known_order() {
+        let mut v: Vec<usize> = (0..8).collect();
+        bit_reverse_permute(&mut v);
+        assert_eq!(v, vec![0, 4, 2, 6, 1, 5, 3, 7]);
+    }
+
+    #[test]
+    fn twist_angles() {
+        let t = TwiddleTables::new(8); // N = 8, M = 4
+        assert!((t.twist(0) - Cplx::ONE).abs() < 1e-15);
+        // twist(2) = e^{iπ/4}
+        assert!((t.twist(2) - Cplx::from_angle(std::f64::consts::FRAC_PI_4)).abs() < 1e-12);
+    }
+}

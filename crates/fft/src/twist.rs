@@ -1,0 +1,121 @@
+//! Folding between real negacyclic polynomials and the Lagrange
+//! half-complex representation.
+//!
+//! A degree-`N` real polynomial `P` modulo `X^N + 1` is determined by its
+//! evaluations at any set of `N/2` pairwise non-conjugate roots of
+//! `X^N + 1`. We use the roots `ε_k = e^{iπ(4k+1)/N}`, `k ∈ [0, N/2)`, which
+//! satisfy `ε_k^{N/2} = i`: writing `c_j = p_j + i·p_{j+N/2}`,
+//!
+//! ```text
+//! P(ε_k) = Σ_{j<N/2} c_j ε_k^j = Σ_{j<N/2} (c_j · e^{iπj/N}) e^{2πijk/(N/2)}
+//! ```
+//!
+//! i.e. a *twist* by `e^{iπj/N}` followed by an ordinary size-`N/2` DFT with
+//! positive kernel sign. The inverse applies the conjugate DFT, scales by
+//! `2/N`, and untwists. Negacyclic products become pointwise products of
+//! these evaluations, which is precisely how TFHE performs the polynomial
+//! multiplications inside external products.
+
+use crate::cplx::Cplx;
+use crate::tables::TwiddleTables;
+use matcha_math::{IntPolynomial, Torus32, TorusPolynomial};
+
+/// Folds an integer polynomial into the twisted complex buffer
+/// (the input of the forward transform).
+pub fn fold_int(p: &IntPolynomial, tables: &TwiddleTables, out: &mut Vec<Cplx>) {
+    let m = tables.size();
+    debug_assert_eq!(p.len(), 2 * m);
+    out.clear();
+    let c = p.coeffs();
+    for j in 0..m {
+        let v = Cplx::new(c[j] as f64, c[j + m] as f64);
+        out.push(v * tables.twist(j));
+    }
+}
+
+/// Folds a torus polynomial (centered representatives) into the twisted
+/// complex buffer.
+pub fn fold_torus(p: &TorusPolynomial, tables: &TwiddleTables, out: &mut Vec<Cplx>) {
+    let m = tables.size();
+    debug_assert_eq!(p.len(), 2 * m);
+    out.clear();
+    let c = p.coeffs();
+    for j in 0..m {
+        let v = Cplx::new(c[j].raw() as i32 as f64, c[j + m].raw() as i32 as f64);
+        out.push(v * tables.twist(j));
+    }
+}
+
+/// Unfolds an inverse-transformed buffer back into torus coefficients.
+///
+/// The buffer must already carry the `1/M` normalization; this routine
+/// applies the untwist and reduces each real coefficient modulo `2^32`.
+pub fn unfold_torus(buf: &[Cplx], tables: &TwiddleTables) -> TorusPolynomial {
+    let m = tables.size();
+    debug_assert_eq!(buf.len(), m);
+    let mut coeffs = vec![Torus32::ZERO; 2 * m];
+    for (j, &v) in buf.iter().enumerate() {
+        let c = v * tables.twist(j).conj();
+        coeffs[j] = f64_to_torus_mod(c.re);
+        coeffs[j + m] = f64_to_torus_mod(c.im);
+    }
+    TorusPolynomial::from_coeffs(coeffs)
+}
+
+/// Reduces an arbitrary-magnitude real value modulo `2^32` onto the torus.
+///
+/// Values after a pointwise-product round trip can reach `≈ 2^58`; double
+/// precision then carries ≈ 2⁻²⁶ torus units of rounding error, which is the
+/// accuracy floor of the reference engine (the "double" line in Figure 8).
+#[inline]
+pub fn f64_to_torus_mod(x: f64) -> Torus32 {
+    const SCALE: f64 = 4294967296.0; // 2^32
+    let turns = x / SCALE;
+    let frac = turns - turns.round();
+    Torus32::from_raw((frac * SCALE).round() as i64 as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_mod_small_values() {
+        assert_eq!(f64_to_torus_mod(0.0), Torus32::ZERO);
+        assert_eq!(f64_to_torus_mod(1.0), Torus32::from_raw(1));
+        assert_eq!(f64_to_torus_mod(-1.0), Torus32::from_raw(u32::MAX));
+    }
+
+    #[test]
+    fn f64_mod_wraps() {
+        let two32 = 4294967296.0;
+        assert_eq!(f64_to_torus_mod(two32), Torus32::ZERO);
+        assert_eq!(f64_to_torus_mod(two32 + 5.0), Torus32::from_raw(5));
+        assert_eq!(f64_to_torus_mod(-two32 - 5.0), Torus32::from_raw(5u32.wrapping_neg()));
+    }
+
+    #[test]
+    fn fold_unfold_identity() {
+        let tables = TwiddleTables::new(8);
+        let p = TorusPolynomial::from_coeffs(
+            (0..8).map(|i| Torus32::from_raw(i as u32 * 0x0100_0000)).collect(),
+        );
+        let mut buf = Vec::new();
+        fold_torus(&p, &tables, &mut buf);
+        // Undo only the twist (no transform): unfold expects untwisted data,
+        // so compose manually.
+        let q = unfold_torus(&buf, &tables);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn fold_int_uses_both_halves() {
+        let tables = TwiddleTables::new(8);
+        let mut p = IntPolynomial::zero(8);
+        p.coeffs_mut()[0] = 3;
+        p.coeffs_mut()[4] = 7;
+        let mut buf = Vec::new();
+        fold_int(&p, &tables, &mut buf);
+        assert!((buf[0] - Cplx::new(3.0, 7.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for the FFT engines: correctness of every engine
+//! against the exact negacyclic convolution, equivalence of the shift-add
+//! and multiply realizations, and error monotonicity in the twiddle width.
+
+use matcha_fft::{
+    ApproxIntFft, DepthFirstFft, DyadicCoeff, F64Fft, FftEngine, LiftingRotation, Radix4Fft,
+};
+use matcha_math::{IntPolynomial, Torus32, TorusPolynomial};
+use proptest::prelude::*;
+
+const N: usize = 32;
+
+fn torus_poly() -> impl Strategy<Value = TorusPolynomial> {
+    proptest::collection::vec(any::<u32>().prop_map(Torus32::from_raw), N)
+        .prop_map(TorusPolynomial::from_coeffs)
+}
+
+fn digit_poly() -> impl Strategy<Value = IntPolynomial> {
+    proptest::collection::vec(-512i32..512, N).prop_map(IntPolynomial::from_coeffs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn f64_engine_matches_naive(p in torus_poly(), q in digit_poly()) {
+        let engine = F64Fft::new(N);
+        let fast = engine.poly_mul(&p, &q);
+        let exact = p.naive_mul_int(&q);
+        prop_assert!(fast.max_distance(&exact) < 1e-6);
+    }
+
+    #[test]
+    fn depth_first_matches_breadth_first(p in torus_poly(), q in digit_poly()) {
+        let df = DepthFirstFft::new(N).poly_mul(&p, &q);
+        let bf = F64Fft::new(N).poly_mul(&p, &q);
+        prop_assert!(df.max_distance(&bf) < 1e-7);
+    }
+
+    #[test]
+    fn radix4_matches_breadth_first(p in torus_poly(), q in digit_poly()) {
+        let r4 = Radix4Fft::new(N).poly_mul(&p, &q);
+        let bf = F64Fft::new(N).poly_mul(&p, &q);
+        prop_assert!(r4.max_distance(&bf) < 1e-7);
+    }
+
+    #[test]
+    fn approx_engine_matches_naive_at_high_precision(p in torus_poly(), q in digit_poly()) {
+        let engine = ApproxIntFft::new(N, 50);
+        let fast = engine.poly_mul(&p, &q);
+        let exact = p.naive_mul_int(&q);
+        prop_assert!(fast.max_distance(&exact) < 1e-6);
+    }
+
+    #[test]
+    fn dyadic_shift_add_equals_multiply(
+        coef in -1.0f64..1.0,
+        beta in 4u32..60,
+        x in -(1i64 << 48)..(1i64 << 48),
+    ) {
+        let c = DyadicCoeff::quantize(coef, beta);
+        prop_assert_eq!(c.apply(x), c.apply_shift_add(x));
+    }
+
+    #[test]
+    fn lifting_rotation_shift_add_equals_multiply(
+        theta in -10.0f64..10.0,
+        bits in 4u32..60,
+        x in -(1i64 << 40)..(1i64 << 40),
+        y in -(1i64 << 40)..(1i64 << 40),
+    ) {
+        let rot = LiftingRotation::from_angle(theta, bits);
+        prop_assert_eq!(rot.apply(x, y), rot.apply_shift_add(x, y));
+    }
+
+    #[test]
+    fn lifting_rotation_approximates_true_rotation(
+        theta in -6.28f64..6.28,
+        x in -(1i64 << 30)..(1i64 << 30),
+        y in -(1i64 << 30)..(1i64 << 30),
+    ) {
+        let rot = LiftingRotation::from_angle(theta, 48);
+        let (rx, ry) = rot.apply(x, y);
+        let (ex, ey) = (
+            (x as f64 * theta.cos() - y as f64 * theta.sin()),
+            (x as f64 * theta.sin() + y as f64 * theta.cos()),
+        );
+        prop_assert!((rx as f64 - ex).abs() < 16.0, "re: {rx} vs {ex}");
+        prop_assert!((ry as f64 - ey).abs() < 16.0, "im: {ry} vs {ey}");
+    }
+
+    #[test]
+    fn forward_is_linear_modulo_one(p in torus_poly(), q in torus_poly()) {
+        // Spectra of wrapped sums differ by multiples of 2^32, which the
+        // backward reduction absorbs: backward(F(p) + F(q)) = p + q mod 1.
+        let engine = ApproxIntFft::new(N, 50);
+        let mut sum_spec = engine.forward_torus(&p);
+        let fq = engine.forward_torus(&q);
+        engine.add_assign(&mut sum_spec, &fq);
+        let roundtrip = engine.backward_torus(&sum_spec);
+        let direct = p + &q;
+        prop_assert!(roundtrip.max_distance(&direct) < 1e-6);
+    }
+
+    #[test]
+    fn roundtrip_identity_for_all_engines(p in torus_poly()) {
+        let f = F64Fft::new(N);
+        prop_assert!(f.backward_torus(&f.forward_torus(&p)).max_distance(&p) < 1e-7);
+        let d = DepthFirstFft::new(N);
+        prop_assert!(d.backward_torus(&d.forward_torus(&p)).max_distance(&p) < 1e-7);
+        let a = ApproxIntFft::new(N, 50);
+        prop_assert!(a.backward_torus(&a.forward_torus(&p)).max_distance(&p) < 1e-6);
+    }
+
+    #[test]
+    fn monomial_scale_matches_coefficient_domain(
+        base in torus_poly(),
+        src in torus_poly(),
+        e in -64i64..64,
+    ) {
+        for_each_engine_monomial(&base, &src, e)?;
+    }
+
+    #[test]
+    fn error_never_improves_with_fewer_bits(p in torus_poly(), q in digit_poly()) {
+        let exact = p.naive_mul_int(&q);
+        let coarse = ApproxIntFft::new(N, 12).poly_mul(&p, &q).max_distance(&exact);
+        let fine = ApproxIntFft::new(N, 44).poly_mul(&p, &q).max_distance(&exact);
+        // Allow slack for lucky coarse cases; fine must never be much worse.
+        prop_assert!(fine <= coarse + 1e-6, "fine {fine} vs coarse {coarse}");
+    }
+}
+
+fn for_each_engine_monomial(
+    base: &TorusPolynomial,
+    src: &TorusPolynomial,
+    e: i64,
+) -> Result<(), TestCaseError> {
+    let mut expected = base.clone();
+    expected.add_rotate_minus_one(src, e);
+
+    let f = F64Fft::new(N);
+    let mut acc = f.bundle_accumulator(&f.forward_torus(base));
+    f.scale_monomial_accumulate(&mut acc, &f.forward_torus(src), e);
+    prop_assert!(f.backward_torus(&acc).max_distance(&expected) < 1e-6);
+
+    let a = ApproxIntFft::new(N, 50);
+    let mut acc = a.bundle_accumulator(&a.forward_torus(base));
+    a.scale_monomial_accumulate(&mut acc, &a.forward_torus(src), e);
+    prop_assert!(a.backward_torus(&acc).max_distance(&expected) < 1e-5);
+    Ok(())
+}

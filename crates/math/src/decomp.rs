@@ -1,0 +1,222 @@
+//! Gadget (signed digit) decomposition.
+//!
+//! The TGSW external product decomposes every torus coefficient of a TLWE
+//! sample into `ℓ` signed digits in base `Bg` (paper §5 uses `Bg = 1024`,
+//! `ℓ = 3`). Digits are centered in `[-Bg/2, Bg/2)` so that the noise they
+//! inject into the product is balanced around zero. The decomposition is
+//! approximate: reconstruction matches the input to within
+//! `1/(2·Bg^ℓ)` in torus units.
+
+use crate::poly::{IntPolynomial, TorusPolynomial};
+use crate::torus::Torus32;
+
+/// Decomposes torus elements into `ℓ` balanced base-`Bg` digits.
+///
+/// # Examples
+///
+/// ```
+/// use matcha_math::{GadgetDecomposer, Torus32};
+///
+/// let decomp = GadgetDecomposer::new(10, 3); // Bg = 1024, ℓ = 3
+/// let x = Torus32::from_f64(0.317);
+/// let digits = decomp.decompose(x);
+/// let rebuilt = decomp.recompose(&digits);
+/// assert!(x.signed_diff(rebuilt).abs() <= decomp.precision());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GadgetDecomposer {
+    bg_bits: u32,
+    levels: usize,
+    offset: u32,
+}
+
+impl GadgetDecomposer {
+    /// Creates a decomposer with base `Bg = 2^bg_bits` and `levels = ℓ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the digits would not fit in 32 bits
+    /// (`bg_bits * levels > 32`), or if either parameter is zero.
+    pub fn new(bg_bits: u32, levels: usize) -> Self {
+        assert!(bg_bits > 0 && levels > 0, "decomposition parameters must be nonzero");
+        assert!(
+            bg_bits as usize * levels <= 32,
+            "bg_bits {bg_bits} × levels {levels} exceeds the 32-bit torus"
+        );
+        // Each level contributes Bg/2 at its own digit position so the
+        // extracted fields can be re-centered into [-Bg/2, Bg/2); the final
+        // half-ulp bump turns the truncation of sub-precision bits into
+        // round-to-nearest.
+        let mut offset: u32 = 0;
+        for level in 1..=levels as u32 {
+            offset = offset.wrapping_add(1u32 << (31 - (level - 1) * bg_bits));
+        }
+        if (bg_bits as usize * levels) < 32 {
+            offset = offset.wrapping_add(1u32 << (31 - levels as u32 * bg_bits));
+        }
+        Self { bg_bits, levels, offset }
+    }
+
+    /// The decomposition base `Bg`.
+    #[inline]
+    pub fn base(&self) -> u32 {
+        1 << self.bg_bits
+    }
+
+    /// `log2(Bg)`.
+    #[inline]
+    pub fn bg_bits(&self) -> u32 {
+        self.bg_bits
+    }
+
+    /// The number of digit levels `ℓ`.
+    #[inline]
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Worst-case reconstruction error in torus units: `1/(2·Bg^ℓ)`.
+    #[inline]
+    pub fn precision(&self) -> f64 {
+        0.5 / (self.base() as f64).powi(self.levels as i32)
+    }
+
+    /// The gadget element `h_j = 1/Bg^(j+1)` for level `j ∈ [0, ℓ)`.
+    ///
+    /// Row `j` of a TGSW sample encrypts `μ · h_j`.
+    #[inline]
+    pub fn gadget(&self, level: usize) -> Torus32 {
+        debug_assert!(level < self.levels);
+        Torus32::from_raw(1u32 << (32 - (level as u32 + 1) * self.bg_bits))
+    }
+
+    /// Decomposes one torus element into `ℓ` centered digits,
+    /// most significant first.
+    pub fn decompose(&self, x: Torus32) -> Vec<i32> {
+        let mut out = Vec::with_capacity(self.levels);
+        self.decompose_into(x, &mut out);
+        out
+    }
+
+    /// Decomposes into a caller-provided buffer (cleared first) to avoid
+    /// allocation in the external-product hot loop.
+    pub fn decompose_into(&self, x: Torus32, out: &mut Vec<i32>) {
+        out.clear();
+        let mask = self.base() - 1;
+        let half = (self.base() / 2) as i32;
+        let t = x.raw().wrapping_add(self.offset);
+        for level in 1..=self.levels as u32 {
+            let shift = 32 - level * self.bg_bits;
+            let digit = ((t >> shift) & mask) as i32 - half;
+            out.push(digit);
+        }
+    }
+
+    /// Recomposes digits into the closest representable torus element.
+    pub fn recompose(&self, digits: &[i32]) -> Torus32 {
+        debug_assert_eq!(digits.len(), self.levels);
+        digits
+            .iter()
+            .enumerate()
+            .map(|(j, &d)| self.gadget(j) * d)
+            .sum()
+    }
+
+    /// Decomposes every coefficient of a torus polynomial, producing one
+    /// integer polynomial per level (level 0 = most significant digits).
+    pub fn decompose_poly(&self, p: &TorusPolynomial) -> Vec<IntPolynomial> {
+        let n = p.len();
+        let mask = self.base() - 1;
+        let half = (self.base() / 2) as i32;
+        let mut out: Vec<IntPolynomial> =
+            (0..self.levels).map(|_| IntPolynomial::zero(n)).collect();
+        for (i, &c) in p.coeffs().iter().enumerate() {
+            let t = c.raw().wrapping_add(self.offset);
+            for (level, poly) in out.iter_mut().enumerate() {
+                let shift = 32 - (level as u32 + 1) * self.bg_bits;
+                poly.coeffs_mut()[i] = ((t >> shift) & mask) as i32 - half;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digits_are_centered() {
+        let d = GadgetDecomposer::new(10, 3);
+        let half = (d.base() / 2) as i32;
+        for i in 0..2000u32 {
+            let x = Torus32::from_raw(i.wrapping_mul(0x9e37_79b9));
+            for digit in d.decompose(x) {
+                assert!(digit >= -half && digit < half, "digit {digit} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn recompose_within_precision() {
+        let d = GadgetDecomposer::new(10, 3);
+        for i in 0..2000u32 {
+            let x = Torus32::from_raw(i.wrapping_mul(0x85eb_ca6b).wrapping_add(17));
+            let back = d.recompose(&d.decompose(x));
+            assert!(
+                x.signed_diff(back).abs() <= d.precision() + 1e-12,
+                "error {} exceeds precision {}",
+                x.signed_diff(back).abs(),
+                d.precision()
+            );
+        }
+    }
+
+    #[test]
+    fn exact_for_representable_values() {
+        // Values that are exact multiples of the finest gadget element
+        // decompose with zero error.
+        let d = GadgetDecomposer::new(10, 2);
+        let fine = d.gadget(1); // 1/Bg^2 = 2^-20
+        for k in [-5i32, -1, 0, 1, 7, 100] {
+            let x = fine * k;
+            assert_eq!(d.recompose(&d.decompose(x)), x);
+        }
+    }
+
+    #[test]
+    fn gadget_elements_are_powers_of_base() {
+        let d = GadgetDecomposer::new(10, 3);
+        assert_eq!(d.gadget(0).raw(), 1 << 22);
+        assert_eq!(d.gadget(1).raw(), 1 << 12);
+        assert_eq!(d.gadget(2).raw(), 1 << 2);
+    }
+
+    #[test]
+    fn poly_decomposition_matches_scalar() {
+        let d = GadgetDecomposer::new(8, 4);
+        let p = TorusPolynomial::from_coeffs(
+            (0..8).map(|i| Torus32::from_raw(i * 0x1357_9bdf)).collect(),
+        );
+        let polys = d.decompose_poly(&p);
+        assert_eq!(polys.len(), 4);
+        for (i, &c) in p.coeffs().iter().enumerate() {
+            let scalar = d.decompose(c);
+            for (level, poly) in polys.iter().enumerate() {
+                assert_eq!(poly.coeffs()[i], scalar[level]);
+            }
+        }
+    }
+
+    #[test]
+    fn precision_formula() {
+        let d = GadgetDecomposer::new(10, 2);
+        assert!((d.precision() - 0.5 / 1024.0f64.powi(2)).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 32-bit torus")]
+    fn oversized_parameters_rejected() {
+        let _ = GadgetDecomposer::new(10, 4);
+    }
+}

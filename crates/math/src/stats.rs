@@ -1,0 +1,106 @@
+//! Small statistics helpers used for noise measurement (paper Table 3) and
+//! FFT error reporting in decibels (paper Figure 8).
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance. Returns 0 for an empty slice.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn stdev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Root mean square.
+pub fn rms(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|&x| x * x).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Largest absolute value.
+pub fn max_abs(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0, |acc, &x| acc.max(x.abs()))
+}
+
+/// Ratio expressed in decibels: `20·log10(amplitude_ratio)`.
+///
+/// Returns `-inf` dB for a zero ratio, matching the convention in the
+/// paper's Figure 8 where smaller (more negative) is better.
+pub fn amplitude_db(ratio: f64) -> f64 {
+    20.0 * ratio.log10()
+}
+
+/// Error level of `approx` relative to `reference`, in dB
+/// (`20·log10(rms(err)/rms(ref))`).
+pub fn error_db(reference: &[f64], approx: &[f64]) -> f64 {
+    debug_assert_eq!(reference.len(), approx.len());
+    let err: Vec<f64> = reference
+        .iter()
+        .zip(approx.iter())
+        .map(|(&r, &a)| r - a)
+        .collect();
+    let signal = rms(reference);
+    if signal == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    amplitude_db(rms(&err) / signal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert!((variance(&xs) - 1.25).abs() < 1e-12);
+        assert!((stdev(&xs) - 1.25f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slices() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(rms(&[]), 0.0);
+        assert_eq!(max_abs(&[]), 0.0);
+    }
+
+    #[test]
+    fn rms_of_constant() {
+        assert!((rms(&[3.0, -3.0, 3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn db_scale() {
+        assert!((amplitude_db(0.1) + 20.0).abs() < 1e-9);
+        assert!((amplitude_db(1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_db_exact_match_is_neg_inf() {
+        let xs = [1.0, -2.0, 0.5];
+        assert_eq!(error_db(&xs, &xs), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn error_db_ten_percent() {
+        let reference = [1.0, 1.0, 1.0, 1.0];
+        let approx = [1.1, 1.1, 1.1, 1.1];
+        assert!((error_db(&reference, &approx) + 20.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the mathematical substrate.
+
+use matcha_math::{
+    mod_switch_from_torus, mod_switch_to_torus, GadgetDecomposer, IntPolynomial, Torus32,
+    TorusPolynomial,
+};
+use proptest::prelude::*;
+
+fn torus() -> impl Strategy<Value = Torus32> {
+    any::<u32>().prop_map(Torus32::from_raw)
+}
+
+fn torus_poly(n: usize) -> impl Strategy<Value = TorusPolynomial> {
+    proptest::collection::vec(torus(), n).prop_map(TorusPolynomial::from_coeffs)
+}
+
+fn int_poly(n: usize, bound: i32) -> impl Strategy<Value = IntPolynomial> {
+    proptest::collection::vec(-bound..=bound, n).prop_map(IntPolynomial::from_coeffs)
+}
+
+proptest! {
+    #[test]
+    fn torus_addition_is_commutative_and_associative(a in torus(), b in torus(), c in torus()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn torus_negation_inverts(a in torus()) {
+        prop_assert_eq!(a + (-a), Torus32::ZERO);
+        prop_assert_eq!(-(-a), a);
+    }
+
+    #[test]
+    fn torus_scaling_distributes(a in torus(), k in -1000i32..1000, l in -1000i32..1000) {
+        prop_assert_eq!(a * (k.wrapping_add(l)), a * k + a * l);
+    }
+
+    #[test]
+    fn torus_f64_roundtrip_is_tight(a in torus()) {
+        let back = Torus32::from_f64(a.to_f64());
+        prop_assert!(a.signed_diff(back).abs() < 1e-9);
+    }
+
+    #[test]
+    fn signed_diff_is_antisymmetric(a in torus(), b in torus()) {
+        let d1 = a.signed_diff(b);
+        let d2 = b.signed_diff(a);
+        // Equal magnitude (up to the -1/2 boundary case).
+        prop_assert!((d1 + d2).abs() < 1e-9 || (d1.abs() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monomial_rotations_compose(p in torus_poly(16), i in -64i64..64, j in -64i64..64) {
+        let one_step = p.mul_by_monomial(i + j);
+        let two_steps = p.mul_by_monomial(i).mul_by_monomial(j);
+        prop_assert_eq!(one_step, two_steps);
+    }
+
+    #[test]
+    fn monomial_rotation_preserves_addition(
+        p in torus_poly(16),
+        q in torus_poly(16),
+        k in -32i64..32,
+    ) {
+        let lhs = (p.clone() + &q).mul_by_monomial(k);
+        let rhs = p.mul_by_monomial(k) + &q.mul_by_monomial(k);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn naive_mul_is_bilinear(
+        p in torus_poly(8),
+        a in int_poly(8, 64),
+        b in int_poly(8, 64),
+    ) {
+        let sum = IntPolynomial::from_coeffs(
+            a.coeffs().iter().zip(b.coeffs()).map(|(&x, &y)| x + y).collect(),
+        );
+        let lhs = p.naive_mul_int(&sum);
+        let rhs = p.naive_mul_int(&a) + &p.naive_mul_int(&b);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn naive_mul_by_x_matches_rotation(p in torus_poly(8)) {
+        let mut x = IntPolynomial::zero(8);
+        x.coeffs_mut()[1] = 1;
+        prop_assert_eq!(p.naive_mul_int(&x), p.mul_by_monomial(1));
+    }
+
+    #[test]
+    fn gadget_decomposition_error_bounded(x in torus(), bg in 4u32..12) {
+        let levels = (30 / bg as usize).clamp(2, 3);
+        let d = GadgetDecomposer::new(bg, levels);
+        let digits = d.decompose(x);
+        prop_assert_eq!(digits.len(), levels);
+        let half = (d.base() / 2) as i32;
+        for &digit in &digits {
+            prop_assert!(digit >= -half && digit < half);
+        }
+        let back = d.recompose(&digits);
+        prop_assert!(x.signed_diff(back).abs() <= d.precision() + 1e-12);
+    }
+
+    #[test]
+    fn mod_switch_roundtrip_bounded(x in torus(), log_two_n in 3u32..14) {
+        let two_n = 1u32 << log_two_n;
+        let k = mod_switch_from_torus(x, two_n);
+        prop_assert!(k < two_n);
+        let back = mod_switch_to_torus(k, two_n);
+        prop_assert!(x.signed_diff(back).abs() <= 0.5 / two_n as f64 + 1e-12);
+    }
+
+    #[test]
+    fn poly_decompose_matches_scalar_decompose(p in torus_poly(8)) {
+        let d = GadgetDecomposer::new(8, 3);
+        let polys = d.decompose_poly(&p);
+        for (i, &c) in p.coeffs().iter().enumerate() {
+            let scalar = d.decompose(c);
+            for (level, digits) in polys.iter().enumerate() {
+                prop_assert_eq!(digits.coeffs()[i], scalar[level]);
+            }
+        }
+    }
+
+    #[test]
+    fn add_rotate_minus_one_matches_expansion(
+        acc in torus_poly(8),
+        src in torus_poly(8),
+        e in -32i64..32,
+    ) {
+        let mut fused = acc.clone();
+        fused.add_rotate_minus_one(&src, e);
+        let manual = acc + &src.mul_by_monomial(e) - &src;
+        prop_assert_eq!(fused, manual);
+    }
+}

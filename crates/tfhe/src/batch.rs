@@ -1,0 +1,163 @@
+//! Batched gate evaluation across OS threads.
+//!
+//! The paper's throughput metric (Figure 10) assumes many independent
+//! gates in flight — MATCHA runs 8 bootstrapping pipelines, the GPU
+//! batches ciphertexts, and the CPU baseline uses its 8 cores. This module
+//! is the software counterpart: it shards a batch of independent gate
+//! evaluations over `std::thread` workers sharing one [`ServerKey`], and
+//! reports the achieved gates/s, giving this library a measured point on
+//! the Figure 10 axis.
+
+use crate::gates::{Gate, ServerKey};
+use crate::lwe::LweCiphertext;
+use matcha_fft::FftEngine;
+use std::time::Instant;
+
+/// The result of a batched run.
+#[derive(Clone, Debug)]
+pub struct BatchResult {
+    /// Gate outputs, in input order.
+    pub outputs: Vec<LweCiphertext>,
+    /// Wall-clock seconds for the whole batch.
+    pub elapsed_s: f64,
+    /// Achieved throughput in gates per second.
+    pub gates_per_second: f64,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+/// Evaluates the same two-input gate over a batch of independent operand
+/// pairs, sharded across `threads` workers.
+///
+/// # Panics
+///
+/// Panics if `threads` is 0.
+///
+/// # Examples
+///
+/// ```no_run
+/// use matcha_tfhe::{batch, ClientKey, Gate, ParameterSet, ServerKey};
+/// use matcha_fft::F64Fft;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let client = ClientKey::generate(ParameterSet::MATCHA, &mut rng);
+/// let server = ServerKey::new(&client, F64Fft::new(1024), &mut rng);
+/// let pairs: Vec<_> = (0..16)
+///     .map(|i| (client.encrypt(i % 2 == 0), client.encrypt(i % 3 == 0)))
+///     .collect();
+/// let result = batch::run_gate_batch(&server, Gate::Nand, &pairs, 8);
+/// println!("{:.0} gates/s", result.gates_per_second);
+/// ```
+pub fn run_gate_batch<E>(
+    server: &ServerKey<E>,
+    gate: Gate,
+    pairs: &[(LweCiphertext, LweCiphertext)],
+    threads: usize,
+) -> BatchResult
+where
+    E: FftEngine + Sync,
+    E::Spectrum: Sync,
+{
+    assert!(threads > 0, "need at least one worker");
+    let t0 = Instant::now();
+    let threads = threads.min(pairs.len().max(1));
+    let chunk = pairs.len().div_ceil(threads);
+    let mut outputs: Vec<Option<LweCiphertext>> = vec![None; pairs.len()];
+
+    std::thread::scope(|scope| {
+        let mut remaining: &mut [Option<LweCiphertext>] = &mut outputs;
+        for (w, work) in pairs.chunks(chunk).enumerate() {
+            let (slot, rest) = remaining.split_at_mut(work.len());
+            remaining = rest;
+            let _ = w;
+            scope.spawn(move || {
+                for ((a, b), out) in work.iter().zip(slot.iter_mut()) {
+                    *out = Some(server.apply(gate, a, b));
+                }
+            });
+        }
+    });
+
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    let outputs: Vec<LweCiphertext> =
+        outputs.into_iter().map(|o| o.expect("worker filled every slot")).collect();
+    let gates_per_second = if elapsed_s > 0.0 {
+        pairs.len() as f64 / elapsed_s
+    } else {
+        f64::INFINITY
+    };
+    BatchResult { outputs, elapsed_s, gates_per_second, threads }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParameterSet;
+    use crate::secret::ClientKey;
+    use matcha_fft::{ApproxIntFft, F64Fft};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn inputs(
+        client: &ClientKey,
+        rng: &mut StdRng,
+        count: usize,
+    ) -> (Vec<(bool, bool)>, Vec<(crate::LweCiphertext, crate::LweCiphertext)>) {
+        let plain: Vec<(bool, bool)> =
+            (0..count).map(|i| (i % 2 == 0, i % 3 == 0)).collect();
+        let enc = plain
+            .iter()
+            .map(|&(a, b)| (client.encrypt_with(a, rng), client.encrypt_with(b, rng)))
+            .collect();
+        (plain, enc)
+    }
+
+    #[test]
+    fn batch_outputs_match_sequential() {
+        let mut rng = StdRng::seed_from_u64(81);
+        let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+        let server = ServerKey::new(&client, F64Fft::new(256), &mut rng);
+        let (plain, enc) = inputs(&client, &mut rng, 10);
+        let result = run_gate_batch(&server, Gate::Nand, &enc, 4);
+        assert_eq!(result.outputs.len(), 10);
+        for ((a, b), out) in plain.iter().zip(result.outputs.iter()) {
+            assert_eq!(client.decrypt(out), !(a & b));
+        }
+        assert!(result.gates_per_second > 0.0);
+    }
+
+    #[test]
+    fn single_thread_equals_multi_thread_results() {
+        let mut rng = StdRng::seed_from_u64(82);
+        let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+        let server =
+            ServerKey::with_unrolling(&client, ApproxIntFft::new(256, 40), 2, &mut rng);
+        let (_, enc) = inputs(&client, &mut rng, 6);
+        let seq = run_gate_batch(&server, Gate::Xor, &enc, 1);
+        let par = run_gate_batch(&server, Gate::Xor, &enc, 3);
+        for (s, p) in seq.outputs.iter().zip(par.outputs.iter()) {
+            assert_eq!(client.decrypt(s), client.decrypt(p));
+        }
+    }
+
+    #[test]
+    fn more_threads_than_work_is_fine() {
+        let mut rng = StdRng::seed_from_u64(83);
+        let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+        let server = ServerKey::new(&client, F64Fft::new(256), &mut rng);
+        let (_, enc) = inputs(&client, &mut rng, 2);
+        let result = run_gate_batch(&server, Gate::And, &enc, 16);
+        assert_eq!(result.outputs.len(), 2);
+        assert!(result.threads <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let mut rng = StdRng::seed_from_u64(84);
+        let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+        let server = ServerKey::new(&client, F64Fft::new(256), &mut rng);
+        let _ = run_gate_batch(&server, Gate::And, &[], 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! A from-scratch implementation of TFHE (Fully Homomorphic Encryption over
+//! the Torus) with the accelerator-oriented extensions of the MATCHA paper
+//! (DAC 2022): generalized bootstrapping key unrolling and pluggable FFT
+//! engines, including the approximate multiplication-less integer FFT.
+//!
+//! # Architecture
+//!
+//! * [`params`] — parameter sets (the paper's §5 set, TFHE-library default,
+//!   fast test sets).
+//! * [`secret`] / [`lwe`] / [`tlwe`] / [`tgsw`] — the ciphertext tower:
+//!   scalar LWE samples for gates, ring TRLWE samples for the accumulator,
+//!   TGSW samples for the bootstrapping keys, and the external product.
+//! * [`bku`] — bootstrapping key unrolling: `2^m − 1` pattern keys per
+//!   group of `m` secret bits, bundles built with Lagrange-domain TGSW
+//!   scale operations (no extra FFTs).
+//! * [`bootstrap`] — Algorithm 1: mod-switch, blind rotation, sample
+//!   extraction, key switch.
+//! * [`gates`] — the Boolean gate API ([`ServerKey`]).
+//! * [`noise`] / [`profile`] — the measurement harnesses behind the paper's
+//!   Table 3 and Figure 1.
+//!
+//! # Examples
+//!
+//! ```
+//! use matcha_tfhe::{ClientKey, ServerKey, params::ParameterSet};
+//! use matcha_fft::F64Fft;
+//! use rand::SeedableRng;
+//!
+//! // TEST_FAST keeps the doctest quick; use ParameterSet::MATCHA for the
+//! // paper's 110-bit-security setting.
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+//! let engine = F64Fft::new(client.params().ring_degree);
+//! let server = ServerKey::new(&client, engine, &mut rng);
+//!
+//! let a = client.encrypt_with(true, &mut rng);
+//! let b = client.encrypt_with(true, &mut rng);
+//! let c = server.nand(&a, &b);
+//! assert_eq!(client.decrypt(&c), false);
+//! ```
+
+pub mod batch;
+pub mod bku;
+pub mod bootstrap;
+pub mod cmux;
+pub mod codec;
+pub mod encode;
+pub mod gates;
+pub mod keyswitch;
+pub mod lwe;
+pub mod noise;
+pub mod packing;
+pub mod params;
+pub mod pbs;
+pub mod profile;
+pub mod secret;
+pub mod tgsw;
+pub mod tlwe;
+
+pub use bku::UnrolledBootstrappingKey;
+pub use bootstrap::BootstrapKit;
+pub use codec::Codec;
+pub use encode::BucketEncoding;
+pub use gates::{Gate, ServerKey};
+pub use keyswitch::KeySwitchKey;
+pub use lwe::LweCiphertext;
+pub use params::ParameterSet;
+pub use pbs::Lut;
+pub use secret::{ClientKey, LweSecretKey, RingSecretKey};
+pub use tgsw::{TgswCiphertext, TgswSpectrum};
+pub use tlwe::{TrlweCiphertext, TrlweSpectrum};

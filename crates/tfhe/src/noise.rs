@@ -1,0 +1,193 @@
+//! Empirical noise measurement (paper Table 3).
+//!
+//! Table 3 compares the noise budget of classic BKU (`m = 2`) against
+//! MATCHA's aggressive unrolling: external-product and rounding noise fall
+//! like `1/m` (fewer sequential steps), while bootstrapping-key noise grows
+//! like `2^m − 1` (more keys summed per bundle) and the approximate FFT adds
+//! a floor around −141 dB. This module measures those quantities directly
+//! on ciphertexts instead of trusting the analytic formulas.
+
+use crate::bootstrap::BootstrapKit;
+use crate::lwe::LweCiphertext;
+use crate::secret::ClientKey;
+use matcha_fft::FftEngine;
+use matcha_math::{stats, Torus32};
+use rand::Rng;
+
+/// Summary statistics of measured phase noise (torus units).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct NoiseStats {
+    /// Mean signed error.
+    pub mean: f64,
+    /// Standard deviation of the error.
+    pub stdev: f64,
+    /// Largest absolute error observed.
+    pub max_abs: f64,
+    /// Number of samples measured.
+    pub samples: usize,
+}
+
+impl NoiseStats {
+    /// Builds the summary from raw signed errors.
+    pub fn from_errors(errors: &[f64]) -> Self {
+        Self {
+            mean: stats::mean(errors),
+            stdev: stats::stdev(errors),
+            max_abs: stats::max_abs(errors),
+            samples: errors.len(),
+        }
+    }
+
+    /// The stdev expressed in dB relative to the full torus scale
+    /// (`20·log10(stdev)`), comparable to Figure 8's axis.
+    pub fn stdev_db(&self) -> f64 {
+        stats::amplitude_db(self.stdev)
+    }
+}
+
+/// Measures fresh-encryption noise: the baseline every other measurement
+/// is compared against.
+pub fn fresh_noise<R: Rng>(client: &ClientKey, trials: usize, rng: &mut R) -> NoiseStats {
+    let errors: Vec<f64> = (0..trials)
+        .map(|i| {
+            let msg = i % 2 == 0;
+            let c = client.encrypt_with(msg, rng);
+            client.noise_of(&c, msg)
+        })
+        .collect();
+    NoiseStats::from_errors(&errors)
+}
+
+/// Measures post-bootstrap noise: encrypt, bootstrap to `±1/8`, compare to
+/// the exact plaintext. This is the end-to-end noise that must stay below
+/// `1/16` for correct decryption, aggregating EP, rounding, key-switch and
+/// (for approximate engines) FFT noise — the rows of Table 3.
+pub fn bootstrap_noise<E: FftEngine, R: Rng>(
+    client: &ClientKey,
+    kit: &BootstrapKit<E>,
+    engine: &E,
+    trials: usize,
+    rng: &mut R,
+) -> NoiseStats {
+    let mu = Torus32::from_dyadic(1, 3);
+    let errors: Vec<f64> = (0..trials)
+        .map(|i| {
+            let msg = i % 2 == 0;
+            let c = client.encrypt_with(msg, rng);
+            let out = kit.bootstrap(engine, &c, mu);
+            client.noise_of(&out, msg)
+        })
+        .collect();
+    NoiseStats::from_errors(&errors)
+}
+
+/// Measures blind-rotation (pre-key-switch) noise in isolation, under the
+/// extracted key — the `EP + rounding + BK` part of Table 3 without the
+/// key-switch contribution.
+pub fn extracted_noise<E: FftEngine, R: Rng>(
+    client: &ClientKey,
+    kit: &BootstrapKit<E>,
+    engine: &E,
+    trials: usize,
+    rng: &mut R,
+) -> NoiseStats {
+    let mu = Torus32::from_dyadic(1, 3);
+    let extracted_key = client.ring_key().extract_lwe_key();
+    let errors: Vec<f64> = (0..trials)
+        .map(|i| {
+            let msg = i % 2 == 0;
+            let c = client.encrypt_with(msg, rng);
+            let out = kit.bootstrap_to_extracted(engine, &c, mu);
+            let expected = Torus32::from_bool(msg);
+            out.phase(&extracted_key).signed_diff(expected)
+        })
+        .collect();
+    NoiseStats::from_errors(&errors)
+}
+
+/// Decryption failure probe: runs `trials` NAND-style bootstraps and counts
+/// wrong decryptions (the paper's "no decryption failure in 10⁸ gates"
+/// experiment, scaled down).
+pub fn failure_count<E: FftEngine, R: Rng>(
+    client: &ClientKey,
+    kit: &BootstrapKit<E>,
+    engine: &E,
+    trials: usize,
+    rng: &mut R,
+) -> usize {
+    let mu = Torus32::from_dyadic(1, 3);
+    let n = client.params().lwe_dimension;
+    let eighth = LweCiphertext::trivial(mu, n);
+    (0..trials)
+        .filter(|&i| {
+            let a = i % 2 == 0;
+            let b = (i / 2) % 2 == 0;
+            let ca = client.encrypt_with(a, rng);
+            let cb = client.encrypt_with(b, rng);
+            let lin = eighth.clone() - &ca - &cb;
+            let out = kit.bootstrap(engine, &lin, mu);
+            client.decrypt(&out) == (a && b)
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParameterSet;
+    use matcha_fft::F64Fft;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (ClientKey, BootstrapKit<F64Fft>, F64Fft, StdRng) {
+        let mut rng = StdRng::seed_from_u64(61);
+        let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+        let engine = F64Fft::new(client.params().ring_degree);
+        let kit = BootstrapKit::generate(&client, &engine, 2, &mut rng);
+        (client, kit, engine, rng)
+    }
+
+    #[test]
+    fn fresh_noise_matches_parameter() {
+        let mut rng = StdRng::seed_from_u64(62);
+        let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+        let stats = fresh_noise(&client, 400, &mut rng);
+        let sigma = client.params().lwe_noise_stdev;
+        assert!(stats.mean.abs() < 3.0 * sigma, "mean {}", stats.mean);
+        assert!(
+            stats.stdev > sigma / 3.0 && stats.stdev < sigma * 3.0,
+            "stdev {} vs parameter {sigma}",
+            stats.stdev
+        );
+    }
+
+    #[test]
+    fn bootstrap_noise_below_margin() {
+        let (client, kit, engine, mut rng) = setup();
+        let stats = bootstrap_noise(&client, &kit, &engine, 8, &mut rng);
+        assert_eq!(stats.samples, 8);
+        assert!(stats.max_abs < 1.0 / 16.0, "max noise {}", stats.max_abs);
+        assert!(stats.stdev > 0.0);
+    }
+
+    #[test]
+    fn extracted_noise_is_smaller_than_switched() {
+        let (client, kit, engine, mut rng) = setup();
+        let pre = extracted_noise(&client, &kit, &engine, 8, &mut rng);
+        let post = bootstrap_noise(&client, &kit, &engine, 8, &mut rng);
+        // Key switching can only add noise (statistically).
+        assert!(post.stdev + 1e-9 >= pre.stdev * 0.3, "pre {} post {}", pre.stdev, post.stdev);
+    }
+
+    #[test]
+    fn no_failures_at_test_parameters() {
+        let (client, kit, engine, mut rng) = setup();
+        assert_eq!(failure_count(&client, &kit, &engine, 16, &mut rng), 0);
+    }
+
+    #[test]
+    fn stats_db_conversion() {
+        let s = NoiseStats { mean: 0.0, stdev: 0.001, max_abs: 0.002, samples: 10 };
+        assert!((s.stdev_db() + 60.0).abs() < 1e-9);
+    }
+}

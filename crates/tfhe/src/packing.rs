@@ -1,0 +1,149 @@
+//! Packed TRLWE transport: one ring ciphertext carries up to `N` Booleans.
+//!
+//! A gate-level LWE sample costs `(n+1)·4` bytes per bit; packing the bits
+//! into the coefficients of a single TRLWE sample amortizes that to
+//! `2·4` bytes per bit (512× less upload at the paper's parameters for a
+//! full payload). The evaluator unpacks individual bits with
+//! [`TrlweCiphertext::sample_extract_at`] and a key switch, after which
+//! they are ordinary gate inputs.
+
+use crate::keyswitch::KeySwitchKey;
+use crate::lwe::LweCiphertext;
+use crate::params::ParameterSet;
+use crate::secret::ClientKey;
+use crate::tlwe::TrlweCiphertext;
+use matcha_fft::FftEngine;
+use matcha_math::{Torus32, TorusPolynomial, TorusSampler};
+use rand::Rng;
+
+/// Packs up to `N` Booleans (plaintexts `±1/8`) into one TRLWE sample.
+///
+/// # Panics
+///
+/// Panics if `bits` is empty or longer than the ring degree.
+///
+/// # Examples
+///
+/// ```
+/// use matcha_tfhe::{packing, ClientKey, params::ParameterSet};
+/// use matcha_fft::F64Fft;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+/// let engine = F64Fft::new(256);
+/// let packed = packing::pack_bits(&client, &[true, false, true], &engine, &mut rng);
+/// assert_eq!(packing::unpack_bits(&client, &packed, 3, &engine), vec![true, false, true]);
+/// ```
+pub fn pack_bits<E: FftEngine, R: Rng>(
+    client: &ClientKey,
+    bits: &[bool],
+    engine: &E,
+    rng: &mut R,
+) -> TrlweCiphertext {
+    let params = client.params();
+    let n = params.ring_degree;
+    assert!(!bits.is_empty(), "empty payload");
+    assert!(bits.len() <= n, "payload of {} bits exceeds ring degree {n}", bits.len());
+    let mut mu = TorusPolynomial::zero(n);
+    for (i, &b) in bits.iter().enumerate() {
+        mu.coeffs_mut()[i] = Torus32::from_bool(b);
+    }
+    let mut sampler = TorusSampler::new(rng);
+    TrlweCiphertext::encrypt(&mu, client.ring_key(), params.ring_noise_stdev, engine, &mut sampler)
+}
+
+/// Client-side unpack (decrypts the packed sample directly).
+pub fn unpack_bits<E: FftEngine>(
+    client: &ClientKey,
+    packed: &TrlweCiphertext,
+    count: usize,
+    engine: &E,
+) -> Vec<bool> {
+    let phase = packed.phase(client.ring_key(), engine);
+    phase.coeffs()[..count].iter().map(|c| c.to_bool()).collect()
+}
+
+/// Server-side unpack: extracts bit `index` as a gate-level LWE sample
+/// (extracted-key sample plus one key switch).
+///
+/// # Panics
+///
+/// Panics if `index` is out of range or the key-switch key does not match
+/// the ring degree.
+pub fn extract_bit(
+    packed: &TrlweCiphertext,
+    index: usize,
+    ksk: &KeySwitchKey,
+    params: &ParameterSet,
+) -> LweCiphertext {
+    assert!(index < params.ring_degree, "index {index} out of range");
+    let extracted = packed.sample_extract_at(index);
+    ksk.switch(&extracted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bootstrap::BootstrapKit;
+    use matcha_fft::F64Fft;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (ClientKey, F64Fft, BootstrapKit<F64Fft>, StdRng) {
+        let mut rng = StdRng::seed_from_u64(41);
+        let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+        let engine = F64Fft::new(256);
+        let kit = BootstrapKit::generate(&client, &engine, 2, &mut rng);
+        (client, engine, kit, rng)
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let (client, engine, _, mut rng) = setup();
+        let bits: Vec<bool> = (0..64).map(|i| i % 3 == 0).collect();
+        let packed = pack_bits(&client, &bits, &engine, &mut rng);
+        assert_eq!(unpack_bits(&client, &packed, 64, &engine), bits);
+    }
+
+    #[test]
+    fn extracted_bits_decrypt_under_gate_key() {
+        let (client, engine, kit, mut rng) = setup();
+        let bits = [true, false, false, true, true];
+        let packed = pack_bits(&client, &bits, &engine, &mut rng);
+        for (i, &expected) in bits.iter().enumerate() {
+            let lwe = extract_bit(&packed, i, kit.key_switch_key(), client.params());
+            assert_eq!(client.decrypt(&lwe), expected, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn extracted_bits_feed_gates() {
+        // End to end: pack, extract two bits, NAND them homomorphically.
+        let (client, engine, kit, mut rng) = setup();
+        let packed = pack_bits(&client, &[true, true], &engine, &mut rng);
+        let a = extract_bit(&packed, 0, kit.key_switch_key(), client.params());
+        let b = extract_bit(&packed, 1, kit.key_switch_key(), client.params());
+        let n = client.params().lwe_dimension;
+        let lin = LweCiphertext::trivial(Torus32::from_dyadic(1, 3), n) - &a - &b;
+        let out = kit.bootstrap(&engine, &lin, Torus32::from_dyadic(1, 3));
+        assert!(!client.decrypt(&out), "NAND(true, true) = false");
+    }
+
+    #[test]
+    fn expansion_ratio_is_large() {
+        // One packed sample: 2N torus words; N LWE samples: N·(n+1) words.
+        let p = ParameterSet::MATCHA;
+        let packed_words = 2 * p.ring_degree;
+        let lwe_words = p.ring_degree * (p.lwe_dimension + 1);
+        assert!(lwe_words / packed_words >= 250, "packing should save ≥250×");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds ring degree")]
+    fn oversized_payload_rejected() {
+        let (client, engine, _, mut rng) = setup();
+        let bits = vec![true; 257];
+        let _ = pack_bits(&client, &bits, &engine, &mut rng);
+    }
+}

@@ -1,0 +1,280 @@
+//! TGSW ciphertexts and the external product `⊡ : TGSW × TRLWE → TRLWE`.
+//!
+//! A TGSW sample is the matrix extension of TLWE (paper §2): `2ℓ` TRLWE
+//! rows, where row `j < ℓ` adds the gadget `μ·h_j` to the mask and row
+//! `ℓ+j` adds it to the body. The external product gadget-decomposes the
+//! TRLWE operand and takes the inner product with the rows — `2ℓ`
+//! coefficient→Lagrange transforms, `2·2ℓ` pointwise multiply-accumulates
+//! and `2` Lagrange→coefficient transforms per product, which is exactly
+//! the kernel mix MATCHA's EP cores implement (1 FFT core : 4 IFFT cores).
+
+use crate::params::ParameterSet;
+use crate::profile::{self, Phase};
+use crate::secret::RingSecretKey;
+use crate::tlwe::{TrlweCiphertext, TrlweSpectrum};
+use matcha_fft::FftEngine;
+use matcha_math::{GadgetDecomposer, IntPolynomial, TorusPolynomial, TorusSampler};
+use rand::Rng;
+
+/// A TGSW ciphertext in the coefficient domain.
+#[derive(Clone, Debug)]
+pub struct TgswCiphertext {
+    rows: Vec<TrlweCiphertext>,
+    levels: usize,
+}
+
+impl TgswCiphertext {
+    /// Encrypts an integer polynomial message.
+    ///
+    /// Blind rotation only ever encrypts `{0, 1}` messages (secret key bits
+    /// and their products), but the type supports any small integers.
+    pub fn encrypt<E: FftEngine, R: Rng>(
+        message: &IntPolynomial,
+        key: &RingSecretKey,
+        params: &ParameterSet,
+        engine: &E,
+        sampler: &mut TorusSampler<R>,
+    ) -> Self {
+        let n = key.ring_degree();
+        debug_assert_eq!(message.len(), n);
+        let decomp = GadgetDecomposer::new(params.decomp_base_log, params.decomp_levels);
+        let levels = params.decomp_levels;
+        let zero = TorusPolynomial::zero(n);
+        let mut rows = Vec::with_capacity(2 * levels);
+        for j in 0..2 * levels {
+            let mut row =
+                TrlweCiphertext::encrypt(&zero, key, params.ring_noise_stdev, engine, sampler);
+            let h = decomp.gadget(j % levels);
+            let gadget_poly = TorusPolynomial::from_coeffs(
+                message.coeffs().iter().map(|&c| h * c).collect(),
+            );
+            if j < levels {
+                let mut a = row.mask().clone();
+                a += &gadget_poly;
+                row = TrlweCiphertext::from_parts(a, row.body().clone());
+            } else {
+                let mut b = row.body().clone();
+                b += &gadget_poly;
+                row = TrlweCiphertext::from_parts(row.mask().clone(), b);
+            }
+            rows.push(row);
+        }
+        Self { rows, levels }
+    }
+
+    /// Encrypts a constant integer (`0` or `1` for bootstrapping keys).
+    pub fn encrypt_constant<E: FftEngine, R: Rng>(
+        message: i32,
+        key: &RingSecretKey,
+        params: &ParameterSet,
+        engine: &E,
+        sampler: &mut TorusSampler<R>,
+    ) -> Self {
+        let mut m = IntPolynomial::zero(key.ring_degree());
+        m.coeffs_mut()[0] = message;
+        Self::encrypt(&m, key, params, engine, sampler)
+    }
+
+    /// The noiseless TGSW of the constant `1`: the gadget matrix `H` itself
+    /// (`h` in Algorithm 1 line 6).
+    pub fn trivial_one(params: &ParameterSet) -> Self {
+        let n = params.ring_degree;
+        let decomp = GadgetDecomposer::new(params.decomp_base_log, params.decomp_levels);
+        let levels = params.decomp_levels;
+        let mut rows = Vec::with_capacity(2 * levels);
+        for j in 0..2 * levels {
+            let mut gadget_poly = TorusPolynomial::zero(n);
+            gadget_poly.coeffs_mut()[0] = decomp.gadget(j % levels);
+            let row = if j < levels {
+                TrlweCiphertext::from_parts(gadget_poly, TorusPolynomial::zero(n))
+            } else {
+                TrlweCiphertext::from_parts(TorusPolynomial::zero(n), gadget_poly)
+            };
+            rows.push(row);
+        }
+        Self { rows, levels }
+    }
+
+    /// Decomposition length `ℓ`.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// The TRLWE rows (mask rows first, then body rows).
+    pub fn rows(&self) -> &[TrlweCiphertext] {
+        &self.rows
+    }
+
+    /// Transforms every row to the Lagrange domain.
+    pub fn to_spectrum<E: FftEngine>(&self, engine: &E) -> TgswSpectrum<E> {
+        TgswSpectrum {
+            rows: self.rows.iter().map(|r| r.to_spectrum(engine)).collect(),
+            levels: self.levels,
+        }
+    }
+}
+
+/// A TGSW ciphertext with all rows pre-transformed to the Lagrange domain —
+/// the form bootstrapping keys are stored in.
+#[derive(Clone, Debug)]
+pub struct TgswSpectrum<E: FftEngine> {
+    rows: Vec<TrlweSpectrum<E>>,
+    levels: usize,
+}
+
+impl<E: FftEngine> TgswSpectrum<E> {
+    /// Builds from pre-transformed rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len() != 2 * levels`.
+    pub fn from_rows(rows: Vec<TrlweSpectrum<E>>, levels: usize) -> Self {
+        assert_eq!(rows.len(), 2 * levels, "a TGSW sample has 2ℓ rows");
+        Self { rows, levels }
+    }
+
+    /// Decomposition length `ℓ`.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// The pre-transformed rows.
+    pub fn rows(&self) -> &[TrlweSpectrum<E>] {
+        &self.rows
+    }
+
+    /// The external product `self ⊡ c` (paper §2).
+    ///
+    /// If `self` encrypts `μ` and `c` encrypts `m`, the result encrypts
+    /// `μ·m` with additive noise `O(ℓ·N·(Bg/2)·σ_TGSW) + ‖μ‖·ε_decomp`.
+    pub fn external_product(
+        &self,
+        engine: &E,
+        c: &TrlweCiphertext,
+        decomp: &GadgetDecomposer,
+    ) -> TrlweCiphertext {
+        debug_assert_eq!(decomp.levels(), self.levels);
+        let digits_a =
+            profile::timed(Phase::Other, || decomp.decompose_poly(c.mask()));
+        let digits_b =
+            profile::timed(Phase::Other, || decomp.decompose_poly(c.body()));
+        let mut acc_a = engine.zero_spectrum();
+        let mut acc_b = engine.zero_spectrum();
+        for (j, digit) in digits_a.iter().chain(digits_b.iter()).enumerate() {
+            let fd = profile::timed(Phase::Ifft, || engine.forward_int(digit));
+            let row = &self.rows[j];
+            profile::timed(Phase::Other, || {
+                engine.mul_accumulate(&mut acc_a, &fd, &row.a);
+                engine.mul_accumulate(&mut acc_b, &fd, &row.b);
+            });
+        }
+        let a = profile::timed(Phase::Fft, || engine.backward_torus(&acc_a));
+        let b = profile::timed(Phase::Fft, || engine.backward_torus(&acc_b));
+        TrlweCiphertext::from_parts(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matcha_fft::{ApproxIntFft, F64Fft};
+    use matcha_math::Torus32;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params() -> ParameterSet {
+        ParameterSet {
+            ring_degree: 64,
+            ..ParameterSet::TEST_FAST
+        }
+    }
+
+    fn setup() -> (RingSecretKey, F64Fft, TorusSampler<StdRng>, ParameterSet) {
+        let p = params();
+        let mut sampler = TorusSampler::new(StdRng::seed_from_u64(17));
+        let key = RingSecretKey::generate(p.ring_degree, &mut sampler);
+        (key, F64Fft::new(p.ring_degree), sampler, p)
+    }
+
+    fn message_poly(n: usize) -> TorusPolynomial {
+        TorusPolynomial::from_coeffs(
+            (0..n).map(|i| Torus32::from_dyadic((i % 4) as i64, 3)).collect(),
+        )
+    }
+
+    #[test]
+    fn external_product_by_one_preserves_message() {
+        let (key, engine, mut sampler, p) = setup();
+        let decomp = GadgetDecomposer::new(p.decomp_base_log, p.decomp_levels);
+        let tgsw = TgswCiphertext::encrypt_constant(1, &key, &p, &engine, &mut sampler)
+            .to_spectrum(&engine);
+        let mu = message_poly(p.ring_degree);
+        let c = TrlweCiphertext::encrypt(&mu, &key, p.ring_noise_stdev, &engine, &mut sampler);
+        let out = tgsw.external_product(&engine, &c, &decomp);
+        assert!(out.phase(&key, &engine).max_distance(&mu) < 1e-3);
+    }
+
+    #[test]
+    fn external_product_by_zero_kills_message() {
+        let (key, engine, mut sampler, p) = setup();
+        let decomp = GadgetDecomposer::new(p.decomp_base_log, p.decomp_levels);
+        let tgsw = TgswCiphertext::encrypt_constant(0, &key, &p, &engine, &mut sampler)
+            .to_spectrum(&engine);
+        let mu = message_poly(p.ring_degree);
+        let c = TrlweCiphertext::encrypt(&mu, &key, p.ring_noise_stdev, &engine, &mut sampler);
+        let out = tgsw.external_product(&engine, &c, &decomp);
+        let zero = TorusPolynomial::zero(p.ring_degree);
+        assert!(out.phase(&key, &engine).max_distance(&zero) < 1e-3);
+    }
+
+    #[test]
+    fn trivial_one_acts_as_identity() {
+        let (key, engine, mut sampler, p) = setup();
+        let decomp = GadgetDecomposer::new(p.decomp_base_log, p.decomp_levels);
+        let h = TgswCiphertext::trivial_one(&p).to_spectrum(&engine);
+        let mu = message_poly(p.ring_degree);
+        let c = TrlweCiphertext::encrypt(&mu, &key, p.ring_noise_stdev, &engine, &mut sampler);
+        let out = h.external_product(&engine, &c, &decomp);
+        assert!(out.phase(&key, &engine).max_distance(&mu) < 1e-3);
+    }
+
+    #[test]
+    fn external_product_by_monomial_message_rotates() {
+        let (key, engine, mut sampler, p) = setup();
+        let n = p.ring_degree;
+        let decomp = GadgetDecomposer::new(p.decomp_base_log, p.decomp_levels);
+        let mut monomial = IntPolynomial::zero(n);
+        monomial.coeffs_mut()[3] = 1; // message X^3
+        let tgsw = TgswCiphertext::encrypt(&monomial, &key, &p, &engine, &mut sampler)
+            .to_spectrum(&engine);
+        let mu = message_poly(n);
+        let c = TrlweCiphertext::encrypt(&mu, &key, p.ring_noise_stdev, &engine, &mut sampler);
+        let out = tgsw.external_product(&engine, &c, &decomp);
+        let expected = mu.mul_by_monomial(3);
+        assert!(out.phase(&key, &engine).max_distance(&expected) < 1e-3);
+    }
+
+    #[test]
+    fn works_with_integer_engine() {
+        let p = params();
+        let mut sampler = TorusSampler::new(StdRng::seed_from_u64(23));
+        let key = RingSecretKey::generate(p.ring_degree, &mut sampler);
+        let engine = ApproxIntFft::new(p.ring_degree, 45);
+        let decomp = GadgetDecomposer::new(p.decomp_base_log, p.decomp_levels);
+        let tgsw = TgswCiphertext::encrypt_constant(1, &key, &p, &engine, &mut sampler)
+            .to_spectrum(&engine);
+        let mu = message_poly(p.ring_degree);
+        let c = TrlweCiphertext::encrypt(&mu, &key, p.ring_noise_stdev, &engine, &mut sampler);
+        let out = tgsw.external_product(&engine, &c, &decomp);
+        assert!(out.phase(&key, &engine).max_distance(&mu) < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "2ℓ rows")]
+    fn bad_row_count_rejected() {
+        let engine = F64Fft::new(64);
+        let rows = vec![TrlweCiphertext::trivial(TorusPolynomial::zero(64))
+            .to_spectrum(&engine)];
+        let _ = TgswSpectrum::<F64Fft>::from_rows(rows, 3);
+    }
+}

@@ -1,0 +1,233 @@
+//! TRLWE (ring) ciphertexts: `(a, b) ∈ T_N[X] × T_N[X]` with
+//! `b = s″·a + μ + e` and the TLWE dimension fixed to `k = 1` as in the
+//! paper (§2, "the TLWE sample is simply the Ring-LWE sample").
+
+use crate::lwe::LweCiphertext;
+use crate::secret::RingSecretKey;
+use matcha_fft::FftEngine;
+use matcha_math::{TorusPolynomial, TorusSampler};
+use rand::Rng;
+
+/// A TRLWE ciphertext over `T_N[X]` with `k = 1`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrlweCiphertext {
+    a: TorusPolynomial,
+    b: TorusPolynomial,
+}
+
+impl TrlweCiphertext {
+    /// Encrypts a polynomial message under `key` with noise stdev `noise`.
+    ///
+    /// The `s″·a` product runs through `engine`, so key generation uses the
+    /// same FFT kernel as the online phase.
+    pub fn encrypt<E: FftEngine, R: Rng>(
+        mu: &TorusPolynomial,
+        key: &RingSecretKey,
+        noise: f64,
+        engine: &E,
+        sampler: &mut TorusSampler<R>,
+    ) -> Self {
+        let n = key.ring_degree();
+        debug_assert_eq!(mu.len(), n);
+        let a = sampler.uniform_poly(n);
+        let mut b = engine.poly_mul(&a, key.as_poly());
+        b += mu;
+        b += &sampler.gaussian_poly(n, noise);
+        Self { a, b }
+    }
+
+    /// The noiseless, keyless encryption `(0, μ)`.
+    pub fn trivial(mu: TorusPolynomial) -> Self {
+        let n = mu.len();
+        Self { a: TorusPolynomial::zero(n), b: mu }
+    }
+
+    /// Builds a ciphertext from raw parts.
+    pub fn from_parts(a: TorusPolynomial, b: TorusPolynomial) -> Self {
+        debug_assert_eq!(a.len(), b.len());
+        Self { a, b }
+    }
+
+    /// Ring degree `N`.
+    pub fn ring_degree(&self) -> usize {
+        self.a.len()
+    }
+
+    /// The mask polynomial `a`.
+    pub fn mask(&self) -> &TorusPolynomial {
+        &self.a
+    }
+
+    /// The body polynomial `b`.
+    pub fn body(&self) -> &TorusPolynomial {
+        &self.b
+    }
+
+    /// The phase `b − s″·a = μ + e`.
+    pub fn phase<E: FftEngine>(&self, key: &RingSecretKey, engine: &E) -> TorusPolynomial {
+        let sa = engine.poly_mul(&self.a, key.as_poly());
+        self.b.clone() - &sa
+    }
+
+    /// Multiplies the ciphertext (and its message) by the monomial
+    /// `X^power` — noise-free, used by blind rotation.
+    pub fn rotate(&self, power: i64) -> Self {
+        Self {
+            a: self.a.mul_by_monomial(power),
+            b: self.b.mul_by_monomial(power),
+        }
+    }
+
+    /// In-place homomorphic addition.
+    pub fn add_assign(&mut self, other: &Self) {
+        self.a += &other.a;
+        self.b += &other.b;
+    }
+
+    /// In-place homomorphic subtraction.
+    pub fn sub_assign(&mut self, other: &Self) {
+        self.a -= &other.a;
+        self.b -= &other.b;
+    }
+
+    /// `SampleExtract` at index 0: the LWE encryption (under the extracted
+    /// key `s′ = KeyExtract(s″)`) of the constant coefficient of the
+    /// message polynomial.
+    pub fn sample_extract(&self) -> LweCiphertext {
+        self.sample_extract_at(0)
+    }
+
+    /// `SampleExtract` at an arbitrary coefficient index: the LWE
+    /// encryption (under the extracted key) of coefficient `index` of the
+    /// message polynomial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index ≥ N`.
+    pub fn sample_extract_at(&self, index: usize) -> LweCiphertext {
+        let n = self.ring_degree();
+        assert!(index < n, "coefficient index {index} out of range");
+        let ac = self.a.coeffs();
+        // (a·s)_index = Σ_{j≤index} a_{index−j}·s_j − Σ_{j>index} a_{N+index−j}·s_j.
+        let mut a = Vec::with_capacity(n);
+        for j in 0..n {
+            if j <= index {
+                a.push(ac[index - j]);
+            } else {
+                a.push(-ac[n + index - j]);
+            }
+        }
+        LweCiphertext::from_parts(a, self.b.coeffs()[index])
+    }
+
+    /// The spectral (Lagrange-domain) form of this ciphertext.
+    pub fn to_spectrum<E: FftEngine>(&self, engine: &E) -> TrlweSpectrum<E> {
+        TrlweSpectrum {
+            a: engine.forward_torus(&self.a),
+            b: engine.forward_torus(&self.b),
+        }
+    }
+}
+
+/// A TRLWE ciphertext in the Lagrange half-complex domain.
+#[derive(Clone, Debug)]
+pub struct TrlweSpectrum<E: FftEngine> {
+    /// Spectrum of the mask polynomial.
+    pub a: E::Spectrum,
+    /// Spectrum of the body polynomial.
+    pub b: E::Spectrum,
+}
+
+impl<E: FftEngine> TrlweSpectrum<E> {
+    /// Transforms back to the coefficient domain.
+    pub fn to_ciphertext(&self, engine: &E) -> TrlweCiphertext {
+        TrlweCiphertext {
+            a: engine.backward_torus(&self.a),
+            b: engine.backward_torus(&self.b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matcha_fft::F64Fft;
+    use matcha_math::Torus32;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const N: usize = 64;
+
+    fn setup() -> (RingSecretKey, F64Fft, TorusSampler<StdRng>) {
+        let mut sampler = TorusSampler::new(StdRng::seed_from_u64(5));
+        let key = RingSecretKey::generate(N, &mut sampler);
+        (key, F64Fft::new(N), sampler)
+    }
+
+    fn message(seed: u32) -> TorusPolynomial {
+        TorusPolynomial::from_coeffs(
+            (0..N as u32)
+                .map(|i| Torus32::from_dyadic(((i ^ seed) % 8) as i64, 3))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn encrypt_phase_recovers_message() {
+        let (key, engine, mut sampler) = setup();
+        let mu = message(3);
+        let c = TrlweCiphertext::encrypt(&mu, &key, 1e-9, &engine, &mut sampler);
+        let phase = c.phase(&key, &engine);
+        assert!(phase.max_distance(&mu) < 1e-4);
+    }
+
+    #[test]
+    fn trivial_phase_is_exact_message() {
+        let (key, engine, _) = setup();
+        let mu = message(1);
+        let c = TrlweCiphertext::trivial(mu.clone());
+        assert!(c.phase(&key, &engine).max_distance(&mu) < 1e-7);
+    }
+
+    #[test]
+    fn rotation_rotates_message() {
+        let (key, engine, mut sampler) = setup();
+        let mu = message(7);
+        let c = TrlweCiphertext::encrypt(&mu, &key, 1e-9, &engine, &mut sampler);
+        let rotated = c.rotate(5);
+        let expected = mu.mul_by_monomial(5);
+        assert!(rotated.phase(&key, &engine).max_distance(&expected) < 1e-4);
+    }
+
+    #[test]
+    fn addition_adds_messages() {
+        let (key, engine, mut sampler) = setup();
+        let (m1, m2) = (message(2), message(9));
+        let mut c1 = TrlweCiphertext::encrypt(&m1, &key, 1e-9, &engine, &mut sampler);
+        let c2 = TrlweCiphertext::encrypt(&m2, &key, 1e-9, &engine, &mut sampler);
+        c1.add_assign(&c2);
+        let expected = m1 + &m2;
+        assert!(c1.phase(&key, &engine).max_distance(&expected) < 1e-4);
+    }
+
+    #[test]
+    fn sample_extract_gets_constant_coefficient() {
+        let (key, engine, mut sampler) = setup();
+        let mu = message(4);
+        let c = TrlweCiphertext::encrypt(&mu, &key, 1e-9, &engine, &mut sampler);
+        let lwe = c.sample_extract();
+        let extracted_key = key.extract_lwe_key();
+        let phase = lwe.phase(&extracted_key);
+        assert!(phase.signed_diff(mu.coeffs()[0]).abs() < 1e-4);
+    }
+
+    #[test]
+    fn spectrum_roundtrip() {
+        let (key, engine, mut sampler) = setup();
+        let mu = message(8);
+        let c = TrlweCiphertext::encrypt(&mu, &key, 1e-9, &engine, &mut sampler);
+        let back = c.to_spectrum(&engine).to_ciphertext(&engine);
+        assert!(back.mask().max_distance(c.mask()) < 1e-6);
+        assert!(back.body().max_distance(c.body()) < 1e-6);
+    }
+}

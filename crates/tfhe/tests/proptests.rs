@@ -1,0 +1,182 @@
+//! Property-based tests of the TFHE scheme: homomorphism laws under random
+//! keys, gate truth tables on random inputs, and BKU(m) ≡ BKU(1).
+
+use matcha_fft::F64Fft;
+use matcha_math::{Torus32, TorusSampler};
+use matcha_tfhe::{
+    packing, BootstrapKit, ClientKey, Codec, Gate, LweCiphertext, ParameterSet, ServerKey,
+    TrlweCiphertext,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+/// Key generation dominates the runtime of these tests, so build one
+/// fixture and reuse it for every proptest case.
+struct Fixture {
+    client: ClientKey,
+    server: ServerKey<F64Fft>,
+    kit_m1: BootstrapKit<F64Fft>,
+    kit_m3: BootstrapKit<F64Fft>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xF1C5);
+        let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+        let engine = F64Fft::new(client.params().ring_degree);
+        let server = ServerKey::with_unrolling(&client, F64Fft::new(256), 2, &mut rng);
+        let kit_m1 = BootstrapKit::generate(&client, &engine, 1, &mut rng);
+        let kit_m3 = BootstrapKit::generate(&client, &engine, 3, &mut rng);
+        Fixture { client, server, kit_m1, kit_m3 }
+    })
+}
+
+fn gate_strategy() -> impl Strategy<Value = Gate> {
+    prop::sample::select(Gate::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn encryption_roundtrip(message in any::<bool>(), seed in any::<u64>()) {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = f.client.encrypt_with(message, &mut rng);
+        prop_assert_eq!(f.client.decrypt(&c), message);
+    }
+
+    #[test]
+    fn lwe_addition_is_homomorphic(
+        x in -0.2f64..0.2,
+        y in -0.2f64..0.2,
+        seed in any::<u64>(),
+    ) {
+        let f = fixture();
+        let mut sampler = TorusSampler::new(StdRng::seed_from_u64(seed));
+        let key = f.client.lwe_key();
+        let cx = LweCiphertext::encrypt(Torus32::from_f64(x), key, 1e-8, &mut sampler);
+        let cy = LweCiphertext::encrypt(Torus32::from_f64(y), key, 1e-8, &mut sampler);
+        let sum = cx + &cy;
+        let expected = Torus32::from_f64(x + y);
+        prop_assert!(sum.phase(key).signed_diff(expected).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gates_match_truth_tables_on_random_inputs(
+        gate in gate_strategy(),
+        a in any::<bool>(),
+        b in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ca = f.client.encrypt_with(a, &mut rng);
+        let cb = f.client.encrypt_with(b, &mut rng);
+        let out = f.server.apply(gate, &ca, &cb);
+        prop_assert_eq!(f.client.decrypt(&out), gate.eval(a, b));
+    }
+
+    #[test]
+    fn bootstrap_is_message_preserving(message in any::<bool>(), seed in any::<u64>()) {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = f.client.encrypt_with(message, &mut rng);
+        let engine = F64Fft::new(256);
+        let out = f.kit_m1.bootstrap(&engine, &c, Torus32::from_dyadic(1, 3));
+        prop_assert_eq!(f.client.decrypt(&out), message);
+    }
+
+    #[test]
+    fn unrolled_bootstrap_equals_classic(message in any::<bool>(), seed in any::<u64>()) {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = f.client.encrypt_with(message, &mut rng);
+        let engine = F64Fft::new(256);
+        let mu = Torus32::from_dyadic(1, 3);
+        let o1 = f.kit_m1.bootstrap(&engine, &c, mu);
+        let o3 = f.kit_m3.bootstrap(&engine, &c, mu);
+        prop_assert_eq!(f.client.decrypt(&o1), f.client.decrypt(&o3));
+    }
+
+    #[test]
+    fn de_morgan_holds_homomorphically(
+        a in any::<bool>(),
+        b in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        // NOT(a AND b) computed two ways must agree: NAND vs OR of NOTs.
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ca = f.client.encrypt_with(a, &mut rng);
+        let cb = f.client.encrypt_with(b, &mut rng);
+        let nand = f.server.nand(&ca, &cb);
+        let or_of_nots = f.server.or(&f.server.not(&ca), &f.server.not(&cb));
+        prop_assert_eq!(f.client.decrypt(&nand), f.client.decrypt(&or_of_nots));
+    }
+
+    #[test]
+    fn xor_is_its_own_inverse(
+        a in any::<bool>(),
+        b in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ca = f.client.encrypt_with(a, &mut rng);
+        let cb = f.client.encrypt_with(b, &mut rng);
+        let once = f.server.xor(&ca, &cb);
+        let twice = f.server.xor(&once, &cb);
+        prop_assert_eq!(f.client.decrypt(&twice), a);
+    }
+
+    #[test]
+    fn lwe_codec_roundtrip_preserves_decryption(message in any::<bool>(), seed in any::<u64>()) {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = f.client.encrypt_with(message, &mut rng);
+        let back = LweCiphertext::from_bytes(&c.to_bytes()).unwrap();
+        prop_assert_eq!(back.clone(), c);
+        prop_assert_eq!(f.client.decrypt(&back), message);
+    }
+
+    #[test]
+    fn trlwe_codec_roundtrip(seed in any::<u64>()) {
+        let mut sampler = TorusSampler::new(StdRng::seed_from_u64(seed));
+        let a = sampler.uniform_poly(64);
+        let b = sampler.uniform_poly(64);
+        let c = TrlweCiphertext::from_parts(a, b);
+        prop_assert_eq!(TrlweCiphertext::from_bytes(&c.to_bytes()).unwrap(), c);
+    }
+
+    #[test]
+    fn packing_roundtrip(bits in proptest::collection::vec(any::<bool>(), 1..32), seed in any::<u64>()) {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let engine = F64Fft::new(256);
+        let packed = packing::pack_bits(&f.client, &bits, &engine, &mut rng);
+        prop_assert_eq!(
+            packing::unpack_bits(&f.client, &packed, bits.len(), &engine),
+            bits
+        );
+    }
+
+    #[test]
+    fn mux_agrees_with_gate_composition(
+        sel in any::<bool>(),
+        a in any::<bool>(),
+        b in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cs = f.client.encrypt_with(sel, &mut rng);
+        let ca = f.client.encrypt_with(a, &mut rng);
+        let cb = f.client.encrypt_with(b, &mut rng);
+        let mux = f.server.mux(&cs, &ca, &cb);
+        prop_assert_eq!(f.client.decrypt(&mux), if sel { a } else { b });
+    }
+}

@@ -1,0 +1,52 @@
+//! Prints the full accelerator evaluation: Table 2 (power/area) and the
+//! Figure 9/10/11 series (latency, throughput, throughput/Watt across
+//! CPU/GPU/FPGA/ASIC/MATCHA for m = 1..4), plus the pipeline simulator's
+//! bottleneck analysis.
+//!
+//! Run with: `cargo run --release --example accelerator_report`
+
+use matcha::accel::{area_power, pipeline, platforms, report};
+use matcha::{MatchaConfig, WorkloadParams};
+
+fn main() {
+    let cfg = MatchaConfig::paper();
+    let workload = WorkloadParams::MATCHA;
+
+    println!("{}", report::table2(&area_power::design_budget(&cfg)));
+
+    let plats = platforms::evaluation_platforms();
+    println!("{}", report::figure9(&plats));
+    println!("{}", report::figure10(&plats));
+    println!("{}", report::figure11(&plats));
+
+    println!("# Pipeline bottleneck analysis (MATCHA, Figure 6 simulation)");
+    println!(
+        "{:<4} {:>6} {:>12} {:>12} {:>14} {:>10}",
+        "m", "steps", "latency(ms)", "gates/s", "BK stream(MB)", "bound"
+    );
+    for m in 1..=4 {
+        let r = pipeline::simulate_gate(&cfg, &workload, m);
+        println!(
+            "{:<4} {:>6} {:>12.4} {:>12.0} {:>14.1} {:>10?}",
+            m,
+            r.steps,
+            r.latency_s * 1e3,
+            r.throughput,
+            r.hbm_bytes / 1e6,
+            r.bottleneck
+        );
+    }
+    println!(
+        "\nbest unroll factor: m = {}",
+        pipeline::best_unroll(&cfg, &workload, 4)
+    );
+    let best = pipeline::simulate_gate(&cfg, &workload, 3);
+    println!(
+        "energy per gate at m = 3: {:.3} mJ",
+        area_power::energy_per_gate_j(&cfg, best.latency_s) * 1e3
+    );
+    println!("\n# Per-component energy per gate (m = 3, all pipelines busy)");
+    for (name, joules) in area_power::energy_breakdown_j(&cfg, best.throughput) {
+        println!("{name:<22} {:>8.4} mJ", joules * 1e3);
+    }
+}

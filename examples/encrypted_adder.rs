@@ -1,0 +1,44 @@
+//! An 8-bit encrypted adder: the classic TFHE workload the paper's
+//! throughput numbers (Figure 10) are ultimately about — every full adder
+//! costs five bootstrapped gates.
+//!
+//! Run with: `cargo run --release --example encrypted_adder [-- --fast]`
+//! (`--fast` uses the small test parameters instead of the paper's.)
+
+use matcha::circuits::{adder, word};
+use matcha::{ClientKey, F64Fft, ParameterSet, ServerKey};
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let params = if fast { ParameterSet::TEST_FAST } else { ParameterSet::MATCHA };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+
+    println!("generating keys (N = {}, m = 2)...", params.ring_degree);
+    let client = ClientKey::generate(params, &mut rng);
+    let engine = F64Fft::new(params.ring_degree);
+    let server = ServerKey::with_unrolling(&client, engine, 2, &mut rng);
+
+    let width = 8;
+    for (x, y) in [(25u64, 17u64), (200, 100), (255, 1)] {
+        let a = word::encrypt(&client, x, width, &mut rng);
+        let b = word::encrypt(&client, y, width, &mut rng);
+
+        let t0 = Instant::now();
+        let result = adder::add(&server, &a, &b);
+        let dt = t0.elapsed();
+
+        let sum = word::decrypt(&client, &result.sum);
+        let carry = client.decrypt(&result.carry);
+        let expected = (x + y) & word::max_value(width);
+        println!(
+            "{x:3} + {y:3} = {sum:3} (carry {carry})   [{} gates in {dt:?}, {:?}/gate]",
+            5 * width,
+            dt / (5 * width) as u32,
+        );
+        assert_eq!(sum, expected);
+        assert_eq!(carry, x + y > word::max_value(width));
+    }
+    println!("all encrypted additions correct");
+}

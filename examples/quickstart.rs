@@ -1,0 +1,39 @@
+//! Quickstart: encrypt two bits, evaluate a NAND homomorphically with the
+//! approximate multiplication-less integer FFT, and decrypt.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use matcha::{ApproxIntFft, ClientKey, ParameterSet, ServerKey};
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+
+    // The paper's 110-bit-security parameters (§5): N = 1024, k = 1,
+    // Bg = 1024, ℓ = 3, n = 500.
+    let params = ParameterSet::MATCHA;
+    println!("generating client keys (n = {}, N = {})...", params.lwe_dimension, params.ring_degree);
+    let client = ClientKey::generate(params, &mut rng);
+
+    // MATCHA's engine: integer FFT with 38-bit dyadic-value-quantized
+    // twiddles (the paper's minimum for failure-free operation at m = 2),
+    // plus 2× bootstrapping key unrolling.
+    let engine = ApproxIntFft::new(params.ring_degree, 38);
+    println!("generating server keys (approx. integer FFT, 38-bit twiddles, m = 2)...");
+    let t0 = Instant::now();
+    let server = ServerKey::with_unrolling(&client, engine, 2, &mut rng);
+    println!("  server keygen: {:?}", t0.elapsed());
+
+    for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+        let ca = client.encrypt_with(a, &mut rng);
+        let cb = client.encrypt_with(b, &mut rng);
+        let t0 = Instant::now();
+        let out = server.nand(&ca, &cb);
+        let dt = t0.elapsed();
+        let result = client.decrypt(&out);
+        println!("NAND({a}, {b}) = {result}   [{dt:?}]");
+        assert_eq!(result, !(a && b), "homomorphic NAND disagrees with plaintext");
+    }
+    println!("all NAND outputs decrypted correctly");
+}

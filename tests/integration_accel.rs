@@ -1,0 +1,128 @@
+//! The accelerator model against the paper's headline evaluation claims
+//! (§6 and Table 2).
+
+use matcha::accel::{area_power, pipeline, platforms::Platform, report};
+use matcha::{MatchaConfig, WorkloadParams};
+
+#[test]
+fn table2_budget_matches_paper_totals() {
+    let b = area_power::design_budget(&MatchaConfig::paper());
+    assert!((b.total_power_w() - 39.98).abs() < 0.2, "power {}", b.total_power_w());
+    assert!((b.total_area_mm2() - 36.96).abs() < 0.2, "area {}", b.total_area_mm2());
+}
+
+#[test]
+fn figure9_shapes_hold() {
+    // CPU: m = 2 optimal, m > 2 regresses. GPU: monotone to m = 4.
+    // FPGA/ASIC: m = 1 only, > 6.8 ms. MATCHA: m = 3 optimal, sub-ms.
+    let cpu = Platform::cpu();
+    assert_eq!(cpu.best_unroll(), 2);
+    let gpu = Platform::gpu();
+    assert_eq!(gpu.best_unroll(), 4);
+    let matcha = Platform::matcha_paper();
+    assert_eq!(matcha.best_unroll(), 3);
+    assert!(matcha.latency_s(3).unwrap() < 1e-3);
+    for p in [Platform::fpga(), Platform::asic()] {
+        assert!(p.latency_s(1).unwrap() > 6.5e-3);
+        assert!(p.latency_s(2).is_none());
+    }
+}
+
+#[test]
+fn headline_speedups_roughly_hold() {
+    // Paper abstract: 2.3× gate throughput over the best prior accelerator
+    // (the GPU) and 6.3× throughput/Watt over the ASIC baseline.
+    let matcha = Platform::matcha_paper();
+    let gpu = Platform::gpu();
+    let asic = Platform::asic();
+
+    let tput_ratio =
+        matcha.throughput(3).unwrap() / gpu.throughput(gpu.best_unroll()).unwrap();
+    assert!(
+        tput_ratio > 1.5,
+        "MATCHA should clearly out-throughput the GPU, got {tput_ratio:.2}×"
+    );
+
+    let eff_ratio = matcha.throughput_per_watt(3).unwrap()
+        / asic.throughput_per_watt(1).unwrap();
+    assert!(
+        eff_ratio > 4.0,
+        "MATCHA should clearly beat the ASIC on throughput/Watt, got {eff_ratio:.2}×"
+    );
+}
+
+#[test]
+fn bottleneck_migrates_with_m() {
+    // m small ⇒ EP-bound; m large ⇒ key streaming / TGSW-bound, which is
+    // why aggressive BKU stops paying off (§6).
+    let cfg = MatchaConfig::paper();
+    let w = WorkloadParams::MATCHA;
+    let r1 = pipeline::simulate_gate(&cfg, &w, 1);
+    let r4 = pipeline::simulate_gate(&cfg, &w, 4);
+    assert_eq!(r1.bottleneck, pipeline::Bottleneck::EpCore);
+    assert_ne!(r4.bottleneck, pipeline::Bottleneck::EpCore);
+    assert!(r4.hbm_bytes > r1.hbm_bytes);
+}
+
+#[test]
+fn ablation_halving_pipelines_halves_throughput() {
+    let mut cfg = MatchaConfig::paper();
+    let w = WorkloadParams::MATCHA;
+    let full = pipeline::simulate_gate(&cfg, &w, 3).throughput;
+    cfg.tgsw_clusters = 4;
+    cfg.ep_cores = 4;
+    let half = pipeline::simulate_gate(&cfg, &w, 3).throughput;
+    let ratio = full / half;
+    assert!((1.6..=2.4).contains(&ratio), "throughput ratio {ratio}");
+}
+
+#[test]
+fn reports_render_every_series() {
+    let plats = matcha::accel::evaluation_platforms();
+    for text in [report::figure9(&plats), report::figure10(&plats), report::figure11(&plats)] {
+        assert!(text.lines().count() >= 7, "short report:\n{text}");
+        assert!(text.contains("MATCHA"));
+    }
+    let t2 = report::table2(&area_power::design_budget(&MatchaConfig::paper()));
+    assert!(t2.contains("EP cores") && t2.contains("SPM"));
+}
+
+#[test]
+fn model_transform_counts_match_software_instrumentation() {
+    // The cycle model charges (2ℓ + 2) transforms per blind-rotation step.
+    // The software implementation's profiler must agree — this pins the
+    // performance model to the functional implementation.
+    use matcha::tfhe::{profile, BootstrapKit};
+    use matcha::{ClientKey, F64Fft, Torus32};
+    use rand::SeedableRng;
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(73);
+    let params = matcha::ParameterSet::TEST_FAST;
+    let client = ClientKey::generate(params, &mut rng);
+    let engine = F64Fft::new(params.ring_degree);
+    for m in [1usize, 2, 4] {
+        let kit = BootstrapKit::generate(&client, &engine, m, &mut rng);
+        let c = client.encrypt_with(true, &mut rng);
+        profile::start();
+        let _ = kit.bootstrap(&engine, &c, Torus32::from_dyadic(1, 3));
+        let snap = profile::snapshot();
+        profile::stop();
+        let steps = params.lwe_dimension.div_ceil(m) as u64;
+        let expected_ifft = steps * 2 * params.decomp_levels as u64;
+        let expected_fft = steps * 2;
+        assert_eq!(snap.ifft_calls, expected_ifft, "m={m} IFFT count");
+        assert_eq!(snap.fft_calls, expected_fft, "m={m} FFT count");
+    }
+}
+
+#[test]
+fn workload_matches_tfhe_parameters() {
+    // The model's workload constants must agree with the actual scheme
+    // parameters used by the software implementation.
+    let w = WorkloadParams::MATCHA;
+    let p = matcha::ParameterSet::MATCHA;
+    assert_eq!(w.lwe_dimension, p.lwe_dimension);
+    assert_eq!(w.ring_degree, p.ring_degree);
+    assert_eq!(w.decomp_levels, p.decomp_levels);
+    assert_eq!(w.ks_levels, p.ks_levels);
+}

@@ -1,0 +1,94 @@
+//! Cross-crate circuit integration: word arithmetic and the encrypted ALU
+//! running end-to-end on the approximate integer FFT engine.
+
+use matcha::circuits::{adder, alu, alu::AluOp, comparator, mux, shifter, word};
+use matcha::{ApproxIntFft, ClientKey, F64Fft, ParameterSet, ServerKey};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup_approx(seed: u64) -> (ClientKey, ServerKey<ApproxIntFft>, StdRng) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+    let engine = ApproxIntFft::new(client.params().ring_degree, 40);
+    let server = ServerKey::with_unrolling(&client, engine, 3, &mut rng);
+    (client, server, rng)
+}
+
+#[test]
+fn adder_on_approximate_engine() {
+    let (client, server, mut rng) = setup_approx(11);
+    for (x, y) in [(11u64, 6u64), (15, 15), (0, 9)] {
+        let a = word::encrypt(&client, x, 4, &mut rng);
+        let b = word::encrypt(&client, y, 4, &mut rng);
+        let r = adder::add(&server, &a, &b);
+        assert_eq!(word::decrypt(&client, &r.sum), (x + y) & 0xF, "{x}+{y}");
+        assert_eq!(client.decrypt(&r.carry), x + y > 15);
+    }
+}
+
+#[test]
+fn comparator_on_approximate_engine() {
+    let (client, server, mut rng) = setup_approx(12);
+    for (x, y) in [(3u64, 9u64), (9, 3), (6, 6)] {
+        let a = word::encrypt(&client, x, 4, &mut rng);
+        let b = word::encrypt(&client, y, 4, &mut rng);
+        assert_eq!(client.decrypt(&comparator::lt(&server, &a, &b)), x < y);
+        assert_eq!(client.decrypt(&comparator::eq(&server, &a, &b)), x == y);
+    }
+}
+
+#[test]
+fn alu_on_approximate_engine() {
+    let (client, server, mut rng) = setup_approx(13);
+    let (x, y) = (0b110u64, 0b011u64);
+    let a = word::encrypt(&client, x, 3, &mut rng);
+    let b = word::encrypt(&client, y, 3, &mut rng);
+    for op in [AluOp::Add, AluOp::Xor] {
+        let bits = op.opcode_bits();
+        let opcode = vec![
+            client.encrypt_with(bits[0], &mut rng),
+            client.encrypt_with(bits[1], &mut rng),
+        ];
+        let out = alu::execute(&server, &opcode, &a, &b);
+        assert_eq!(word::decrypt(&client, &out), op.eval(x, y, 3), "{op:?}");
+    }
+}
+
+#[test]
+fn barrel_shifter_and_mux_tree_compose() {
+    let mut rng = StdRng::seed_from_u64(14);
+    let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+    let server = ServerKey::with_unrolling(
+        &client,
+        F64Fft::new(client.params().ring_degree),
+        2,
+        &mut rng,
+    );
+    // Shift an encrypted value by an encrypted amount, then select between
+    // the shifted and the original word with an encrypted flag.
+    let a = word::encrypt(&client, 0b0101, 4, &mut rng);
+    let amount = word::encrypt(&client, 1, 2, &mut rng);
+    let shifted = shifter::shl(&server, &a, &amount);
+    assert_eq!(word::decrypt(&client, &shifted), 0b1010);
+    for flag in [true, false] {
+        let cf = client.encrypt_with(flag, &mut rng);
+        let out = mux::select_word(&server, &cf, &shifted, &a);
+        assert_eq!(
+            word::decrypt(&client, &out),
+            if flag { 0b1010 } else { 0b0101 }
+        );
+    }
+}
+
+#[test]
+fn encrypted_maximum_of_two_values() {
+    // max(a, b) = select(a ≥ b, a, b): a composite of comparator + mux.
+    let (client, server, mut rng) = setup_approx(15);
+    for (x, y) in [(9u64, 4u64), (2, 13)] {
+        let a = word::encrypt(&client, x, 4, &mut rng);
+        let b = word::encrypt(&client, y, 4, &mut rng);
+        let a_ge_b = comparator::ge(&server, &a, &b);
+        let max = mux::select_word(&server, &a_ge_b, &a, &b);
+        assert_eq!(word::decrypt(&client, &max), x.max(y), "max({x},{y})");
+    }
+}

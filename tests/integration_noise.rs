@@ -1,0 +1,84 @@
+//! Noise behaviour end to end (paper Table 3 and the error-tolerance
+//! argument of §4.1): approximate-FFT noise stays within the decryption
+//! budget, and key unrolling trades EP noise against BK noise.
+
+use matcha::tfhe::{noise, BootstrapKit};
+use matcha::{ApproxIntFft, ClientKey, F64Fft, ParameterSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn client(seed: u64) -> (ClientKey, StdRng) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let c = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+    (c, rng)
+}
+
+#[test]
+fn bootstrap_noise_within_margin_for_both_engines() {
+    let (client, mut rng) = client(31);
+    let exact = F64Fft::new(256);
+    let kit_exact = BootstrapKit::generate(&client, &exact, 2, &mut rng);
+    let s_exact = noise::bootstrap_noise(&client, &kit_exact, &exact, 10, &mut rng);
+
+    let approx = ApproxIntFft::new(256, 40);
+    let kit_approx = BootstrapKit::generate(&client, &approx, 2, &mut rng);
+    let s_approx = noise::bootstrap_noise(&client, &kit_approx, &approx, 10, &mut rng);
+
+    // Both must stay far below the 1/16 decryption margin.
+    assert!(s_exact.max_abs < 1.0 / 16.0, "exact: {}", s_exact.max_abs);
+    assert!(s_approx.max_abs < 1.0 / 16.0, "approx: {}", s_approx.max_abs);
+}
+
+#[test]
+fn coarse_twiddles_increase_noise_but_not_failures() {
+    // §4.1: approximation errors behave like extra noise, flushed at each
+    // bootstrap. Coarser twiddles ⇒ more noise, same decryptions.
+    let (client, mut rng) = client(32);
+    let fine = ApproxIntFft::new(256, 50);
+    let coarse = ApproxIntFft::new(256, 22);
+    let kit_fine = BootstrapKit::generate(&client, &fine, 1, &mut rng);
+    let kit_coarse = BootstrapKit::generate(&client, &coarse, 1, &mut rng);
+    let s_fine = noise::bootstrap_noise(&client, &kit_fine, &fine, 12, &mut rng);
+    let s_coarse = noise::bootstrap_noise(&client, &kit_coarse, &coarse, 12, &mut rng);
+    assert!(
+        s_coarse.stdev > s_fine.stdev,
+        "coarse {} should exceed fine {}",
+        s_coarse.stdev,
+        s_fine.stdev
+    );
+    assert_eq!(
+        noise::failure_count(&client, &kit_coarse, &coarse, 16, &mut rng),
+        0,
+        "coarse twiddles must still decrypt correctly"
+    );
+}
+
+#[test]
+fn nand_failure_probe_is_clean() {
+    // The paper's 10^8-gate failure test, scaled to CI size.
+    let (client, mut rng) = client(33);
+    let engine = ApproxIntFft::new(256, 38); // the paper's minimum width
+    let kit = BootstrapKit::generate(&client, &engine, 2, &mut rng);
+    assert_eq!(noise::failure_count(&client, &kit, &engine, 40, &mut rng), 0);
+}
+
+#[test]
+fn fresh_noise_matches_parameters() {
+    let (client, mut rng) = client(34);
+    let stats = noise::fresh_noise(&client, 500, &mut rng);
+    let sigma = client.params().lwe_noise_stdev;
+    assert!(stats.stdev < 3.0 * sigma && stats.stdev > sigma / 3.0);
+}
+
+#[test]
+fn unrolling_does_not_blow_the_noise_budget() {
+    // Table 3's trade-off: more BK noise terms per bundle (2^m − 1), fewer
+    // rounding/EP steps. At our parameters every m must stay decryptable.
+    let (client, mut rng) = client(35);
+    let engine = F64Fft::new(256);
+    for m in 1..=4 {
+        let kit = BootstrapKit::generate(&client, &engine, m, &mut rng);
+        let stats = noise::bootstrap_noise(&client, &kit, &engine, 8, &mut rng);
+        assert!(stats.max_abs < 1.0 / 16.0, "m={m}: {}", stats.max_abs);
+    }
+}
