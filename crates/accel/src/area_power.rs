@@ -134,10 +134,7 @@ pub fn energy_per_gate_j(cfg: &MatchaConfig, gate_latency_s: f64) -> f64 {
 /// EP cores (multiplication-less butterflies) dominate, while the HBM PHY
 /// and SPM stay small, which is why the design lands at 6× better
 /// throughput/Watt than the ASIC baseline (Figure 11).
-pub fn energy_breakdown_j(
-    cfg: &MatchaConfig,
-    gates_per_second: f64,
-) -> Vec<(&'static str, f64)> {
+pub fn energy_breakdown_j(cfg: &MatchaConfig, gates_per_second: f64) -> Vec<(&'static str, f64)> {
     assert!(gates_per_second > 0.0, "throughput must be positive");
     design_budget(cfg)
         .components
@@ -153,8 +150,16 @@ mod tests {
     #[test]
     fn paper_totals_match_table2() {
         let b = design_budget(&MatchaConfig::paper());
-        assert!((b.total_power_w() - 39.98).abs() < 0.2, "power {}", b.total_power_w());
-        assert!((b.total_area_mm2() - 36.96).abs() < 0.2, "area {}", b.total_area_mm2());
+        assert!(
+            (b.total_power_w() - 39.98).abs() < 0.2,
+            "power {}",
+            b.total_power_w()
+        );
+        assert!(
+            (b.total_area_mm2() - 36.96).abs() < 0.2,
+            "area {}",
+            b.total_area_mm2()
+        );
     }
 
     #[test]

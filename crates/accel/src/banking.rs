@@ -52,12 +52,7 @@ pub type Trace = Vec<Vec<usize>>;
 
 /// Counts stalls: each cycle, a bank serves `ports` accesses; every extra
 /// access beyond that adds one stall.
-pub fn conflict_cycles(
-    trace: &Trace,
-    banks: usize,
-    ports: usize,
-    mapping: BankMapping,
-) -> usize {
+pub fn conflict_cycles(trace: &Trace, banks: usize, ports: usize, mapping: BankMapping) -> usize {
     assert!(ports > 0, "banks need at least one port");
     let mut stalls = 0;
     let mut hits = vec![0usize; banks];
@@ -75,7 +70,11 @@ pub fn conflict_cycles(
 /// `lanes` consecutive reads per cycle walking a polynomial front to back.
 pub fn tgsw_stream_trace(poly_len: usize, lanes: usize) -> Trace {
     (0..poly_len.div_ceil(lanes))
-        .map(|c| (0..lanes.min(poly_len - c * lanes)).map(|l| c * lanes + l).collect())
+        .map(|c| {
+            (0..lanes.min(poly_len - c * lanes))
+                .map(|l| c * lanes + l)
+                .collect()
+        })
         .collect()
 }
 
@@ -157,7 +156,10 @@ impl BankReport {
 /// Evaluates a trace against a banking configuration (dual-ported banks,
 /// as in the paper's "read a register bank while write the other").
 pub fn evaluate(trace: &Trace, banks: usize, mapping: BankMapping) -> BankReport {
-    BankReport { cycles: trace.len(), stalls: conflict_cycles(trace, banks, 2, mapping) }
+    BankReport {
+        cycles: trace.len(),
+        stalls: conflict_cycles(trace, banks, 2, mapping),
+    }
 }
 
 #[cfg(test)]
@@ -174,14 +176,21 @@ mod tests {
         // spatial locality".
         let trace = tgsw_stream_trace(1024, 2);
         let r = evaluate(&trace, 2, BankMapping::Interleaved);
-        assert_eq!(r.stalls, 0, "sequential streams must be conflict-free on 2 banks");
+        assert_eq!(
+            r.stalls, 0,
+            "sequential streams must be conflict-free on 2 banks"
+        );
     }
 
     #[test]
     fn fft_on_two_banks_thrashes() {
         let trace = breadth_first_fft_trace(M, LANES);
         let two = evaluate(&trace, 2, BankMapping::Interleaved);
-        assert!(two.overhead() > 0.5, "2 banks should thrash: {}", two.overhead());
+        assert!(
+            two.overhead() > 0.5,
+            "2 banks should thrash: {}",
+            two.overhead()
+        );
     }
 
     #[test]

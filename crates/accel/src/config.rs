@@ -104,8 +104,7 @@ impl MatchaConfig {
         if self.pipelines() == 0 {
             return Err("need at least one TGSW cluster and one EP core".into());
         }
-        if self.butterfly_cores == 0 || self.ifft_cores_per_ep == 0 || self.fft_cores_per_ep == 0
-        {
+        if self.butterfly_cores == 0 || self.ifft_cores_per_ep == 0 || self.fft_cores_per_ep == 0 {
             return Err("EP cores need FFT/IFFT resources".into());
         }
         if self.hbm_gb_s <= 0.0 {

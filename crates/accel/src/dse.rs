@@ -173,7 +173,11 @@ mod tests {
         // constraint, not a free knob), the paper configuration must not
         // be dominated with 10% slack on every objective.
         let points = sweep(&SweepSpace::default(), &WorkloadParams::MATCHA);
-        let paper = evaluate(&MatchaConfig::paper(), &WorkloadParams::MATCHA, &[1, 2, 3, 4]);
+        let paper = evaluate(
+            &MatchaConfig::paper(),
+            &WorkloadParams::MATCHA,
+            &[1, 2, 3, 4],
+        );
         let strictly_better = points
             .iter()
             .filter(|p| p.config.hbm_gb_s == paper.config.hbm_gb_s)
@@ -202,7 +206,11 @@ mod tests {
 
     #[test]
     fn best_unroll_recorded() {
-        let paper = evaluate(&MatchaConfig::paper(), &WorkloadParams::MATCHA, &[1, 2, 3, 4]);
+        let paper = evaluate(
+            &MatchaConfig::paper(),
+            &WorkloadParams::MATCHA,
+            &[1, 2, 3, 4],
+        );
         assert_eq!(paper.unroll, 3, "paper config should prefer m = 3");
         assert!(paper.throughput_per_watt() > 0.0);
     }

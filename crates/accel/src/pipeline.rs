@@ -62,8 +62,7 @@ pub fn simulate_gate(cfg: &MatchaConfig, w: &WorkloadParams, m: usize) -> GateSi
     assert!((1..=8).contains(&m), "unroll factor {m} outside 1..=8");
     let steps = w.steps(m);
     let costs = kernels::step_costs(cfg, w, m);
-    let hbm_cycles_per_step =
-        costs.hbm_bytes / (cfg.hbm_gb_s * 1e9) / (cfg.clock_ns() * 1e-9);
+    let hbm_cycles_per_step = costs.hbm_bytes / (cfg.hbm_gb_s * 1e9) / (cfg.clock_ns() * 1e-9);
 
     // Event-driven recurrence over steps: each stage starts when both its
     // input is ready and the unit is free.

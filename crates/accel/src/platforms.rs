@@ -45,12 +45,7 @@ impl Platform {
             name: "CPU",
             power_w: 95.0,
             concurrency: 8.0, // one independent gate per physical core
-            kind: Kind::Measured([
-                Some(13.1e-3),
-                Some(6.67e-3),
-                Some(7.3e-3),
-                Some(9.0e-3),
-            ]),
+            kind: Kind::Measured([Some(13.1e-3), Some(6.67e-3), Some(7.3e-3), Some(9.0e-3)]),
         }
     }
 
@@ -66,12 +61,7 @@ impl Platform {
             name: "GPU",
             power_w: 250.0,
             concurrency: 2.0,
-            kind: Kind::Measured([
-                Some(0.37e-3),
-                Some(0.28e-3),
-                Some(0.21e-3),
-                Some(0.18e-3),
-            ]),
+            kind: Kind::Measured([Some(0.37e-3), Some(0.28e-3), Some(0.21e-3), Some(0.18e-3)]),
         }
     }
 
@@ -140,7 +130,11 @@ impl Platform {
     pub fn best_unroll(&self) -> usize {
         (1..=4)
             .filter(|&m| self.latency_s(m).is_some())
-            .min_by(|&a, &b| self.latency_s(a).unwrap().total_cmp(&self.latency_s(b).unwrap()))
+            .min_by(|&a, &b| {
+                self.latency_s(a)
+                    .unwrap()
+                    .total_cmp(&self.latency_s(b).unwrap())
+            })
             .unwrap_or(1)
     }
 }
@@ -213,7 +207,10 @@ mod tests {
         // Paper: ~2.3× over GPU; our model credits all 8 lockstep
         // pipelines, so it lands on the high side of that factor.
         let ratio = matcha / Platform::gpu().throughput(3).unwrap();
-        assert!(ratio > 1.5 && ratio < 6.0, "MATCHA/GPU throughput ratio {ratio}");
+        assert!(
+            ratio > 1.5 && ratio < 6.0,
+            "MATCHA/GPU throughput ratio {ratio}"
+        );
     }
 
     #[test]

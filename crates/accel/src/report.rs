@@ -17,7 +17,11 @@ pub fn metric_table(
 ) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# {title}");
-    let _ = writeln!(out, "{:<8} {:>12} {:>12} {:>12} {:>12}   [{unit}]", "platform", "m=1", "m=2", "m=3", "m=4");
+    let _ = writeln!(
+        out,
+        "{:<8} {:>12} {:>12} {:>12} {:>12}   [{unit}]",
+        "platform", "m=1", "m=2", "m=3", "m=4"
+    );
     for p in platforms {
         let _ = write!(out, "{:<8}", p.name);
         for m in 1..=4 {
@@ -37,16 +41,22 @@ pub fn metric_table(
 
 /// Figure 9: NAND latency in milliseconds.
 pub fn figure9(platforms: &[Platform]) -> String {
-    metric_table("Figure 9: TFHE NAND gate latency", "ms", platforms, |p, m| {
-        p.latency_s(m).map(|s| s * 1e3)
-    })
+    metric_table(
+        "Figure 9: TFHE NAND gate latency",
+        "ms",
+        platforms,
+        |p, m| p.latency_s(m).map(|s| s * 1e3),
+    )
 }
 
 /// Figure 10: NAND throughput in gates/s.
 pub fn figure10(platforms: &[Platform]) -> String {
-    metric_table("Figure 10: TFHE NAND gate throughput", "gate/s", platforms, |p, m| {
-        p.throughput(m)
-    })
+    metric_table(
+        "Figure 10: TFHE NAND gate throughput",
+        "gate/s",
+        platforms,
+        |p, m| p.throughput(m),
+    )
 }
 
 /// Figure 11: throughput per watt in gates/s/W.
@@ -63,9 +73,17 @@ pub fn figure11(platforms: &[Platform]) -> String {
 pub fn table2(budget: &DesignBudget) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# Table 2: MATCHA power and area (16 nm, 2 GHz)");
-    let _ = writeln!(out, "{:<22} {:>10} {:>12}", "component", "power (W)", "area (mm^2)");
+    let _ = writeln!(
+        out,
+        "{:<22} {:>10} {:>12}",
+        "component", "power (W)", "area (mm^2)"
+    );
     for c in &budget.components {
-        let _ = writeln!(out, "{:<22} {:>10.3} {:>12.3}", c.name, c.power_w, c.area_mm2);
+        let _ = writeln!(
+            out,
+            "{:<22} {:>10.3} {:>12.3}",
+            c.name, c.power_w, c.area_mm2
+        );
     }
     let _ = writeln!(
         out,

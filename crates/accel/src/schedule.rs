@@ -9,8 +9,8 @@
 //! reports circuit-level latency — turning the per-gate numbers of
 //! Figures 9/10 into end-to-end application estimates.
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// A dependency DAG of equal-cost bootstrapped gates.
 #[derive(Clone, Debug, Default)]
@@ -176,13 +176,17 @@ pub fn schedule(netlist: &Netlist, pipelines: usize, gate_latency_s: f64) -> Sch
     assert!(gate_latency_s > 0.0, "gate latency must be positive");
     let n = netlist.len();
     if n == 0 {
-        return ScheduleResult { makespan_s: 0.0, gates: 0, critical_path: 0, utilization: 0.0 };
+        return ScheduleResult {
+            makespan_s: 0.0,
+            gates: 0,
+            critical_path: 0,
+            utilization: 0.0,
+        };
     }
     let mut finish = vec![0.0f64; n];
     // Pipelines as a min-heap of free times (f64 bits as ordered ints —
     // all values are non-negative, so the bit pattern orders correctly).
-    let mut free: BinaryHeap<Reverse<u64>> =
-        (0..pipelines).map(|_| Reverse(0u64)).collect();
+    let mut free: BinaryHeap<Reverse<u64>> = (0..pipelines).map(|_| Reverse(0u64)).collect();
     for i in 0..n {
         let ready = netlist.deps[i]
             .iter()
@@ -212,8 +216,8 @@ mod tests {
     fn ripple_adder_counts() {
         let net = Netlist::ripple_adder(8);
         assert_eq!(net.len(), 40); // 5 gates per full adder
-        // Critical path: the carry chain, 3 gates deep per stage after
-        // the first XOR level.
+                                   // Critical path: the carry chain, 3 gates deep per stage after
+                                   // the first XOR level.
         assert!(net.critical_path() >= 8);
     }
 

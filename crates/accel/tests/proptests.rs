@@ -7,11 +7,11 @@ use proptest::prelude::*;
 
 fn config_strategy() -> impl Strategy<Value = MatchaConfig> {
     (
-        1usize..=16,  // pipelines
-        1usize..=8,   // ifft cores per EP
-        32usize..=512, // butterfly cores (power-of-two-ish not required)
-        1usize..=64,  // ep mac lanes
-        1usize..=128, // tgsw mac lanes
+        1usize..=16,      // pipelines
+        1usize..=8,       // ifft cores per EP
+        32usize..=512,    // butterfly cores (power-of-two-ish not required)
+        1usize..=64,      // ep mac lanes
+        1usize..=128,     // tgsw mac lanes
         100.0f64..4000.0, // HBM GB/s
     )
         .prop_map(|(pipes, ifft, butt, ep_lanes, tgsw_lanes, hbm)| {

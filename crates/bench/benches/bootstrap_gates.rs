@@ -1,9 +1,12 @@
 //! Full TFHE gate benchmarks at the paper's parameters (Table 1's "13 ms
-//! on a CPU" row and Figure 1's workload), on both FFT engines.
+//! on a CPU" row and Figure 1's workload), on both FFT engines. Each
+//! configuration is measured on the allocating seed path (`/alloc`) and on
+//! the warmed zero-allocation scratch path (`/scratch`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use matcha_fft::{ApproxIntFft, F64Fft, FftEngine};
-use matcha_tfhe::{ClientKey, ParameterSet, ServerKey};
+use matcha_math::Torus32;
+use matcha_tfhe::{ClientKey, Gate, ParameterSet, ServerKey};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -13,14 +16,26 @@ fn bench_gate<E: FftEngine>(c: &mut Criterion, name: &str, engine: E, unroll: us
     let server = ServerKey::with_unrolling(&client, engine, unroll, &mut rng);
     let a = client.encrypt_with(true, &mut rng);
     let b = client.encrypt_with(false, &mut rng);
-    c.bench_function(name, |bench| {
+
+    c.bench_function(&format!("{name}/alloc"), |bench| {
         bench.iter(|| std::hint::black_box(server.nand(&a, &b)))
+    });
+
+    let mut scratch = server.make_scratch();
+    let mut out = matcha_tfhe::LweCiphertext::trivial(Torus32::ZERO, 1);
+    server.apply_into(Gate::Nand, &a, &b, &mut out, &mut scratch);
+    c.bench_function(&format!("{name}/scratch"), |bench| {
+        bench.iter(|| {
+            server.apply_into(Gate::Nand, &a, &b, &mut out, &mut scratch);
+            std::hint::black_box(&out);
+        })
     });
 }
 
 fn benches(c: &mut Criterion) {
     bench_gate(c, "nand/f64_m1", F64Fft::new(1024), 1);
     bench_gate(c, "nand/f64_m2", F64Fft::new(1024), 2);
+    bench_gate(c, "nand/f64_m3", F64Fft::new(1024), 3);
     bench_gate(c, "nand/approx38_m2", ApproxIntFft::new(1024, 38), 2);
 }
 

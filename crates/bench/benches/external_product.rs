@@ -1,10 +1,12 @@
 //! External product (TGSW ⊡ TRLWE) benchmarks at the paper's parameters —
-//! the operation each blind-rotation step performs once.
+//! the operation each blind-rotation step performs once. Each engine is
+//! measured on the allocating seed path and on the zero-allocation scratch
+//! path, so the in-place layer's speedup is a first-class result.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use matcha_fft::{ApproxIntFft, F64Fft, FftEngine};
 use matcha_math::{GadgetDecomposer, Torus32, TorusPolynomial, TorusSampler};
-use matcha_tfhe::{ParameterSet, RingSecretKey, TgswCiphertext, TrlweCiphertext};
+use matcha_tfhe::{EpScratch, ParameterSet, RingSecretKey, TgswCiphertext, TrlweCiphertext};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -17,15 +19,34 @@ fn bench_external_product<E: FftEngine>(c: &mut Criterion, name: &str, engine: &
         .to_spectrum(engine);
     let mu = TorusPolynomial::constant(Torus32::from_dyadic(1, 3), params.ring_degree);
     let acc = TrlweCiphertext::encrypt(&mu, &key, params.ring_noise_stdev, engine, &mut sampler);
-    c.bench_function(name, |b| {
+
+    c.bench_function(&format!("{name}/alloc"), |b| {
         b.iter(|| std::hint::black_box(tgsw.external_product(engine, &acc, &decomp)))
+    });
+
+    let mut scratch = EpScratch::new(engine, &params);
+    let mut inplace = acc.clone();
+    tgsw.external_product_assign(engine, &mut inplace, &decomp, &mut scratch);
+    c.bench_function(&format!("{name}/scratch"), |b| {
+        b.iter(|| {
+            tgsw.external_product_assign(engine, &mut inplace, &decomp, &mut scratch);
+            std::hint::black_box(&inplace);
+        })
     });
 }
 
 fn benches(c: &mut Criterion) {
     bench_external_product(c, "external_product/f64", &F64Fft::new(1024));
-    bench_external_product(c, "external_product/approx_int_38", &ApproxIntFft::new(1024, 38));
-    bench_external_product(c, "external_product/approx_int_62", &ApproxIntFft::new(1024, 62));
+    bench_external_product(
+        c,
+        "external_product/approx_int_38",
+        &ApproxIntFft::new(1024, 38),
+    );
+    bench_external_product(
+        c,
+        "external_product/approx_int_62",
+        &ApproxIntFft::new(1024, 62),
+    );
 }
 
 criterion_group! {

@@ -13,7 +13,10 @@ fn main() {
     let front = dse::pareto_front(&points);
     let paper = dse::evaluate(&MatchaConfig::paper(), &w, &[1, 2, 3, 4]);
 
-    println!("# Ablation: power-latency Pareto front over {} designs", points.len());
+    println!(
+        "# Ablation: power-latency Pareto front over {} designs",
+        points.len()
+    );
     println!(
         "{:>6} {:>10} {:>10} {:>3} {:>12} {:>12} {:>12} {:>12}",
         "pipes", "butt", "HBM", "m", "latency(ms)", "power(W)", "area(mm2)", "gates/s/W"

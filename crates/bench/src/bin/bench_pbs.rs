@@ -1,0 +1,189 @@
+//! Regenerates `BENCH_pbs.json`: external-product and single-gate PBS
+//! latencies on the allocating seed path vs. the zero-allocation scratch
+//! path, at the paper's parameters.
+//!
+//! Run with:
+//! `cargo run --release -p matcha-bench --bin bench_pbs`
+
+use matcha::fft::{ApproxIntFft, F64Fft};
+use matcha::tfhe::{EpScratch, Gate, RingSecretKey, TgswCiphertext, TrlweCiphertext};
+use matcha::{ClientKey, FftEngine, ParameterSet, ServerKey, Torus32};
+use matcha_math::{GadgetDecomposer, TorusPolynomial, TorusSampler};
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Median of `samples` timed runs of `f`, in nanoseconds per call.
+fn measure<F: FnMut()>(samples: usize, iters: u32, mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_secs_f64() * 1e9 / iters as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+struct Row {
+    id: String,
+    alloc_ns: f64,
+    scratch_ns: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.alloc_ns / self.scratch_ns
+    }
+}
+
+fn bench_external_product<E: FftEngine>(name: &str, engine: &E, params: ParameterSet) -> Row {
+    let mut sampler = TorusSampler::new(rand::rngs::StdRng::seed_from_u64(5));
+    let key = RingSecretKey::generate(params.ring_degree, &mut sampler);
+    let decomp = GadgetDecomposer::new(params.decomp_base_log, params.decomp_levels);
+    let tgsw = TgswCiphertext::encrypt_constant(1, &key, &params, engine, &mut sampler)
+        .to_spectrum(engine);
+    let mu = TorusPolynomial::constant(Torus32::from_dyadic(1, 3), params.ring_degree);
+    let acc = TrlweCiphertext::encrypt(&mu, &key, params.ring_noise_stdev, engine, &mut sampler);
+
+    let alloc_ns = measure(15, 20, || {
+        std::hint::black_box(tgsw.external_product(engine, &acc, &decomp));
+    });
+
+    let mut scratch = EpScratch::new(engine, &params);
+    let mut inplace = acc.clone();
+    tgsw.external_product_assign(engine, &mut inplace, &decomp, &mut scratch);
+    let scratch_ns = measure(15, 20, || {
+        tgsw.external_product_assign(engine, &mut inplace, &decomp, &mut scratch);
+        std::hint::black_box(&inplace);
+    });
+
+    Row {
+        id: format!("external_product/{name}"),
+        alloc_ns,
+        scratch_ns,
+    }
+}
+
+/// One blind-rotation step (bundle build + external product) — the unit of
+/// work MATCHA's pipelines execute per key group (Figure 6a), and where the
+/// scratch path's factor-table hoisting pays off.
+fn bench_blind_rotate_step<E: FftEngine>(name: &str, engine: &E, unroll: usize) -> Row {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    let client = ClientKey::generate(ParameterSet::MATCHA, &mut rng);
+    let kit = matcha::tfhe::BootstrapKit::generate(&client, engine, unroll, &mut rng);
+    let params = *kit.params();
+    let decomp = GadgetDecomposer::new(params.decomp_base_log, params.decomp_levels);
+    let two_n = params.two_n();
+    let bk = kit.bootstrapping_key();
+    let group = &bk.groups()[0];
+    let exponents: Vec<u32> = (0..group.len()).map(|i| (17 + 31 * i) as u32).collect();
+    let mut sampler = TorusSampler::new(rand::rngs::StdRng::seed_from_u64(14));
+    let mu = TorusPolynomial::constant(Torus32::from_dyadic(1, 3), params.ring_degree);
+    let acc = TrlweCiphertext::encrypt(
+        &mu,
+        client.ring_key(),
+        params.ring_noise_stdev,
+        engine,
+        &mut sampler,
+    );
+
+    let alloc_ns = measure(15, 10, || {
+        let bundle = bk.build_bundle(engine, group, &exponents, two_n);
+        std::hint::black_box(bundle.external_product(engine, &acc, &decomp));
+    });
+
+    let mut scratch = kit.make_scratch(engine);
+    let mut inplace = acc.clone();
+    scratch.test_vector_mut().copy_from(&mu);
+    let scratch_ns = {
+        // Drive the same step through the scratch plumbing.
+        let c = client.encrypt_with(true, &mut rng);
+        kit.blind_rotate_assign(engine, &c, &mut scratch); // warm every buffer
+        let groups_per_rotation = bk.groups().len() as f64;
+        let total = measure(15, 2, || {
+            kit.blind_rotate_assign(engine, &c, &mut scratch);
+            std::hint::black_box(scratch.accumulator());
+        });
+        let _ = &mut inplace;
+        total / groups_per_rotation
+    };
+
+    Row {
+        id: format!("blind_rotate_step/{name}"),
+        alloc_ns,
+        scratch_ns,
+    }
+}
+
+fn bench_gate<E: FftEngine>(name: &str, engine: E, unroll: usize) -> Row {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let client = ClientKey::generate(ParameterSet::MATCHA, &mut rng);
+    let server = ServerKey::with_unrolling(&client, engine, unroll, &mut rng);
+    let a = client.encrypt_with(true, &mut rng);
+    let b = client.encrypt_with(false, &mut rng);
+
+    let alloc_ns = measure(7, 3, || {
+        std::hint::black_box(server.nand(&a, &b));
+    });
+
+    let mut scratch = server.make_scratch();
+    let mut out = matcha::LweCiphertext::trivial(Torus32::ZERO, 1);
+    server.apply_into(Gate::Nand, &a, &b, &mut out, &mut scratch);
+    let scratch_ns = measure(7, 3, || {
+        server.apply_into(Gate::Nand, &a, &b, &mut out, &mut scratch);
+        std::hint::black_box(&out);
+    });
+
+    Row {
+        id: format!("nand/{name}"),
+        alloc_ns,
+        scratch_ns,
+    }
+}
+
+fn main() {
+    let params = ParameterSet::MATCHA;
+    let rows = vec![
+        bench_external_product("f64", &F64Fft::new(1024), params),
+        bench_external_product("approx_int_38", &ApproxIntFft::new(1024, 38), params),
+        bench_blind_rotate_step("f64_m2", &F64Fft::new(1024), 2),
+        bench_blind_rotate_step("f64_m3", &F64Fft::new(1024), 3),
+        bench_gate("f64_m1", F64Fft::new(1024), 1),
+        bench_gate("f64_m2", F64Fft::new(1024), 2),
+        bench_gate("f64_m3", F64Fft::new(1024), 3),
+        bench_gate("approx38_m2", ApproxIntFft::new(1024, 38), 2),
+    ];
+
+    println!(
+        "{:<32} {:>12} {:>12} {:>9}",
+        "benchmark", "alloc", "scratch", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<32} {:>9.2} µs {:>9.2} µs {:>8.2}x",
+            r.id,
+            r.alloc_ns / 1e3,
+            r.scratch_ns / 1e3,
+            r.speedup()
+        );
+    }
+
+    let mut json = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "  {{\"id\": \"{}\", \"alloc_ns\": {:.1}, \"scratch_ns\": {:.1}, \"speedup\": {:.3}}}{}\n",
+            r.id,
+            r.alloc_ns,
+            r.scratch_ns,
+            r.speedup(),
+            comma
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::write("BENCH_pbs.json", &json).expect("write BENCH_pbs.json");
+    println!("\nwrote BENCH_pbs.json");
+}

@@ -11,8 +11,10 @@ fn main() {
     let asic = Platform::asic();
     let gpu = Platform::gpu();
     let eff = matcha.throughput_per_watt(3).unwrap() / asic.throughput_per_watt(1).unwrap();
-    let gpu_vs_asic =
-        gpu.throughput_per_watt(4).unwrap() / asic.throughput_per_watt(1).unwrap();
+    let gpu_vs_asic = gpu.throughput_per_watt(4).unwrap() / asic.throughput_per_watt(1).unwrap();
     println!("\nMATCHA/ASIC throughput-per-Watt at m=3: {eff:.1}x (paper: 6.3x)");
-    println!("GPU best vs ASIC: {:.0}% (paper: ~58%)", gpu_vs_asic * 100.0);
+    println!(
+        "GPU best vs ASIC: {:.0}% (paper: ~58%)",
+        gpu_vs_asic * 100.0
+    );
 }

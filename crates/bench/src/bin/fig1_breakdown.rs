@@ -37,5 +37,8 @@ fn main() {
         );
     }
     println!("\npaper: bootstrapping ≈ 99% of gate latency; FFT+IFFT ≈ 80% of the bootstrap;");
-    println!("IFFT (coefficient→Lagrange) is invoked ~{}x more often than FFT.", 6 / 2);
+    println!(
+        "IFFT (coefficient→Lagrange) is invoked ~{}x more often than FFT.",
+        6 / 2
+    );
 }

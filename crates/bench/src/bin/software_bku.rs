@@ -18,7 +18,10 @@ fn main() {
     let trials = 5;
 
     println!("# Software bootstrap latency vs BKU factor (this machine, 1 thread)");
-    println!("{:<4} {:>10} {:>14} {:>14}", "m", "BK keys", "keygen (s)", "bootstrap (ms)");
+    println!(
+        "{:<4} {:>10} {:>14} {:>14}",
+        "m", "BK keys", "keygen (s)", "bootstrap (ms)"
+    );
     for m in 1..=4usize {
         let t0 = Instant::now();
         let kit = BootstrapKit::generate(&client, &engine, m, &mut rng);

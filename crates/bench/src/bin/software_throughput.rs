@@ -24,7 +24,10 @@ fn main() {
     println!("{:<8} {:>14} {:>12}", "threads", "gates/s", "batch (s)");
     for threads in [1usize, 2, 4, 8] {
         let r = batch::run_gate_batch(&server, Gate::Nand, &pairs, threads);
-        println!("{:<8} {:>14.1} {:>12.2}", r.threads, r.gates_per_second, r.elapsed_s);
+        println!(
+            "{:<8} {:>14.1} {:>12.2}",
+            r.threads, r.gates_per_second, r.elapsed_s
+        );
     }
     println!("\npaper CPU throughput: ~1.2k gates/s at m=2 (8 cores).");
 }

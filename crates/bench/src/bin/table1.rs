@@ -15,7 +15,9 @@ fn main() {
 
     // Measure one gate bootstrap (the dominant cost of every TFHE gate).
     let c = client.encrypt_with(true, &mut rng);
-    let warm = server.kit().bootstrap(server.engine(), &c, Torus32::from_dyadic(1, 3));
+    let warm = server
+        .kit()
+        .bootstrap(server.engine(), &c, Torus32::from_dyadic(1, 3));
     assert!(client.decrypt(&warm));
     let trials = 5;
     let t0 = Instant::now();
@@ -29,11 +31,26 @@ fn main() {
     let ms = t0.elapsed().as_secs_f64() * 1e3 / trials as f64;
 
     println!("# Table 1: comparison between HE schemes");
-    println!("{:<8} {:<12} {:<12} {:<24}", "scheme", "FHE op", "data type", "bootstrapping");
-    println!("{:<8} {:<12} {:<12} {:<24}", "BGV", "mult, add", "integer", "~800 s (literature)");
-    println!("{:<8} {:<12} {:<12} {:<24}", "BFV", "mult, add", "integer", ">1000 s (literature)");
-    println!("{:<8} {:<12} {:<12} {:<24}", "CKKS", "mult, add", "fixed point", "~500 s (literature)");
-    println!("{:<8} {:<12} {:<12} {:<24}", "FHEW", "Boolean", "binary", "<1 s (literature)");
+    println!(
+        "{:<8} {:<12} {:<12} {:<24}",
+        "scheme", "FHE op", "data type", "bootstrapping"
+    );
+    println!(
+        "{:<8} {:<12} {:<12} {:<24}",
+        "BGV", "mult, add", "integer", "~800 s (literature)"
+    );
+    println!(
+        "{:<8} {:<12} {:<12} {:<24}",
+        "BFV", "mult, add", "integer", ">1000 s (literature)"
+    );
+    println!(
+        "{:<8} {:<12} {:<12} {:<24}",
+        "CKKS", "mult, add", "fixed point", "~500 s (literature)"
+    );
+    println!(
+        "{:<8} {:<12} {:<12} {:<24}",
+        "FHEW", "Boolean", "binary", "<1 s (literature)"
+    );
     println!(
         "{:<8} {:<12} {:<12} {:<24}",
         "TFHE",

@@ -15,7 +15,11 @@ use rand::SeedableRng;
 
 fn main() {
     let paper = std::env::args().any(|a| a == "--paper");
-    let params = if paper { ParameterSet::MATCHA } else { ParameterSet::TEST_MEDIUM };
+    let params = if paper {
+        ParameterSet::MATCHA
+    } else {
+        ParameterSet::TEST_MEDIUM
+    };
     let trials = if paper { 20 } else { 60 };
     let twiddle_bits = 38; // the paper's minimum failure-free width
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
@@ -48,7 +52,9 @@ fn main() {
 
     let fft_db = poly_mul_error_db(&approx, n, 4, 9);
     let dbl_db = poly_mul_error_db(&exact, n, 4, 9);
-    println!("\nI/FFT error: approx ({twiddle_bits}-bit DVQTF) {fft_db:.0} dB, double {dbl_db:.0} dB");
+    println!(
+        "\nI/FFT error: approx ({twiddle_bits}-bit DVQTF) {fft_db:.0} dB, double {dbl_db:.0} dB"
+    );
     println!("paper: EP and rounding noise fall ~1/m; BK noise grows ~(2^m - 1);");
     println!("approx-FFT noise stays below the decryption margin (0 failures).");
 }

@@ -25,7 +25,10 @@ impl EncryptedOpcode {
     pub fn encrypt<R: Rng>(client: &ClientKey, op: alu::AluOp, rng: &mut R) -> Self {
         let b = op.opcode_bits();
         Self {
-            bits: [client.encrypt_with(b[0], rng), client.encrypt_with(b[1], rng)],
+            bits: [
+                client.encrypt_with(b[0], rng),
+                client.encrypt_with(b[1], rng),
+            ],
         }
     }
 
@@ -112,7 +115,12 @@ impl Processor {
     /// Panics if any register index is out of range.
     pub fn step<E: FftEngine>(&mut self, server: &ServerKey<E>, instr: &Instruction) {
         match instr {
-            Instruction::Alu { op, dst, src1, src2 } => {
+            Instruction::Alu {
+                op,
+                dst,
+                src1,
+                src2,
+            } => {
                 let out = alu::execute(
                     server,
                     op.bits(),
@@ -121,7 +129,12 @@ impl Processor {
                 );
                 self.registers[*dst] = out;
             }
-            Instruction::CMov { flag, dst, src_true, src_false } => {
+            Instruction::CMov {
+                flag,
+                dst,
+                src_true,
+                src_false,
+            } => {
                 let out = mux::select_word(
                     server,
                     flag,
@@ -195,7 +208,11 @@ mod tests {
             ];
             cpu.run(&server, &program);
             let expected = if flag { 0b110 } else { 0b101 };
-            assert_eq!(word::decrypt(&client, cpu.register(0)), expected, "flag={flag}");
+            assert_eq!(
+                word::decrypt(&client, cpu.register(0)),
+                expected,
+                "flag={flag}"
+            );
         }
     }
 

@@ -24,12 +24,7 @@ pub type EncryptedWord = Vec<LweCiphertext>;
 /// let w = word::encrypt(&client, 0b1010, 4, &mut rng);
 /// assert_eq!(word::decrypt(&client, &w), 0b1010);
 /// ```
-pub fn encrypt<R: Rng>(
-    client: &ClientKey,
-    value: u64,
-    width: usize,
-    rng: &mut R,
-) -> EncryptedWord {
+pub fn encrypt<R: Rng>(client: &ClientKey, value: u64, width: usize, rng: &mut R) -> EncryptedWord {
     assert!((1..=64).contains(&width), "width {width} outside 1..=64");
     (0..width)
         .map(|i| client.encrypt_with((value >> i) & 1 == 1, rng))

@@ -56,6 +56,15 @@ impl Spectrum for FixedSpectrum {
     }
 }
 
+/// Reusable workspace for the integer engine's backward transform: a
+/// mutable copy of the spectrum being inverse-transformed. Sized on first
+/// use, reused afterwards.
+#[derive(Debug, Default)]
+pub struct FixedScratch {
+    re: Vec<i64>,
+    im: Vec<i64>,
+}
+
 /// The approximate multiplication-less integer FFT engine.
 ///
 /// `twiddle_bits` is the dyadic quantization width `β` of Figure 8: the
@@ -102,7 +111,10 @@ impl ApproxIntFft {
     /// Panics if `n < 4`, `n` is not a power of two, or
     /// `twiddle_bits ∉ [4, 62]`.
     pub fn new(n: usize, twiddle_bits: u32) -> Self {
-        assert!(n >= 4 && n.is_power_of_two(), "ring degree {n} must be a power of two ≥ 4");
+        assert!(
+            n >= 4 && n.is_power_of_two(),
+            "ring degree {n} must be a power of two ≥ 4"
+        );
         assert!(
             (4..=62).contains(&twiddle_bits),
             "twiddle_bits {twiddle_bits} outside supported range 4..=62"
@@ -220,9 +232,27 @@ fn bit_reverse_pairs(re: &mut [i64], im: &mut [i64]) {
     bit_reverse_permute(im);
 }
 
+impl ApproxIntFft {
+    /// Shared twist-and-prescale fold for the forward transforms.
+    fn fold_into(&self, out: &mut FixedSpectrum, frac_bits: u32, value: impl Fn(usize) -> i64) {
+        let m = self.n / 2;
+        out.re.clear();
+        out.im.clear();
+        out.re.reserve(m);
+        out.im.reserve(m);
+        for j in 0..m {
+            let (x, y) = self.twist[j].apply(value(j) << frac_bits, value(j + m) << frac_bits);
+            out.re.push(x);
+            out.im.push(y);
+        }
+        out.frac_bits = frac_bits;
+    }
+}
+
 impl FftEngine for ApproxIntFft {
     type Spectrum = FixedSpectrum;
     type MonomialFactors = Vec<(i32, i32)>;
+    type Scratch = FixedScratch;
 
     fn ring_degree(&self) -> usize {
         self.n
@@ -230,11 +260,28 @@ impl FftEngine for ApproxIntFft {
 
     fn zero_spectrum(&self) -> FixedSpectrum {
         let m = self.n / 2;
-        FixedSpectrum { re: vec![0; m], im: vec![0; m], frac_bits: 0 }
+        FixedSpectrum {
+            re: vec![0; m],
+            im: vec![0; m],
+            frac_bits: 0,
+        }
     }
 
-    fn forward_int(&self, p: &IntPolynomial) -> FixedSpectrum {
+    fn clear_spectrum(&self, s: &mut FixedSpectrum) {
         let m = self.n / 2;
+        s.re.clear();
+        s.re.resize(m, 0);
+        s.im.clear();
+        s.im.resize(m, 0);
+        s.frac_bits = 0;
+    }
+
+    fn forward_int_into(
+        &self,
+        p: &IntPolynomial,
+        out: &mut FixedSpectrum,
+        _scratch: &mut FixedScratch,
+    ) {
         debug_assert_eq!(p.len(), self.n);
         debug_assert!(
             p.norm_inf() <= MAX_DIGIT,
@@ -242,44 +289,34 @@ impl FftEngine for ApproxIntFft {
             p.norm_inf()
         );
         let c = p.coeffs();
-        let mut re = Vec::with_capacity(m);
-        let mut im = Vec::with_capacity(m);
-        for j in 0..m {
-            let (x, y) = self.twist[j].apply(
-                (c[j] as i64) << self.int_frac_bits,
-                (c[j + m] as i64) << self.int_frac_bits,
-            );
-            re.push(x);
-            im.push(y);
-        }
-        self.dft_forward(&mut re, &mut im);
-        FixedSpectrum { re, im, frac_bits: self.int_frac_bits }
+        self.fold_into(out, self.int_frac_bits, |j| c[j] as i64);
+        self.dft_forward(&mut out.re, &mut out.im);
     }
 
-    fn forward_torus(&self, p: &TorusPolynomial) -> FixedSpectrum {
-        let m = self.n / 2;
+    fn forward_torus_into(
+        &self,
+        p: &TorusPolynomial,
+        out: &mut FixedSpectrum,
+        _scratch: &mut FixedScratch,
+    ) {
         debug_assert_eq!(p.len(), self.n);
         let c = p.coeffs();
-        let mut re = Vec::with_capacity(m);
-        let mut im = Vec::with_capacity(m);
-        for j in 0..m {
-            let (x, y) = self.twist[j].apply(
-                (c[j].raw() as i32 as i64) << self.torus_frac_bits,
-                (c[j + m].raw() as i32 as i64) << self.torus_frac_bits,
-            );
-            re.push(x);
-            im.push(y);
-        }
-        self.dft_forward(&mut re, &mut im);
-        FixedSpectrum { re, im, frac_bits: self.torus_frac_bits }
+        self.fold_into(out, self.torus_frac_bits, |j| c[j].raw() as i32 as i64);
+        self.dft_forward(&mut out.re, &mut out.im);
     }
 
-    fn backward_torus(&self, s: &FixedSpectrum) -> TorusPolynomial {
+    fn backward_torus_into(
+        &self,
+        s: &FixedSpectrum,
+        out: &mut TorusPolynomial,
+        scratch: &mut FixedScratch,
+    ) {
         let m = self.n / 2;
         assert_eq!(s.re.len(), m, "spectrum size mismatch");
-        let mut re = s.re.clone();
-        let mut im = s.im.clone();
-        self.dft_inverse_halving(&mut re, &mut im);
+        assert_eq!(out.len(), self.n, "output polynomial length mismatch");
+        scratch.re.clone_from(&s.re);
+        scratch.im.clone_from(&s.im);
+        self.dft_inverse_halving(&mut scratch.re, &mut scratch.im);
         let frac = s.frac_bits;
         let descale = |v: i64| -> i64 {
             if frac == 0 {
@@ -288,14 +325,13 @@ impl FftEngine for ApproxIntFft {
                 (v + (1 << (frac - 1))) >> frac
             }
         };
-        let mut coeffs = vec![Torus32::ZERO; self.n];
+        let coeffs = out.coeffs_mut();
         for j in 0..m {
-            let (x, y) = self.untwist[j].apply(re[j], im[j]);
+            let (x, y) = self.untwist[j].apply(scratch.re[j], scratch.im[j]);
             // Two's-complement truncation is the exact reduction mod 2^32.
             coeffs[j] = Torus32::from_raw(descale(x) as u32);
             coeffs[j + m] = Torus32::from_raw(descale(y) as u32);
         }
-        TorusPolynomial::from_coeffs(coeffs)
     }
 
     fn mul_accumulate(&self, acc: &mut FixedSpectrum, a: &FixedSpectrum, b: &FixedSpectrum) {
@@ -303,7 +339,10 @@ impl FftEngine for ApproxIntFft {
         assert_eq!(a.re.len(), b.re.len(), "spectrum size mismatch");
         assert_eq!(acc.frac_bits, 0, "accumulator must be unscaled");
         let shift = a.frac_bits + b.frac_bits;
-        assert!(shift > 0, "at least one operand must be an integer-side spectrum");
+        assert!(
+            shift > 0,
+            "at least one operand must be an integer-side spectrum"
+        );
         let round = 1i128 << (shift - 1);
         for k in 0..acc.re.len() {
             let (ar, ai) = (a.re[k] as i128, a.im[k] as i128);
@@ -312,6 +351,39 @@ impl FftEngine for ApproxIntFft {
             let pi = ar * bi + ai * br;
             acc.re[k] += ((pr + round) >> shift) as i64;
             acc.im[k] += ((pi + round) >> shift) as i64;
+        }
+    }
+
+    fn mul_accumulate_pair(
+        &self,
+        acc_a: &mut FixedSpectrum,
+        acc_b: &mut FixedSpectrum,
+        x: &FixedSpectrum,
+        a: &FixedSpectrum,
+        b: &FixedSpectrum,
+    ) {
+        let m = x.re.len();
+        assert_eq!(acc_a.re.len(), m, "spectrum size mismatch");
+        assert_eq!(acc_b.re.len(), m, "spectrum size mismatch");
+        assert_eq!(a.re.len(), m, "spectrum size mismatch");
+        assert_eq!(b.re.len(), m, "spectrum size mismatch");
+        assert_eq!(acc_a.frac_bits, 0, "accumulator must be unscaled");
+        assert_eq!(acc_b.frac_bits, 0, "accumulator must be unscaled");
+        assert_eq!(a.frac_bits, b.frac_bits, "row spectra must share a scale");
+        let shift = x.frac_bits + a.frac_bits;
+        assert!(
+            shift > 0,
+            "at least one operand must be an integer-side spectrum"
+        );
+        let round = 1i128 << (shift - 1);
+        for k in 0..m {
+            let (xr, xi) = (x.re[k] as i128, x.im[k] as i128);
+            let (ar, ai) = (a.re[k] as i128, a.im[k] as i128);
+            acc_a.re[k] += ((xr * ar - xi * ai + round) >> shift) as i64;
+            acc_a.im[k] += ((xr * ai + xi * ar + round) >> shift) as i64;
+            let (br, bi) = (b.re[k] as i128, b.im[k] as i128);
+            acc_b.re[k] += ((xr * br - xi * bi + round) >> shift) as i64;
+            acc_b.im[k] += ((xr * bi + xi * br + round) >> shift) as i64;
         }
     }
 
@@ -324,18 +396,19 @@ impl FftEngine for ApproxIntFft {
         }
     }
 
-    /// TGSW-scale factor table: `ε_k^e − 1` quantized to 24 fractional bits
+    /// TGSW-scale factor table: `ε_k^e − 1` quantized to 30 fractional bits
     /// so its components fit the 32-bit integer multipliers of MATCHA's
     /// TGSW clusters (§4.3) — the FFT butterflies stay multiplication-less,
     /// but TGSW scaling legitimately uses the cluster's multipliers.
-    fn monomial_minus_one(&self, exponent: i64) -> Vec<(i32, i32)> {
+    fn monomial_minus_one_into(&self, exponent: i64, out: &mut Vec<(i32, i32)>) {
         let m = self.n / 2;
         let base = std::f64::consts::PI / self.n as f64;
         let e = exponent.rem_euclid(2 * self.n as i64) as f64;
         let quant = (1i64 << MONO_FRAC_BITS) as f64;
         let step = crate::cplx::Cplx::from_angle(4.0 * base * e);
         let mut cur = crate::cplx::Cplx::from_angle(base * e);
-        let mut out = Vec::with_capacity(m);
+        out.clear();
+        out.reserve(m);
         for _ in 0..m {
             out.push((
                 ((cur.re - 1.0) * quant).round() as i32,
@@ -343,7 +416,6 @@ impl FftEngine for ApproxIntFft {
             ));
             cur *= step;
         }
-        out
     }
 
     fn scale_accumulate(
@@ -361,25 +433,63 @@ impl FftEngine for ApproxIntFft {
         );
         let shift = MONO_FRAC_BITS + BUNDLE_DROP_BITS;
         let round = 1i128 << (shift - 1);
-        for k in 0..acc.re.len() {
-            let (ar, ai) = (factors[k].0 as i128, factors[k].1 as i128);
+        for (k, &(fr32, fi32)) in factors.iter().enumerate() {
+            let (ar, ai) = (fr32 as i128, fi32 as i128);
             let (sr, si) = (src.re[k] as i128, src.im[k] as i128);
             acc.re[k] += ((sr * ar - si * ai + round) >> shift) as i64;
             acc.im[k] += ((sr * ai + si * ar + round) >> shift) as i64;
         }
     }
 
-    fn bundle_accumulator(&self, from: &FixedSpectrum) -> FixedSpectrum {
+    fn scale_accumulate_pair(
+        &self,
+        acc_a: &mut FixedSpectrum,
+        acc_b: &mut FixedSpectrum,
+        src_a: &FixedSpectrum,
+        src_b: &FixedSpectrum,
+        factors: &Vec<(i32, i32)>,
+    ) {
+        let m = factors.len();
+        assert_eq!(acc_a.re.len(), m, "spectrum size mismatch");
+        assert_eq!(acc_b.re.len(), m, "spectrum size mismatch");
+        assert_eq!(src_a.re.len(), m, "spectrum size mismatch");
+        assert_eq!(src_b.re.len(), m, "spectrum size mismatch");
+        assert_eq!(
+            acc_a.frac_bits + BUNDLE_DROP_BITS,
+            src_a.frac_bits,
+            "accumulator must come from bundle_accumulator"
+        );
+        assert_eq!(
+            acc_b.frac_bits + BUNDLE_DROP_BITS,
+            src_b.frac_bits,
+            "accumulator must come from bundle_accumulator"
+        );
+        let shift = MONO_FRAC_BITS + BUNDLE_DROP_BITS;
+        let round = 1i128 << (shift - 1);
+        for (k, &(fr32, fi32)) in factors.iter().enumerate() {
+            let (fr, fi) = (fr32 as i128, fi32 as i128);
+            let (ar, ai) = (src_a.re[k] as i128, src_a.im[k] as i128);
+            acc_a.re[k] += ((ar * fr - ai * fi + round) >> shift) as i64;
+            acc_a.im[k] += ((ar * fi + ai * fr + round) >> shift) as i64;
+            let (br, bi) = (src_b.re[k] as i128, src_b.im[k] as i128);
+            acc_b.re[k] += ((br * fr - bi * fi + round) >> shift) as i64;
+            acc_b.im[k] += ((br * fi + bi * fr + round) >> shift) as i64;
+        }
+    }
+
+    fn bundle_accumulator_into(&self, from: &FixedSpectrum, out: &mut FixedSpectrum) {
         assert!(
             from.frac_bits >= BUNDLE_DROP_BITS,
             "source spectrum lacks fractional headroom"
         );
         let half = 1i64 << (BUNDLE_DROP_BITS - 1);
-        FixedSpectrum {
-            re: from.re.iter().map(|&v| (v + half) >> BUNDLE_DROP_BITS).collect(),
-            im: from.im.iter().map(|&v| (v + half) >> BUNDLE_DROP_BITS).collect(),
-            frac_bits: from.frac_bits - BUNDLE_DROP_BITS,
-        }
+        out.re.clear();
+        out.im.clear();
+        out.re
+            .extend(from.re.iter().map(|&v| (v + half) >> BUNDLE_DROP_BITS));
+        out.im
+            .extend(from.im.iter().map(|&v| (v + half) >> BUNDLE_DROP_BITS));
+        out.frac_bits = from.frac_bits - BUNDLE_DROP_BITS;
     }
 }
 
@@ -447,7 +557,10 @@ mod tests {
             );
             last = dist;
         }
-        assert!(last < 1e-6, "44-bit twiddles should be very accurate, got {last}");
+        assert!(
+            last < 1e-6,
+            "44-bit twiddles should be very accurate, got {last}"
+        );
     }
 
     #[test]

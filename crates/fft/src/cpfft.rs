@@ -13,10 +13,11 @@
 
 use crate::cplx::Cplx;
 use crate::engine::FftEngine;
-use crate::ref_fft::CplxSpectrum;
+use crate::ref_fft::{self, CplxScratch, CplxSpectrum};
 use crate::tables::TwiddleTables;
 use crate::twist;
 use matcha_math::{IntPolynomial, TorusPolynomial};
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Depth-first conjugate-pair double-precision engine with twiddle-read
@@ -50,7 +51,11 @@ impl DepthFirstFft {
     ///
     /// Panics if `n < 4` or `n` is not a power of two.
     pub fn new(n: usize) -> Self {
-        Self { n, tables: TwiddleTables::new(n), twiddle_reads: AtomicU64::new(0) }
+        Self {
+            n,
+            tables: TwiddleTables::new(n),
+            twiddle_reads: AtomicU64::new(0),
+        }
     }
 
     /// Total twiddle-buffer reads since construction (or the last reset).
@@ -70,10 +75,20 @@ impl DepthFirstFft {
         (m / 2) * m.trailing_zeros() as u64
     }
 
-    /// Depth-first transform with conjugate-pair twiddle sharing.
-    fn transform(&self, buf: &mut [Cplx], inverse: bool) {
+    /// Depth-first transform with conjugate-pair twiddle sharing, using the
+    /// caller's recursion workspace (`2·M` entries, sized on first use).
+    fn transform_with(&self, buf: &mut [Cplx], stack: &mut Vec<Cplx>, inverse: bool) {
         let m = buf.len();
-        self.recurse(buf, 1, inverse);
+        stack.clear();
+        stack.resize(2 * m, Cplx::ZERO);
+        // Select the twiddle table once; the recursion never branches on
+        // direction inside its butterfly loop.
+        let roots = if inverse {
+            self.tables.roots_conj()
+        } else {
+            self.tables.roots()
+        };
+        self.recurse(buf, stack, roots);
         if inverse {
             let scale = 1.0 / m as f64;
             for v in buf.iter_mut() {
@@ -82,20 +97,34 @@ impl DepthFirstFft {
         }
     }
 
-    /// Recursive decimation-in-time: `buf` holds the sub-sequence with the
-    /// given stride already gathered contiguously.
-    fn recurse(&self, buf: &mut [Cplx], stride: usize, inverse: bool) {
+    /// Allocating convenience over [`Self::transform_with`] for callers
+    /// without a scratch (uses a thread-local workspace).
+    fn transform(&self, buf: &mut [Cplx], inverse: bool) {
+        thread_local! {
+            static STACK: RefCell<Vec<Cplx>> = const { RefCell::new(Vec::new()) };
+        }
+        STACK.with(|s| self.transform_with(buf, &mut s.borrow_mut(), inverse));
+    }
+
+    /// Recursive decimation-in-time: `buf` holds the sub-sequence gathered
+    /// contiguously; `scratch` provides `2·len` entries of workspace.
+    fn recurse(&self, buf: &mut [Cplx], scratch: &mut [Cplx], roots: &[Cplx]) {
         let len = buf.len();
         if len == 1 {
             return;
         }
         let half = len / 2;
-        // Gather even/odd sub-sequences, recurse on each *completely* before
-        // combining: this is the depth-first traversal of Figure 2(b).
-        let mut even: Vec<Cplx> = (0..half).map(|i| buf[2 * i]).collect();
-        let mut odd: Vec<Cplx> = (0..half).map(|i| buf[2 * i + 1]).collect();
-        self.recurse(&mut even, stride * 2, inverse);
-        self.recurse(&mut odd, stride * 2, inverse);
+        // Gather even/odd sub-sequences into the scratch window, recurse on
+        // each *completely* before combining: this is the depth-first
+        // traversal of Figure 2(b).
+        let (work, rest) = scratch.split_at_mut(len);
+        for i in 0..half {
+            work[i] = buf[2 * i];
+            work[half + i] = buf[2 * i + 1];
+        }
+        let (even, odd) = work.split_at_mut(half);
+        self.recurse(even, rest, roots);
+        self.recurse(odd, rest, roots);
 
         let m = self.tables.size();
         let step = m / len;
@@ -104,11 +133,8 @@ impl DepthFirstFft {
         let quarter = half / 2;
         for k in 0..=quarter {
             let mirror = half - k;
-            let mut w = self.tables.root(k * step);
+            let w = roots[k * step];
             self.twiddle_reads.fetch_add(1, Ordering::Relaxed);
-            if inverse {
-                w = w.conj();
-            }
             // Butterfly k.
             let v = odd[k] * w;
             let (u0, u1) = (even[k] + v, even[k] - v);
@@ -128,6 +154,7 @@ impl DepthFirstFft {
 impl FftEngine for DepthFirstFft {
     type Spectrum = CplxSpectrum;
     type MonomialFactors = Vec<Cplx>;
+    type Scratch = CplxScratch;
 
     fn ring_degree(&self) -> usize {
         self.n
@@ -135,6 +162,41 @@ impl FftEngine for DepthFirstFft {
 
     fn zero_spectrum(&self) -> CplxSpectrum {
         CplxSpectrum(vec![Cplx::ZERO; self.n / 2])
+    }
+
+    fn clear_spectrum(&self, s: &mut CplxSpectrum) {
+        ref_fft::clear_cplx_spectrum(s, self.n / 2);
+    }
+
+    fn forward_int_into(
+        &self,
+        p: &IntPolynomial,
+        out: &mut CplxSpectrum,
+        scratch: &mut CplxScratch,
+    ) {
+        twist::fold_int(p, &self.tables, &mut out.0);
+        self.transform_with(&mut out.0, &mut scratch.stack, false);
+    }
+
+    fn forward_torus_into(
+        &self,
+        p: &TorusPolynomial,
+        out: &mut CplxSpectrum,
+        scratch: &mut CplxScratch,
+    ) {
+        twist::fold_torus(p, &self.tables, &mut out.0);
+        self.transform_with(&mut out.0, &mut scratch.stack, false);
+    }
+
+    fn backward_torus_into(
+        &self,
+        s: &CplxSpectrum,
+        out: &mut TorusPolynomial,
+        scratch: &mut CplxScratch,
+    ) {
+        scratch.buf.clone_from(&s.0);
+        self.transform_with(&mut scratch.buf, &mut scratch.stack, true);
+        twist::unfold_torus_into(&scratch.buf, &self.tables, out);
     }
 
     fn forward_int(&self, p: &IntPolynomial) -> CplxSpectrum {
@@ -158,11 +220,18 @@ impl FftEngine for DepthFirstFft {
     }
 
     fn mul_accumulate(&self, acc: &mut CplxSpectrum, a: &CplxSpectrum, b: &CplxSpectrum) {
-        assert_eq!(acc.0.len(), a.0.len(), "spectrum size mismatch");
-        assert_eq!(a.0.len(), b.0.len(), "spectrum size mismatch");
-        for ((dst, &x), &y) in acc.0.iter_mut().zip(a.0.iter()).zip(b.0.iter()) {
-            *dst += x * y;
-        }
+        ref_fft::mul_accumulate_cplx(acc, a, b);
+    }
+
+    fn mul_accumulate_pair(
+        &self,
+        acc_a: &mut CplxSpectrum,
+        acc_b: &mut CplxSpectrum,
+        x: &CplxSpectrum,
+        a: &CplxSpectrum,
+        b: &CplxSpectrum,
+    ) {
+        ref_fft::mul_accumulate_pair_cplx(acc_a, acc_b, x, a, b);
     }
 
     fn add_assign(&self, acc: &mut CplxSpectrum, a: &CplxSpectrum) {
@@ -172,16 +241,27 @@ impl FftEngine for DepthFirstFft {
         }
     }
 
-    fn monomial_minus_one(&self, exponent: i64) -> Vec<Cplx> {
-        crate::ref_fft::monomial_minus_one_cplx(self.n, exponent)
+    fn monomial_minus_one_into(&self, exponent: i64, out: &mut Vec<Cplx>) {
+        ref_fft::monomial_minus_one_cplx_into(self.n, exponent, out);
     }
 
     fn scale_accumulate(&self, acc: &mut CplxSpectrum, src: &CplxSpectrum, factors: &Vec<Cplx>) {
-        crate::ref_fft::scale_accumulate_cplx(acc, src, factors);
+        ref_fft::scale_accumulate_cplx(acc, src, factors);
     }
 
-    fn bundle_accumulator(&self, from: &CplxSpectrum) -> CplxSpectrum {
-        from.clone()
+    fn scale_accumulate_pair(
+        &self,
+        acc_a: &mut CplxSpectrum,
+        acc_b: &mut CplxSpectrum,
+        src_a: &CplxSpectrum,
+        src_b: &CplxSpectrum,
+        factors: &Vec<Cplx>,
+    ) {
+        ref_fft::scale_accumulate_pair_cplx(acc_a, acc_b, src_a, src_b, factors);
+    }
+
+    fn bundle_accumulator_into(&self, from: &CplxSpectrum, out: &mut CplxSpectrum) {
+        out.0.clone_from(&from.0);
     }
 }
 

@@ -46,7 +46,10 @@ impl Cplx {
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        Self { re: self.re, im: -self.im }
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared modulus `re² + im²`.
@@ -64,7 +67,10 @@ impl Cplx {
     /// Scales both components by a real factor.
     #[inline]
     pub fn scale(self, k: f64) -> Self {
-        Self { re: self.re * k, im: self.im * k }
+        Self {
+            re: self.re * k,
+            im: self.im * k,
+        }
     }
 
     /// Fused multiply-add `self + a·b`, the FFT butterfly workhorse.
@@ -78,7 +84,10 @@ impl Add for Cplx {
     type Output = Self;
     #[inline]
     fn add(self, rhs: Self) -> Self {
-        Self { re: self.re + rhs.re, im: self.im + rhs.im }
+        Self {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -94,7 +103,10 @@ impl Sub for Cplx {
     type Output = Self;
     #[inline]
     fn sub(self, rhs: Self) -> Self {
-        Self { re: self.re - rhs.re, im: self.im - rhs.im }
+        Self {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -128,7 +140,10 @@ impl Neg for Cplx {
     type Output = Self;
     #[inline]
     fn neg(self) -> Self {
-        Self { re: -self.re, im: -self.im }
+        Self {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -158,7 +173,7 @@ mod tests {
     #[test]
     fn from_angle_is_unit() {
         for k in 0..16 {
-            let w = Cplx::from_angle(k as f64 * 0.3927);
+            let w = Cplx::from_angle(k as f64 * std::f64::consts::FRAC_PI_8);
             assert!((w.abs() - 1.0).abs() < 1e-12);
         }
     }

@@ -30,11 +30,11 @@ impl XorShift64 {
 /// used) times a random gadget-digit polynomial (`|digit| ≤ Bg/2 = 512`).
 fn workload(n: usize, rng: &mut XorShift64) -> (TorusPolynomial, IntPolynomial) {
     let p = TorusPolynomial::from_coeffs(
-        (0..n).map(|_| Torus32::from_raw(rng.next() as u32)).collect(),
+        (0..n)
+            .map(|_| Torus32::from_raw(rng.next() as u32))
+            .collect(),
     );
-    let q = IntPolynomial::from_coeffs(
-        (0..n).map(|_| (rng.next() % 1024) as i32 - 512).collect(),
-    );
+    let q = IntPolynomial::from_coeffs((0..n).map(|_| (rng.next() % 1024) as i32 - 512).collect());
     (p, q)
 }
 
@@ -72,7 +72,9 @@ pub fn fft_roundtrip_error_db<E: FftEngine>(engine: &E, n: usize, trials: usize,
     let mut signal = Vec::with_capacity(trials * n);
     for _ in 0..trials {
         let p = TorusPolynomial::from_coeffs(
-            (0..n).map(|_| Torus32::from_raw(rng.next() as u32)).collect(),
+            (0..n)
+                .map(|_| Torus32::from_raw(rng.next() as u32))
+                .collect(),
         );
         let back = engine.backward_torus(&engine.forward_torus(&p));
         for (&e, &a) in p.coeffs().iter().zip(back.coeffs().iter()) {
@@ -96,7 +98,10 @@ mod tests {
     fn double_precision_error_is_small() {
         let engine = F64Fft::new(256);
         let db = poly_mul_error_db(&engine, 256, 4, 42);
-        assert!(db < -120.0, "double-precision error {db} dB unexpectedly large");
+        assert!(
+            db < -120.0,
+            "double-precision error {db} dB unexpectedly large"
+        );
     }
 
     #[test]

@@ -48,7 +48,10 @@ impl DyadicCoeff {
     /// Panics if `beta` is 0 or exceeds 62, or if `|x| > 2` (lifting
     /// coefficients after angle reduction never exceed 1 in magnitude).
     pub fn quantize(x: f64, beta: u32) -> Self {
-        assert!((1..=62).contains(&beta), "beta {beta} out of supported range 1..=62");
+        assert!(
+            (1..=62).contains(&beta),
+            "beta {beta} out of supported range 1..=62"
+        );
         assert!(x.abs() <= 2.0, "lifting coefficient {x} out of range");
         let alpha = (x * (1i64 << beta) as f64).round() as i64;
         Self { alpha, beta }
@@ -114,7 +117,11 @@ enum RotationKind {
     /// `θ ≡ π`: exact negation of both components.
     Negation,
     /// General rotation by the reduced angle, optionally negated.
-    Lifting { t: DyadicCoeff, s: DyadicCoeff, negate: bool },
+    Lifting {
+        t: DyadicCoeff,
+        s: DyadicCoeff,
+        negate: bool,
+    },
 }
 
 /// An integer-to-integer approximate rotation by a fixed angle.
@@ -249,7 +256,11 @@ mod tests {
                 let coef = ((next() % 2001) as f64 / 1000.0) - 1.0;
                 let c = DyadicCoeff::quantize(coef, beta);
                 let x = (next() as i64) >> 12; // keep |x| < 2^52
-                assert_eq!(c.apply(x), c.apply_shift_add(x), "beta={beta} coef={coef} x={x}");
+                assert_eq!(
+                    c.apply(x),
+                    c.apply_shift_add(x),
+                    "beta={beta} coef={coef} x={x}"
+                );
             }
         }
     }
@@ -328,7 +339,12 @@ mod tests {
     #[test]
     fn shift_add_rotation_matches_multiply_rotation() {
         let rot = LiftingRotation::from_angle(2.5, 38);
-        for &(x, y) in &[(1i64 << 30, -(1i64 << 29)), (7, 9), (0, 0), (-(1 << 40), 1 << 35)] {
+        for &(x, y) in &[
+            (1i64 << 30, -(1i64 << 29)),
+            (7, 9),
+            (0, 0),
+            (-(1 << 40), 1 << 35),
+        ] {
             assert_eq!(rot.apply(x, y), rot.apply_shift_add(x, y));
         }
     }

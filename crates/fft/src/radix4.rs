@@ -11,7 +11,7 @@
 
 use crate::cplx::Cplx;
 use crate::engine::FftEngine;
-use crate::ref_fft::CplxSpectrum;
+use crate::ref_fft::{self, CplxScratch, CplxSpectrum};
 use crate::tables::TwiddleTables;
 use crate::twist;
 use matcha_math::{IntPolynomial, TorusPolynomial};
@@ -47,8 +47,15 @@ impl Radix4Fft {
     ///
     /// Panics if `n < 8` or `n` is not a power of two.
     pub fn new(n: usize) -> Self {
-        assert!(n >= 8 && n.is_power_of_two(), "ring degree {n} must be a power of two ≥ 8");
-        Self { n, tables: TwiddleTables::new(n), twiddle_reads: AtomicU64::new(0) }
+        assert!(
+            n >= 8 && n.is_power_of_two(),
+            "ring degree {n} must be a power of two ≥ 8"
+        );
+        Self {
+            n,
+            tables: TwiddleTables::new(n),
+            twiddle_reads: AtomicU64::new(0),
+        }
     }
 
     /// Twiddle-buffer reads since construction (or the last reset).
@@ -61,9 +68,25 @@ impl Radix4Fft {
         self.twiddle_reads.store(0, Ordering::Relaxed);
     }
 
-    fn transform(&self, buf: &mut [Cplx], inverse: bool) {
+    /// Depth-first radix-4 transform using the caller's recursion workspace
+    /// (`2·M` entries, sized on first use).
+    fn transform_with(&self, buf: &mut [Cplx], stack: &mut Vec<Cplx>, inverse: bool) {
         let m = buf.len();
-        self.recurse(buf, inverse);
+        stack.clear();
+        stack.resize(2 * m, Cplx::ZERO);
+        // Direction is decided once: the conjugated table and the rotated
+        // `i` are selected here, keeping the butterfly loop branch-free.
+        let roots = if inverse {
+            self.tables.roots_conj()
+        } else {
+            self.tables.roots()
+        };
+        let rot_i = if inverse {
+            Cplx::new(0.0, -1.0)
+        } else {
+            Cplx::new(0.0, 1.0)
+        };
+        self.recurse(buf, stack, roots, rot_i);
         if inverse {
             let scale = 1.0 / m as f64;
             for v in buf.iter_mut() {
@@ -72,7 +95,7 @@ impl Radix4Fft {
         }
     }
 
-    fn recurse(&self, buf: &mut [Cplx], inverse: bool) {
+    fn recurse(&self, buf: &mut [Cplx], scratch: &mut [Cplx], roots: &[Cplx], rot_i: Cplx) {
         let len = buf.len();
         match len {
             1 => {}
@@ -81,42 +104,40 @@ impl Radix4Fft {
                 buf[0] = a + b;
                 buf[1] = a - b;
             }
-            _ => self.radix4_step(buf, inverse),
+            _ => self.radix4_step(buf, scratch, roots, rot_i),
         }
     }
 
-    fn radix4_step(&self, buf: &mut [Cplx], inverse: bool) {
+    fn radix4_step(&self, buf: &mut [Cplx], scratch: &mut [Cplx], roots: &[Cplx], rot_i: Cplx) {
         let len = buf.len();
         let quarter = len / 4;
-        // Gather the four decimated subsequences and complete each
-        // sub-transform before combining (depth-first).
-        let mut subs: Vec<Vec<Cplx>> = (0..4)
-            .map(|r| (0..quarter).map(|i| buf[4 * i + r]).collect())
-            .collect();
-        for sub in &mut subs {
-            self.recurse(sub, inverse);
+        // Gather the four decimated subsequences into the scratch window and
+        // complete each sub-transform before combining (depth-first).
+        let (work, rest) = scratch.split_at_mut(len);
+        for i in 0..quarter {
+            for r in 0..4 {
+                work[r * quarter + i] = buf[4 * i + r];
+            }
+        }
+        for r in 0..4 {
+            let (sub, _) = work[r * quarter..].split_at_mut(quarter);
+            self.recurse(sub, rest, roots, rot_i);
         }
 
         let m = self.tables.size();
         let step = m / len;
-        // Forward kernel e^{+2πi/len}: the s-th output quarter combines
-        // with phases i^{rs}; inverse conjugates both twiddles and i.
-        let rot_i = if inverse { Cplx::new(0.0, -1.0) } else { Cplx::new(0.0, 1.0) };
         for k in 0..quarter {
             // Single twiddle-buffer read per radix-4 butterfly; W^{2k} and
             // W^{3k} are derived multiplicatively.
-            let mut w1 = self.tables.root(k * step);
+            let w1 = roots[k * step];
             self.twiddle_reads.fetch_add(1, Ordering::Relaxed);
-            if inverse {
-                w1 = w1.conj();
-            }
             let w2 = w1 * w1;
             let w3 = w2 * w1;
 
-            let a = subs[0][k];
-            let b = subs[1][k] * w1;
-            let c = subs[2][k] * w2;
-            let d = subs[3][k] * w3;
+            let a = work[k];
+            let b = work[quarter + k] * w1;
+            let c = work[2 * quarter + k] * w2;
+            let d = work[3 * quarter + k] * w3;
 
             let t0 = a + c;
             let t1 = a - c;
@@ -134,6 +155,7 @@ impl Radix4Fft {
 impl FftEngine for Radix4Fft {
     type Spectrum = CplxSpectrum;
     type MonomialFactors = Vec<Cplx>;
+    type Scratch = CplxScratch;
 
     fn ring_degree(&self) -> usize {
         self.n
@@ -143,32 +165,54 @@ impl FftEngine for Radix4Fft {
         CplxSpectrum(vec![Cplx::ZERO; self.n / 2])
     }
 
-    fn forward_int(&self, p: &IntPolynomial) -> CplxSpectrum {
-        let mut buf = Vec::new();
-        twist::fold_int(p, &self.tables, &mut buf);
-        self.transform(&mut buf, false);
-        CplxSpectrum(buf)
+    fn clear_spectrum(&self, s: &mut CplxSpectrum) {
+        ref_fft::clear_cplx_spectrum(s, self.n / 2);
     }
 
-    fn forward_torus(&self, p: &TorusPolynomial) -> CplxSpectrum {
-        let mut buf = Vec::new();
-        twist::fold_torus(p, &self.tables, &mut buf);
-        self.transform(&mut buf, false);
-        CplxSpectrum(buf)
+    fn forward_int_into(
+        &self,
+        p: &IntPolynomial,
+        out: &mut CplxSpectrum,
+        scratch: &mut CplxScratch,
+    ) {
+        twist::fold_int(p, &self.tables, &mut out.0);
+        self.transform_with(&mut out.0, &mut scratch.stack, false);
     }
 
-    fn backward_torus(&self, s: &CplxSpectrum) -> TorusPolynomial {
-        let mut buf = s.0.clone();
-        self.transform(&mut buf, true);
-        twist::unfold_torus(&buf, &self.tables)
+    fn forward_torus_into(
+        &self,
+        p: &TorusPolynomial,
+        out: &mut CplxSpectrum,
+        scratch: &mut CplxScratch,
+    ) {
+        twist::fold_torus(p, &self.tables, &mut out.0);
+        self.transform_with(&mut out.0, &mut scratch.stack, false);
+    }
+
+    fn backward_torus_into(
+        &self,
+        s: &CplxSpectrum,
+        out: &mut TorusPolynomial,
+        scratch: &mut CplxScratch,
+    ) {
+        scratch.buf.clone_from(&s.0);
+        self.transform_with(&mut scratch.buf, &mut scratch.stack, true);
+        twist::unfold_torus_into(&scratch.buf, &self.tables, out);
     }
 
     fn mul_accumulate(&self, acc: &mut CplxSpectrum, a: &CplxSpectrum, b: &CplxSpectrum) {
-        assert_eq!(acc.0.len(), a.0.len(), "spectrum size mismatch");
-        assert_eq!(a.0.len(), b.0.len(), "spectrum size mismatch");
-        for ((dst, &x), &y) in acc.0.iter_mut().zip(a.0.iter()).zip(b.0.iter()) {
-            *dst += x * y;
-        }
+        ref_fft::mul_accumulate_cplx(acc, a, b);
+    }
+
+    fn mul_accumulate_pair(
+        &self,
+        acc_a: &mut CplxSpectrum,
+        acc_b: &mut CplxSpectrum,
+        x: &CplxSpectrum,
+        a: &CplxSpectrum,
+        b: &CplxSpectrum,
+    ) {
+        ref_fft::mul_accumulate_pair_cplx(acc_a, acc_b, x, a, b);
     }
 
     fn add_assign(&self, acc: &mut CplxSpectrum, a: &CplxSpectrum) {
@@ -178,16 +222,27 @@ impl FftEngine for Radix4Fft {
         }
     }
 
-    fn monomial_minus_one(&self, exponent: i64) -> Vec<Cplx> {
-        crate::ref_fft::monomial_minus_one_cplx(self.n, exponent)
+    fn monomial_minus_one_into(&self, exponent: i64, out: &mut Vec<Cplx>) {
+        ref_fft::monomial_minus_one_cplx_into(self.n, exponent, out);
     }
 
     fn scale_accumulate(&self, acc: &mut CplxSpectrum, src: &CplxSpectrum, factors: &Vec<Cplx>) {
-        crate::ref_fft::scale_accumulate_cplx(acc, src, factors);
+        ref_fft::scale_accumulate_cplx(acc, src, factors);
     }
 
-    fn bundle_accumulator(&self, from: &CplxSpectrum) -> CplxSpectrum {
-        from.clone()
+    fn scale_accumulate_pair(
+        &self,
+        acc_a: &mut CplxSpectrum,
+        acc_b: &mut CplxSpectrum,
+        src_a: &CplxSpectrum,
+        src_b: &CplxSpectrum,
+        factors: &Vec<Cplx>,
+    ) {
+        ref_fft::scale_accumulate_pair_cplx(acc_a, acc_b, src_a, src_b, factors);
+    }
+
+    fn bundle_accumulator_into(&self, from: &CplxSpectrum, out: &mut CplxSpectrum) {
+        out.0.clone_from(&from.0);
     }
 }
 

@@ -18,6 +18,19 @@ impl Spectrum for CplxSpectrum {
     }
 }
 
+/// Reusable workspace shared by the double-precision engines.
+///
+/// `buf` holds the inverse-transform copy of a spectrum; `stack` is the
+/// depth-first recursion workspace (2·M entries). Both are sized on first
+/// use and reused afterwards, so warmed transforms allocate nothing.
+#[derive(Debug, Default)]
+pub struct CplxScratch {
+    /// Backward-transform working copy (`M` entries once warmed).
+    pub(crate) buf: Vec<Cplx>,
+    /// Depth-first recursion workspace (`2·M` entries once warmed).
+    pub(crate) stack: Vec<Cplx>,
+}
+
 /// Transform direction / kernel sign.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Direction {
@@ -29,22 +42,26 @@ pub enum Direction {
 
 /// Iterative radix-2 transform with the requested kernel sign.
 ///
+/// The direction decides the twiddle table (forward or conjugated) once,
+/// before the butterfly loops — the innermost loop carries no branch.
+///
 /// Exposed so the depth-first engine's tests can compare flows; library
 /// users should go through [`FftEngine`].
 pub fn dft_in_place(buf: &mut [Cplx], tables: &TwiddleTables, dir: Direction) {
     let m = buf.len();
     debug_assert_eq!(m, tables.size());
     bit_reverse_permute(buf);
+    let roots: &[Cplx] = match dir {
+        Direction::Forward => tables.roots(),
+        Direction::Inverse => tables.roots_conj(),
+    };
     let mut len = 2;
     while len <= m {
         let half = len / 2;
         let step = m / len;
         for start in (0..m).step_by(len) {
             for k in 0..half {
-                let mut w = tables.root(k * step);
-                if dir == Direction::Inverse {
-                    w = w.conj();
-                }
+                let w = roots[k * step];
                 let u = buf[start + k];
                 let v = buf[start + half + k] * w;
                 buf[start + k] = u + v;
@@ -89,7 +106,10 @@ impl F64Fft {
     ///
     /// Panics if `n < 4` or `n` is not a power of two.
     pub fn new(n: usize) -> Self {
-        Self { n, tables: TwiddleTables::new(n) }
+        Self {
+            n,
+            tables: TwiddleTables::new(n),
+        }
     }
 
     /// The twiddle tables (shared with the depth-first engine).
@@ -101,6 +121,7 @@ impl F64Fft {
 impl FftEngine for F64Fft {
     type Spectrum = CplxSpectrum;
     type MonomialFactors = Vec<Cplx>;
+    type Scratch = CplxScratch;
 
     fn ring_degree(&self) -> usize {
         self.n
@@ -110,32 +131,54 @@ impl FftEngine for F64Fft {
         CplxSpectrum(vec![Cplx::ZERO; self.n / 2])
     }
 
-    fn forward_int(&self, p: &IntPolynomial) -> CplxSpectrum {
-        let mut buf = Vec::new();
-        twist::fold_int(p, &self.tables, &mut buf);
-        dft_in_place(&mut buf, &self.tables, Direction::Forward);
-        CplxSpectrum(buf)
+    fn clear_spectrum(&self, s: &mut CplxSpectrum) {
+        clear_cplx_spectrum(s, self.n / 2);
     }
 
-    fn forward_torus(&self, p: &TorusPolynomial) -> CplxSpectrum {
-        let mut buf = Vec::new();
-        twist::fold_torus(p, &self.tables, &mut buf);
-        dft_in_place(&mut buf, &self.tables, Direction::Forward);
-        CplxSpectrum(buf)
+    fn forward_int_into(
+        &self,
+        p: &IntPolynomial,
+        out: &mut CplxSpectrum,
+        _scratch: &mut CplxScratch,
+    ) {
+        twist::fold_int(p, &self.tables, &mut out.0);
+        dft_in_place(&mut out.0, &self.tables, Direction::Forward);
     }
 
-    fn backward_torus(&self, s: &CplxSpectrum) -> TorusPolynomial {
-        let mut buf = s.0.clone();
-        dft_in_place(&mut buf, &self.tables, Direction::Inverse);
-        twist::unfold_torus(&buf, &self.tables)
+    fn forward_torus_into(
+        &self,
+        p: &TorusPolynomial,
+        out: &mut CplxSpectrum,
+        _scratch: &mut CplxScratch,
+    ) {
+        twist::fold_torus(p, &self.tables, &mut out.0);
+        dft_in_place(&mut out.0, &self.tables, Direction::Forward);
+    }
+
+    fn backward_torus_into(
+        &self,
+        s: &CplxSpectrum,
+        out: &mut TorusPolynomial,
+        scratch: &mut CplxScratch,
+    ) {
+        scratch.buf.clone_from(&s.0);
+        dft_in_place(&mut scratch.buf, &self.tables, Direction::Inverse);
+        twist::unfold_torus_into(&scratch.buf, &self.tables, out);
     }
 
     fn mul_accumulate(&self, acc: &mut CplxSpectrum, a: &CplxSpectrum, b: &CplxSpectrum) {
-        assert_eq!(acc.0.len(), a.0.len(), "spectrum size mismatch");
-        assert_eq!(a.0.len(), b.0.len(), "spectrum size mismatch");
-        for ((dst, &x), &y) in acc.0.iter_mut().zip(a.0.iter()).zip(b.0.iter()) {
-            *dst += x * y;
-        }
+        mul_accumulate_cplx(acc, a, b);
+    }
+
+    fn mul_accumulate_pair(
+        &self,
+        acc_a: &mut CplxSpectrum,
+        acc_b: &mut CplxSpectrum,
+        x: &CplxSpectrum,
+        a: &CplxSpectrum,
+        b: &CplxSpectrum,
+    ) {
+        mul_accumulate_pair_cplx(acc_a, acc_b, x, a, b);
     }
 
     fn add_assign(&self, acc: &mut CplxSpectrum, a: &CplxSpectrum) {
@@ -145,35 +188,84 @@ impl FftEngine for F64Fft {
         }
     }
 
-    fn monomial_minus_one(&self, exponent: i64) -> Vec<Cplx> {
-        monomial_minus_one_cplx(self.n, exponent)
+    fn monomial_minus_one_into(&self, exponent: i64, out: &mut Vec<Cplx>) {
+        monomial_minus_one_cplx_into(self.n, exponent, out);
     }
 
     fn scale_accumulate(&self, acc: &mut CplxSpectrum, src: &CplxSpectrum, factors: &Vec<Cplx>) {
         scale_accumulate_cplx(acc, src, factors);
     }
 
-    fn bundle_accumulator(&self, from: &CplxSpectrum) -> CplxSpectrum {
-        from.clone()
+    fn scale_accumulate_pair(
+        &self,
+        acc_a: &mut CplxSpectrum,
+        acc_b: &mut CplxSpectrum,
+        src_a: &CplxSpectrum,
+        src_b: &CplxSpectrum,
+        factors: &Vec<Cplx>,
+    ) {
+        scale_accumulate_pair_cplx(acc_a, acc_b, src_a, src_b, factors);
     }
+
+    fn bundle_accumulator_into(&self, from: &CplxSpectrum, out: &mut CplxSpectrum) {
+        out.0.clone_from(&from.0);
+    }
+}
+
+/// Shared `clear` for the double-precision spectra: resize to `m` and zero
+/// without reallocating once capacity exists.
+pub(crate) fn clear_cplx_spectrum(s: &mut CplxSpectrum, m: usize) {
+    s.0.clear();
+    s.0.resize(m, Cplx::ZERO);
 }
 
 /// Factor table `ε_k^e − 1` for the double-precision engines, computed with
 /// one `sin_cos` pair and an iterative rotation: `ε_k = e^{iπ(4k+1)/N}`, so
 /// consecutive factors differ by the fixed rotation `e^{i4πe/N}`.
-pub(crate) fn monomial_minus_one_cplx(n: usize, exponent: i64) -> Vec<Cplx> {
+pub(crate) fn monomial_minus_one_cplx_into(n: usize, exponent: i64, out: &mut Vec<Cplx>) {
     let m = n / 2;
     // Reduce e mod 2N first: X has order 2N in the negacyclic ring.
     let e = exponent.rem_euclid(2 * n as i64) as f64;
     let base = std::f64::consts::PI / n as f64;
     let mut cur = Cplx::from_angle(base * e);
     let step = Cplx::from_angle(4.0 * base * e);
-    let mut out = Vec::with_capacity(m);
+    out.clear();
+    out.reserve(m);
     for _ in 0..m {
         out.push(cur - Cplx::ONE);
         cur *= step;
     }
-    out
+}
+
+/// Shared `acc += a ⊙ b` for the double-precision engines.
+pub(crate) fn mul_accumulate_cplx(acc: &mut CplxSpectrum, a: &CplxSpectrum, b: &CplxSpectrum) {
+    assert_eq!(acc.0.len(), a.0.len(), "spectrum size mismatch");
+    assert_eq!(a.0.len(), b.0.len(), "spectrum size mismatch");
+    for ((dst, &x), &y) in acc.0.iter_mut().zip(a.0.iter()).zip(b.0.iter()) {
+        *dst += x * y;
+    }
+}
+
+/// Fused external-product inner loop for the double-precision engines:
+/// one pass over `x` updates both accumulators, bit-identical to two
+/// [`mul_accumulate_cplx`] calls.
+pub(crate) fn mul_accumulate_pair_cplx(
+    acc_a: &mut CplxSpectrum,
+    acc_b: &mut CplxSpectrum,
+    x: &CplxSpectrum,
+    a: &CplxSpectrum,
+    b: &CplxSpectrum,
+) {
+    let m = x.0.len();
+    assert_eq!(acc_a.0.len(), m, "spectrum size mismatch");
+    assert_eq!(acc_b.0.len(), m, "spectrum size mismatch");
+    assert_eq!(a.0.len(), m, "spectrum size mismatch");
+    assert_eq!(b.0.len(), m, "spectrum size mismatch");
+    for k in 0..m {
+        let xv = x.0[k];
+        acc_a.0[k] += xv * a.0[k];
+        acc_b.0[k] += xv * b.0[k];
+    }
 }
 
 /// Shared `acc += factors ⊙ src` for the double-precision engines.
@@ -182,6 +274,27 @@ pub(crate) fn scale_accumulate_cplx(acc: &mut CplxSpectrum, src: &CplxSpectrum, 
     assert_eq!(acc.0.len(), factors.len(), "factor table size mismatch");
     for ((dst, &s), &f) in acc.0.iter_mut().zip(src.0.iter()).zip(factors.iter()) {
         *dst += f * s;
+    }
+}
+
+/// Fused bundle-row update for the double-precision engines: one pass over
+/// the factor table updates both rows, bit-identical to two
+/// [`scale_accumulate_cplx`] calls.
+pub(crate) fn scale_accumulate_pair_cplx(
+    acc_a: &mut CplxSpectrum,
+    acc_b: &mut CplxSpectrum,
+    src_a: &CplxSpectrum,
+    src_b: &CplxSpectrum,
+    factors: &[Cplx],
+) {
+    let m = factors.len();
+    assert_eq!(acc_a.0.len(), m, "spectrum size mismatch");
+    assert_eq!(acc_b.0.len(), m, "spectrum size mismatch");
+    assert_eq!(src_a.0.len(), m, "spectrum size mismatch");
+    assert_eq!(src_b.0.len(), m, "spectrum size mismatch");
+    for (k, &f) in factors.iter().enumerate() {
+        acc_a.0[k] += f * src_a.0[k];
+        acc_b.0[k] += f * src_b.0[k];
     }
 }
 
@@ -202,7 +315,8 @@ mod tests {
         IntPolynomial::from_coeffs(
             (0..n as u32)
                 .map(|i| {
-                    let r = (i ^ seed).wrapping_mul(0x85eb_ca6b).wrapping_add(7) % (2 * bound as u32);
+                    let r =
+                        (i ^ seed).wrapping_mul(0x85eb_ca6b).wrapping_add(7) % (2 * bound as u32);
                     r as i32 - bound
                 })
                 .collect(),
@@ -212,8 +326,9 @@ mod tests {
     #[test]
     fn dft_roundtrip() {
         let tables = TwiddleTables::new(32);
-        let mut buf: Vec<Cplx> =
-            (0..16).map(|i| Cplx::new(i as f64, (i * i % 7) as f64)).collect();
+        let mut buf: Vec<Cplx> = (0..16)
+            .map(|i| Cplx::new(i as f64, (i * i % 7) as f64))
+            .collect();
         let orig = buf.clone();
         dft_in_place(&mut buf, &tables, Direction::Forward);
         dft_in_place(&mut buf, &tables, Direction::Inverse);
@@ -236,8 +351,9 @@ mod tests {
     #[test]
     fn parseval_energy_preserved() {
         let tables = TwiddleTables::new(64);
-        let mut buf: Vec<Cplx> =
-            (0..32).map(|i| Cplx::new((i as f64).sin(), (i as f64).cos())).collect();
+        let mut buf: Vec<Cplx> = (0..32)
+            .map(|i| Cplx::new((i as f64).sin(), (i as f64).cos()))
+            .collect();
         let e_time: f64 = buf.iter().map(|v| v.norm_sqr()).sum();
         dft_in_place(&mut buf, &tables, Direction::Forward);
         let e_freq: f64 = buf.iter().map(|v| v.norm_sqr()).sum();

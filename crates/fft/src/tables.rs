@@ -12,6 +12,9 @@ pub struct TwiddleTables {
     m: usize,
     /// `roots[k] = e^{2πik/M}`, `k < M/2` — enough for radix-2 butterflies.
     roots: Vec<Cplx>,
+    /// `roots_conj[k] = e^{-2πik/M}`: the inverse-transform twiddles,
+    /// precomputed so the butterfly inner loops never branch on direction.
+    roots_conj: Vec<Cplx>,
     /// `twist[j] = e^{iπj/N}`, `j < M`.
     twist: Vec<Cplx>,
 }
@@ -23,15 +26,24 @@ impl TwiddleTables {
     ///
     /// Panics if `n < 4` or `n` is not a power of two.
     pub fn new(n: usize) -> Self {
-        assert!(n >= 4 && n.is_power_of_two(), "ring degree {n} must be a power of two ≥ 4");
+        assert!(
+            n >= 4 && n.is_power_of_two(),
+            "ring degree {n} must be a power of two ≥ 4"
+        );
         let m = n / 2;
-        let roots = (0..m / 2)
+        let roots: Vec<Cplx> = (0..m / 2)
             .map(|k| Cplx::from_angle(std::f64::consts::TAU * k as f64 / m as f64))
             .collect();
+        let roots_conj = roots.iter().map(|r| r.conj()).collect();
         let twist = (0..m)
             .map(|j| Cplx::from_angle(std::f64::consts::PI * j as f64 / n as f64))
             .collect();
-        Self { m, roots, twist }
+        Self {
+            m,
+            roots,
+            roots_conj,
+            twist,
+        }
     }
 
     /// Transform size `M = N/2`.
@@ -44,6 +56,18 @@ impl TwiddleTables {
     #[inline]
     pub fn root(&self, k: usize) -> Cplx {
         self.roots[k]
+    }
+
+    /// The forward twiddle table as a slice.
+    #[inline]
+    pub fn roots(&self) -> &[Cplx] {
+        &self.roots
+    }
+
+    /// The conjugated (inverse-kernel) twiddle table as a slice.
+    #[inline]
+    pub fn roots_conj(&self) -> &[Cplx] {
+        &self.roots_conj
     }
 
     /// `e^{iπj/N}` for `j < M`.

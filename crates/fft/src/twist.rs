@@ -51,15 +51,27 @@ pub fn fold_torus(p: &TorusPolynomial, tables: &TwiddleTables, out: &mut Vec<Cpl
 /// The buffer must already carry the `1/M` normalization; this routine
 /// applies the untwist and reduces each real coefficient modulo `2^32`.
 pub fn unfold_torus(buf: &[Cplx], tables: &TwiddleTables) -> TorusPolynomial {
+    let mut out = TorusPolynomial::zero(2 * tables.size());
+    unfold_torus_into(buf, tables, &mut out);
+    out
+}
+
+/// [`unfold_torus`] into a caller-owned polynomial — the zero-allocation
+/// tail of every backward transform.
+///
+/// # Panics
+///
+/// Panics if `out.len() != 2 * buf.len()`.
+pub fn unfold_torus_into(buf: &[Cplx], tables: &TwiddleTables, out: &mut TorusPolynomial) {
     let m = tables.size();
     debug_assert_eq!(buf.len(), m);
-    let mut coeffs = vec![Torus32::ZERO; 2 * m];
+    assert_eq!(out.len(), 2 * m, "output polynomial length mismatch");
+    let coeffs = out.coeffs_mut();
     for (j, &v) in buf.iter().enumerate() {
         let c = v * tables.twist(j).conj();
         coeffs[j] = f64_to_torus_mod(c.re);
         coeffs[j + m] = f64_to_torus_mod(c.im);
     }
-    TorusPolynomial::from_coeffs(coeffs)
 }
 
 /// Reduces an arbitrary-magnitude real value modulo `2^32` onto the torus.
@@ -91,14 +103,19 @@ mod tests {
         let two32 = 4294967296.0;
         assert_eq!(f64_to_torus_mod(two32), Torus32::ZERO);
         assert_eq!(f64_to_torus_mod(two32 + 5.0), Torus32::from_raw(5));
-        assert_eq!(f64_to_torus_mod(-two32 - 5.0), Torus32::from_raw(5u32.wrapping_neg()));
+        assert_eq!(
+            f64_to_torus_mod(-two32 - 5.0),
+            Torus32::from_raw(5u32.wrapping_neg())
+        );
     }
 
     #[test]
     fn fold_unfold_identity() {
         let tables = TwiddleTables::new(8);
         let p = TorusPolynomial::from_coeffs(
-            (0..8).map(|i| Torus32::from_raw(i as u32 * 0x0100_0000)).collect(),
+            (0..8)
+                .map(|i| Torus32::from_raw(i as u32 * 0x0100_0000))
+                .collect(),
         );
         let mut buf = Vec::new();
         fold_torus(&p, &tables, &mut buf);

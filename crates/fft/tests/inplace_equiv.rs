@@ -1,0 +1,167 @@
+//! Property tests: the `*_into` (scratch) variants must be **bit-identical**
+//! to the allocating APIs for every engine — same folds, same butterfly
+//! order, same rounding. Any divergence is an ordering bug, not a tolerance
+//! question, so everything here compares exact representations.
+
+use matcha_fft::{ApproxIntFft, DepthFirstFft, F64Fft, FftEngine, Radix4Fft};
+use matcha_math::{GadgetDecomposer, IntPolynomial, Torus32, TorusPolynomial};
+use proptest::prelude::*;
+
+const N: usize = 64;
+
+fn torus_poly() -> impl Strategy<Value = TorusPolynomial> {
+    proptest::collection::vec(any::<u32>().prop_map(Torus32::from_raw), N)
+        .prop_map(TorusPolynomial::from_coeffs)
+}
+
+fn digit_poly() -> impl Strategy<Value = IntPolynomial> {
+    proptest::collection::vec(-512i32..512, N).prop_map(IntPolynomial::from_coeffs)
+}
+
+/// Exercises one engine's full in-place surface against the allocating
+/// one, comparing through `backward_torus` (exact torus coefficients) and
+/// asserting allocating/backward outputs coincide bit-for-bit.
+fn check_engine<E: FftEngine>(engine: &E, p: &TorusPolynomial, q: &IntPolynomial) {
+    let mut scratch = engine.make_scratch();
+
+    // forward_int
+    let alloc_fq = engine.forward_int(q);
+    let mut into_fq = engine.zero_spectrum();
+    engine.forward_int_into(q, &mut into_fq, &mut scratch);
+
+    // forward_torus
+    let alloc_fp = engine.forward_torus(p);
+    let mut into_fp = engine.zero_spectrum();
+    engine.forward_torus_into(p, &mut into_fp, &mut scratch);
+
+    // accumulate identically on both sides
+    let mut alloc_acc = engine.zero_spectrum();
+    engine.mul_accumulate(&mut alloc_acc, &alloc_fp, &alloc_fq);
+    let mut into_acc = engine.zero_spectrum();
+    engine.clear_spectrum(&mut into_acc);
+    engine.mul_accumulate(&mut into_acc, &into_fp, &into_fq);
+
+    // backward: allocating vs into
+    let alloc_out = engine.backward_torus(&alloc_acc);
+    let mut into_out = TorusPolynomial::zero(N);
+    engine.backward_torus_into(&into_acc, &mut into_out, &mut scratch);
+    prop_assert_eq!(&alloc_out, &into_out);
+
+    // mul_accumulate_pair must equal two mul_accumulate calls exactly
+    let mut pair_a = engine.zero_spectrum();
+    let mut pair_b = engine.zero_spectrum();
+    engine.mul_accumulate_pair(&mut pair_a, &mut pair_b, &into_fq, &into_fp, &into_fp);
+    let mut seq_a = engine.zero_spectrum();
+    let mut seq_b = engine.zero_spectrum();
+    engine.mul_accumulate(&mut seq_a, &into_fq, &into_fp);
+    engine.mul_accumulate(&mut seq_b, &into_fq, &into_fp);
+    let mut back_pair = TorusPolynomial::zero(N);
+    let mut back_seq = TorusPolynomial::zero(N);
+    engine.backward_torus_into(&pair_a, &mut back_pair, &mut scratch);
+    engine.backward_torus_into(&seq_a, &mut back_seq, &mut scratch);
+    prop_assert_eq!(&back_pair, &back_seq);
+    engine.backward_torus_into(&pair_b, &mut back_pair, &mut scratch);
+    engine.backward_torus_into(&seq_b, &mut back_seq, &mut scratch);
+    prop_assert_eq!(&back_pair, &back_seq);
+}
+
+/// Bundle-path surface: `monomial_minus_one_into`, `bundle_accumulator_into`
+/// and `scale_accumulate_pair` against their allocating/sequential forms.
+fn check_bundle_path<E: FftEngine>(
+    engine: &E,
+    base: &TorusPolynomial,
+    src: &TorusPolynomial,
+    e: i64,
+) where
+    E::MonomialFactors: PartialEq + std::fmt::Debug,
+{
+    let mut scratch = engine.make_scratch();
+    let fb = engine.forward_torus(base);
+    let fs = engine.forward_torus(src);
+
+    let alloc_factors = engine.monomial_minus_one(e);
+    let mut into_factors = E::MonomialFactors::default();
+    engine.monomial_minus_one_into(e, &mut into_factors);
+    prop_assert_eq!(&alloc_factors, &into_factors);
+
+    let alloc_bundle = engine.bundle_accumulator(&fb);
+    let mut into_bundle = engine.zero_spectrum();
+    engine.bundle_accumulator_into(&fb, &mut into_bundle);
+
+    let mut seq_a = alloc_bundle.clone();
+    let mut seq_b = alloc_bundle.clone();
+    engine.scale_accumulate(&mut seq_a, &fs, &alloc_factors);
+    engine.scale_accumulate(&mut seq_b, &fs, &alloc_factors);
+    let mut pair_a = into_bundle.clone();
+    let mut pair_b = into_bundle;
+    engine.scale_accumulate_pair(&mut pair_a, &mut pair_b, &fs, &fs, &into_factors);
+
+    let mut back_pair = TorusPolynomial::zero(N);
+    let mut back_seq = TorusPolynomial::zero(N);
+    engine.backward_torus_into(&pair_a, &mut back_pair, &mut scratch);
+    engine.backward_torus_into(&seq_a, &mut back_seq, &mut scratch);
+    prop_assert_eq!(&back_pair, &back_seq);
+    engine.backward_torus_into(&pair_b, &mut back_pair, &mut scratch);
+    engine.backward_torus_into(&seq_b, &mut back_seq, &mut scratch);
+    prop_assert_eq!(&back_pair, &back_seq);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn f64_into_matches_allocating(p in torus_poly(), q in digit_poly()) {
+        check_engine(&F64Fft::new(N), &p, &q);
+    }
+
+    #[test]
+    fn depth_first_into_matches_allocating(p in torus_poly(), q in digit_poly()) {
+        check_engine(&DepthFirstFft::new(N), &p, &q);
+    }
+
+    #[test]
+    fn radix4_into_matches_allocating(p in torus_poly(), q in digit_poly()) {
+        check_engine(&Radix4Fft::new(N), &p, &q);
+    }
+
+    #[test]
+    fn approx_into_matches_allocating(p in torus_poly(), q in digit_poly()) {
+        check_engine(&ApproxIntFft::new(N, 50), &p, &q);
+    }
+
+    #[test]
+    fn f64_bundle_path_matches(base in torus_poly(), src in torus_poly(), e in -128i64..256) {
+        check_bundle_path(&F64Fft::new(N), &base, &src, e);
+    }
+
+    #[test]
+    fn approx_bundle_path_matches(base in torus_poly(), src in torus_poly(), e in -128i64..256) {
+        check_bundle_path(&ApproxIntFft::new(N, 50), &base, &src, e);
+    }
+
+    #[test]
+    fn scratch_reuse_is_stable(p in torus_poly(), q in digit_poly()) {
+        // The same scratch carried across many transforms must never
+        // contaminate results: run the whole check twice with one scratch.
+        let engine = F64Fft::new(N);
+        let mut scratch = engine.make_scratch();
+        let mut out1 = engine.zero_spectrum();
+        let mut out2 = engine.zero_spectrum();
+        for _ in 0..2 {
+            engine.forward_int_into(&q, &mut out1, &mut scratch);
+            engine.forward_torus_into(&p, &mut out2, &mut scratch);
+        }
+        prop_assert_eq!(&out1.0, &engine.forward_int(&q).0);
+        prop_assert_eq!(&out2.0, &engine.forward_torus(&p).0);
+    }
+
+    #[test]
+    fn decompose_poly_into_matches(p in torus_poly()) {
+        let d = GadgetDecomposer::new(8, 3);
+        let alloc = d.decompose_poly(&p);
+        let mut into: Vec<IntPolynomial> =
+            (0..3).map(|_| IntPolynomial::zero(N)).collect();
+        d.decompose_poly_into(&p, &mut into);
+        prop_assert_eq!(alloc, into);
+    }
+}

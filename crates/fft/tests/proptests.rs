@@ -75,7 +75,7 @@ proptest! {
 
     #[test]
     fn lifting_rotation_approximates_true_rotation(
-        theta in -6.28f64..6.28,
+        theta in -std::f64::consts::TAU..std::f64::consts::TAU,
         x in -(1i64 << 30)..(1i64 << 30),
         y in -(1i64 << 30)..(1i64 << 30),
     ) {

@@ -38,7 +38,10 @@ impl GadgetDecomposer {
     /// Panics if the digits would not fit in 32 bits
     /// (`bg_bits * levels > 32`), or if either parameter is zero.
     pub fn new(bg_bits: u32, levels: usize) -> Self {
-        assert!(bg_bits > 0 && levels > 0, "decomposition parameters must be nonzero");
+        assert!(
+            bg_bits > 0 && levels > 0,
+            "decomposition parameters must be nonzero"
+        );
         assert!(
             bg_bits as usize * levels <= 32,
             "bg_bits {bg_bits} × levels {levels} exceeds the 32-bit torus"
@@ -54,7 +57,11 @@ impl GadgetDecomposer {
         if (bg_bits as usize * levels) < 32 {
             offset = offset.wrapping_add(1u32 << (31 - levels as u32 * bg_bits));
         }
-        Self { bg_bits, levels, offset }
+        Self {
+            bg_bits,
+            levels,
+            offset,
+        }
     }
 
     /// The decomposition base `Bg`.
@@ -126,10 +133,28 @@ impl GadgetDecomposer {
     /// integer polynomial per level (level 0 = most significant digits).
     pub fn decompose_poly(&self, p: &TorusPolynomial) -> Vec<IntPolynomial> {
         let n = p.len();
-        let mask = self.base() - 1;
-        let half = (self.base() / 2) as i32;
         let mut out: Vec<IntPolynomial> =
             (0..self.levels).map(|_| IntPolynomial::zero(n)).collect();
+        self.decompose_poly_into(p, &mut out);
+        out
+    }
+
+    /// Decomposes every coefficient of a torus polynomial into caller-owned
+    /// digit polynomials — the zero-allocation form used by the external
+    /// product hot loop. `out[level]` receives the digits of that level
+    /// (level 0 = most significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.levels()` or any output polynomial's
+    /// length differs from `p.len()`.
+    pub fn decompose_poly_into(&self, p: &TorusPolynomial, out: &mut [IntPolynomial]) {
+        assert_eq!(out.len(), self.levels, "one output polynomial per level");
+        let mask = self.base() - 1;
+        let half = (self.base() / 2) as i32;
+        for poly in out.iter_mut() {
+            assert_eq!(poly.len(), p.len(), "digit polynomial length mismatch");
+        }
         for (i, &c) in p.coeffs().iter().enumerate() {
             let t = c.raw().wrapping_add(self.offset);
             for (level, poly) in out.iter_mut().enumerate() {
@@ -137,7 +162,6 @@ impl GadgetDecomposer {
                 poly.coeffs_mut()[i] = ((t >> shift) & mask) as i32 - half;
             }
         }
-        out
     }
 }
 

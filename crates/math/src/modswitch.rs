@@ -25,7 +25,10 @@ use crate::torus::Torus32;
 /// ```
 #[inline]
 pub fn mod_switch_from_torus(x: Torus32, two_n: u32) -> u32 {
-    assert!(two_n.is_power_of_two() && two_n <= 1 << 31, "2N must be a power of two ≤ 2^31");
+    assert!(
+        two_n.is_power_of_two() && two_n <= 1 << 31,
+        "2N must be a power of two ≤ 2^31"
+    );
     let interval = (1u64 << 32) / two_n as u64;
     let half = interval / 2;
     (((x.raw() as u64 + half) / interval) % two_n as u64) as u32
@@ -38,7 +41,10 @@ pub fn mod_switch_from_torus(x: Torus32, two_n: u32) -> u32 {
 /// Panics if `two_n` is not a power of two or exceeds `2^31`.
 #[inline]
 pub fn mod_switch_to_torus(k: u32, two_n: u32) -> Torus32 {
-    assert!(two_n.is_power_of_two() && two_n <= 1 << 31, "2N must be a power of two ≤ 2^31");
+    assert!(
+        two_n.is_power_of_two() && two_n <= 1 << 31,
+        "2N must be a power of two ≤ 2^31"
+    );
     let interval = (1u64 << 32) / two_n as u64;
     Torus32::from_raw(((k as u64 % two_n as u64) * interval) as u32)
 }

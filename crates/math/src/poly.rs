@@ -35,8 +35,13 @@ impl TorusPolynomial {
     ///
     /// Panics if `n` is not a power of two.
     pub fn zero(n: usize) -> Self {
-        assert!(n.is_power_of_two(), "ring degree {n} must be a power of two");
-        Self { coeffs: vec![Torus32::ZERO; n] }
+        assert!(
+            n.is_power_of_two(),
+            "ring degree {n} must be a power of two"
+        );
+        Self {
+            coeffs: vec![Torus32::ZERO; n],
+        }
     }
 
     /// Builds a polynomial from its coefficient vector.
@@ -45,7 +50,10 @@ impl TorusPolynomial {
     ///
     /// Panics if the length is not a power of two.
     pub fn from_coeffs(coeffs: Vec<Torus32>) -> Self {
-        assert!(coeffs.len().is_power_of_two(), "length must be a power of two");
+        assert!(
+            coeffs.len().is_power_of_two(),
+            "length must be a power of two"
+        );
         Self { coeffs }
     }
 
@@ -84,10 +92,23 @@ impl TorusPolynomial {
     ///
     /// `power` is interpreted modulo `2N`; `X^N = -1`.
     pub fn mul_by_monomial(&self, power: i64) -> Self {
-        let n = self.len() as i64;
+        let mut out = Self::zero(self.len());
+        out.rotate_from(self, power);
+        out
+    }
+
+    /// Writes `src · X^power` into `self` without allocating (once `self`
+    /// has `src`'s length). Every output index is written, so no prior
+    /// clearing is needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.len() != src.len()`.
+    pub fn rotate_from(&mut self, src: &Self, power: i64) {
+        let n = src.len() as i64;
+        assert_eq!(self.len() as i64, n, "ring degree mismatch");
         let shift = power.rem_euclid(2 * n);
-        let mut out = vec![Torus32::ZERO; n as usize];
-        for (i, &c) in self.coeffs.iter().enumerate() {
+        for (i, &c) in src.coeffs.iter().enumerate() {
             let mut j = i as i64 + shift;
             let mut v = c;
             if j >= 2 * n {
@@ -97,9 +118,20 @@ impl TorusPolynomial {
                 j -= n;
                 v = -v;
             }
-            out[j as usize] = v;
+            self.coeffs[j as usize] = v;
         }
-        Self { coeffs: out }
+    }
+
+    /// Copies `other`'s coefficients into `self` without allocating once
+    /// capacity exists (unlike derived `clone_from`, which reallocates).
+    pub fn copy_from(&mut self, other: &Self) {
+        self.coeffs.clear();
+        self.coeffs.extend_from_slice(&other.coeffs);
+    }
+
+    /// Sets every coefficient to zero.
+    pub fn fill_zero(&mut self) {
+        self.coeffs.fill(Torus32::ZERO);
     }
 
     /// In-place `self += (X^power − 1) · other`, the "rotate minus identity"
@@ -214,7 +246,10 @@ impl IntPolynomial {
     ///
     /// Panics if `n` is not a power of two.
     pub fn zero(n: usize) -> Self {
-        assert!(n.is_power_of_two(), "ring degree {n} must be a power of two");
+        assert!(
+            n.is_power_of_two(),
+            "ring degree {n} must be a power of two"
+        );
         Self { coeffs: vec![0; n] }
     }
 
@@ -224,7 +259,10 @@ impl IntPolynomial {
     ///
     /// Panics if the length is not a power of two.
     pub fn from_coeffs(coeffs: Vec<i32>) -> Self {
-        assert!(coeffs.len().is_power_of_two(), "length must be a power of two");
+        assert!(
+            coeffs.len().is_power_of_two(),
+            "length must be a power of two"
+        );
         Self { coeffs }
     }
 
@@ -254,7 +292,11 @@ impl IntPolynomial {
 
     /// Largest coefficient magnitude (infinity norm).
     pub fn norm_inf(&self) -> i64 {
-        self.coeffs.iter().map(|&c| (c as i64).abs()).max().unwrap_or(0)
+        self.coeffs
+            .iter()
+            .map(|&c| (c as i64).abs())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Naive `O(N²)` negacyclic product with another integer polynomial,

@@ -116,7 +116,10 @@ mod tests {
         let mean = stats::mean(&xs);
         let sd = stats::stdev(&xs);
         assert!(mean.abs() < 5e-5, "mean {mean} too far from 0");
-        assert!((sd - stdev).abs() / stdev < 0.05, "stdev {sd} vs expected {stdev}");
+        assert!(
+            (sd - stdev).abs() / stdev < 0.05,
+            "stdev {sd} vs expected {stdev}"
+        );
     }
 
     #[test]

@@ -253,6 +253,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::erasing_op)] // `a * 0` is exactly the law under test
     fn integer_scaling_matches_repeated_addition() {
         let a = Torus32::from_f64(0.21);
         assert_eq!(a * 5, a + a + a + a + a);

@@ -77,7 +77,10 @@ impl<E: FftEngine> UnrolledBootstrappingKey<E> {
         unroll: usize,
         sampler: &mut TorusSampler<R>,
     ) -> Self {
-        assert!((1..=8).contains(&unroll), "unroll factor {unroll} outside 1..=8");
+        assert!(
+            (1..=8).contains(&unroll),
+            "unroll factor {unroll} outside 1..=8"
+        );
         let n = lwe_key.dimension();
         let mut groups = Vec::with_capacity(n.div_ceil(unroll));
         let bits = lwe_key.bits();
@@ -128,6 +131,12 @@ impl<E: FftEngine> UnrolledBootstrappingKey<E> {
         self.groups.iter().map(|g| g.keys.len()).sum()
     }
 
+    /// The gadget TGSW `H` in spectral form (the `1 +` term of every
+    /// bundle) — also the shape template for bundle scratch buffers.
+    pub(crate) fn gadget_spectrum(&self) -> &TgswSpectrum<E> {
+        &self.h
+    }
+
     /// Builds the bootstrapping-key bundle for one group (Figure 5):
     ///
     /// `BKB = H + Σ_{p≠0} (X^{-⟨ā, p⟩} − 1) · K_p`,
@@ -146,7 +155,11 @@ impl<E: FftEngine> UnrolledBootstrappingKey<E> {
         exponents: &[u32],
         two_n: u32,
     ) -> TgswSpectrum<E> {
-        assert_eq!(exponents.len(), group.len, "one exponent per grouped secret bit");
+        assert_eq!(
+            exponents.len(),
+            group.len,
+            "one exponent per grouped secret bit"
+        );
         profile::timed(Phase::TgswScale, || {
             let rows = self
                 .h
@@ -157,17 +170,9 @@ impl<E: FftEngine> UnrolledBootstrappingKey<E> {
                     let mut acc_a = engine.bundle_accumulator(&h_row.a);
                     let mut acc_b = engine.bundle_accumulator(&h_row.b);
                     for pattern in 1u32..(1 << group.len) {
-                        let mut e: i64 = 0;
-                        for (i, &a) in exponents.iter().enumerate() {
-                            if (pattern >> i) & 1 == 1 {
-                                e -= a as i64;
-                            }
-                        }
-                        let e = e.rem_euclid(two_n as i64);
-                        if e == 0 {
-                            // (X^0 − 1) = 0: the term vanishes.
+                        let Some(e) = pattern_exponent(pattern, exponents, two_n) else {
                             continue;
-                        }
+                        };
                         let key_row = &group.keys[pattern as usize - 1].rows()[r];
                         engine.scale_monomial_accumulate(&mut acc_a, &key_row.a, e);
                         engine.scale_monomial_accumulate(&mut acc_b, &key_row.b, e);
@@ -177,6 +182,79 @@ impl<E: FftEngine> UnrolledBootstrappingKey<E> {
                 .collect();
             TgswSpectrum::from_rows(rows, self.h.levels())
         })
+    }
+
+    /// [`Self::build_bundle`] into a caller-owned bundle — the
+    /// zero-allocation form, with two structural optimizations over the
+    /// allocating path:
+    ///
+    /// * the factor table `ε^e − 1` is computed **once per pattern** and
+    ///   shared across all `2ℓ` rows (the allocating path recomputes it
+    ///   `2·2ℓ` times per pattern), and
+    /// * each row's mask/body pair is updated in one fused pass.
+    ///
+    /// Both changes are exact reorderings: the result is bit-identical to
+    /// [`Self::build_bundle`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exponents.len()` differs from the group length or the
+    /// bundle buffer has the wrong shape.
+    pub fn build_bundle_into(
+        &self,
+        engine: &E,
+        group: &KeyGroup<E>,
+        exponents: &[u32],
+        two_n: u32,
+        bundle: &mut TgswSpectrum<E>,
+        factors: &mut E::MonomialFactors,
+    ) {
+        assert_eq!(
+            exponents.len(),
+            group.len,
+            "one exponent per grouped secret bit"
+        );
+        assert_eq!(
+            bundle.rows().len(),
+            self.h.rows().len(),
+            "bundle buffer has the wrong row count"
+        );
+        profile::timed(Phase::TgswScale, || {
+            let rows = bundle.rows_mut();
+            for (row, h_row) in rows.iter_mut().zip(self.h.rows().iter()) {
+                engine.bundle_accumulator_into(&h_row.a, &mut row.a);
+                engine.bundle_accumulator_into(&h_row.b, &mut row.b);
+            }
+            for pattern in 1u32..(1 << group.len) {
+                let Some(e) = pattern_exponent(pattern, exponents, two_n) else {
+                    continue;
+                };
+                engine.monomial_minus_one_into(e, factors);
+                let key = &group.keys[pattern as usize - 1];
+                for (row, key_row) in rows.iter_mut().zip(key.rows().iter()) {
+                    engine.scale_accumulate_pair(
+                        &mut row.a, &mut row.b, &key_row.a, &key_row.b, factors,
+                    );
+                }
+            }
+        })
+    }
+}
+
+/// The bundle exponent `-⟨ā, p⟩ mod 2N` of a bit pattern, or `None` when
+/// the term vanishes (`X^0 − 1 = 0`).
+fn pattern_exponent(pattern: u32, exponents: &[u32], two_n: u32) -> Option<i64> {
+    let mut e: i64 = 0;
+    for (i, &a) in exponents.iter().enumerate() {
+        if (pattern >> i) & 1 == 1 {
+            e -= a as i64;
+        }
+    }
+    let e = e.rem_euclid(two_n as i64);
+    if e == 0 {
+        None
+    } else {
+        Some(e)
     }
 }
 
@@ -200,13 +278,22 @@ mod tests {
         UnrolledBootstrappingKey<F64Fft>,
         TorusSampler<StdRng>,
     ) {
-        let p = ParameterSet { ring_degree: 64, lwe_dimension: n_lwe, ..ParameterSet::TEST_FAST };
+        let p = ParameterSet {
+            ring_degree: 64,
+            lwe_dimension: n_lwe,
+            ..ParameterSet::TEST_FAST
+        };
         let mut sampler = TorusSampler::new(StdRng::seed_from_u64(37 + unroll as u64));
         let lwe_key = LweSecretKey::generate(n_lwe, &mut sampler);
         let ring_key = RingSecretKey::generate(p.ring_degree, &mut sampler);
         let engine = F64Fft::new(p.ring_degree);
         let bk = UnrolledBootstrappingKey::generate(
-            &lwe_key, &ring_key, &p, &engine, unroll, &mut sampler,
+            &lwe_key,
+            &ring_key,
+            &p,
+            &engine,
+            unroll,
+            &mut sampler,
         );
         (p, lwe_key, ring_key, engine, bk, sampler)
     }
@@ -237,8 +324,13 @@ mod tests {
             let decomp = GadgetDecomposer::new(p.decomp_base_log, p.decomp_levels);
             let two_n = p.two_n();
             let msg = TorusPolynomial::constant(Torus32::from_f64(0.25), p.ring_degree);
-            let acc =
-                TrlweCiphertext::encrypt(&msg, &ring_key, p.ring_noise_stdev, &engine, &mut sampler);
+            let acc = TrlweCiphertext::encrypt(
+                &msg,
+                &ring_key,
+                p.ring_noise_stdev,
+                &engine,
+                &mut sampler,
+            );
 
             let group = &bk.groups()[0];
             let exponents: Vec<u32> = (0..group.len()).map(|i| (7 + 13 * i) as u32).collect();
@@ -292,8 +384,8 @@ mod tests {
                 .map(|(i, &b)| u32::from(b) << i)
                 .sum();
             for pattern in 1u32..(1 << group.len()) {
-                let out = group.keys()[pattern as usize - 1]
-                    .external_product(&engine, &probe, &decomp);
+                let out =
+                    group.keys()[pattern as usize - 1].external_product(&engine, &probe, &decomp);
                 let phase = out.phase(&ring_key, &engine);
                 let expect = if pattern == true_pattern {
                     probe.phase(&ring_key, &engine)
@@ -311,7 +403,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "outside 1..=8")]
     fn zero_unroll_rejected() {
-        let p = ParameterSet { ring_degree: 64, lwe_dimension: 4, ..ParameterSet::TEST_FAST };
+        let p = ParameterSet {
+            ring_degree: 64,
+            lwe_dimension: 4,
+            ..ParameterSet::TEST_FAST
+        };
         let mut sampler = TorusSampler::new(StdRng::seed_from_u64(1));
         let lwe_key = LweSecretKey::generate(4, &mut sampler);
         let ring_key = RingSecretKey::generate(64, &mut sampler);

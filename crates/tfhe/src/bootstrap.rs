@@ -12,10 +12,13 @@ use crate::keyswitch::KeySwitchKey;
 use crate::lwe::LweCiphertext;
 use crate::params::ParameterSet;
 use crate::profile::{self, Phase};
+use crate::scratch::BootstrapScratch;
 use crate::secret::ClientKey;
 use crate::tlwe::TrlweCiphertext;
 use matcha_fft::FftEngine;
-use matcha_math::{mod_switch_from_torus, GadgetDecomposer, Torus32, TorusPolynomial, TorusSampler};
+use matcha_math::{
+    mod_switch_from_torus, GadgetDecomposer, Torus32, TorusPolynomial, TorusSampler,
+};
 use rand::Rng;
 
 /// Everything the (untrusted) evaluator needs to bootstrap: the unrolled
@@ -34,12 +37,7 @@ impl<E: FftEngine> BootstrapKit<E> {
     /// `unroll` is the BKU factor `m` (paper §4.2): 1 reproduces classic
     /// TFHE; larger values trade `2^m − 1` stored keys per group for
     /// `⌈n/m⌉` instead of `n` external products per bootstrap.
-    pub fn generate<R: Rng>(
-        client: &ClientKey,
-        engine: &E,
-        unroll: usize,
-        rng: &mut R,
-    ) -> Self {
+    pub fn generate<R: Rng>(client: &ClientKey, engine: &E, unroll: usize, rng: &mut R) -> Self {
         let params = *client.params();
         let mut sampler = TorusSampler::new(rng);
         let bk = UnrolledBootstrappingKey::generate(
@@ -57,7 +55,12 @@ impl<E: FftEngine> BootstrapKit<E> {
             &mut sampler,
         );
         let decomp = GadgetDecomposer::new(params.decomp_base_log, params.decomp_levels);
-        Self { params, bk, ksk, decomp }
+        Self {
+            params,
+            bk,
+            ksk,
+            decomp,
+        }
     }
 
     /// The parameter set.
@@ -121,8 +124,7 @@ impl<E: FftEngine> BootstrapKit<E> {
     ) -> LweCiphertext {
         // All-(−μ) test vector: rotating by a positive phase δ̄ ∈ [1, N]
         // wraps the top coefficient negacyclically into +μ at position 0.
-        let testv =
-            TorusPolynomial::from_coeffs(vec![-mu; self.params.ring_degree]);
+        let testv = TorusPolynomial::from_coeffs(vec![-mu; self.params.ring_degree]);
         let acc = self.blind_rotate(engine, input, testv);
         profile::timed(Phase::Other, || acc.sample_extract())
     }
@@ -132,6 +134,88 @@ impl<E: FftEngine> BootstrapKit<E> {
     pub fn bootstrap(&self, engine: &E, input: &LweCiphertext, mu: Torus32) -> LweCiphertext {
         let extracted = self.bootstrap_to_extracted(engine, input, mu);
         self.ksk.switch(&extracted)
+    }
+
+    /// Builds a reusable workspace for the zero-allocation bootstrap path.
+    /// One scratch per worker thread; the first bootstrap through it warms
+    /// the buffers, every later one allocates nothing.
+    pub fn make_scratch(&self, engine: &E) -> BootstrapScratch<E> {
+        BootstrapScratch::with_bundle(engine, &self.params, self.bk.gadget_spectrum().clone())
+    }
+
+    /// Blind rotation through the scratch: reads the test vector from
+    /// `scratch.test_vector_mut()` and leaves `TRLWE(X^{b̄ − ⟨ā, s⟩}·testv)`
+    /// in `scratch.accumulator()`. Bit-identical to
+    /// [`BootstrapKit::blind_rotate`]; zero allocations once warmed.
+    pub fn blind_rotate_assign(
+        &self,
+        engine: &E,
+        input: &LweCiphertext,
+        scratch: &mut BootstrapScratch<E>,
+    ) {
+        let two_n = self.params.two_n();
+        let b_bar = mod_switch_from_torus(input.body(), two_n);
+        let BootstrapScratch {
+            ep,
+            bundle,
+            factors,
+            acc,
+            testv,
+            exponents,
+            ..
+        } = scratch;
+        profile::timed(Phase::Other, || {
+            acc.mask_mut().fill_zero();
+            acc.body_mut().rotate_from(testv, b_bar as i64);
+        });
+        let mask = input.mask();
+        let mut index = 0;
+        for group in self.bk.groups() {
+            exponents.clear();
+            exponents.extend(
+                mask[index..index + group.len()]
+                    .iter()
+                    .map(|&a| mod_switch_from_torus(a, two_n)),
+            );
+            index += group.len();
+            self.bk
+                .build_bundle_into(engine, group, exponents, two_n, bundle, factors);
+            bundle.external_product_assign(engine, acc, &self.decomp, ep);
+        }
+    }
+
+    /// [`BootstrapKit::bootstrap_to_extracted`] into a caller-owned output
+    /// through the scratch — zero allocations once warmed.
+    pub fn bootstrap_to_extracted_into(
+        &self,
+        engine: &E,
+        input: &LweCiphertext,
+        mu: Torus32,
+        out: &mut LweCiphertext,
+        scratch: &mut BootstrapScratch<E>,
+    ) {
+        // All-(−μ) test vector, as in `bootstrap_to_extracted`.
+        scratch.testv.coeffs_mut().fill(-mu);
+        self.blind_rotate_assign(engine, input, scratch);
+        profile::timed(Phase::Other, || scratch.acc.sample_extract_into(out));
+    }
+
+    /// [`BootstrapKit::bootstrap`] into a caller-owned output through the
+    /// scratch — zero allocations once warmed. Bit-identical to the
+    /// allocating path.
+    pub fn bootstrap_into(
+        &self,
+        engine: &E,
+        input: &LweCiphertext,
+        mu: Torus32,
+        out: &mut LweCiphertext,
+        scratch: &mut BootstrapScratch<E>,
+    ) {
+        // Split borrow: extract into `scratch.extracted`, then key-switch.
+        let mut extracted = std::mem::take(&mut scratch.extracted);
+        self.bootstrap_to_extracted_into(engine, input, mu, &mut extracted, scratch);
+        self.ksk.switch_into(&extracted, out);
+        scratch.extracted = extracted;
     }
 }
 

@@ -6,6 +6,7 @@
 //! of CMuxes; MATCHA's bundle formulation generalizes it (see
 //! [`crate::bku`]).
 
+use crate::scratch::BootstrapScratch;
 use crate::tgsw::TgswSpectrum;
 use crate::tlwe::TrlweCiphertext;
 use matcha_fft::FftEngine;
@@ -31,6 +32,24 @@ pub fn cmux<E: FftEngine>(
     out
 }
 
+/// `acc ← acc + C ⊡ (d1 − acc)` — the blind-rotation CMux step, evaluated
+/// through the caller's scratch with zero allocations once warmed.
+/// Bit-identical to [`cmux`] applied to `(acc, d1)`.
+pub fn cmux_assign<E: FftEngine>(
+    engine: &E,
+    control: &TgswSpectrum<E>,
+    acc: &mut TrlweCiphertext,
+    d1: &TrlweCiphertext,
+    decomp: &GadgetDecomposer,
+    scratch: &mut BootstrapScratch<E>,
+) {
+    let diff = &mut scratch.diff;
+    diff.copy_from(d1);
+    diff.sub_assign(acc);
+    control.external_product_assign(engine, diff, decomp, &mut scratch.ep);
+    acc.add_assign(diff);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -43,7 +62,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn setup() -> (ParameterSet, RingSecretKey, F64Fft, TorusSampler<StdRng>) {
-        let p = ParameterSet { ring_degree: 64, ..ParameterSet::TEST_FAST };
+        let p = ParameterSet {
+            ring_degree: 64,
+            ..ParameterSet::TEST_FAST
+        };
         let mut sampler = TorusSampler::new(StdRng::seed_from_u64(29));
         let key = RingSecretKey::generate(p.ring_degree, &mut sampler);
         let engine = F64Fft::new(p.ring_degree);
@@ -85,7 +107,7 @@ mod tests {
             .iter()
             .map(|m| TrlweCiphertext::encrypt(m, &key, p.ring_noise_stdev, &engine, &mut sampler))
             .collect();
-        for sel in 0..4usize {
+        for (sel, leaf) in leaves.iter().enumerate() {
             let b0 = (sel & 1) as i32;
             let b1 = ((sel >> 1) & 1) as i32;
             let c0 = TgswCiphertext::encrypt_constant(b0, &key, &p, &engine, &mut sampler)
@@ -96,7 +118,7 @@ mod tests {
             let hi = cmux(&engine, &c0, &enc[2], &enc[3], &decomp);
             let out = cmux(&engine, &c1, &lo, &hi, &decomp);
             assert!(
-                out.phase(&key, &engine).max_distance(&leaves[sel]) < 5e-3,
+                out.phase(&key, &engine).max_distance(leaf) < 5e-3,
                 "sel={sel}"
             );
         }

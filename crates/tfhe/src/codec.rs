@@ -63,7 +63,10 @@ pub trait Codec: Sized {
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
         if magic != Self::MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "wrong magic tag"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "wrong magic tag",
+            ));
         }
         let mut version = [0u8; 1];
         r.read_exact(&mut version)?;
@@ -219,10 +222,8 @@ impl Codec for RingSecretKey {
     const MAGIC: [u8; 4] = *b"MRSK";
 
     fn encode_body<W: Write>(&self, mut w: W) -> io::Result<()> {
-        LweSecretKey::from_bits(
-            self.as_poly().coeffs().iter().map(|&c| c != 0).collect(),
-        )
-        .encode_body(&mut w)
+        LweSecretKey::from_bits(self.as_poly().coeffs().iter().map(|&c| c != 0).collect())
+            .encode_body(&mut w)
     }
 
     fn decode_body<R: Read>(r: R) -> io::Result<Self> {

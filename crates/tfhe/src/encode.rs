@@ -82,12 +82,7 @@ impl BucketEncoding {
     /// # Panics
     ///
     /// Panics if `msg ≥ 2^bits`.
-    pub fn encrypt<R: Rng>(
-        &self,
-        client: &ClientKey,
-        msg: u32,
-        rng: &mut R,
-    ) -> LweCiphertext {
+    pub fn encrypt<R: Rng>(&self, client: &ClientKey, msg: u32, rng: &mut R) -> LweCiphertext {
         let mut sampler = TorusSampler::new(rng);
         LweCiphertext::encrypt(
             self.phase_of(msg),
@@ -133,7 +128,11 @@ mod tests {
         for bits in 1..=4u32 {
             let enc = BucketEncoding::new(bits);
             for msg in 0..enc.message_count() {
-                assert_eq!(enc.decode_phase(enc.phase_of(msg)), msg, "bits={bits} msg={msg}");
+                assert_eq!(
+                    enc.decode_phase(enc.phase_of(msg)),
+                    msg,
+                    "bits={bits} msg={msg}"
+                );
             }
         }
     }

@@ -176,21 +176,58 @@ impl<E: FftEngine> ServerKey<E> {
     }
 
     fn linear_part(&self, gate: Gate, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
+        let n = self.params().lwe_dimension;
+        let mut out = LweCiphertext::trivial(Torus32::ZERO, n);
+        self.linear_part_into(gate, a, b, &mut out);
+        out
+    }
+
+    /// The gate's linear part written into a caller-owned buffer — no
+    /// allocation once `out`'s mask has capacity `n`.
+    fn linear_part_into(
+        &self,
+        gate: Gate,
+        a: &LweCiphertext,
+        b: &LweCiphertext,
+        out: &mut LweCiphertext,
+    ) {
         profile::timed(Phase::Other, || {
             let n = self.params().lwe_dimension;
             match gate {
-                Gate::And => LweCiphertext::trivial(-EIGHTH, n) + a + b,
-                Gate::Or => LweCiphertext::trivial(EIGHTH, n) + a + b,
-                Gate::Nand => LweCiphertext::trivial(EIGHTH, n) - a - b,
-                Gate::Nor => LweCiphertext::trivial(-EIGHTH, n) - a - b,
-                Gate::Xor => (a.clone() + b).scale(2) + &LweCiphertext::trivial(QUARTER, n),
-                Gate::Xnor => {
-                    (a.clone() + b).scale(-2) + &LweCiphertext::trivial(-QUARTER, n)
+                Gate::And | Gate::Or => {
+                    out.assign_trivial(if gate == Gate::And { -EIGHTH } else { EIGHTH }, n);
+                    out.add_assign(a);
+                    out.add_assign(b);
                 }
-                Gate::AndYN => LweCiphertext::trivial(-EIGHTH, n) + a - b,
-                Gate::AndNY => LweCiphertext::trivial(-EIGHTH, n) - a + b,
-                Gate::OrYN => LweCiphertext::trivial(EIGHTH, n) + a - b,
-                Gate::OrNY => LweCiphertext::trivial(EIGHTH, n) - a + b,
+                Gate::Nand | Gate::Nor => {
+                    out.assign_trivial(if gate == Gate::Nand { EIGHTH } else { -EIGHTH }, n);
+                    out.sub_assign(a);
+                    out.sub_assign(b);
+                }
+                Gate::Xor => {
+                    out.assign_trivial(Torus32::ZERO, n);
+                    out.add_assign(a);
+                    out.add_assign(b);
+                    out.scale_assign(2);
+                    out.add_body(QUARTER);
+                }
+                Gate::Xnor => {
+                    out.assign_trivial(Torus32::ZERO, n);
+                    out.add_assign(a);
+                    out.add_assign(b);
+                    out.scale_assign(-2);
+                    out.add_body(-QUARTER);
+                }
+                Gate::AndYN | Gate::OrYN => {
+                    out.assign_trivial(if gate == Gate::AndYN { -EIGHTH } else { EIGHTH }, n);
+                    out.add_assign(a);
+                    out.sub_assign(b);
+                }
+                Gate::AndNY | Gate::OrNY => {
+                    out.assign_trivial(if gate == Gate::AndNY { -EIGHTH } else { EIGHTH }, n);
+                    out.sub_assign(a);
+                    out.add_assign(b);
+                }
             }
         })
     }
@@ -199,6 +236,30 @@ impl<E: FftEngine> ServerKey<E> {
     pub fn apply(&self, gate: Gate, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
         let lin = self.linear_part(gate, a, b);
         self.kit.bootstrap(&self.engine, &lin, GATE_MU)
+    }
+
+    /// Builds a reusable workspace for [`ServerKey::apply_into`].
+    pub fn make_scratch(&self) -> crate::scratch::BootstrapScratch<E> {
+        self.kit.make_scratch(&self.engine)
+    }
+
+    /// [`ServerKey::apply`] into a caller-owned output through the scratch:
+    /// a warmed call evaluates the whole gate — linear part, blind
+    /// rotation, sample extraction, key switch — with zero heap
+    /// allocations, and produces bit-identical results.
+    pub fn apply_into(
+        &self,
+        gate: Gate,
+        a: &LweCiphertext,
+        b: &LweCiphertext,
+        out: &mut LweCiphertext,
+        scratch: &mut crate::scratch::BootstrapScratch<E>,
+    ) {
+        let mut lin = std::mem::take(&mut scratch.lin);
+        self.linear_part_into(gate, a, b, &mut lin);
+        self.kit
+            .bootstrap_into(&self.engine, &lin, GATE_MU, out, scratch);
+        scratch.lin = lin;
     }
 
     /// Logical AND.
@@ -239,17 +300,16 @@ impl<E: FftEngine> ServerKey<E> {
 
     /// Homomorphic multiplexer `sel ? a : b`, built from two bootstraps and
     /// one key switch as in the TFHE reference library.
-    pub fn mux(
-        &self,
-        sel: &LweCiphertext,
-        a: &LweCiphertext,
-        b: &LweCiphertext,
-    ) -> LweCiphertext {
+    pub fn mux(&self, sel: &LweCiphertext, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
         // u1 = AND(sel, a), u2 = AND(¬sel, b) — both under the extracted key.
         let lin1 = self.linear_part(Gate::And, sel, a);
-        let u1 = self.kit.bootstrap_to_extracted(&self.engine, &lin1, GATE_MU);
+        let u1 = self
+            .kit
+            .bootstrap_to_extracted(&self.engine, &lin1, GATE_MU);
         let lin2 = self.linear_part(Gate::AndNY, sel, b);
-        let u2 = self.kit.bootstrap_to_extracted(&self.engine, &lin2, GATE_MU);
+        let u2 = self
+            .kit
+            .bootstrap_to_extracted(&self.engine, &lin2, GATE_MU);
         let n_extract = u1.dimension();
         let sum = profile::timed(Phase::Other, || {
             u1 + &u2 + &LweCiphertext::trivial(EIGHTH, n_extract)
@@ -281,11 +341,7 @@ mod tests {
                 let ca = client.encrypt_with(a, &mut rng);
                 let cb = client.encrypt_with(b, &mut rng);
                 let out = server.apply(gate, &ca, &cb);
-                assert_eq!(
-                    client.decrypt(&out),
-                    gate.eval(a, b),
-                    "{gate}({a}, {b})"
-                );
+                assert_eq!(client.decrypt(&out), gate.eval(a, b), "{gate}({a}, {b})");
             }
         }
     }
@@ -324,7 +380,11 @@ mod tests {
                 let ca = client.encrypt_with(a, &mut rng);
                 let cb = client.encrypt_with(b, &mut rng);
                 let out = server.mux(&cs, &ca, &cb);
-                assert_eq!(client.decrypt(&out), if sel { a } else { b }, "sel={sel} a={a} b={b}");
+                assert_eq!(
+                    client.decrypt(&out),
+                    if sel { a } else { b },
+                    "sel={sel} a={a} b={b}"
+                );
             }
         }
     }

@@ -84,18 +84,34 @@ impl KeySwitchKey {
     ///
     /// Panics if `c`'s dimension does not match the source key.
     pub fn switch(&self, c: &LweCiphertext) -> LweCiphertext {
-        profile::timed(Phase::KeySwitch, || self.switch_inner(c))
+        let mut out = LweCiphertext::trivial(c.body(), self.to_dimension);
+        self.switch_into(c, &mut out);
+        out
     }
 
-    fn switch_inner(&self, c: &LweCiphertext) -> LweCiphertext {
+    /// [`KeySwitchKey::switch`] into a caller-owned output — no allocation
+    /// once `out`'s mask has capacity `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c`'s dimension does not match the source key.
+    pub fn switch_into(&self, c: &LweCiphertext, out: &mut LweCiphertext) {
+        profile::timed(Phase::KeySwitch, || self.switch_inner(c, out))
+    }
+
+    fn switch_inner(&self, c: &LweCiphertext, out: &mut LweCiphertext) {
         assert_eq!(c.dimension(), self.from_dimension, "dimension mismatch");
         let base = 1u32 << self.base_log;
         let mask = base - 1;
         let per_i = self.levels * (base as usize - 1);
         // Round each coefficient to t·γ bits before decomposing.
         let precision_bits = self.base_log * self.levels as u32;
-        let round_bump = if precision_bits < 32 { 1u32 << (31 - precision_bits) } else { 0 };
-        let mut out = LweCiphertext::trivial(c.body(), self.to_dimension);
+        let round_bump = if precision_bits < 32 {
+            1u32 << (31 - precision_bits)
+        } else {
+            0
+        };
+        out.assign_trivial(c.body(), self.to_dimension);
         for (i, &ai) in c.mask().iter().enumerate() {
             let t = ai.raw().wrapping_add(round_bump);
             for j in 0..self.levels {
@@ -107,7 +123,6 @@ impl KeySwitchKey {
                 }
             }
         }
-        out
     }
 }
 
@@ -117,7 +132,12 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn setup() -> (LweSecretKey, LweSecretKey, KeySwitchKey, TorusSampler<StdRng>) {
+    fn setup() -> (
+        LweSecretKey,
+        LweSecretKey,
+        KeySwitchKey,
+        TorusSampler<StdRng>,
+    ) {
         let params = ParameterSet::TEST_FAST;
         let mut sampler = TorusSampler::new(StdRng::seed_from_u64(31));
         let from = LweSecretKey::generate(128, &mut sampler);
@@ -169,7 +189,11 @@ mod tests {
         let mut worst: f64 = 0.0;
         for _ in 0..20 {
             let c = LweCiphertext::encrypt(Torus32::from_f64(0.125), &from, 1e-8, &mut sampler);
-            let err = ksk.switch(&c).phase(&to).signed_diff(Torus32::from_f64(0.125)).abs();
+            let err = ksk
+                .switch(&c)
+                .phase(&to)
+                .signed_diff(Torus32::from_f64(0.125))
+                .abs();
             worst = worst.max(err);
         }
         // 128 coefficients × 8 levels of noise-1e-7 keys plus rounding at

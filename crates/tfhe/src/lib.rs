@@ -53,10 +53,12 @@ pub mod packing;
 pub mod params;
 pub mod pbs;
 pub mod profile;
+pub mod scratch;
 pub mod secret;
 pub mod tgsw;
 pub mod tlwe;
 
+pub use batch::GateBatchPool;
 pub use bku::UnrolledBootstrappingKey;
 pub use bootstrap::BootstrapKit;
 pub use codec::Codec;
@@ -66,6 +68,7 @@ pub use keyswitch::KeySwitchKey;
 pub use lwe::LweCiphertext;
 pub use params::ParameterSet;
 pub use pbs::Lut;
+pub use scratch::{BootstrapScratch, EpScratch};
 pub use secret::{ClientKey, LweSecretKey, RingSecretKey};
 pub use tgsw::{TgswCiphertext, TgswSpectrum};
 pub use tlwe::{TrlweCiphertext, TrlweSpectrum};

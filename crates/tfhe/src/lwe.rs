@@ -38,7 +38,10 @@ impl LweCiphertext {
     /// Trivial samples encode the public constants of gate linear parts
     /// (e.g. the `(0, 1/8)` of a NAND gate).
     pub fn trivial(mu: Torus32, dimension: usize) -> Self {
-        Self { a: vec![Torus32::ZERO; dimension], b: mu }
+        Self {
+            a: vec![Torus32::ZERO; dimension],
+            b: mu,
+        }
     }
 
     /// Builds a ciphertext from raw parts (used by sample extraction and
@@ -60,6 +63,40 @@ impl LweCiphertext {
     /// The body `b`.
     pub fn body(&self) -> Torus32 {
         self.b
+    }
+
+    /// Mask vector and body mutably (for the in-place pipelines; the mask's
+    /// length may be changed by the caller).
+    pub fn parts_mut(&mut self) -> (&mut Vec<Torus32>, &mut Torus32) {
+        (&mut self.a, &mut self.b)
+    }
+
+    /// Resets `self` to the trivial sample `(0, μ)` of dimension
+    /// `dimension`, reusing the mask allocation when possible.
+    pub fn assign_trivial(&mut self, mu: Torus32, dimension: usize) {
+        self.a.clear();
+        self.a.resize(dimension, Torus32::ZERO);
+        self.b = mu;
+    }
+
+    /// Copies `other` into `self` without allocating once capacity exists.
+    pub fn copy_from(&mut self, other: &Self) {
+        self.a.clear();
+        self.a.extend_from_slice(&other.a);
+        self.b = other.b;
+    }
+
+    /// Adds `delta` to the body (plaintext offset of gate linear parts).
+    pub fn add_body(&mut self, delta: Torus32) {
+        self.b += delta;
+    }
+
+    /// In-place version of [`LweCiphertext::scale`].
+    pub fn scale_assign(&mut self, k: i32) {
+        for x in &mut self.a {
+            *x = *x * k;
+        }
+        self.b = self.b * k;
     }
 
     /// The phase `b − ⟨a, s⟩ = μ + e`.
@@ -95,6 +132,16 @@ impl LweCiphertext {
         Self {
             a: self.a.iter().map(|&x| x * k).collect(),
             b: self.b * k,
+        }
+    }
+}
+
+impl Default for LweCiphertext {
+    /// The degenerate dimension-0 sample; a placeholder for buffer swaps.
+    fn default() -> Self {
+        Self {
+            a: Vec::new(),
+            b: Torus32::ZERO,
         }
     }
 }
@@ -163,7 +210,12 @@ mod tests {
         let c1 = LweCiphertext::encrypt(Torus32::from_f64(0.125), &key, 1e-8, &mut sampler);
         let c2 = LweCiphertext::encrypt(Torus32::from_f64(0.25), &key, 1e-8, &mut sampler);
         let diff = c1.clone() - &c2;
-        assert!(diff.phase(&key).signed_diff(Torus32::from_f64(-0.125)).abs() < 1e-5);
+        assert!(
+            diff.phase(&key)
+                .signed_diff(Torus32::from_f64(-0.125))
+                .abs()
+                < 1e-5
+        );
         let neg = -c1;
         assert!(neg.phase(&key).signed_diff(Torus32::from_f64(-0.125)).abs() < 1e-5);
     }
@@ -180,7 +232,13 @@ mod tests {
         let (key, mut sampler) = setup();
         let c = LweCiphertext::encrypt(Torus32::from_f64(0.125), &key, 1e-9, &mut sampler);
         let scaled = c.scale(2);
-        assert!(scaled.phase(&key).signed_diff(Torus32::from_f64(0.25)).abs() < 1e-5);
+        assert!(
+            scaled
+                .phase(&key)
+                .signed_diff(Torus32::from_f64(0.25))
+                .abs()
+                < 1e-5
+        );
     }
 
     #[test]

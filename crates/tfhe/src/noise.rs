@@ -176,7 +176,12 @@ mod tests {
         let pre = extracted_noise(&client, &kit, &engine, 8, &mut rng);
         let post = bootstrap_noise(&client, &kit, &engine, 8, &mut rng);
         // Key switching can only add noise (statistically).
-        assert!(post.stdev + 1e-9 >= pre.stdev * 0.3, "pre {} post {}", pre.stdev, post.stdev);
+        assert!(
+            post.stdev + 1e-9 >= pre.stdev * 0.3,
+            "pre {} post {}",
+            pre.stdev,
+            post.stdev
+        );
     }
 
     #[test]
@@ -187,7 +192,12 @@ mod tests {
 
     #[test]
     fn stats_db_conversion() {
-        let s = NoiseStats { mean: 0.0, stdev: 0.001, max_abs: 0.002, samples: 10 };
+        let s = NoiseStats {
+            mean: 0.0,
+            stdev: 0.001,
+            max_abs: 0.002,
+            samples: 10,
+        };
         assert!((s.stdev_db() + 60.0).abs() < 1e-9);
     }
 }

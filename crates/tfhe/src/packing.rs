@@ -44,13 +44,23 @@ pub fn pack_bits<E: FftEngine, R: Rng>(
     let params = client.params();
     let n = params.ring_degree;
     assert!(!bits.is_empty(), "empty payload");
-    assert!(bits.len() <= n, "payload of {} bits exceeds ring degree {n}", bits.len());
+    assert!(
+        bits.len() <= n,
+        "payload of {} bits exceeds ring degree {n}",
+        bits.len()
+    );
     let mut mu = TorusPolynomial::zero(n);
     for (i, &b) in bits.iter().enumerate() {
         mu.coeffs_mut()[i] = Torus32::from_bool(b);
     }
     let mut sampler = TorusSampler::new(rng);
-    TrlweCiphertext::encrypt(&mu, client.ring_key(), params.ring_noise_stdev, engine, &mut sampler)
+    TrlweCiphertext::encrypt(
+        &mu,
+        client.ring_key(),
+        params.ring_noise_stdev,
+        engine,
+        &mut sampler,
+    )
 }
 
 /// Client-side unpack (decrypts the packed sample directly).
@@ -61,7 +71,10 @@ pub fn unpack_bits<E: FftEngine>(
     engine: &E,
 ) -> Vec<bool> {
     let phase = packed.phase(client.ring_key(), engine);
-    phase.coeffs()[..count].iter().map(|c| c.to_bool()).collect()
+    phase.coeffs()[..count]
+        .iter()
+        .map(|c| c.to_bool())
+        .collect()
 }
 
 /// Server-side unpack: extracts bit `index` as a gate-level LWE sample

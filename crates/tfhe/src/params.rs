@@ -104,7 +104,10 @@ impl ParameterSet {
     /// exceed the 32-bit torus, or non-positive noise rates.
     pub fn validate(&self) -> Result<(), String> {
         if !self.ring_degree.is_power_of_two() || self.ring_degree < 4 {
-            return Err(format!("ring degree {} must be a power of two ≥ 4", self.ring_degree));
+            return Err(format!(
+                "ring degree {} must be a power of two ≥ 4",
+                self.ring_degree
+            ));
         }
         if self.lwe_dimension == 0 {
             return Err("lwe dimension must be nonzero".into());

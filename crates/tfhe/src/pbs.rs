@@ -45,10 +45,12 @@ impl Lut {
         let mut coeffs = vec![Torus32::ZERO; n];
         // coeff0(X^δ · v) = v_0 at δ=0 and −v_{N−δ} for δ ∈ [1, N).
         coeffs[0] = f(0);
-        for j in 1..n {
-            coeffs[j] = -f((n - j) as u32);
+        for (j, c) in coeffs.iter_mut().enumerate().skip(1) {
+            *c = -f((n - j) as u32);
         }
-        Self { testv: TorusPolynomial::from_coeffs(coeffs) }
+        Self {
+            testv: TorusPolynomial::from_coeffs(coeffs),
+        }
     }
 
     /// A LUT mapping a `2^bits`-bucket plaintext space through `g`.
@@ -61,11 +63,7 @@ impl Lut {
     /// # Panics
     ///
     /// Panics if `2^bits` exceeds the ring degree.
-    pub fn from_bucket_fn(
-        ring_degree: usize,
-        bits: u32,
-        g: impl Fn(u32) -> Torus32,
-    ) -> Self {
+    pub fn from_bucket_fn(ring_degree: usize, bits: u32, g: impl Fn(u32) -> Torus32) -> Self {
         let buckets = 1u32 << bits;
         assert!(
             (buckets as usize) <= ring_degree,
@@ -108,6 +106,35 @@ impl<E: FftEngine> BootstrapKit<E> {
         let extracted = profile::timed(Phase::Other, || acc.sample_extract());
         self.key_switch_key().switch(&extracted)
     }
+
+    /// [`Self::bootstrap_with_lut`] into a caller-owned output through the
+    /// scratch — zero allocations once warmed, bit-identical results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the LUT's ring degree differs from the parameter set's.
+    pub fn bootstrap_with_lut_into(
+        &self,
+        engine: &E,
+        input: &LweCiphertext,
+        lut: &Lut,
+        out: &mut LweCiphertext,
+        scratch: &mut crate::scratch::BootstrapScratch<E>,
+    ) {
+        assert_eq!(
+            lut.ring_degree(),
+            self.params().ring_degree,
+            "LUT ring degree mismatch"
+        );
+        scratch.test_vector_mut().copy_from(&lut.testv);
+        self.blind_rotate_assign(engine, input, scratch);
+        let mut extracted = std::mem::take(&mut scratch.extracted);
+        profile::timed(Phase::Other, || {
+            scratch.accumulator().sample_extract_into(&mut extracted)
+        });
+        self.key_switch_key().switch_into(&extracted, out);
+        scratch.extracted = extracted;
+    }
 }
 
 #[cfg(test)]
@@ -130,11 +157,7 @@ mod tests {
         (client, kit, engine, rng)
     }
 
-    fn encrypt_phase(
-        client: &ClientKey,
-        phase: f64,
-        rng: &mut StdRng,
-    ) -> LweCiphertext {
+    fn encrypt_phase(client: &ClientKey, phase: f64, rng: &mut StdRng) -> LweCiphertext {
         let mut sampler = TorusSampler::new(rng);
         LweCiphertext::encrypt(
             Torus32::from_f64(phase),
@@ -164,13 +187,7 @@ mod tests {
         // "small positive" from "large positive" inputs.
         let (client, kit, engine, mut rng) = setup();
         let eighth = Torus32::from_dyadic(1, 3);
-        let lut = Lut::from_fn(N, |k| {
-            if k < N as u32 / 2 {
-                eighth
-            } else {
-                -eighth
-            }
-        });
+        let lut = Lut::from_fn(N, |k| if k < N as u32 / 2 { eighth } else { -eighth });
         // phase 1/8 → first quadrant → true; phase 3/8 → second → false.
         let small = encrypt_phase(&client, 0.125, &mut rng);
         let large = encrypt_phase(&client, 0.375, &mut rng);

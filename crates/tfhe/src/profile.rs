@@ -163,7 +163,9 @@ mod tests {
     #[test]
     fn start_resets() {
         start();
-        timed(Phase::Other, || std::thread::sleep(Duration::from_millis(1)));
+        timed(Phase::Other, || {
+            std::thread::sleep(Duration::from_millis(1))
+        });
         start();
         let snap = snapshot();
         stop();
@@ -174,13 +176,21 @@ mod tests {
     fn fraction_sums_to_one() {
         start();
         timed(Phase::Ifft, || std::thread::sleep(Duration::from_millis(1)));
-        timed(Phase::KeySwitch, || std::thread::sleep(Duration::from_millis(1)));
+        timed(Phase::KeySwitch, || {
+            std::thread::sleep(Duration::from_millis(1))
+        });
         let snap = snapshot();
         stop();
-        let sum: f64 = [Phase::Ifft, Phase::Fft, Phase::TgswScale, Phase::KeySwitch, Phase::Other]
-            .iter()
-            .map(|&p| snap.fraction(p))
-            .sum();
+        let sum: f64 = [
+            Phase::Ifft,
+            Phase::Fft,
+            Phase::TgswScale,
+            Phase::KeySwitch,
+            Phase::Other,
+        ]
+        .iter()
+        .map(|&p| snap.fraction(p))
+        .sum();
         assert!((sum - 1.0).abs() < 1e-9);
     }
 }

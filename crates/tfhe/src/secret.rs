@@ -15,7 +15,9 @@ pub struct LweSecretKey {
 impl LweSecretKey {
     /// Samples a uniform binary key of dimension `n`.
     pub fn generate<R: Rng>(n: usize, sampler: &mut TorusSampler<R>) -> Self {
-        Self { bits: sampler.binary_vector(n) }
+        Self {
+            bits: sampler.binary_vector(n),
+        }
     }
 
     /// Builds a key from explicit bits (used by `KeyExtract`).
@@ -54,7 +56,9 @@ impl RingSecretKey {
     /// Samples a uniform binary polynomial key of degree bound `n`.
     pub fn generate<R: Rng>(n: usize, sampler: &mut TorusSampler<R>) -> Self {
         let coeffs = (0..n).map(|_| i32::from(sampler.binary())).collect();
-        Self { poly: IntPolynomial::from_coeffs(coeffs) }
+        Self {
+            poly: IntPolynomial::from_coeffs(coeffs),
+        }
     }
 
     /// Builds a key from an explicit binary polynomial.
@@ -124,7 +128,11 @@ impl ClientKey {
         let mut sampler = TorusSampler::new(rng);
         let lwe_key = LweSecretKey::generate(params.lwe_dimension, &mut sampler);
         let ring_key = RingSecretKey::generate(params.ring_degree, &mut sampler);
-        Self { params, lwe_key, ring_key }
+        Self {
+            params,
+            lwe_key,
+            ring_key,
+        }
     }
 
     /// The parameter set the keys were generated for.
@@ -168,7 +176,8 @@ impl ClientKey {
     /// The signed phase error of a ciphertext relative to the exact
     /// plaintext `±1/8` — the noise quantity Table 3 of the paper tracks.
     pub fn noise_of(&self, c: &LweCiphertext, message: bool) -> f64 {
-        c.phase(&self.lwe_key).signed_diff(Torus32::from_bool(message))
+        c.phase(&self.lwe_key)
+            .signed_diff(Torus32::from_bool(message))
     }
 }
 

@@ -10,6 +10,7 @@
 
 use crate::params::ParameterSet;
 use crate::profile::{self, Phase};
+use crate::scratch::EpScratch;
 use crate::secret::RingSecretKey;
 use crate::tlwe::{TrlweCiphertext, TrlweSpectrum};
 use matcha_fft::FftEngine;
@@ -45,9 +46,8 @@ impl TgswCiphertext {
             let mut row =
                 TrlweCiphertext::encrypt(&zero, key, params.ring_noise_stdev, engine, sampler);
             let h = decomp.gadget(j % levels);
-            let gadget_poly = TorusPolynomial::from_coeffs(
-                message.coeffs().iter().map(|&c| h * c).collect(),
-            );
+            let gadget_poly =
+                TorusPolynomial::from_coeffs(message.coeffs().iter().map(|&c| h * c).collect());
             if j < levels {
                 let mut a = row.mask().clone();
                 a += &gadget_poly;
@@ -116,10 +116,20 @@ impl TgswCiphertext {
 
 /// A TGSW ciphertext with all rows pre-transformed to the Lagrange domain —
 /// the form bootstrapping keys are stored in.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct TgswSpectrum<E: FftEngine> {
     rows: Vec<TrlweSpectrum<E>>,
     levels: usize,
+}
+
+// Manual impl: rows are always `Clone`, the engine need not be.
+impl<E: FftEngine> Clone for TgswSpectrum<E> {
+    fn clone(&self) -> Self {
+        Self {
+            rows: self.rows.clone(),
+            levels: self.levels,
+        }
+    }
 }
 
 impl<E: FftEngine> TgswSpectrum<E> {
@@ -143,6 +153,11 @@ impl<E: FftEngine> TgswSpectrum<E> {
         &self.rows
     }
 
+    /// Mutable access to the rows (bundle construction into scratch).
+    pub(crate) fn rows_mut(&mut self) -> &mut [TrlweSpectrum<E>] {
+        &mut self.rows
+    }
+
     /// The external product `self ⊡ c` (paper §2).
     ///
     /// If `self` encrypts `μ` and `c` encrypts `m`, the result encrypts
@@ -154,10 +169,8 @@ impl<E: FftEngine> TgswSpectrum<E> {
         decomp: &GadgetDecomposer,
     ) -> TrlweCiphertext {
         debug_assert_eq!(decomp.levels(), self.levels);
-        let digits_a =
-            profile::timed(Phase::Other, || decomp.decompose_poly(c.mask()));
-        let digits_b =
-            profile::timed(Phase::Other, || decomp.decompose_poly(c.body()));
+        let digits_a = profile::timed(Phase::Other, || decomp.decompose_poly(c.mask()));
+        let digits_b = profile::timed(Phase::Other, || decomp.decompose_poly(c.body()));
         let mut acc_a = engine.zero_spectrum();
         let mut acc_b = engine.zero_spectrum();
         for (j, digit) in digits_a.iter().chain(digits_b.iter()).enumerate() {
@@ -171,6 +184,46 @@ impl<E: FftEngine> TgswSpectrum<E> {
         let a = profile::timed(Phase::Fft, || engine.backward_torus(&acc_a));
         let b = profile::timed(Phase::Fft, || engine.backward_torus(&acc_b));
         TrlweCiphertext::from_parts(a, b)
+    }
+
+    /// The external product `c ← self ⊡ c`, evaluated entirely through the
+    /// caller's scratch: digits, spectra and FFT buffers are reused, so a
+    /// warmed call performs zero heap allocations. Bit-identical to
+    /// [`TgswSpectrum::external_product`].
+    pub fn external_product_assign(
+        &self,
+        engine: &E,
+        c: &mut TrlweCiphertext,
+        decomp: &GadgetDecomposer,
+        scratch: &mut EpScratch<E>,
+    ) {
+        debug_assert_eq!(decomp.levels(), self.levels);
+        let levels = self.levels;
+        let EpScratch {
+            engine: es,
+            digits,
+            fd,
+            acc_a,
+            acc_b,
+        } = scratch;
+        debug_assert_eq!(digits.len(), 2 * levels, "scratch sized for a different ℓ");
+        profile::timed(Phase::Other, || {
+            let (mask_digits, body_digits) = digits.split_at_mut(levels);
+            decomp.decompose_poly_into(c.mask(), mask_digits);
+            decomp.decompose_poly_into(c.body(), body_digits);
+        });
+        engine.clear_spectrum(acc_a);
+        engine.clear_spectrum(acc_b);
+        for (j, digit) in digits.iter().enumerate() {
+            profile::timed(Phase::Ifft, || engine.forward_int_into(digit, fd, es));
+            let row = &self.rows[j];
+            profile::timed(Phase::Other, || {
+                engine.mul_accumulate_pair(acc_a, acc_b, fd, &row.a, &row.b);
+            });
+        }
+        let (mask, body) = c.parts_mut();
+        profile::timed(Phase::Fft, || engine.backward_torus_into(acc_a, mask, es));
+        profile::timed(Phase::Fft, || engine.backward_torus_into(acc_b, body, es));
     }
 }
 
@@ -198,7 +251,9 @@ mod tests {
 
     fn message_poly(n: usize) -> TorusPolynomial {
         TorusPolynomial::from_coeffs(
-            (0..n).map(|i| Torus32::from_dyadic((i % 4) as i64, 3)).collect(),
+            (0..n)
+                .map(|i| Torus32::from_dyadic((i % 4) as i64, 3))
+                .collect(),
         )
     }
 
@@ -273,8 +328,7 @@ mod tests {
     #[should_panic(expected = "2ℓ rows")]
     fn bad_row_count_rejected() {
         let engine = F64Fft::new(64);
-        let rows = vec![TrlweCiphertext::trivial(TorusPolynomial::zero(64))
-            .to_spectrum(&engine)];
+        let rows = vec![TrlweCiphertext::trivial(TorusPolynomial::zero(64)).to_spectrum(&engine)];
         let _ = TgswSpectrum::<F64Fft>::from_rows(rows, 3);
     }
 }

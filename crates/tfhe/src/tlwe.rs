@@ -39,13 +39,24 @@ impl TrlweCiphertext {
     /// The noiseless, keyless encryption `(0, μ)`.
     pub fn trivial(mu: TorusPolynomial) -> Self {
         let n = mu.len();
-        Self { a: TorusPolynomial::zero(n), b: mu }
+        Self {
+            a: TorusPolynomial::zero(n),
+            b: mu,
+        }
     }
 
     /// Builds a ciphertext from raw parts.
     pub fn from_parts(a: TorusPolynomial, b: TorusPolynomial) -> Self {
         debug_assert_eq!(a.len(), b.len());
         Self { a, b }
+    }
+
+    /// The zero ciphertext `(0, 0)` — a scratch-buffer seed.
+    pub fn zero(n: usize) -> Self {
+        Self {
+            a: TorusPolynomial::zero(n),
+            b: TorusPolynomial::zero(n),
+        }
     }
 
     /// Ring degree `N`.
@@ -61,6 +72,27 @@ impl TrlweCiphertext {
     /// The body polynomial `b`.
     pub fn body(&self) -> &TorusPolynomial {
         &self.b
+    }
+
+    /// Mutable access to the mask polynomial (in-place pipelines).
+    pub fn mask_mut(&mut self) -> &mut TorusPolynomial {
+        &mut self.a
+    }
+
+    /// Mutable access to the body polynomial (in-place pipelines).
+    pub fn body_mut(&mut self) -> &mut TorusPolynomial {
+        &mut self.b
+    }
+
+    /// Both polynomials mutably (for split borrows in the hot path).
+    pub fn parts_mut(&mut self) -> (&mut TorusPolynomial, &mut TorusPolynomial) {
+        (&mut self.a, &mut self.b)
+    }
+
+    /// Copies `other` into `self` without allocating once capacity exists.
+    pub fn copy_from(&mut self, other: &Self) {
+        self.a.copy_from(&other.a);
+        self.b.copy_from(&other.b);
     }
 
     /// The phase `b − s″·a = μ + e`.
@@ -105,19 +137,34 @@ impl TrlweCiphertext {
     ///
     /// Panics if `index ≥ N`.
     pub fn sample_extract_at(&self, index: usize) -> LweCiphertext {
+        let mut out = LweCiphertext::trivial(self.b.coeffs()[index], self.ring_degree());
+        self.sample_extract_at_into(index, &mut out);
+        out
+    }
+
+    /// [`Self::sample_extract_at`] into a caller-owned ciphertext — no
+    /// allocation once `out` has dimension `N`.
+    pub fn sample_extract_at_into(&self, index: usize, out: &mut LweCiphertext) {
         let n = self.ring_degree();
         assert!(index < n, "coefficient index {index} out of range");
         let ac = self.a.coeffs();
+        let (mask, body) = out.parts_mut();
+        mask.clear();
+        mask.reserve(n);
         // (a·s)_index = Σ_{j≤index} a_{index−j}·s_j − Σ_{j>index} a_{N+index−j}·s_j.
-        let mut a = Vec::with_capacity(n);
         for j in 0..n {
             if j <= index {
-                a.push(ac[index - j]);
+                mask.push(ac[index - j]);
             } else {
-                a.push(-ac[n + index - j]);
+                mask.push(-ac[n + index - j]);
             }
         }
-        LweCiphertext::from_parts(a, self.b.coeffs()[index])
+        *body = self.b.coeffs()[index];
+    }
+
+    /// `SampleExtract` at index 0 into a caller-owned ciphertext.
+    pub fn sample_extract_into(&self, out: &mut LweCiphertext) {
+        self.sample_extract_at_into(0, out);
     }
 
     /// The spectral (Lagrange-domain) form of this ciphertext.
@@ -130,12 +177,23 @@ impl TrlweCiphertext {
 }
 
 /// A TRLWE ciphertext in the Lagrange half-complex domain.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct TrlweSpectrum<E: FftEngine> {
     /// Spectrum of the mask polynomial.
     pub a: E::Spectrum,
     /// Spectrum of the body polynomial.
     pub b: E::Spectrum,
+}
+
+// Manual impl: spectra are always `Clone`, the engine need not be (the
+// derive would demand `E: Clone`, excluding counter-carrying engines).
+impl<E: FftEngine> Clone for TrlweSpectrum<E> {
+    fn clone(&self) -> Self {
+        Self {
+            a: self.a.clone(),
+            b: self.b.clone(),
+        }
+    }
 }
 
 impl<E: FftEngine> TrlweSpectrum<E> {

@@ -30,7 +30,12 @@ fn fixture() -> &'static Fixture {
         let server = ServerKey::with_unrolling(&client, F64Fft::new(256), 2, &mut rng);
         let kit_m1 = BootstrapKit::generate(&client, &engine, 1, &mut rng);
         let kit_m3 = BootstrapKit::generate(&client, &engine, 3, &mut rng);
-        Fixture { client, server, kit_m1, kit_m3 }
+        Fixture {
+            client,
+            server,
+            kit_m1,
+            kit_m3,
+        }
     })
 }
 

@@ -1,0 +1,183 @@
+//! The scratch-based (zero-allocation) pipeline must be **bit-identical**
+//! to the allocating seed pipeline at every level: external product,
+//! bundle construction, CMux, blind rotation and the full gate bootstrap —
+//! plus the regression the issue asks for: a *warmed* scratch still
+//! decrypts correctly.
+
+use matcha_fft::{ApproxIntFft, DepthFirstFft, F64Fft, FftEngine};
+use matcha_math::{GadgetDecomposer, Torus32, TorusPolynomial, TorusSampler};
+use matcha_tfhe::cmux::{cmux, cmux_assign};
+use matcha_tfhe::{
+    BootstrapKit, ClientKey, EpScratch, ParameterSet, RingSecretKey, TgswCiphertext,
+    TrlweCiphertext,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const MU: f64 = 0.125;
+
+fn params() -> ParameterSet {
+    ParameterSet {
+        ring_degree: 64,
+        ..ParameterSet::TEST_FAST
+    }
+}
+
+#[test]
+fn external_product_assign_is_bit_identical() {
+    for seed in [3u64, 17, 99] {
+        let p = params();
+        let mut sampler = TorusSampler::new(StdRng::seed_from_u64(seed));
+        let key = RingSecretKey::generate(p.ring_degree, &mut sampler);
+        let engine = F64Fft::new(p.ring_degree);
+        let decomp = GadgetDecomposer::new(p.decomp_base_log, p.decomp_levels);
+        let tgsw = TgswCiphertext::encrypt_constant(1, &key, &p, &engine, &mut sampler)
+            .to_spectrum(&engine);
+        let mu = TorusPolynomial::constant(Torus32::from_f64(0.25), p.ring_degree);
+        let c = TrlweCiphertext::encrypt(&mu, &key, p.ring_noise_stdev, &engine, &mut sampler);
+
+        let allocating = tgsw.external_product(&engine, &c, &decomp);
+
+        let mut scratch = EpScratch::new(&engine, &p);
+        let mut inplace = c.clone();
+        tgsw.external_product_assign(&engine, &mut inplace, &decomp, &mut scratch);
+        assert_eq!(
+            allocating, inplace,
+            "seed {seed}: first (cold) call diverged"
+        );
+
+        // Warmed scratch: run again from the same input.
+        let mut inplace2 = c.clone();
+        tgsw.external_product_assign(&engine, &mut inplace2, &decomp, &mut scratch);
+        assert_eq!(allocating, inplace2, "seed {seed}: warmed call diverged");
+    }
+}
+
+#[test]
+fn external_product_assign_matches_on_integer_engine() {
+    let p = params();
+    let mut sampler = TorusSampler::new(StdRng::seed_from_u64(23));
+    let key = RingSecretKey::generate(p.ring_degree, &mut sampler);
+    let engine = ApproxIntFft::new(p.ring_degree, 45);
+    let decomp = GadgetDecomposer::new(p.decomp_base_log, p.decomp_levels);
+    let tgsw =
+        TgswCiphertext::encrypt_constant(1, &key, &p, &engine, &mut sampler).to_spectrum(&engine);
+    let mu = TorusPolynomial::constant(Torus32::from_f64(0.25), p.ring_degree);
+    let c = TrlweCiphertext::encrypt(&mu, &key, p.ring_noise_stdev, &engine, &mut sampler);
+
+    let allocating = tgsw.external_product(&engine, &c, &decomp);
+    let mut scratch = EpScratch::new(&engine, &p);
+    let mut inplace = c.clone();
+    tgsw.external_product_assign(&engine, &mut inplace, &decomp, &mut scratch);
+    assert_eq!(allocating, inplace);
+}
+
+#[test]
+fn cmux_assign_is_bit_identical() {
+    let p = params();
+    let mut rng = StdRng::seed_from_u64(29);
+    let client = ClientKey::generate(p, &mut rng);
+    let engine = F64Fft::new(p.ring_degree);
+    let kit = BootstrapKit::generate(&client, &engine, 1, &mut rng);
+    let decomp = GadgetDecomposer::new(p.decomp_base_log, p.decomp_levels);
+    let mut sampler = TorusSampler::new(StdRng::seed_from_u64(31));
+    let key = client.ring_key();
+    let m0 = TorusPolynomial::constant(Torus32::from_f64(0.125), p.ring_degree);
+    let m1 = TorusPolynomial::constant(Torus32::from_f64(-0.25), p.ring_degree);
+    let d0 = TrlweCiphertext::encrypt(&m0, key, p.ring_noise_stdev, &engine, &mut sampler);
+    let d1 = TrlweCiphertext::encrypt(&m1, key, p.ring_noise_stdev, &engine, &mut sampler);
+    let control =
+        TgswCiphertext::encrypt_constant(1, key, &p, &engine, &mut sampler).to_spectrum(&engine);
+
+    let allocating = cmux(&engine, &control, &d0, &d1, &decomp);
+    let mut scratch = kit.make_scratch(&engine);
+    let mut acc = d0.clone();
+    cmux_assign(&engine, &control, &mut acc, &d1, &decomp, &mut scratch);
+    assert_eq!(allocating, acc);
+}
+
+fn check_bootstrap_equivalence<E: FftEngine>(engine: &E, unroll: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+    let kit = BootstrapKit::generate(&client, engine, unroll, &mut rng);
+    let mu = Torus32::from_f64(MU);
+    let mut scratch = kit.make_scratch(engine);
+    let mut out = matcha_tfhe::LweCiphertext::trivial(Torus32::ZERO, 1);
+
+    for (round, message) in [true, false, true, false].into_iter().enumerate() {
+        let c = client.encrypt_with(message, &mut rng);
+        let allocating = kit.bootstrap(engine, &c, mu);
+        // The same scratch is reused across rounds: rounds ≥ 1 run warmed.
+        kit.bootstrap_into(engine, &c, mu, &mut out, &mut scratch);
+        assert_eq!(
+            allocating, out,
+            "unroll={unroll} round={round}: scratch bootstrap diverged"
+        );
+        assert_eq!(
+            client.decrypt(&out),
+            message,
+            "unroll={unroll} round={round}"
+        );
+    }
+}
+
+#[test]
+fn warmed_scratch_bootstrap_is_bit_identical_m1() {
+    check_bootstrap_equivalence(&F64Fft::new(256), 1, 141);
+}
+
+#[test]
+fn warmed_scratch_bootstrap_is_bit_identical_m3() {
+    check_bootstrap_equivalence(&F64Fft::new(256), 3, 143);
+}
+
+#[test]
+fn warmed_scratch_bootstrap_is_bit_identical_depth_first() {
+    check_bootstrap_equivalence(&DepthFirstFft::new(256), 2, 144);
+}
+
+#[test]
+fn warmed_scratch_bootstrap_is_bit_identical_approx() {
+    check_bootstrap_equivalence(&ApproxIntFft::new(256, 45), 2, 145);
+}
+
+/// The issue's regression test: warm a scratch, then keep bootstrapping
+/// through it — every output must still decrypt to the right message with
+/// healthy noise margins.
+#[test]
+fn warmed_scratch_keeps_decrypting_correctly() {
+    let mut rng = StdRng::seed_from_u64(151);
+    let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+    let engine = F64Fft::new(256);
+    let kit = BootstrapKit::generate(&client, &engine, 2, &mut rng);
+    let mu = Torus32::from_f64(MU);
+    let mut scratch = kit.make_scratch(&engine);
+    let mut out = matcha_tfhe::LweCiphertext::trivial(Torus32::ZERO, 1);
+    for i in 0..8 {
+        let message = i % 3 == 0;
+        let c = client.encrypt_with(message, &mut rng);
+        kit.bootstrap_into(&engine, &c, mu, &mut out, &mut scratch);
+        assert_eq!(client.decrypt(&out), message, "iteration {i}");
+        let noise = client.noise_of(&out, message).abs();
+        assert!(noise < 0.03, "iteration {i}: noise {noise}");
+    }
+}
+
+#[test]
+fn lut_bootstrap_into_is_bit_identical() {
+    use matcha_tfhe::pbs::Lut;
+    let mut rng = StdRng::seed_from_u64(161);
+    let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+    let engine = F64Fft::new(256);
+    let kit = BootstrapKit::generate(&client, &engine, 2, &mut rng);
+    let eighth = Torus32::from_dyadic(1, 3);
+    let lut = Lut::from_fn(256, |k| if k < 128 { eighth } else { -eighth });
+    let mut scratch = kit.make_scratch(&engine);
+    let mut out = matcha_tfhe::LweCiphertext::trivial(Torus32::ZERO, 1);
+    for message in [true, false, true] {
+        let c = client.encrypt_with(message, &mut rng);
+        let allocating = kit.bootstrap_with_lut(&engine, &c, &lut);
+        kit.bootstrap_with_lut_into(&engine, &c, &lut, &mut out, &mut scratch);
+        assert_eq!(allocating, out);
+    }
+}

@@ -1,0 +1,146 @@
+//! The headline property of this optimization: a **warmed** scratch
+//! bootstrap performs zero heap allocations. Measured directly with a
+//! counting global allocator (this integration test is its own binary, so
+//! the allocator hook is isolated from the rest of the suite).
+
+use matcha_fft::{ApproxIntFft, F64Fft};
+use matcha_math::{GadgetDecomposer, Torus32, TorusPolynomial, TorusSampler};
+use matcha_tfhe::{
+    BootstrapKit, ClientKey, EpScratch, Gate, ParameterSet, RingSecretKey, ServerKey,
+    TgswCiphertext, TrlweCiphertext,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+/// System allocator wrapper counting every allocation **per thread**, so
+/// the measured windows below stay correct when libtest runs the other
+/// tests of this binary concurrently (their allocations land on their own
+/// threads' counters).
+struct CountingAlloc;
+
+thread_local! {
+    // const-initialized: accessing it inside the allocator cannot itself
+    // allocate (no lazy TLS initialization).
+    static THREAD_ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    THREAD_ALLOCATIONS.with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocations performed by the calling thread so far.
+fn allocations() -> u64 {
+    THREAD_ALLOCATIONS.with(|c| c.get())
+}
+
+#[test]
+fn warmed_external_product_allocates_nothing() {
+    let p = ParameterSet {
+        ring_degree: 256,
+        ..ParameterSet::TEST_FAST
+    };
+    let mut sampler = TorusSampler::new(StdRng::seed_from_u64(7));
+    let key = RingSecretKey::generate(p.ring_degree, &mut sampler);
+    let engine = F64Fft::new(p.ring_degree);
+    let decomp = GadgetDecomposer::new(p.decomp_base_log, p.decomp_levels);
+    let tgsw =
+        TgswCiphertext::encrypt_constant(1, &key, &p, &engine, &mut sampler).to_spectrum(&engine);
+    let mu = TorusPolynomial::constant(Torus32::from_f64(0.25), p.ring_degree);
+    let mut acc = TrlweCiphertext::encrypt(&mu, &key, p.ring_noise_stdev, &engine, &mut sampler);
+
+    let mut scratch = EpScratch::new(&engine, &p);
+    // Warm-up: sizes every buffer in the scratch.
+    tgsw.external_product_assign(&engine, &mut acc, &decomp, &mut scratch);
+    tgsw.external_product_assign(&engine, &mut acc, &decomp, &mut scratch);
+
+    let before = allocations();
+    for _ in 0..4 {
+        tgsw.external_product_assign(&engine, &mut acc, &decomp, &mut scratch);
+    }
+    let delta = allocations() - before;
+    assert_eq!(delta, 0, "warmed external product allocated {delta} times");
+}
+
+fn assert_zero_alloc_bootstrap<E>(engine: &E, unroll: usize, seed: u64)
+where
+    E: matcha_fft::FftEngine,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+    let kit = BootstrapKit::generate(&client, engine, unroll, &mut rng);
+    let mu = Torus32::from_f64(0.125);
+    let c = client.encrypt_with(true, &mut rng);
+    let mut out = matcha_tfhe::LweCiphertext::trivial(Torus32::ZERO, 1);
+    let mut scratch = kit.make_scratch(engine);
+
+    // Warm-up: two full bootstraps size every buffer.
+    kit.bootstrap_into(engine, &c, mu, &mut out, &mut scratch);
+    kit.bootstrap_into(engine, &c, mu, &mut out, &mut scratch);
+
+    let before = allocations();
+    kit.bootstrap_into(engine, &c, mu, &mut out, &mut scratch);
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "warmed bootstrap (unroll={unroll}) allocated {delta} times"
+    );
+    assert!(client.decrypt(&out), "bootstrap still decrypts");
+}
+
+#[test]
+fn warmed_bootstrap_allocates_nothing_f64_m1() {
+    assert_zero_alloc_bootstrap(&F64Fft::new(256), 1, 71);
+}
+
+#[test]
+fn warmed_bootstrap_allocates_nothing_f64_m3() {
+    assert_zero_alloc_bootstrap(&F64Fft::new(256), 3, 73);
+}
+
+#[test]
+fn warmed_bootstrap_allocates_nothing_approx_m2() {
+    assert_zero_alloc_bootstrap(&ApproxIntFft::new(256, 45), 2, 75);
+}
+
+#[test]
+fn warmed_full_gate_allocates_only_for_outputs() {
+    // The whole gate path (linear part + bootstrap + key switch) through
+    // `apply_into` is allocation-free once warmed.
+    let mut rng = StdRng::seed_from_u64(77);
+    let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+    let server = ServerKey::with_unrolling(&client, F64Fft::new(256), 2, &mut rng);
+    let a = client.encrypt_with(true, &mut rng);
+    let b = client.encrypt_with(false, &mut rng);
+    let mut out = matcha_tfhe::LweCiphertext::trivial(Torus32::ZERO, 1);
+    let mut scratch = server.make_scratch();
+
+    server.apply_into(Gate::Nand, &a, &b, &mut out, &mut scratch);
+    server.apply_into(Gate::Nand, &a, &b, &mut out, &mut scratch);
+
+    let before = allocations();
+    server.apply_into(Gate::Nand, &a, &b, &mut out, &mut scratch);
+    server.apply_into(Gate::Xor, &a, &b, &mut out, &mut scratch);
+    let delta = allocations() - before;
+    assert_eq!(delta, 0, "warmed gate evaluation allocated {delta} times");
+}

@@ -12,7 +12,11 @@ use std::time::Instant;
 
 fn main() {
     let fast = std::env::args().any(|a| a == "--fast");
-    let params = if fast { ParameterSet::TEST_FAST } else { ParameterSet::MATCHA };
+    let params = if fast {
+        ParameterSet::TEST_FAST
+    } else {
+        ParameterSet::MATCHA
+    };
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
 
     println!("generating keys (N = {}, m = 2)...", params.ring_degree);

@@ -14,7 +14,11 @@ use std::time::Instant;
 
 fn main() {
     let paper = std::env::args().any(|a| a == "--paper");
-    let params = if paper { ParameterSet::MATCHA } else { ParameterSet::TEST_FAST };
+    let params = if paper {
+        ParameterSet::MATCHA
+    } else {
+        ParameterSet::TEST_FAST
+    };
     let mut rng = rand::rngs::StdRng::seed_from_u64(11);
 
     println!(

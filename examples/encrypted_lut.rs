@@ -13,10 +13,17 @@ use std::time::Instant;
 
 fn main() {
     let paper = std::env::args().any(|a| a == "--paper");
-    let params = if paper { ParameterSet::MATCHA } else { ParameterSet::TEST_FAST };
+    let params = if paper {
+        ParameterSet::MATCHA
+    } else {
+        ParameterSet::TEST_FAST
+    };
     let mut rng = rand::rngs::StdRng::seed_from_u64(23);
 
-    println!("generating keys (N = {}, approx integer FFT, m = 2)...", params.ring_degree);
+    println!(
+        "generating keys (N = {}, approx integer FFT, m = 2)...",
+        params.ring_degree
+    );
     let client = ClientKey::generate(params, &mut rng);
     let engine = ApproxIntFft::new(params.ring_degree, 40);
     let kit = BootstrapKit::generate(&client, &engine, 2, &mut rng);

@@ -25,7 +25,11 @@ fn compare_swap<E: FftEngine>(
 
 fn main() {
     let paper = std::env::args().any(|a| a == "--paper");
-    let params = if paper { ParameterSet::MATCHA } else { ParameterSet::TEST_FAST };
+    let params = if paper {
+        ParameterSet::MATCHA
+    } else {
+        ParameterSet::TEST_FAST
+    };
     let mut rng = rand::rngs::StdRng::seed_from_u64(17);
 
     println!("generating keys (N = {})...", params.ring_degree);

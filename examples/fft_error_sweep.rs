@@ -19,7 +19,10 @@ fn main() {
     // 32-bit torus (≈ -193 dB).
     let double = if double.is_finite() { double } else { -193.0 };
     println!("# Figure 8: error of approx FFT & IFFT vs twiddle factor bits (N = {n})");
-    println!("{:<14} {:>12} {:>14}", "twiddle bits", "error (dB)", "roundtrip (dB)");
+    println!(
+        "{:<14} {:>12} {:>14}",
+        "twiddle bits", "error (dB)", "roundtrip (dB)"
+    );
     for bits in [10u32, 16, 22, 28, 34, 38, 44, 50, 56, 62] {
         let engine = ApproxIntFft::new(n, bits);
         let db = poly_mul_error_db(&engine, n, trials, seed);

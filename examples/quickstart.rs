@@ -13,7 +13,10 @@ fn main() {
     // The paper's 110-bit-security parameters (§5): N = 1024, k = 1,
     // Bg = 1024, ℓ = 3, n = 500.
     let params = ParameterSet::MATCHA;
-    println!("generating client keys (n = {}, N = {})...", params.lwe_dimension, params.ring_degree);
+    println!(
+        "generating client keys (n = {}, N = {})...",
+        params.lwe_dimension, params.ring_degree
+    );
     let client = ClientKey::generate(params, &mut rng);
 
     // MATCHA's engine: integer FFT with 38-bit dyadic-value-quantized
@@ -33,7 +36,11 @@ fn main() {
         let dt = t0.elapsed();
         let result = client.decrypt(&out);
         println!("NAND({a}, {b}) = {result}   [{dt:?}]");
-        assert_eq!(result, !(a && b), "homomorphic NAND disagrees with plaintext");
+        assert_eq!(
+            result,
+            !(a && b),
+            "homomorphic NAND disagrees with plaintext"
+        );
     }
     println!("all NAND outputs decrypted correctly");
 }

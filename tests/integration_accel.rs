@@ -7,8 +7,16 @@ use matcha::{MatchaConfig, WorkloadParams};
 #[test]
 fn table2_budget_matches_paper_totals() {
     let b = area_power::design_budget(&MatchaConfig::paper());
-    assert!((b.total_power_w() - 39.98).abs() < 0.2, "power {}", b.total_power_w());
-    assert!((b.total_area_mm2() - 36.96).abs() < 0.2, "area {}", b.total_area_mm2());
+    assert!(
+        (b.total_power_w() - 39.98).abs() < 0.2,
+        "power {}",
+        b.total_power_w()
+    );
+    assert!(
+        (b.total_area_mm2() - 36.96).abs() < 0.2,
+        "area {}",
+        b.total_area_mm2()
+    );
 }
 
 #[test]
@@ -36,15 +44,13 @@ fn headline_speedups_roughly_hold() {
     let gpu = Platform::gpu();
     let asic = Platform::asic();
 
-    let tput_ratio =
-        matcha.throughput(3).unwrap() / gpu.throughput(gpu.best_unroll()).unwrap();
+    let tput_ratio = matcha.throughput(3).unwrap() / gpu.throughput(gpu.best_unroll()).unwrap();
     assert!(
         tput_ratio > 1.5,
         "MATCHA should clearly out-throughput the GPU, got {tput_ratio:.2}×"
     );
 
-    let eff_ratio = matcha.throughput_per_watt(3).unwrap()
-        / asic.throughput_per_watt(1).unwrap();
+    let eff_ratio = matcha.throughput_per_watt(3).unwrap() / asic.throughput_per_watt(1).unwrap();
     assert!(
         eff_ratio > 4.0,
         "MATCHA should clearly beat the ASIC on throughput/Watt, got {eff_ratio:.2}×"
@@ -79,7 +85,11 @@ fn ablation_halving_pipelines_halves_throughput() {
 #[test]
 fn reports_render_every_series() {
     let plats = matcha::accel::evaluation_platforms();
-    for text in [report::figure9(&plats), report::figure10(&plats), report::figure11(&plats)] {
+    for text in [
+        report::figure9(&plats),
+        report::figure10(&plats),
+        report::figure11(&plats),
+    ] {
         assert!(text.lines().count() >= 7, "short report:\n{text}");
         assert!(text.contains("MATCHA"));
     }

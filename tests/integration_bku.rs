@@ -25,7 +25,12 @@ fn all_unroll_factors_decrypt_identically() {
         let c = client.encrypt_with(message, &mut rng);
         for (i, kit) in kits.iter().enumerate() {
             let out = kit.bootstrap(&engine, &c, mu);
-            assert_eq!(client.decrypt(&out), message, "m={} message={message}", i + 1);
+            assert_eq!(
+                client.decrypt(&out),
+                message,
+                "m={} message={message}",
+                i + 1
+            );
         }
     }
 }
@@ -40,8 +45,12 @@ fn key_material_grows_exponentially_with_m() {
         let kit = BootstrapKit::generate(&client, &engine, m, &mut rng);
         let full_groups = n / m;
         let remainder = n % m;
-        let expected =
-            full_groups * ((1 << m) - 1) + if remainder > 0 { (1 << remainder) - 1 } else { 0 };
+        let expected = full_groups * ((1 << m) - 1)
+            + if remainder > 0 {
+                (1 << remainder) - 1
+            } else {
+                0
+            };
         assert_eq!(kit.bootstrapping_key().key_count(), expected, "m={m}");
     }
 }
@@ -76,8 +85,7 @@ fn unrolled_gates_compose_with_approx_fft() {
     // The full MATCHA configuration: aggressive unrolling (m = 4) on the
     // approximate integer engine, through a chain of gates.
     let (client, mut rng) = client(24);
-    let server =
-        ServerKey::with_unrolling(&client, ApproxIntFft::new(256, 45), 4, &mut rng);
+    let server = ServerKey::with_unrolling(&client, ApproxIntFft::new(256, 45), 4, &mut rng);
     let a = client.encrypt_with(true, &mut rng);
     let b = client.encrypt_with(false, &mut rng);
     let c1 = server.nand(&a, &b); // true

@@ -3,7 +3,7 @@
 //! flips messages, tampered wire bytes are rejected, bad parameters are
 //! refused.
 
-use matcha::tfhe::{Codec, BootstrapKit};
+use matcha::tfhe::{BootstrapKit, Codec};
 use matcha::{ApproxIntFft, ClientKey, F64Fft, LweCiphertext, ParameterSet, Torus32};
 use matcha_math::TorusSampler;
 use rand::rngs::StdRng;
@@ -33,7 +33,10 @@ fn noise_beyond_margin_flips_decryption() {
             flips += 1;
         }
     }
-    assert!(flips > 5, "huge noise should flip many messages, got {flips}/50");
+    assert!(
+        flips > 5,
+        "huge noise should flip many messages, got {flips}/50"
+    );
 }
 
 #[test]
@@ -47,7 +50,10 @@ fn bootstrap_cannot_rescue_an_already_wrong_phase() {
     // Shift the phase by -1/4: +1/8 becomes -1/8.
     let shifted = c - &LweCiphertext::trivial(Torus32::from_dyadic(1, 2), 16);
     let out = kit.bootstrap(&engine, &shifted, Torus32::from_dyadic(1, 3));
-    assert!(!client.decrypt(&out), "bootstrap must preserve the (wrong) sign");
+    assert!(
+        !client.decrypt(&out),
+        "bootstrap must preserve the (wrong) sign"
+    );
 }
 
 #[test]
@@ -67,7 +73,10 @@ fn extremely_coarse_twiddles_do_fail() {
             wrong += 1;
         }
     }
-    assert!(wrong > 0, "8-bit twiddles should break decryption sometimes");
+    assert!(
+        wrong > 0,
+        "8-bit twiddles should break decryption sometimes"
+    );
 }
 
 #[test]

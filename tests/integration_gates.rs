@@ -32,8 +32,7 @@ fn every_gate_every_input_f64_engine() {
 #[test]
 fn every_gate_with_approximate_integer_fft() {
     let (client, mut rng) = client(2);
-    let server =
-        ServerKey::with_unrolling(&client, ApproxIntFft::new(256, 40), 2, &mut rng);
+    let server = ServerKey::with_unrolling(&client, ApproxIntFft::new(256, 40), 2, &mut rng);
     for gate in Gate::ALL {
         for (a, b) in CASES {
             let ca = client.encrypt_with(a, &mut rng);
@@ -78,8 +77,7 @@ fn long_dependent_gate_chain() {
     // 20 dependent gates: noise must stay bounded thanks to per-gate
     // bootstrapping (TFHE's unlimited-depth property, Table 1).
     let (client, mut rng) = client(5);
-    let server =
-        ServerKey::with_unrolling(&client, ApproxIntFft::new(256, 40), 2, &mut rng);
+    let server = ServerKey::with_unrolling(&client, ApproxIntFft::new(256, 40), 2, &mut rng);
     let mut acc = client.encrypt_with(false, &mut rng);
     let mut expected = false;
     for i in 0..20 {

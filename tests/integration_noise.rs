@@ -26,7 +26,11 @@ fn bootstrap_noise_within_margin_for_both_engines() {
 
     // Both must stay far below the 1/16 decryption margin.
     assert!(s_exact.max_abs < 1.0 / 16.0, "exact: {}", s_exact.max_abs);
-    assert!(s_approx.max_abs < 1.0 / 16.0, "approx: {}", s_approx.max_abs);
+    assert!(
+        s_approx.max_abs < 1.0 / 16.0,
+        "approx: {}",
+        s_approx.max_abs
+    );
 }
 
 #[test]
@@ -59,7 +63,10 @@ fn nand_failure_probe_is_clean() {
     let (client, mut rng) = client(33);
     let engine = ApproxIntFft::new(256, 38); // the paper's minimum width
     let kit = BootstrapKit::generate(&client, &engine, 2, &mut rng);
-    assert_eq!(noise::failure_count(&client, &kit, &engine, 40, &mut rng), 0);
+    assert_eq!(
+        noise::failure_count(&client, &kit, &engine, 40, &mut rng),
+        0
+    );
 }
 
 #[test]

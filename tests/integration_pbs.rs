@@ -76,7 +76,9 @@ fn wire_roundtrip_through_evaluation() {
     let b = LweCiphertext::from_bytes(&b_wire).unwrap();
     let n = client.params().lwe_dimension;
     let lin = LweCiphertext::trivial(Torus32::from_dyadic(1, 3), n) - &a - &b;
-    let out_wire = kit.bootstrap(&engine, &lin, Torus32::from_dyadic(1, 3)).to_bytes();
+    let out_wire = kit
+        .bootstrap(&engine, &lin, Torus32::from_dyadic(1, 3))
+        .to_bytes();
 
     // Client side.
     let out = LweCiphertext::from_bytes(&out_wire).unwrap();

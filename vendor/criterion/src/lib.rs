@@ -1,0 +1,330 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the API subset the workspace's benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], `bench_function`,
+//! `bench_with_input`, `b.iter`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Measurements are real: each sample times an
+//! adaptively chosen iteration count, and the reported statistics are the
+//! min / median / max of the per-iteration sample means.
+//!
+//! Set `MATCHA_BENCH_JSON=/path/to/file.json` to additionally write all
+//! results of the process as a JSON array (used by the repository's
+//! `BENCH_*.json` artifacts).
+
+use std::fmt::Display;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One finished measurement.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/function` or bare function name).
+    pub id: String,
+    /// Fastest per-iteration sample mean, in nanoseconds.
+    pub low_ns: f64,
+    /// Median per-iteration sample mean, in nanoseconds.
+    pub median_ns: f64,
+    /// Slowest per-iteration sample mean, in nanoseconds.
+    pub high_ns: f64,
+    /// Total iterations measured.
+    pub iterations: u64,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// All results recorded so far in this process.
+pub fn results() -> Vec<BenchResult> {
+    RESULTS.lock().unwrap().clone()
+}
+
+/// Writes results as JSON to `$MATCHA_BENCH_JSON` when the variable is set.
+/// Called automatically by [`criterion_main!`].
+pub fn flush_json() {
+    let Ok(path) = std::env::var("MATCHA_BENCH_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().unwrap();
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "  {{\"id\": \"{}\", \"low_ns\": {:.1}, \"median_ns\": {:.1}, \"high_ns\": {:.1}, \"iterations\": {}}}{}\n",
+            r.id.replace('"', "'"),
+            r.low_ns,
+            r.median_ns,
+            r.high_ns,
+            r.iterations,
+            comma,
+        ));
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write {path}: {e}");
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (the group name provides the prefix).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<f64>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher<'_> {
+    /// Times `f`, recording per-iteration means across samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and iteration-count calibration: target ~5 ms per sample,
+        // clamped to keep total bench time bounded.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let target = Duration::from_millis(5);
+        let calibrated = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        self.iters_per_sample = calibrated;
+
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..calibrated {
+                std::hint::black_box(f());
+            }
+            let dt = start.elapsed();
+            self.samples
+                .push(dt.as_secs_f64() * 1e9 / calibrated as f64);
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+fn record(id: &str, samples: &[f64], iterations: u64) {
+    if samples.is_empty() {
+        eprintln!("{id}: no samples recorded");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let low = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let high = sorted[sorted.len() - 1];
+    println!(
+        "{id:<52} time: [{} {} {}]",
+        fmt_ns(low),
+        fmt_ns(median),
+        fmt_ns(high)
+    );
+    RESULTS.lock().unwrap().push(BenchResult {
+        id: id.to_string(),
+        low_ns: low,
+        median_ns: median,
+        high_ns: high,
+        iterations,
+    });
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            samples: &mut samples,
+            iters_per_sample: 0,
+            sample_count: self.sample_size,
+        };
+        f(&mut b);
+        let iters = b.iters_per_sample * samples.len() as u64;
+        record(id, &samples, iters);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            samples: &mut samples,
+            iters_per_sample: 0,
+            sample_count: self.sample_size,
+        };
+        f(&mut b);
+        let iters = b.iters_per_sample * samples.len() as u64;
+        record(&format!("{}/{}", self.name, id), &samples, iters);
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(id.id, f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id.id, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (formatting no-op, kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Prevents the compiler from optimizing a value away.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function, in either criterion syntax.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs every group then flushes JSON.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::flush_json();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..100u64 {
+                    acc = acc.wrapping_add(i * i);
+                }
+                acc
+            })
+        });
+        let rs = results();
+        let r = rs.iter().find(|r| r.id == "spin").expect("result recorded");
+        assert!(r.median_ns > 0.0);
+        assert!(r.low_ns <= r.median_ns && r.median_ns <= r.high_ns);
+    }
+
+    #[test]
+    fn group_ids_are_prefixed() {
+        let mut c = Criterion::default().sample_size(2);
+        {
+            let mut g = c.benchmark_group("grp");
+            g.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &x| b.iter(|| x * 2));
+            g.finish();
+        }
+        assert!(results().iter().any(|r| r.id == "grp/f/3"));
+    }
+}

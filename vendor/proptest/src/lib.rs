@@ -1,0 +1,392 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! Supports the subset used by this workspace's property tests: the
+//! [`proptest!`] macro (with an optional `#![proptest_config(...)]` header),
+//! [`Strategy`] with `prop_map`, `any::<T>()`, numeric range strategies,
+//! tuple strategies, `collection::vec`, `sample::select`, and the
+//! `prop_assert*` macros. Cases are generated from a deterministic seed so
+//! CI runs are reproducible; there is no shrinking — a failing case panics
+//! with the ordinary assertion message.
+
+use rand::rngs::StdRng;
+
+/// Re-export used by generated code.
+pub use rand::SeedableRng as __SeedableRng;
+
+/// Error type of fallible property bodies (`prop_assert` in helper
+/// functions returning `Result`). The stub's assertions panic instead of
+/// returning this, but the type keeps signatures source-compatible.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Runner configuration: how many cases each property runs.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// The random source handed to strategies.
+pub type TestRng = StdRng;
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_via_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rand::Rng::gen::<$t>(rng)
+            }
+        }
+    )*};
+}
+arbitrary_via_standard!(u8, u32, u64, usize, i32, i64, bool, f64);
+
+/// Strategy for any value of `T` (`any::<T>()`).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Uniform sampling within numeric ranges, so `lo..hi` and `lo..=hi`
+/// literals work as strategies.
+pub trait SampleUniform: Copy {
+    /// Uniform draw from `[lo, hi)`.
+    fn uniform(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+    /// The successor value (for inclusive upper bounds); saturating.
+    fn successor(self) -> Self;
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn uniform(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                assert!(lo < hi, "empty range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                let draw = rand::Rng::gen::<u64>(rng) % span;
+                ((lo as $wide).wrapping_add(draw as $wide)) as $t
+            }
+            fn successor(self) -> Self {
+                self.saturating_add(1)
+            }
+        }
+    )*};
+}
+sample_uniform_int!(u8 => u64, u32 => u64, u64 => u64, usize => u64, i32 => i64, i64 => i64);
+
+impl SampleUniform for f64 {
+    fn uniform(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+        assert!(lo < hi, "empty range");
+        lo + rand::Rng::gen::<f64>(rng) * (hi - lo)
+    }
+    fn successor(self) -> Self {
+        self
+    }
+}
+
+impl<T: SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::uniform(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::uniform(*self.start(), self.end().successor(), rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+pub struct JustStrategy<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for JustStrategy<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `Just(v)`: the constant strategy.
+#[allow(non_snake_case)]
+pub fn Just<T: Clone>(v: T) -> JustStrategy<T> {
+    JustStrategy(v)
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident: $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A: 0);
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{SampleUniform, Strategy, TestRng};
+
+    /// Length specifications accepted by [`vec`]: a fixed `usize` or a
+    /// `Range<usize>` of lengths.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            usize::uniform(self.start, self.end, rng)
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            usize::uniform(*self.start(), *self.end() + 1, rng)
+        }
+    }
+
+    /// Strategy producing `Vec`s with lengths drawn from a [`SizeRange`].
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.len.pick(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `vec(element, len)`: a vector of `len` draws of `element`, where
+    /// `len` is a fixed size or a range of sizes.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Sampling strategies (`prop::sample`).
+pub mod sample {
+    use super::{SampleUniform, Strategy, TestRng};
+
+    /// Strategy choosing uniformly from a fixed list.
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = usize::uniform(0, self.options.len(), rng);
+            self.options[i].clone()
+        }
+    }
+
+    /// `select(options)`: uniform choice from `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (on first sample) if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        Select { options }
+    }
+}
+
+/// Runs one property: `cases` draws from a deterministic RNG, each passed
+/// to `body`. Used by the [`proptest!`] macro expansion.
+pub fn run_property<F: FnMut(&mut TestRng)>(config: &ProptestConfig, name: &str, mut body: F) {
+    // Derive the stream from the property name so distinct properties do
+    // not share sequences, while remaining reproducible across runs.
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    name.hash(&mut h);
+    let mut rng = <TestRng as rand::SeedableRng>::seed_from_u64(h.finish() ^ 0x5eed_cafe_f00d_d00d);
+    for _ in 0..config.cases {
+        body(&mut rng);
+    }
+}
+
+/// The property-test macro: each `#[test] fn name(arg in strategy, ...)`
+/// becomes an ordinary test running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_property(&config, stringify!($name), |__rng| {
+                $(let $arg = $crate::Strategy::sample(&$strategy, __rng);)*
+                // The closure gives `?` in bodies a `Result` context.
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                __outcome.expect("property failed");
+            });
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use super::collection;
+    pub use super::sample;
+    pub use super::{any, Any, Arbitrary, Just, ProptestConfig, Strategy, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `prop` namespace (`prop::sample::select`, ...).
+    pub mod prop {
+        pub use super::super::collection;
+        pub use super::super::sample;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in -50i32..50, y in 1u32..=9) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!((1..=9).contains(&y));
+        }
+
+        #[test]
+        fn map_and_vec_compose(v in collection::vec(any::<u32>().prop_map(|x| x % 10), 8)) {
+            prop_assert_eq!(v.len(), 8);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn tuples_and_select(pair in (0u64..4, 0u64..4), pick in prop::sample::select(vec![1, 2, 3])) {
+            prop_assert!(pair.0 < 4 && pair.1 < 4);
+            prop_assert!((1..=3).contains(&pick));
+        }
+
+        #[test]
+        fn floats_in_range(x in -1.0f64..1.0) {
+            prop_assert!((-1.0..1.0).contains(&x));
+        }
+    }
+}
