@@ -110,14 +110,28 @@ pub fn sweep(space: &SweepSpace, w: &WorkloadParams) -> Vec<DesignPoint> {
 
 /// Extracts the Pareto front (minimizing power and latency), sorted by
 /// ascending power.
+///
+/// Design points that coincide on *every* objective axis dominate each
+/// other in neither direction, so duplicates would all survive the
+/// non-domination filter; the front keeps exactly one representative per
+/// objective triple. Sorting tie-breaks on latency and throughput so equal
+/// triples are adjacent regardless of input order (a power-only sort could
+/// interleave them and leave duplicates standing).
 pub fn pareto_front(points: &[DesignPoint]) -> Vec<DesignPoint> {
     let mut front: Vec<DesignPoint> = points
         .iter()
         .filter(|p| !points.iter().any(|q| q.dominates(p)))
         .cloned()
         .collect();
-    front.sort_by(|a, b| a.power_w.total_cmp(&b.power_w));
-    front.dedup_by(|a, b| a.power_w == b.power_w && a.latency_s == b.latency_s);
+    front.sort_by(|a, b| {
+        a.power_w
+            .total_cmp(&b.power_w)
+            .then(a.latency_s.total_cmp(&b.latency_s))
+            .then(a.throughput.total_cmp(&b.throughput))
+    });
+    front.dedup_by(|a, b| {
+        a.power_w == b.power_w && a.latency_s == b.latency_s && a.throughput == b.throughput
+    });
     front
 }
 
@@ -163,6 +177,34 @@ mod tests {
             }
             if i > 0 {
                 assert!(front[i - 1].power_w <= p.power_w, "front not sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_design_points_collapse_to_one_front_entry() {
+        // Duplicates are equal on every axis, so neither dominates the
+        // other and both pass the non-domination filter; the front must
+        // still carry each objective triple exactly once.
+        let mut points = sweep(&small_space(), &WorkloadParams::MATCHA);
+        let baseline = pareto_front(&points);
+        let dupes = points.clone();
+        points.extend(dupes);
+        // Reverse so each duplicate pair is maximally separated in input
+        // order; with a power-only stable sort, equal-power points with
+        // differing latency could then land between duplicates and keep
+        // them non-adjacent — the regression the three-axis sort fixes.
+        points.reverse();
+        let front = pareto_front(&points);
+        assert_eq!(front.len(), baseline.len(), "duplicates survived");
+        for (i, p) in front.iter().enumerate() {
+            for q in &front[i + 1..] {
+                assert!(
+                    !(p.power_w == q.power_w
+                        && p.latency_s == q.latency_s
+                        && p.throughput == q.throughput),
+                    "two front entries share every objective"
+                );
             }
         }
     }

@@ -1,14 +1,18 @@
 //! Regenerates `BENCH_pbs.json`: external-product and single-gate PBS
 //! latencies on the allocating seed path vs. the zero-allocation scratch
-//! path, at the paper's parameters.
+//! path, at the paper's parameters — plus, since PR 2, the fused
+//! decompose→twist external product against a reconstruction of PR 1's
+//! materializing scratch loop (`external_product_fused_vs_scratch/*` rows,
+//! where `alloc_ns` holds the PR 1 scratch baseline and `scratch_ns` the
+//! fused path, keeping the JSON schema comparable across PRs).
 //!
 //! Run with:
 //! `cargo run --release -p matcha-bench --bin bench_pbs`
 
 use matcha::fft::{ApproxIntFft, F64Fft};
-use matcha::tfhe::{EpScratch, Gate, RingSecretKey, TgswCiphertext, TrlweCiphertext};
+use matcha::tfhe::{EpScratch, Gate, RingSecretKey, TgswCiphertext, TgswSpectrum, TrlweCiphertext};
 use matcha::{ClientKey, FftEngine, ParameterSet, ServerKey, Torus32};
-use matcha_math::{GadgetDecomposer, TorusPolynomial, TorusSampler};
+use matcha_math::{GadgetDecomposer, IntPolynomial, TorusPolynomial, TorusSampler};
 use rand::SeedableRng;
 use std::time::Instant;
 
@@ -25,6 +29,35 @@ fn measure<F: FnMut()>(samples: usize, iters: u32, mut f: F) -> f64 {
         .collect();
     times.sort_by(|a, b| a.partial_cmp(b).unwrap());
     times[times.len() / 2]
+}
+
+/// Paired comparison of two variants of the same kernel: samples are taken
+/// *interleaved* (A, B, A, B, …) so slow drift on a shared/1-CPU container
+/// hits both variants equally instead of biasing whichever ran second, and
+/// each side reports its per-sample minimum — the standard noise-robust
+/// estimator of a deterministic kernel's true cost, since external
+/// contention only ever adds time. Returns `(a_ns, b_ns)`.
+fn measure_paired<A: FnMut(), B: FnMut()>(
+    samples: usize,
+    iters: u32,
+    mut a: A,
+    mut b: B,
+) -> (f64, f64) {
+    let mut best_a = f64::INFINITY;
+    let mut best_b = f64::INFINITY;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            a();
+        }
+        best_a = best_a.min(t0.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            b();
+        }
+        best_b = best_b.min(t0.elapsed().as_secs_f64() * 1e9 / iters as f64);
+    }
+    (best_a, best_b)
 }
 
 struct Row {
@@ -64,6 +97,121 @@ fn bench_external_product<E: FftEngine>(name: &str, engine: &E, params: Paramete
         id: format!("external_product/{name}"),
         alloc_ns,
         scratch_ns,
+    }
+}
+
+/// PR 1's scratch external product, reconstructed from the public engine
+/// API: materialize all `2ℓ` digit polynomials, then transform each with
+/// `forward_int_into`. This is the baseline the fused decompose→twist path
+/// replaces, kept here so `BENCH_pbs.json` can track fused-vs-PR1 numbers.
+#[allow(clippy::too_many_arguments)]
+fn pr1_scratch_external_product<E: FftEngine>(
+    engine: &E,
+    tgsw: &TgswSpectrum<E>,
+    c: &mut TrlweCiphertext,
+    decomp: &GadgetDecomposer,
+    digits: &mut [IntPolynomial],
+    fd: &mut E::Spectrum,
+    acc_a: &mut E::Spectrum,
+    acc_b: &mut E::Spectrum,
+    es: &mut E::Scratch,
+) {
+    let levels = decomp.levels();
+    {
+        let (mask_digits, body_digits) = digits.split_at_mut(levels);
+        decomp.decompose_poly_into(c.mask(), mask_digits);
+        decomp.decompose_poly_into(c.body(), body_digits);
+    }
+    engine.clear_spectrum(acc_a);
+    engine.clear_spectrum(acc_b);
+    for (j, digit) in digits.iter().enumerate() {
+        engine.forward_int_into(digit, fd, es);
+        let row = &tgsw.rows()[j];
+        engine.mul_accumulate_pair(acc_a, acc_b, fd, &row.a, &row.b);
+    }
+    let (mask, body) = c.parts_mut();
+    engine.backward_torus_into(acc_a, mask, es);
+    engine.backward_torus_into(acc_b, body, es);
+}
+
+/// Fused decompose→twist external product vs. PR 1's materializing scratch
+/// loop, on a bundled TGSW built at unroll factor `m` (the operand blind
+/// rotation actually feeds the external product at the paper's parameters).
+/// `alloc_ns` carries the PR 1 baseline, `scratch_ns` the fused path.
+fn bench_fused_external_product<E: FftEngine>(name: &str, engine: &E, unroll: usize) -> Row {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    let client = ClientKey::generate(ParameterSet::MATCHA, &mut rng);
+    let kit = matcha::tfhe::BootstrapKit::generate(&client, engine, unroll, &mut rng);
+    let params = *kit.params();
+    let decomp = GadgetDecomposer::new(params.decomp_base_log, params.decomp_levels);
+    let bk = kit.bootstrapping_key();
+    let group = &bk.groups()[0];
+    let exponents: Vec<u32> = (0..group.len()).map(|i| (13 + 29 * i) as u32).collect();
+    let bundle = bk.build_bundle(engine, group, &exponents, params.two_n());
+    let mut sampler = TorusSampler::new(rand::rngs::StdRng::seed_from_u64(22));
+    let mu = TorusPolynomial::constant(Torus32::from_dyadic(1, 3), params.ring_degree);
+    let acc = TrlweCiphertext::encrypt(
+        &mu,
+        client.ring_key(),
+        params.ring_noise_stdev,
+        engine,
+        &mut sampler,
+    );
+
+    // PR 1 baseline with its own pre-sized buffers, warmed like EpScratch.
+    let mut digits: Vec<IntPolynomial> = (0..2 * params.decomp_levels)
+        .map(|_| IntPolynomial::zero(params.ring_degree))
+        .collect();
+    let mut fd = engine.zero_spectrum();
+    let mut acc_a = engine.zero_spectrum();
+    let mut acc_b = engine.zero_spectrum();
+    let mut es = engine.make_scratch();
+    let mut c1 = acc.clone();
+    pr1_scratch_external_product(
+        engine,
+        &bundle,
+        &mut c1,
+        &decomp,
+        &mut digits,
+        &mut fd,
+        &mut acc_a,
+        &mut acc_b,
+        &mut es,
+    );
+    let mut scratch = EpScratch::new(engine, &params);
+    let mut c2 = acc.clone();
+    bundle.external_product_assign(engine, &mut c2, &decomp, &mut scratch);
+
+    // The fused win is a single-digit percentage, so the two paths are
+    // sampled interleaved: container-level drift cancels instead of
+    // landing on whichever variant happened to run second.
+    let (pr1_ns, fused_ns) = measure_paired(
+        21,
+        20,
+        || {
+            pr1_scratch_external_product(
+                engine,
+                &bundle,
+                &mut c1,
+                &decomp,
+                &mut digits,
+                &mut fd,
+                &mut acc_a,
+                &mut acc_b,
+                &mut es,
+            );
+            std::hint::black_box(&c1);
+        },
+        || {
+            bundle.external_product_assign(engine, &mut c2, &decomp, &mut scratch);
+            std::hint::black_box(&c2);
+        },
+    );
+
+    Row {
+        id: format!("external_product_fused_vs_scratch/{name}"),
+        alloc_ns: pr1_ns,
+        scratch_ns: fused_ns,
     }
 }
 
@@ -149,6 +297,10 @@ fn main() {
     let rows = vec![
         bench_external_product("f64", &F64Fft::new(1024), params),
         bench_external_product("approx_int_38", &ApproxIntFft::new(1024, 38), params),
+        bench_fused_external_product("f64_m1", &F64Fft::new(1024), 1),
+        bench_fused_external_product("f64_m2", &F64Fft::new(1024), 2),
+        bench_fused_external_product("f64_m3", &F64Fft::new(1024), 3),
+        bench_fused_external_product("approx38_m2", &ApproxIntFft::new(1024, 38), 2),
         bench_blind_rotate_step("f64_m2", &F64Fft::new(1024), 2),
         bench_blind_rotate_step("f64_m3", &F64Fft::new(1024), 3),
         bench_gate("f64_m1", F64Fft::new(1024), 1),
@@ -184,6 +336,16 @@ fn main() {
         ));
     }
     json.push_str("]\n");
-    std::fs::write("BENCH_pbs.json", &json).expect("write BENCH_pbs.json");
-    println!("\nwrote BENCH_pbs.json");
+    // Fail loudly: a missing results file must never look like a green run.
+    let path = "BENCH_pbs.json";
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!(
+            "error: could not write {path} in {}: {e}",
+            std::env::current_dir()
+                .map(|d| d.display().to_string())
+                .unwrap_or_else(|_| "<unknown cwd>".into())
+        );
+        std::process::exit(1);
+    }
+    println!("\nwrote {path}");
 }

@@ -65,6 +65,56 @@ pub struct FixedScratch {
     im: Vec<i64>,
 }
 
+/// One direction's lifting rotations in per-stage contiguous layout (the
+/// integer-engine mirror of [`crate::tables::StageTwiddles`]): stage `s`
+/// serves butterflies of length `len = 2^{s+1}` and stores the `len/2`
+/// rotations by `±2πk/len` back to back, so the butterfly loop reads its
+/// stage with unit stride instead of the stride-`M/len` walk over one big
+/// table.
+#[derive(Clone, Debug)]
+struct LiftingStages {
+    /// All stages back to back (`M − 1` entries).
+    flat: Vec<LiftingRotation>,
+    /// `offsets[s]` = start of the stage for `len = 2^{s+1}`.
+    offsets: Vec<usize>,
+    /// Transform size `M`.
+    m: usize,
+}
+
+impl LiftingStages {
+    /// Copies per-stage slices out of the full table
+    /// (`full[k]` = rotation by `±2πk/M`, `k < M/2`), so every entry is
+    /// bit-identical to the strided access it replaces.
+    fn from_full(full: &[LiftingRotation], m: usize) -> Self {
+        debug_assert_eq!(full.len(), m / 2);
+        let mut flat = Vec::with_capacity(m.saturating_sub(1));
+        let mut offsets = Vec::new();
+        let mut len = 2;
+        while len <= m {
+            offsets.push(flat.len());
+            let step = m / len;
+            flat.extend((0..len / 2).map(|k| full[k * step]));
+            len *= 2;
+        }
+        Self { flat, offsets, m }
+    }
+
+    /// The contiguous rotation slice for butterflies of length `len`.
+    #[inline]
+    fn stage(&self, len: usize) -> &[LiftingRotation] {
+        debug_assert!(len.is_power_of_two() && len >= 2 && len <= self.m);
+        let s = len.trailing_zeros() as usize - 1;
+        let start = self.offsets[s];
+        &self.flat[start..start + len / 2]
+    }
+
+    /// The full-size table (the last stage).
+    #[inline]
+    fn full(&self) -> &[LiftingRotation] {
+        self.stage(self.m)
+    }
+}
+
 /// The approximate multiplication-less integer FFT engine.
 ///
 /// `twiddle_bits` is the dyadic quantization width `β` of Figure 8: the
@@ -92,10 +142,10 @@ pub struct ApproxIntFft {
     int_frac_bits: u32,
     /// Fractional pre-scale for torus polynomials.
     torus_frac_bits: u32,
-    /// Rotations by `+2πk/M`, `k < M/2`.
-    fwd_twiddles: Vec<LiftingRotation>,
-    /// Rotations by `-2πk/M`.
-    inv_twiddles: Vec<LiftingRotation>,
+    /// Rotations by `+2πk/len` per stage, contiguous.
+    fwd_stages: LiftingStages,
+    /// Rotations by `-2πk/len` per stage, contiguous.
+    inv_stages: LiftingStages,
     /// Twist rotations `+πj/N`, `j < M`.
     twist: Vec<LiftingRotation>,
     /// Untwist rotations `-πj/N`.
@@ -122,10 +172,10 @@ impl ApproxIntFft {
         let m = n / 2;
         let tau = std::f64::consts::TAU;
         let pi = std::f64::consts::PI;
-        let fwd_twiddles = (0..m / 2)
+        let fwd_twiddles: Vec<LiftingRotation> = (0..m / 2)
             .map(|k| LiftingRotation::from_angle(tau * k as f64 / m as f64, twiddle_bits))
             .collect();
-        let inv_twiddles = (0..m / 2)
+        let inv_twiddles: Vec<LiftingRotation> = (0..m / 2)
             .map(|k| LiftingRotation::from_angle(-tau * k as f64 / m as f64, twiddle_bits))
             .collect();
         let twist = (0..m)
@@ -144,8 +194,8 @@ impl ApproxIntFft {
             twiddle_bits,
             int_frac_bits,
             torus_frac_bits,
-            fwd_twiddles,
-            inv_twiddles,
+            fwd_stages: LiftingStages::from_full(&fwd_twiddles, m),
+            inv_stages: LiftingStages::from_full(&inv_twiddles, m),
             twist,
             untwist,
         }
@@ -162,13 +212,10 @@ impl ApproxIntFft {
         let m = self.n as u64 / 2;
         let stages = m.trailing_zeros() as u64;
         // Each stage performs M/2 rotations; approximate with the mean cost
-        // over the twiddle table plus 2 butterfly adds per butterfly.
-        let mean_rot: f64 = self
-            .fwd_twiddles
-            .iter()
-            .map(|r| r.adder_ops() as f64)
-            .sum::<f64>()
-            / self.fwd_twiddles.len().max(1) as f64;
+        // over the full twiddle table plus 2 butterfly adds per butterfly.
+        let full = self.fwd_stages.full();
+        let mean_rot: f64 =
+            full.iter().map(|r| r.adder_ops() as f64).sum::<f64>() / full.len().max(1) as f64;
         ((m / 2) as f64 * stages as f64 * (mean_rot + 2.0)) as u64
     }
 
@@ -178,10 +225,9 @@ impl ApproxIntFft {
         let mut len = 2;
         while len <= m {
             let half = len / 2;
-            let step = m / len;
+            let rots = self.fwd_stages.stage(len);
             for start in (0..m).step_by(len) {
-                for k in 0..half {
-                    let rot = self.fwd_twiddles[k * step];
+                for (k, &rot) in rots.iter().enumerate() {
                     let (vr, vi) = rot.apply(re[start + half + k], im[start + half + k]);
                     let (ur, ui) = (re[start + k], im[start + k]);
                     re[start + k] = ur + vr;
@@ -200,10 +246,9 @@ impl ApproxIntFft {
         let mut len = 2;
         while len <= m {
             let half = len / 2;
-            let step = m / len;
+            let rots = self.inv_stages.stage(len);
             for start in (0..m).step_by(len) {
-                for k in 0..half {
-                    let rot = self.inv_twiddles[k * step];
+                for (k, &rot) in rots.iter().enumerate() {
                     let (vr, vi) = rot.apply(re[start + half + k], im[start + half + k]);
                     let (ur, ui) = (re[start + k], im[start + k]);
                     // Halve each output: log2(M) halvings realize the 1/M
@@ -302,6 +347,27 @@ impl FftEngine for ApproxIntFft {
         debug_assert_eq!(p.len(), self.n);
         let c = p.coeffs();
         self.fold_into(out, self.torus_frac_bits, |j| c[j].raw() as i32 as i64);
+        self.dft_forward(&mut out.re, &mut out.im);
+    }
+
+    fn forward_decomposed_into(
+        &self,
+        p: &TorusPolynomial,
+        decomp: &matcha_math::GadgetDecomposer,
+        level: usize,
+        out: &mut FixedSpectrum,
+        _scratch: &mut FixedScratch,
+    ) {
+        debug_assert_eq!(p.len(), self.n);
+        debug_assert!(
+            i64::from(decomp.base() / 2) <= MAX_DIGIT,
+            "digit magnitude bound {} exceeds supported bound {MAX_DIGIT}",
+            decomp.base() / 2
+        );
+        let c = p.coeffs();
+        self.fold_into(out, self.int_frac_bits, |j| {
+            decomp.digit(decomp.shift(c[j]), level) as i64
+        });
         self.dft_forward(&mut out.re, &mut out.im);
     }
 

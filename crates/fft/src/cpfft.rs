@@ -14,7 +14,7 @@
 use crate::cplx::Cplx;
 use crate::engine::FftEngine;
 use crate::ref_fft::{self, CplxScratch, CplxSpectrum};
-use crate::tables::TwiddleTables;
+use crate::tables::{StageTwiddles, TwiddleTables};
 use crate::twist;
 use matcha_math::{IntPolynomial, TorusPolynomial};
 use std::cell::RefCell;
@@ -81,14 +81,14 @@ impl DepthFirstFft {
         let m = buf.len();
         stack.clear();
         stack.resize(2 * m, Cplx::ZERO);
-        // Select the twiddle table once; the recursion never branches on
-        // direction inside its butterfly loop.
-        let roots = if inverse {
-            self.tables.roots_conj()
+        // Select the per-stage twiddle tables once; the recursion never
+        // branches on direction inside its butterfly loop.
+        let stages = if inverse {
+            self.tables.inverse_stages()
         } else {
-            self.tables.roots()
+            self.tables.forward_stages()
         };
-        self.recurse(buf, stack, roots);
+        self.recurse(buf, stack, stages);
         if inverse {
             let scale = 1.0 / m as f64;
             for v in buf.iter_mut() {
@@ -108,7 +108,7 @@ impl DepthFirstFft {
 
     /// Recursive decimation-in-time: `buf` holds the sub-sequence gathered
     /// contiguously; `scratch` provides `2·len` entries of workspace.
-    fn recurse(&self, buf: &mut [Cplx], scratch: &mut [Cplx], roots: &[Cplx]) {
+    fn recurse(&self, buf: &mut [Cplx], scratch: &mut [Cplx], stages: &StageTwiddles) {
         let len = buf.len();
         if len == 1 {
             return;
@@ -123,17 +123,17 @@ impl DepthFirstFft {
             work[half + i] = buf[2 * i + 1];
         }
         let (even, odd) = work.split_at_mut(half);
-        self.recurse(even, rest, roots);
-        self.recurse(odd, rest, roots);
+        self.recurse(even, rest, stages);
+        self.recurse(odd, rest, stages);
 
-        let m = self.tables.size();
-        let step = m / len;
+        // This combine level's twiddles, contiguous (unit-stride reads).
+        let ws = stages.stage(len);
         // Conjugate-pair combination: butterflies k and half-k share the
         // same twiddle load because w^{half-k} = -conj(w^k).
         let quarter = half / 2;
         for k in 0..=quarter {
             let mirror = half - k;
-            let w = roots[k * step];
+            let w = ws[k];
             self.twiddle_reads.fetch_add(1, Ordering::Relaxed);
             // Butterfly k.
             let v = odd[k] * w;
@@ -185,6 +185,18 @@ impl FftEngine for DepthFirstFft {
         scratch: &mut CplxScratch,
     ) {
         twist::fold_torus(p, &self.tables, &mut out.0);
+        self.transform_with(&mut out.0, &mut scratch.stack, false);
+    }
+
+    fn forward_decomposed_into(
+        &self,
+        p: &TorusPolynomial,
+        decomp: &matcha_math::GadgetDecomposer,
+        level: usize,
+        out: &mut CplxSpectrum,
+        scratch: &mut CplxScratch,
+    ) {
+        twist::fold_torus_digit(p, decomp, level, &self.tables, &mut out.0);
         self.transform_with(&mut out.0, &mut scratch.stack, false);
     }
 

@@ -19,7 +19,7 @@
 //! all required capacity and steady-state transforms allocate nothing. The
 //! allocating methods remain as thin wrappers over the `*_into` core.
 
-use matcha_math::{IntPolynomial, TorusPolynomial};
+use matcha_math::{GadgetDecomposer, IntPolynomial, TorusPolynomial};
 use std::fmt::Debug;
 
 /// A Lagrange half-complex spectrum owned by a specific engine family.
@@ -106,6 +106,33 @@ pub trait FftEngine {
         out: &mut Self::Spectrum,
         scratch: &mut Self::Scratch,
     );
+
+    /// Fused gadget-decompose → forward transform: extracts digit `level`
+    /// of every coefficient of `p` during the negacyclic twist fold and
+    /// transforms it, writing into `out`.
+    ///
+    /// Must be bit-identical to materializing the digit polynomial with
+    /// [`GadgetDecomposer::decompose_poly_into`] and calling
+    /// [`FftEngine::forward_int_into`] on it — the external product relies
+    /// on that equivalence to swap freely between the two paths. The
+    /// default implementation does exactly that (and allocates the
+    /// intermediate digit polynomial); the in-tree engines override it with
+    /// a truly fused, allocation-free fold so digit polynomials are never
+    /// written to memory.
+    fn forward_decomposed_into(
+        &self,
+        p: &TorusPolynomial,
+        decomp: &GadgetDecomposer,
+        level: usize,
+        out: &mut Self::Spectrum,
+        scratch: &mut Self::Scratch,
+    ) {
+        let mut digit = IntPolynomial::zero(p.len());
+        for (d, &c) in digit.coeffs_mut().iter_mut().zip(p.coeffs().iter()) {
+            *d = decomp.digit(decomp.shift(c), level);
+        }
+        self.forward_int_into(&digit, out, scratch);
+    }
 
     /// Lagrange domain → torus coefficients (with reduction mod 1), writing
     /// into `out`.
@@ -292,6 +319,16 @@ impl<E: FftEngine + ?Sized> FftEngine for &E {
         scratch: &mut Self::Scratch,
     ) {
         (**self).forward_torus_into(p, out, scratch)
+    }
+    fn forward_decomposed_into(
+        &self,
+        p: &TorusPolynomial,
+        decomp: &GadgetDecomposer,
+        level: usize,
+        out: &mut Self::Spectrum,
+        scratch: &mut Self::Scratch,
+    ) {
+        (**self).forward_decomposed_into(p, decomp, level, out, scratch)
     }
     fn backward_torus_into(
         &self,

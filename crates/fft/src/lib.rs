@@ -61,3 +61,4 @@ pub use error::{fft_roundtrip_error_db, poly_mul_error_db};
 pub use lifting::{DyadicCoeff, LiftingRotation};
 pub use radix4::Radix4Fft;
 pub use ref_fft::F64Fft;
+pub use tables::{StageTwiddles, TwiddleTables};

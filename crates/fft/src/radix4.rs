@@ -12,7 +12,7 @@
 use crate::cplx::Cplx;
 use crate::engine::FftEngine;
 use crate::ref_fft::{self, CplxScratch, CplxSpectrum};
-use crate::tables::TwiddleTables;
+use crate::tables::{StageTwiddles, TwiddleTables};
 use crate::twist;
 use matcha_math::{IntPolynomial, TorusPolynomial};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -74,19 +74,20 @@ impl Radix4Fft {
         let m = buf.len();
         stack.clear();
         stack.resize(2 * m, Cplx::ZERO);
-        // Direction is decided once: the conjugated table and the rotated
-        // `i` are selected here, keeping the butterfly loop branch-free.
-        let roots = if inverse {
-            self.tables.roots_conj()
+        // Direction is decided once: the per-stage conjugated tables and
+        // the rotated `i` are selected here, keeping the butterfly loop
+        // branch-free.
+        let stages = if inverse {
+            self.tables.inverse_stages()
         } else {
-            self.tables.roots()
+            self.tables.forward_stages()
         };
         let rot_i = if inverse {
             Cplx::new(0.0, -1.0)
         } else {
             Cplx::new(0.0, 1.0)
         };
-        self.recurse(buf, stack, roots, rot_i);
+        self.recurse(buf, stack, stages, rot_i);
         if inverse {
             let scale = 1.0 / m as f64;
             for v in buf.iter_mut() {
@@ -95,7 +96,7 @@ impl Radix4Fft {
         }
     }
 
-    fn recurse(&self, buf: &mut [Cplx], scratch: &mut [Cplx], roots: &[Cplx], rot_i: Cplx) {
+    fn recurse(&self, buf: &mut [Cplx], scratch: &mut [Cplx], stages: &StageTwiddles, rot_i: Cplx) {
         let len = buf.len();
         match len {
             1 => {}
@@ -104,11 +105,17 @@ impl Radix4Fft {
                 buf[0] = a + b;
                 buf[1] = a - b;
             }
-            _ => self.radix4_step(buf, scratch, roots, rot_i),
+            _ => self.radix4_step(buf, scratch, stages, rot_i),
         }
     }
 
-    fn radix4_step(&self, buf: &mut [Cplx], scratch: &mut [Cplx], roots: &[Cplx], rot_i: Cplx) {
+    fn radix4_step(
+        &self,
+        buf: &mut [Cplx],
+        scratch: &mut [Cplx],
+        stages: &StageTwiddles,
+        rot_i: Cplx,
+    ) {
         let len = buf.len();
         let quarter = len / 4;
         // Gather the four decimated subsequences into the scratch window and
@@ -121,15 +128,16 @@ impl Radix4Fft {
         }
         for r in 0..4 {
             let (sub, _) = work[r * quarter..].split_at_mut(quarter);
-            self.recurse(sub, rest, roots, rot_i);
+            self.recurse(sub, rest, stages, rot_i);
         }
 
-        let m = self.tables.size();
-        let step = m / len;
+        // This level's radix-2 stage slice: the radix-4 butterflies consume
+        // its first `len/4` entries with unit stride.
+        let ws = stages.stage(len);
         for k in 0..quarter {
             // Single twiddle-buffer read per radix-4 butterfly; W^{2k} and
             // W^{3k} are derived multiplicatively.
-            let w1 = roots[k * step];
+            let w1 = ws[k];
             self.twiddle_reads.fetch_add(1, Ordering::Relaxed);
             let w2 = w1 * w1;
             let w3 = w2 * w1;
@@ -186,6 +194,18 @@ impl FftEngine for Radix4Fft {
         scratch: &mut CplxScratch,
     ) {
         twist::fold_torus(p, &self.tables, &mut out.0);
+        self.transform_with(&mut out.0, &mut scratch.stack, false);
+    }
+
+    fn forward_decomposed_into(
+        &self,
+        p: &TorusPolynomial,
+        decomp: &matcha_math::GadgetDecomposer,
+        level: usize,
+        out: &mut CplxSpectrum,
+        scratch: &mut CplxScratch,
+    ) {
+        twist::fold_torus_digit(p, decomp, level, &self.tables, &mut out.0);
         self.transform_with(&mut out.0, &mut scratch.stack, false);
     }
 

@@ -42,8 +42,9 @@ pub enum Direction {
 
 /// Iterative radix-2 transform with the requested kernel sign.
 ///
-/// The direction decides the twiddle table (forward or conjugated) once,
-/// before the butterfly loops — the innermost loop carries no branch.
+/// The direction decides the twiddle tables (forward or pre-conjugated)
+/// once, before the butterfly loops — the innermost loop carries no branch
+/// and walks its stage's contiguous twiddle slice with unit stride.
 ///
 /// Exposed so the depth-first engine's tests can compare flows; library
 /// users should go through [`FftEngine`].
@@ -51,17 +52,16 @@ pub fn dft_in_place(buf: &mut [Cplx], tables: &TwiddleTables, dir: Direction) {
     let m = buf.len();
     debug_assert_eq!(m, tables.size());
     bit_reverse_permute(buf);
-    let roots: &[Cplx] = match dir {
-        Direction::Forward => tables.roots(),
-        Direction::Inverse => tables.roots_conj(),
+    let stages = match dir {
+        Direction::Forward => tables.forward_stages(),
+        Direction::Inverse => tables.inverse_stages(),
     };
     let mut len = 2;
     while len <= m {
         let half = len / 2;
-        let step = m / len;
+        let ws = stages.stage(len);
         for start in (0..m).step_by(len) {
-            for k in 0..half {
-                let w = roots[k * step];
+            for (k, &w) in ws.iter().enumerate() {
                 let u = buf[start + k];
                 let v = buf[start + half + k] * w;
                 buf[start + k] = u + v;
@@ -152,6 +152,18 @@ impl FftEngine for F64Fft {
         _scratch: &mut CplxScratch,
     ) {
         twist::fold_torus(p, &self.tables, &mut out.0);
+        dft_in_place(&mut out.0, &self.tables, Direction::Forward);
+    }
+
+    fn forward_decomposed_into(
+        &self,
+        p: &TorusPolynomial,
+        decomp: &matcha_math::GadgetDecomposer,
+        level: usize,
+        out: &mut CplxSpectrum,
+        _scratch: &mut CplxScratch,
+    ) {
+        twist::fold_torus_digit(p, decomp, level, &self.tables, &mut out.0);
         dft_in_place(&mut out.0, &self.tables, Direction::Forward);
     }
 

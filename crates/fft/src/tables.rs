@@ -2,19 +2,86 @@
 //!
 //! The transform size used throughout is `M = N/2` complex points for a ring
 //! of degree `N` (Lagrange half-complex folding, see [`crate::twist`]).
+//!
+//! # Per-stage contiguous layout
+//!
+//! A breadth-first butterfly stage of length `len` reads the roots
+//! `w^{k·(M/len)}` for `k < len/2` — a *strided* walk over one big table,
+//! whose stride changes every stage. [`StageTwiddles`] instead stores each
+//! stage's factors contiguously (the software mirror of the paper's
+//! twiddle-access argument: MATCHA's address generation unit streams each
+//! stage's factors as a unit-stride burst). Every engine's inner loop then
+//! reads its stage slice sequentially, and the direction (forward or
+//! conjugated inverse) is resolved once per transform, never per butterfly.
 
 use crate::cplx::Cplx;
 
-/// Twiddle factors `e^{+2πik/M}` for `k ∈ [0, M/2)` plus the twist factors
-/// `e^{+iπj/N}` for `j ∈ [0, M)`.
+/// One direction's twiddle factors, stored contiguously per stage.
+///
+/// Stage `s` serves butterflies of length `len = 2^{s+1}` and holds the
+/// `len/2` factors `w^{k·(M/len)}` (`w = e^{±2πi/M}`) in index order. The
+/// final stage (`len = M`) is exactly the classic strided table, so it
+/// doubles as the flat `roots` view.
+#[derive(Clone, Debug)]
+pub struct StageTwiddles {
+    /// All stages back to back: `1 + 2 + … + M/2 = M − 1` entries.
+    flat: Vec<Cplx>,
+    /// `offsets[s]` = start of the stage for `len = 2^{s+1}`.
+    offsets: Vec<usize>,
+    /// Transform size `M`.
+    m: usize,
+}
+
+impl StageTwiddles {
+    /// Copies per-stage slices out of the full-size table `full`
+    /// (`full[k] = w^k`, `k < m/2`), so every entry is bit-identical to the
+    /// strided access `full[k * (m/len)]` it replaces.
+    fn from_full(full: &[Cplx], m: usize) -> Self {
+        debug_assert_eq!(full.len(), m / 2);
+        let mut flat = Vec::with_capacity(m.saturating_sub(1));
+        let mut offsets = Vec::new();
+        let mut len = 2;
+        while len <= m {
+            offsets.push(flat.len());
+            let step = m / len;
+            flat.extend((0..len / 2).map(|k| full[k * step]));
+            len *= 2;
+        }
+        Self { flat, offsets, m }
+    }
+
+    /// The contiguous factor slice for butterflies of length `len`
+    /// (`len/2` entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `len` is not a power of two in `[2, M]`.
+    #[inline]
+    pub fn stage(&self, len: usize) -> &[Cplx] {
+        debug_assert!(len.is_power_of_two() && len >= 2 && len <= self.m);
+        let s = len.trailing_zeros() as usize - 1;
+        let start = self.offsets[s];
+        &self.flat[start..start + len / 2]
+    }
+
+    /// The full-size table `w^k`, `k < M/2` (the last stage).
+    #[inline]
+    pub fn full(&self) -> &[Cplx] {
+        self.stage(self.m)
+    }
+}
+
+/// Twiddle factors `e^{+2πik/M}` for `k ∈ [0, M/2)` — forward and
+/// pre-conjugated inverse, both in per-stage contiguous layout — plus the
+/// twist factors `e^{+iπj/N}` for `j ∈ [0, M)`.
 #[derive(Clone, Debug)]
 pub struct TwiddleTables {
     m: usize,
-    /// `roots[k] = e^{2πik/M}`, `k < M/2` — enough for radix-2 butterflies.
-    roots: Vec<Cplx>,
-    /// `roots_conj[k] = e^{-2πik/M}`: the inverse-transform twiddles,
-    /// precomputed so the butterfly inner loops never branch on direction.
-    roots_conj: Vec<Cplx>,
+    /// Forward kernel `e^{+2πik/M}`, per-stage contiguous.
+    fwd: StageTwiddles,
+    /// Inverse kernel `e^{-2πik/M}` (pre-conjugated so butterfly loops
+    /// never branch on direction), per-stage contiguous.
+    inv: StageTwiddles,
     /// `twist[j] = e^{iπj/N}`, `j < M`.
     twist: Vec<Cplx>,
 }
@@ -34,14 +101,14 @@ impl TwiddleTables {
         let roots: Vec<Cplx> = (0..m / 2)
             .map(|k| Cplx::from_angle(std::f64::consts::TAU * k as f64 / m as f64))
             .collect();
-        let roots_conj = roots.iter().map(|r| r.conj()).collect();
+        let roots_conj: Vec<Cplx> = roots.iter().map(|r| r.conj()).collect();
         let twist = (0..m)
             .map(|j| Cplx::from_angle(std::f64::consts::PI * j as f64 / n as f64))
             .collect();
         Self {
             m,
-            roots,
-            roots_conj,
+            fwd: StageTwiddles::from_full(&roots, m),
+            inv: StageTwiddles::from_full(&roots_conj, m),
             twist,
         }
     }
@@ -55,19 +122,31 @@ impl TwiddleTables {
     /// `e^{2πik/M}` for `k < M/2`.
     #[inline]
     pub fn root(&self, k: usize) -> Cplx {
-        self.roots[k]
+        self.fwd.full()[k]
     }
 
-    /// The forward twiddle table as a slice.
+    /// The forward twiddle table as a flat slice.
     #[inline]
     pub fn roots(&self) -> &[Cplx] {
-        &self.roots
+        self.fwd.full()
     }
 
-    /// The conjugated (inverse-kernel) twiddle table as a slice.
+    /// The conjugated (inverse-kernel) twiddle table as a flat slice.
     #[inline]
     pub fn roots_conj(&self) -> &[Cplx] {
-        &self.roots_conj
+        self.inv.full()
+    }
+
+    /// Forward twiddles in per-stage contiguous layout.
+    #[inline]
+    pub fn forward_stages(&self) -> &StageTwiddles {
+        &self.fwd
+    }
+
+    /// Pre-conjugated inverse twiddles in per-stage contiguous layout.
+    #[inline]
+    pub fn inverse_stages(&self) -> &StageTwiddles {
+        &self.inv
     }
 
     /// `e^{iπj/N}` for `j < M`.
@@ -113,6 +192,53 @@ mod tests {
     fn quarter_root_is_i() {
         let t = TwiddleTables::new(32); // M = 16
         assert!((t.root(4) - Cplx::new(0.0, 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stage_slices_match_strided_access() {
+        let t = TwiddleTables::new(64); // M = 32
+        let m = t.size();
+        let mut len = 2;
+        while len <= m {
+            let step = m / len;
+            let fwd = t.forward_stages().stage(len);
+            let inv = t.inverse_stages().stage(len);
+            assert_eq!(fwd.len(), len / 2, "len={len}");
+            for k in 0..len / 2 {
+                assert_eq!(fwd[k], t.roots()[k * step], "fwd len={len} k={k}");
+                assert_eq!(inv[k], t.roots_conj()[k * step], "inv len={len} k={k}");
+            }
+            len *= 2;
+        }
+    }
+
+    #[test]
+    fn stage_layout_is_contiguous_and_complete() {
+        let t = TwiddleTables::new(128); // M = 64
+        let m = t.size();
+        // 1 + 2 + ... + M/2 = M - 1 entries overall.
+        let total: usize = {
+            let mut sum = 0;
+            let mut len = 2;
+            while len <= m {
+                sum += t.forward_stages().stage(len).len();
+                len *= 2;
+            }
+            sum
+        };
+        assert_eq!(total, m - 1);
+        // Adjacent stages are back to back in memory.
+        let s2 = t.forward_stages().stage(2).as_ptr();
+        let s4 = t.forward_stages().stage(4).as_ptr();
+        assert_eq!(unsafe { s2.add(1) }, s4);
+    }
+
+    #[test]
+    fn smallest_ring_has_single_stage() {
+        let t = TwiddleTables::new(4); // M = 2
+        assert_eq!(t.forward_stages().stage(2).len(), 1);
+        assert_eq!(t.roots().len(), 1);
+        assert!((t.root(0) - Cplx::ONE).abs() < 1e-15);
     }
 
     #[test]

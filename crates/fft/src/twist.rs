@@ -18,7 +18,7 @@
 
 use crate::cplx::Cplx;
 use crate::tables::TwiddleTables;
-use matcha_math::{IntPolynomial, Torus32, TorusPolynomial};
+use matcha_math::{GadgetDecomposer, IntPolynomial, Torus32, TorusPolynomial};
 
 /// Folds an integer polynomial into the twisted complex buffer
 /// (the input of the forward transform).
@@ -29,6 +29,33 @@ pub fn fold_int(p: &IntPolynomial, tables: &TwiddleTables, out: &mut Vec<Cplx>) 
     let c = p.coeffs();
     for j in 0..m {
         let v = Cplx::new(c[j] as f64, c[j + m] as f64);
+        out.push(v * tables.twist(j));
+    }
+}
+
+/// Folds one gadget-digit level of a torus polynomial into the twisted
+/// complex buffer — the fused decompose→twist input stage.
+///
+/// Each coefficient's centered digit is extracted on the fly while it is
+/// loaded for the twist, so the digit polynomial is never written to
+/// memory. Bit-identical to
+/// [`GadgetDecomposer::decompose_poly_into`] followed by [`fold_int`] on
+/// the requested level.
+pub fn fold_torus_digit(
+    p: &TorusPolynomial,
+    decomp: &GadgetDecomposer,
+    level: usize,
+    tables: &TwiddleTables,
+    out: &mut Vec<Cplx>,
+) {
+    let m = tables.size();
+    debug_assert_eq!(p.len(), 2 * m);
+    out.clear();
+    let c = p.coeffs();
+    for j in 0..m {
+        let lo = decomp.digit(decomp.shift(c[j]), level);
+        let hi = decomp.digit(decomp.shift(c[j + m]), level);
+        let v = Cplx::new(lo as f64, hi as f64);
         out.push(v * tables.twist(j));
     }
 }
@@ -123,6 +150,25 @@ mod tests {
         // so compose manually.
         let q = unfold_torus(&buf, &tables);
         assert_eq!(p, q);
+    }
+
+    #[test]
+    fn fold_torus_digit_matches_materialized_digits() {
+        let tables = TwiddleTables::new(8);
+        let decomp = GadgetDecomposer::new(8, 3);
+        let p = TorusPolynomial::from_coeffs(
+            (0..8u32)
+                .map(|i| Torus32::from_raw(i.wrapping_mul(0x9e37_79b9).wrapping_add(11)))
+                .collect(),
+        );
+        let digits = decomp.decompose_poly(&p);
+        let mut fused = Vec::new();
+        let mut unfused = Vec::new();
+        for (level, digit_poly) in digits.iter().enumerate() {
+            fold_torus_digit(&p, &decomp, level, &tables, &mut fused);
+            fold_int(digit_poly, &tables, &mut unfused);
+            assert_eq!(fused, unfused, "level {level}");
+        }
     }
 
     #[test]

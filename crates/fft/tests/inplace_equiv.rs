@@ -65,6 +65,30 @@ fn check_engine<E: FftEngine>(engine: &E, p: &TorusPolynomial, q: &IntPolynomial
     prop_assert_eq!(&back_pair, &back_seq);
 }
 
+/// The fused decompose→twist transform must be bit-identical, per level, to
+/// materializing the digit polynomial and running `forward_int_into` on it
+/// (the PR 1 scratch path). Compared through exact backward transforms so
+/// engine-specific spectrum types need no `PartialEq`.
+fn check_fused_decompose<E: FftEngine>(engine: &E, p: &TorusPolynomial) {
+    let decomp = GadgetDecomposer::new(8, 3);
+    let mut scratch = engine.make_scratch();
+    let mut digits: Vec<IntPolynomial> = (0..decomp.levels())
+        .map(|_| IntPolynomial::zero(N))
+        .collect();
+    decomp.decompose_poly_into(p, &mut digits);
+    for (level, digit_poly) in digits.iter().enumerate() {
+        let mut fused = engine.zero_spectrum();
+        engine.forward_decomposed_into(p, &decomp, level, &mut fused, &mut scratch);
+        let mut unfused = engine.zero_spectrum();
+        engine.forward_int_into(digit_poly, &mut unfused, &mut scratch);
+        let mut back_fused = TorusPolynomial::zero(N);
+        let mut back_unfused = TorusPolynomial::zero(N);
+        engine.backward_torus_into(&fused, &mut back_fused, &mut scratch);
+        engine.backward_torus_into(&unfused, &mut back_unfused, &mut scratch);
+        prop_assert_eq!(&back_fused, &back_unfused, "level {}", level);
+    }
+}
+
 /// Bundle-path surface: `monomial_minus_one_into`, `bundle_accumulator_into`
 /// and `scale_accumulate_pair` against their allocating/sequential forms.
 fn check_bundle_path<E: FftEngine>(
@@ -127,6 +151,26 @@ proptest! {
     #[test]
     fn approx_into_matches_allocating(p in torus_poly(), q in digit_poly()) {
         check_engine(&ApproxIntFft::new(N, 50), &p, &q);
+    }
+
+    #[test]
+    fn f64_fused_decompose_matches(p in torus_poly()) {
+        check_fused_decompose(&F64Fft::new(N), &p);
+    }
+
+    #[test]
+    fn depth_first_fused_decompose_matches(p in torus_poly()) {
+        check_fused_decompose(&DepthFirstFft::new(N), &p);
+    }
+
+    #[test]
+    fn radix4_fused_decompose_matches(p in torus_poly()) {
+        check_fused_decompose(&Radix4Fft::new(N), &p);
+    }
+
+    #[test]
+    fn approx_fused_decompose_matches(p in torus_poly()) {
+        check_fused_decompose(&ApproxIntFft::new(N, 50), &p);
     }
 
     #[test]

@@ -97,6 +97,31 @@ impl GadgetDecomposer {
         Torus32::from_raw(1u32 << (32 - (level as u32 + 1) * self.bg_bits))
     }
 
+    /// The offset-shifted representative from which every digit of `x` is
+    /// extracted: `x + Σ_j Bg/2·h_j` plus the rounding half-ulp. Feed the
+    /// result to [`GadgetDecomposer::digit`] once per level.
+    ///
+    /// This is the per-coefficient entry point the fused decompose→twist
+    /// FFT fold uses: callers that consume one digit level at a time can
+    /// extract it on the fly instead of materializing digit polynomials.
+    #[inline]
+    pub fn shift(&self, x: Torus32) -> u32 {
+        x.raw().wrapping_add(self.offset)
+    }
+
+    /// Extracts the centered digit of level `level` (`0` = most
+    /// significant) from a representative produced by
+    /// [`GadgetDecomposer::shift`]. Bit-identical to the corresponding
+    /// entry of [`GadgetDecomposer::decompose`].
+    #[inline]
+    pub fn digit(&self, shifted: u32, level: usize) -> i32 {
+        debug_assert!(level < self.levels);
+        let mask = self.base() - 1;
+        let half = (self.base() / 2) as i32;
+        let sh = 32 - (level as u32 + 1) * self.bg_bits;
+        ((shifted >> sh) & mask) as i32 - half
+    }
+
     /// Decomposes one torus element into `ℓ` centered digits,
     /// most significant first.
     pub fn decompose(&self, x: Torus32) -> Vec<i32> {
@@ -109,13 +134,9 @@ impl GadgetDecomposer {
     /// allocation in the external-product hot loop.
     pub fn decompose_into(&self, x: Torus32, out: &mut Vec<i32>) {
         out.clear();
-        let mask = self.base() - 1;
-        let half = (self.base() / 2) as i32;
-        let t = x.raw().wrapping_add(self.offset);
-        for level in 1..=self.levels as u32 {
-            let shift = 32 - level * self.bg_bits;
-            let digit = ((t >> shift) & mask) as i32 - half;
-            out.push(digit);
+        let t = self.shift(x);
+        for level in 0..self.levels {
+            out.push(self.digit(t, level));
         }
     }
 
@@ -150,16 +171,13 @@ impl GadgetDecomposer {
     /// length differs from `p.len()`.
     pub fn decompose_poly_into(&self, p: &TorusPolynomial, out: &mut [IntPolynomial]) {
         assert_eq!(out.len(), self.levels, "one output polynomial per level");
-        let mask = self.base() - 1;
-        let half = (self.base() / 2) as i32;
         for poly in out.iter_mut() {
             assert_eq!(poly.len(), p.len(), "digit polynomial length mismatch");
         }
         for (i, &c) in p.coeffs().iter().enumerate() {
-            let t = c.raw().wrapping_add(self.offset);
+            let t = self.shift(c);
             for (level, poly) in out.iter_mut().enumerate() {
-                let shift = 32 - (level as u32 + 1) * self.bg_bits;
-                poly.coeffs_mut()[i] = ((t >> shift) & mask) as i32 - half;
+                poly.coeffs_mut()[i] = self.digit(t, level);
             }
         }
     }
@@ -228,6 +246,19 @@ mod tests {
             let scalar = d.decompose(c);
             for (level, poly) in polys.iter().enumerate() {
                 assert_eq!(poly.coeffs()[i], scalar[level]);
+            }
+        }
+    }
+
+    #[test]
+    fn per_coefficient_digit_matches_decompose() {
+        let d = GadgetDecomposer::new(10, 3);
+        for i in 0..500u32 {
+            let x = Torus32::from_raw(i.wrapping_mul(0x9e37_79b9).wrapping_add(3));
+            let t = d.shift(x);
+            let full = d.decompose(x);
+            for (level, &digit) in full.iter().enumerate() {
+                assert_eq!(d.digit(t, level), digit, "level {level}");
             }
         }
     }

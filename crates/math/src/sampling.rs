@@ -70,9 +70,19 @@ impl<R: Rng> TorusSampler<R> {
 
     /// A centered Gaussian real sample with standard deviation `stdev`,
     /// via Box–Muller.
+    ///
+    /// Box–Muller needs `u1 ∈ (0, 1]`: `u1 = 0` would make
+    /// `(-2·ln u1).sqrt()` infinite, and `Torus32::from_f64` would then
+    /// silently saturate the NaN/∞ noise sample. A `[0, 1)` draw is
+    /// reflected to `(0, 1]`, and a redraw guard keeps the invariant even
+    /// for generators whose `f64` distribution can return exactly `1.0`.
     pub fn gaussian_f64(&mut self, stdev: f64) -> f64 {
-        // u1 ∈ (0, 1] avoids ln(0).
-        let u1: f64 = 1.0 - self.rng.gen::<f64>();
+        let u1: f64 = loop {
+            let u = 1.0 - self.rng.gen::<f64>();
+            if u > 0.0 {
+                break u;
+            }
+        };
         let u2: f64 = self.rng.gen::<f64>();
         stdev * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
@@ -120,6 +130,43 @@ mod tests {
             (sd - stdev).abs() / stdev < 0.05,
             "stdev {sd} vs expected {stdev}"
         );
+    }
+
+    /// Adversarial generator driving the uniform source to its extremes:
+    /// alternating all-ones / all-zero words, so `gen::<f64>()` hits both
+    /// its largest representable value and exactly `0.0`.
+    struct ExtremeRng {
+        flip: bool,
+    }
+
+    impl rand::RngCore for ExtremeRng {
+        fn next_u64(&mut self) -> u64 {
+            self.flip = !self.flip;
+            if self.flip {
+                u64::MAX
+            } else {
+                0
+            }
+        }
+    }
+
+    /// Regression: the Box–Muller draw must stay finite at the extreme ends
+    /// of the uniform source — `u1` must never reach 0 (infinite radius) —
+    /// and the resulting torus sample must not silently saturate.
+    #[test]
+    fn gaussian_is_finite_at_uniform_extremes() {
+        let mut s = TorusSampler::new(ExtremeRng { flip: false });
+        for i in 0..64 {
+            let x = s.gaussian_f64(1e-5);
+            assert!(x.is_finite(), "draw {i} produced non-finite sample {x}");
+            assert!(x.abs() < 1.0, "draw {i}: |{x}| not a plausible noise");
+        }
+        // A long run through the real generator never produces a
+        // non-finite sample either.
+        let mut s = sampler(77);
+        for _ in 0..100_000 {
+            assert!(s.gaussian_f64(1e-7).is_finite());
+        }
     }
 
     #[test]

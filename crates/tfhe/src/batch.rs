@@ -37,7 +37,9 @@ pub struct BatchResult {
 
 fn finish_batch(outputs: Vec<LweCiphertext>, t0: Instant, threads: usize) -> BatchResult {
     let elapsed_s = t0.elapsed().as_secs_f64();
-    let gates_per_second = if elapsed_s > 0.0 {
+    let gates_per_second = if outputs.is_empty() {
+        0.0
+    } else if elapsed_s > 0.0 {
         outputs.len() as f64 / elapsed_s
     } else {
         f64::INFINITY
@@ -90,7 +92,12 @@ where
 {
     assert!(threads > 0, "need at least one worker");
     let t0 = Instant::now();
-    let threads = threads.min(pairs.len().max(1));
+    if pairs.is_empty() {
+        // No work: `pairs.chunks(0)` below would panic, and spawning
+        // workers for nothing is pointless. Report an empty batch.
+        return finish_batch(Vec::new(), t0, 0);
+    }
+    let threads = threads.min(pairs.len());
     let chunk = pairs.len().div_ceil(threads);
     let mut outputs: Vec<Option<LweCiphertext>> = vec![None; pairs.len()];
 
@@ -221,6 +228,11 @@ where
     /// outputs in input order.
     pub fn run(&self, gate: Gate, pairs: &[(LweCiphertext, LweCiphertext)]) -> BatchResult {
         let t0 = Instant::now();
+        if pairs.is_empty() {
+            // Same contract as `run_gate_batch`: an empty batch is a valid
+            // request that produces an empty result, not a panic.
+            return finish_batch(Vec::new(), t0, 0);
+        }
         let (reply_tx, reply_rx) = mpsc::channel();
         let tx = self.tx.as_ref().expect("pool is live");
         for (index, (a, b)) in pairs.iter().enumerate() {
@@ -319,6 +331,34 @@ mod tests {
         let result = run_gate_batch(&server, Gate::And, &enc, 16);
         assert_eq!(result.outputs.len(), 2);
         assert!(result.threads <= 2);
+    }
+
+    #[test]
+    fn empty_batch_returns_empty_result() {
+        let mut rng = StdRng::seed_from_u64(88);
+        let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+        let server = ServerKey::new(&client, F64Fft::new(256), &mut rng);
+        let result = run_gate_batch(&server, Gate::Nand, &[], 4);
+        assert!(result.outputs.is_empty());
+        assert_eq!(result.threads, 0);
+        assert_eq!(result.gates_per_second, 0.0);
+    }
+
+    #[test]
+    fn pool_handles_empty_batch() {
+        let mut rng = StdRng::seed_from_u64(89);
+        let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+        let server = Arc::new(ServerKey::new(&client, F64Fft::new(256), &mut rng));
+        let pool = GateBatchPool::new(Arc::clone(&server), 2);
+        let empty = pool.run(Gate::And, &[]);
+        assert!(empty.outputs.is_empty());
+        assert_eq!(empty.gates_per_second, 0.0);
+        // The pool is still usable for real work afterwards.
+        let (plain, enc) = inputs(&client, &mut rng, 2);
+        let result = pool.run(Gate::And, &enc);
+        for ((a, b), out) in plain.iter().zip(result.outputs.iter()) {
+            assert_eq!(client.decrypt(out), a & b);
+        }
     }
 
     #[test]

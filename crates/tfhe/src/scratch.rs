@@ -19,17 +19,19 @@ use crate::tgsw::TgswSpectrum;
 use crate::tlwe::TrlweCiphertext;
 use crate::LweCiphertext;
 use matcha_fft::FftEngine;
-use matcha_math::{IntPolynomial, TorusPolynomial};
+use matcha_math::TorusPolynomial;
 
-/// Workspace for one in-place external product: digit polynomials, the
-/// digit spectrum, the two spectral accumulators and the engine scratch.
+/// Workspace for one in-place external product: the digit spectrum, the
+/// two spectral accumulators and the engine scratch.
+///
+/// Since the fused decompose→twist path, digit polynomials are extracted
+/// inside the forward transforms and never materialized, so the workspace
+/// no longer carries `2ℓ` digit-polynomial buffers.
 #[derive(Debug)]
 pub struct EpScratch<E: FftEngine> {
     /// Engine-level FFT workspace.
     pub(crate) engine: E::Scratch,
-    /// `2ℓ` digit polynomials (mask digits first, then body digits).
-    pub(crate) digits: Vec<IntPolynomial>,
-    /// Spectrum of the digit currently being accumulated.
+    /// Spectrum of the digit level currently being accumulated.
     pub(crate) fd: E::Spectrum,
     /// Mask-row spectral accumulator.
     pub(crate) acc_a: E::Spectrum,
@@ -38,14 +40,10 @@ pub struct EpScratch<E: FftEngine> {
 }
 
 impl<E: FftEngine> EpScratch<E> {
-    /// Builds a workspace sized for `params` (ring degree and decomposition
-    /// length).
-    pub fn new(engine: &E, params: &ParameterSet) -> Self {
-        let n = params.ring_degree;
-        let levels = params.decomp_levels;
+    /// Builds a workspace sized for `params` (ring degree).
+    pub fn new(engine: &E, _params: &ParameterSet) -> Self {
         Self {
             engine: engine.make_scratch(),
-            digits: (0..2 * levels).map(|_| IntPolynomial::zero(n)).collect(),
             fd: engine.zero_spectrum(),
             acc_a: engine.zero_spectrum(),
             acc_b: engine.zero_spectrum(),

@@ -187,9 +187,18 @@ impl<E: FftEngine> TgswSpectrum<E> {
     }
 
     /// The external product `c ← self ⊡ c`, evaluated entirely through the
-    /// caller's scratch: digits, spectra and FFT buffers are reused, so a
-    /// warmed call performs zero heap allocations. Bit-identical to
-    /// [`TgswSpectrum::external_product`].
+    /// caller's scratch with the fused decompose→twist forward transforms:
+    /// each digit level is extracted coefficient-by-coefficient inside
+    /// [`FftEngine::forward_decomposed_into`]'s twist fold, so digit
+    /// polynomials are never written to memory, and spectra and FFT buffers
+    /// are reused, so a warmed call performs zero heap allocations.
+    /// Bit-identical to [`TgswSpectrum::external_product`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decomp.levels()` differs from this sample's `ℓ` (the old
+    /// materializing path enforced this through its digit buffers; the
+    /// fused path would otherwise extract garbage digit levels silently).
     pub fn external_product_assign(
         &self,
         engine: &E,
@@ -197,29 +206,32 @@ impl<E: FftEngine> TgswSpectrum<E> {
         decomp: &GadgetDecomposer,
         scratch: &mut EpScratch<E>,
     ) {
-        debug_assert_eq!(decomp.levels(), self.levels);
+        assert_eq!(
+            decomp.levels(),
+            self.levels,
+            "decomposer levels must match the TGSW sample's ℓ"
+        );
         let levels = self.levels;
         let EpScratch {
             engine: es,
-            digits,
             fd,
             acc_a,
             acc_b,
         } = scratch;
-        debug_assert_eq!(digits.len(), 2 * levels, "scratch sized for a different ℓ");
-        profile::timed(Phase::Other, || {
-            let (mask_digits, body_digits) = digits.split_at_mut(levels);
-            decomp.decompose_poly_into(c.mask(), mask_digits);
-            decomp.decompose_poly_into(c.body(), body_digits);
-        });
         engine.clear_spectrum(acc_a);
         engine.clear_spectrum(acc_b);
-        for (j, digit) in digits.iter().enumerate() {
-            profile::timed(Phase::Ifft, || engine.forward_int_into(digit, fd, es));
-            let row = &self.rows[j];
-            profile::timed(Phase::Other, || {
-                engine.mul_accumulate_pair(acc_a, acc_b, fd, &row.a, &row.b);
-            });
+        // Mask rows first, then body rows — the same accumulation order as
+        // the materializing path, so rounding histories agree exactly.
+        for (half, poly) in [c.mask(), c.body()].into_iter().enumerate() {
+            for level in 0..levels {
+                profile::timed(Phase::Ifft, || {
+                    engine.forward_decomposed_into(poly, decomp, level, fd, es)
+                });
+                let row = &self.rows[half * levels + level];
+                profile::timed(Phase::Other, || {
+                    engine.mul_accumulate_pair(acc_a, acc_b, fd, &row.a, &row.b);
+                });
+            }
         }
         let (mask, body) = c.parts_mut();
         profile::timed(Phase::Fft, || engine.backward_torus_into(acc_a, mask, es));
@@ -322,6 +334,21 @@ mod tests {
         let c = TrlweCiphertext::encrypt(&mu, &key, p.ring_noise_stdev, &engine, &mut sampler);
         let out = tgsw.external_product(&engine, &c, &decomp);
         assert!(out.phase(&key, &engine).max_distance(&mu) < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match the TGSW sample")]
+    fn mismatched_decomposer_levels_rejected() {
+        let (key, engine, mut sampler, p) = setup();
+        let tgsw = TgswCiphertext::encrypt_constant(1, &key, &p, &engine, &mut sampler)
+            .to_spectrum(&engine);
+        let mu = message_poly(p.ring_degree);
+        let mut c = TrlweCiphertext::encrypt(&mu, &key, p.ring_noise_stdev, &engine, &mut sampler);
+        let mut scratch = crate::scratch::EpScratch::new(&engine, &p);
+        // One level fewer than the sample's ℓ: must panic, not extract
+        // garbage digit levels.
+        let wrong = GadgetDecomposer::new(p.decomp_base_log, p.decomp_levels - 1);
+        tgsw.external_product_assign(&engine, &mut c, &wrong, &mut scratch);
     }
 
     #[test]

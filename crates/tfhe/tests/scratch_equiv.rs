@@ -4,7 +4,7 @@
 //! plus the regression the issue asks for: a *warmed* scratch still
 //! decrypts correctly.
 
-use matcha_fft::{ApproxIntFft, DepthFirstFft, F64Fft, FftEngine};
+use matcha_fft::{ApproxIntFft, DepthFirstFft, F64Fft, FftEngine, Radix4Fft};
 use matcha_math::{GadgetDecomposer, Torus32, TorusPolynomial, TorusSampler};
 use matcha_tfhe::cmux::{cmux, cmux_assign};
 use matcha_tfhe::{
@@ -53,23 +53,44 @@ fn external_product_assign_is_bit_identical() {
     }
 }
 
-#[test]
-fn external_product_assign_matches_on_integer_engine() {
+/// The fused decompose→twist external product must match the allocating
+/// path — which still materializes digit polynomials via
+/// `decompose_poly` + `forward_int` — bit for bit, on any engine.
+fn check_fused_external_product<E: FftEngine>(engine: &E, seed: u64) {
     let p = params();
-    let mut sampler = TorusSampler::new(StdRng::seed_from_u64(23));
+    let mut sampler = TorusSampler::new(StdRng::seed_from_u64(seed));
     let key = RingSecretKey::generate(p.ring_degree, &mut sampler);
-    let engine = ApproxIntFft::new(p.ring_degree, 45);
     let decomp = GadgetDecomposer::new(p.decomp_base_log, p.decomp_levels);
     let tgsw =
-        TgswCiphertext::encrypt_constant(1, &key, &p, &engine, &mut sampler).to_spectrum(&engine);
+        TgswCiphertext::encrypt_constant(1, &key, &p, engine, &mut sampler).to_spectrum(engine);
     let mu = TorusPolynomial::constant(Torus32::from_f64(0.25), p.ring_degree);
-    let c = TrlweCiphertext::encrypt(&mu, &key, p.ring_noise_stdev, &engine, &mut sampler);
+    let c = TrlweCiphertext::encrypt(&mu, &key, p.ring_noise_stdev, engine, &mut sampler);
 
-    let allocating = tgsw.external_product(&engine, &c, &decomp);
-    let mut scratch = EpScratch::new(&engine, &p);
+    let allocating = tgsw.external_product(engine, &c, &decomp);
+    let mut scratch = EpScratch::new(engine, &p);
     let mut inplace = c.clone();
-    tgsw.external_product_assign(&engine, &mut inplace, &decomp, &mut scratch);
-    assert_eq!(allocating, inplace);
+    tgsw.external_product_assign(engine, &mut inplace, &decomp, &mut scratch);
+    assert_eq!(allocating, inplace, "cold fused call diverged");
+
+    // Warmed scratch, same input: still bit-identical.
+    let mut inplace2 = c.clone();
+    tgsw.external_product_assign(engine, &mut inplace2, &decomp, &mut scratch);
+    assert_eq!(allocating, inplace2, "warmed fused call diverged");
+}
+
+#[test]
+fn external_product_assign_matches_on_integer_engine() {
+    check_fused_external_product(&ApproxIntFft::new(params().ring_degree, 45), 23);
+}
+
+#[test]
+fn fused_external_product_matches_on_depth_first_engine() {
+    check_fused_external_product(&DepthFirstFft::new(params().ring_degree), 24);
+}
+
+#[test]
+fn fused_external_product_matches_on_radix4_engine() {
+    check_fused_external_product(&Radix4Fft::new(params().ring_degree), 25);
 }
 
 #[test]

@@ -3,7 +3,7 @@
 //! counting global allocator (this integration test is its own binary, so
 //! the allocator hook is isolated from the rest of the suite).
 
-use matcha_fft::{ApproxIntFft, F64Fft};
+use matcha_fft::{ApproxIntFft, F64Fft, FftEngine, Radix4Fft};
 use matcha_math::{GadgetDecomposer, Torus32, TorusPolynomial, TorusSampler};
 use matcha_tfhe::{
     BootstrapKit, ClientKey, EpScratch, Gate, ParameterSet, RingSecretKey, ServerKey,
@@ -54,32 +54,42 @@ fn allocations() -> u64 {
     THREAD_ALLOCATIONS.with(|c| c.get())
 }
 
-#[test]
-fn warmed_external_product_allocates_nothing() {
+/// The fused decompose→twist external product stays allocation-free once
+/// its scratch is warmed, on any engine.
+fn assert_zero_alloc_external_product<E: FftEngine>(engine: &E, seed: u64) {
     let p = ParameterSet {
         ring_degree: 256,
         ..ParameterSet::TEST_FAST
     };
-    let mut sampler = TorusSampler::new(StdRng::seed_from_u64(7));
+    let mut sampler = TorusSampler::new(StdRng::seed_from_u64(seed));
     let key = RingSecretKey::generate(p.ring_degree, &mut sampler);
-    let engine = F64Fft::new(p.ring_degree);
     let decomp = GadgetDecomposer::new(p.decomp_base_log, p.decomp_levels);
     let tgsw =
-        TgswCiphertext::encrypt_constant(1, &key, &p, &engine, &mut sampler).to_spectrum(&engine);
+        TgswCiphertext::encrypt_constant(1, &key, &p, engine, &mut sampler).to_spectrum(engine);
     let mu = TorusPolynomial::constant(Torus32::from_f64(0.25), p.ring_degree);
-    let mut acc = TrlweCiphertext::encrypt(&mu, &key, p.ring_noise_stdev, &engine, &mut sampler);
+    let mut acc = TrlweCiphertext::encrypt(&mu, &key, p.ring_noise_stdev, engine, &mut sampler);
 
-    let mut scratch = EpScratch::new(&engine, &p);
+    let mut scratch = EpScratch::new(engine, &p);
     // Warm-up: sizes every buffer in the scratch.
-    tgsw.external_product_assign(&engine, &mut acc, &decomp, &mut scratch);
-    tgsw.external_product_assign(&engine, &mut acc, &decomp, &mut scratch);
+    tgsw.external_product_assign(engine, &mut acc, &decomp, &mut scratch);
+    tgsw.external_product_assign(engine, &mut acc, &decomp, &mut scratch);
 
     let before = allocations();
     for _ in 0..4 {
-        tgsw.external_product_assign(&engine, &mut acc, &decomp, &mut scratch);
+        tgsw.external_product_assign(engine, &mut acc, &decomp, &mut scratch);
     }
     let delta = allocations() - before;
     assert_eq!(delta, 0, "warmed external product allocated {delta} times");
+}
+
+#[test]
+fn warmed_external_product_allocates_nothing() {
+    assert_zero_alloc_external_product(&F64Fft::new(256), 7);
+}
+
+#[test]
+fn warmed_external_product_allocates_nothing_radix4() {
+    assert_zero_alloc_external_product(&Radix4Fft::new(256), 8);
 }
 
 fn assert_zero_alloc_bootstrap<E>(engine: &E, unroll: usize, seed: u64)
