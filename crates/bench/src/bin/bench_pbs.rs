@@ -4,12 +4,17 @@
 //! decompose→twist external product against a reconstruction of PR 1's
 //! materializing scratch loop (`external_product_fused_vs_scratch/*` rows,
 //! where `alloc_ns` holds the PR 1 scratch baseline and `scratch_ns` the
-//! fused path, keeping the JSON schema comparable across PRs).
+//! fused path, keeping the JSON schema comparable across PRs), and, since
+//! PR 3, the AVX2+FMA split-complex kernels against the scalar fallback
+//! (`simd_vs_scalar/*` rows: `alloc_ns` = scalar leg, `scratch_ns` = SIMD
+//! leg, toggled per sample with `force_simd` so the comparison stays
+//! interleaved; on CPUs without AVX2+FMA both sides run scalar and the
+//! rows record ~1×).
 //!
 //! Run with:
 //! `cargo run --release -p matcha-bench --bin bench_pbs`
 
-use matcha::fft::{ApproxIntFft, F64Fft};
+use matcha::fft::{force_simd, simd_detected, ApproxIntFft, F64Fft, Radix4Fft};
 use matcha::tfhe::{EpScratch, Gate, RingSecretKey, TgswCiphertext, TgswSpectrum, TrlweCiphertext};
 use matcha::{ClientKey, FftEngine, ParameterSet, ServerKey, Torus32};
 use matcha_math::{GadgetDecomposer, IntPolynomial, TorusPolynomial, TorusSampler};
@@ -266,6 +271,99 @@ fn bench_blind_rotate_step<E: FftEngine>(name: &str, engine: &E, unroll: usize) 
     }
 }
 
+/// Bare forward transform, SIMD leg vs scalar leg of the same engine.
+/// Interleaved paired sampling with the per-sample `force_simd` toggle;
+/// each side keeps its own warmed output/scratch so toggling cannot
+/// perturb buffer sizing.
+fn bench_simd_forward<E: FftEngine>(name: &str, engine: &E) -> Row {
+    let n = engine.ring_degree();
+    let p = TorusPolynomial::from_coeffs(
+        (0..n as u32)
+            .map(|i| Torus32::from_raw(i.wrapping_mul(0x9e37_79b9).wrapping_add(3)))
+            .collect(),
+    );
+    let mut out_s = engine.zero_spectrum();
+    let mut scratch_s = engine.make_scratch();
+    let mut out_v = engine.zero_spectrum();
+    let mut scratch_v = engine.make_scratch();
+    force_simd(Some(false));
+    engine.forward_torus_into(&p, &mut out_s, &mut scratch_s);
+    force_simd(Some(true));
+    engine.forward_torus_into(&p, &mut out_v, &mut scratch_v);
+    let (scalar_ns, simd_ns) = measure_paired(
+        21,
+        100,
+        || {
+            force_simd(Some(false));
+            engine.forward_torus_into(&p, &mut out_s, &mut scratch_s);
+            std::hint::black_box(&out_s);
+        },
+        || {
+            force_simd(Some(true));
+            engine.forward_torus_into(&p, &mut out_v, &mut scratch_v);
+            std::hint::black_box(&out_v);
+        },
+    );
+    force_simd(None);
+    Row {
+        id: format!("simd_vs_scalar/forward_{name}"),
+        alloc_ns: scalar_ns,
+        scratch_ns: simd_ns,
+    }
+}
+
+/// Fused external product on an unrolled bundle, SIMD leg vs scalar leg —
+/// the end-to-end kernel the ROADMAP's "SIMD butterflies" item targets.
+fn bench_simd_external_product<E: FftEngine>(name: &str, engine: &E, unroll: usize) -> Row {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+    let client = ClientKey::generate(ParameterSet::MATCHA, &mut rng);
+    let kit = matcha::tfhe::BootstrapKit::generate(&client, engine, unroll, &mut rng);
+    let params = *kit.params();
+    let decomp = GadgetDecomposer::new(params.decomp_base_log, params.decomp_levels);
+    let bk = kit.bootstrapping_key();
+    let group = &bk.groups()[0];
+    let exponents: Vec<u32> = (0..group.len()).map(|i| (11 + 23 * i) as u32).collect();
+    let bundle = bk.build_bundle(engine, group, &exponents, params.two_n());
+    let mut sampler = TorusSampler::new(rand::rngs::StdRng::seed_from_u64(34));
+    let mu = TorusPolynomial::constant(Torus32::from_dyadic(1, 3), params.ring_degree);
+    let acc = TrlweCiphertext::encrypt(
+        &mu,
+        client.ring_key(),
+        params.ring_noise_stdev,
+        engine,
+        &mut sampler,
+    );
+
+    let mut scratch_s = EpScratch::new(engine, &params);
+    let mut c_s = acc.clone();
+    let mut scratch_v = EpScratch::new(engine, &params);
+    let mut c_v = acc.clone();
+    force_simd(Some(false));
+    bundle.external_product_assign(engine, &mut c_s, &decomp, &mut scratch_s);
+    force_simd(Some(true));
+    bundle.external_product_assign(engine, &mut c_v, &decomp, &mut scratch_v);
+    let (scalar_ns, simd_ns) = measure_paired(
+        21,
+        20,
+        || {
+            force_simd(Some(false));
+            bundle.external_product_assign(engine, &mut c_s, &decomp, &mut scratch_s);
+            std::hint::black_box(&c_s);
+        },
+        || {
+            force_simd(Some(true));
+            bundle.external_product_assign(engine, &mut c_v, &decomp, &mut scratch_v);
+            std::hint::black_box(&c_v);
+        },
+    );
+    force_simd(None);
+    Row {
+        id: format!("simd_vs_scalar/external_product_{name}"),
+        alloc_ns: scalar_ns,
+        scratch_ns: simd_ns,
+    }
+}
+
 fn bench_gate<E: FftEngine>(name: &str, engine: E, unroll: usize) -> Row {
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);
     let client = ClientKey::generate(ParameterSet::MATCHA, &mut rng);
@@ -294,9 +392,27 @@ fn bench_gate<E: FftEngine>(name: &str, engine: E, unroll: usize) -> Row {
 
 fn main() {
     let params = ParameterSet::MATCHA;
+    println!(
+        "simd: {} (AVX2+FMA {})",
+        if matcha::fft::simd_active() {
+            "on"
+        } else {
+            "off"
+        },
+        if simd_detected() {
+            "detected"
+        } else {
+            "not detected"
+        },
+    );
     let rows = vec![
         bench_external_product("f64", &F64Fft::new(1024), params),
         bench_external_product("approx_int_38", &ApproxIntFft::new(1024, 38), params),
+        bench_simd_forward("f64", &F64Fft::new(1024)),
+        bench_simd_forward("radix4", &Radix4Fft::new(1024)),
+        bench_simd_forward("depth_first", &matcha::DepthFirstFft::new(1024)),
+        bench_simd_forward("approx38", &ApproxIntFft::new(1024, 38)),
+        bench_simd_external_product("f64_m2", &F64Fft::new(1024), 2),
         bench_fused_external_product("f64_m1", &F64Fft::new(1024), 1),
         bench_fused_external_product("f64_m2", &F64Fft::new(1024), 2),
         bench_fused_external_product("f64_m3", &F64Fft::new(1024), 3),

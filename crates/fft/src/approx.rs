@@ -22,7 +22,7 @@
 
 use crate::engine::{FftEngine, Spectrum};
 use crate::lifting::LiftingRotation;
-use crate::tables::bit_reverse_permute;
+use crate::tables::bit_reverse_permute_pair;
 use matcha_math::{IntPolynomial, Torus32, TorusPolynomial};
 
 /// Largest digit magnitude [`ApproxIntFft::forward_int`] accepts.
@@ -219,23 +219,16 @@ impl ApproxIntFft {
         ((m / 2) as f64 * stages as f64 * (mean_rot + 2.0)) as u64
     }
 
+    /// Stage loops run through the shared [`crate::simd`] kernels: the same
+    /// split-component, unit-stride shape as the f64 engines, though the
+    /// lifting rotations keep these stages scalar (no 64-bit lane multiply
+    /// or arithmetic shift before AVX-512 — see the kernel module docs).
     fn dft_forward(&self, re: &mut [i64], im: &mut [i64]) {
         let m = re.len();
         bit_reverse_pairs(re, im);
         let mut len = 2;
         while len <= m {
-            let half = len / 2;
-            let rots = self.fwd_stages.stage(len);
-            for start in (0..m).step_by(len) {
-                for (k, &rot) in rots.iter().enumerate() {
-                    let (vr, vi) = rot.apply(re[start + half + k], im[start + half + k]);
-                    let (ur, ui) = (re[start + k], im[start + k]);
-                    re[start + k] = ur + vr;
-                    im[start + k] = ui + vi;
-                    re[start + half + k] = ur - vr;
-                    im[start + half + k] = ui - vi;
-                }
-            }
+            crate::simd::i64_radix2_stage(re, im, self.fwd_stages.stage(len), len);
             len *= 2;
         }
     }
@@ -245,36 +238,18 @@ impl ApproxIntFft {
         bit_reverse_pairs(re, im);
         let mut len = 2;
         while len <= m {
-            let half = len / 2;
-            let rots = self.inv_stages.stage(len);
-            for start in (0..m).step_by(len) {
-                for (k, &rot) in rots.iter().enumerate() {
-                    let (vr, vi) = rot.apply(re[start + half + k], im[start + half + k]);
-                    let (ur, ui) = (re[start + k], im[start + k]);
-                    // Halve each output: log2(M) halvings realize the 1/M
-                    // inverse normalization without any multiplier.
-                    re[start + k] = half_round(ur + vr);
-                    im[start + k] = half_round(ui + vi);
-                    re[start + half + k] = half_round(ur - vr);
-                    im[start + half + k] = half_round(ui - vi);
-                }
-            }
+            // Halve every stage output: log2(M) halvings realize the 1/M
+            // inverse normalization without any multiplier.
+            crate::simd::i64_radix2_stage_halving(re, im, self.inv_stages.stage(len), len);
             len *= 2;
         }
     }
 }
 
-/// Round-half-up division by two.
-#[inline]
-fn half_round(v: i64) -> i64 {
-    (v + 1) >> 1
-}
-
 /// Bit-reversal permutation applied to both component arrays coherently.
 fn bit_reverse_pairs(re: &mut [i64], im: &mut [i64]) {
     debug_assert_eq!(re.len(), im.len());
-    bit_reverse_permute(re);
-    bit_reverse_permute(im);
+    bit_reverse_permute_pair(re, im);
 }
 
 impl ApproxIntFft {

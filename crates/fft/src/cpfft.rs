@@ -7,13 +7,17 @@
 //! so one twiddle-buffer read serves two butterflies — the property MATCHA's
 //! FFT cores exploit to halve twiddle-factor reads.
 //!
-//! The numerics are identical to [`crate::F64Fft`]; what differs is the
-//! traversal order and the number of twiddle loads, which this engine
-//! counts so the claim is measurable.
+//! The numerics are identical to [`crate::F64Fft`] up to kernel-leg
+//! rounding; what differs is the traversal order and the number of
+//! twiddle loads, which this engine counts so the claim is measurable.
+//! The counter models the conjugate-pair hardware flow (one read serves
+//! two butterflies) regardless of which kernel leg executes: on a CPU the
+//! AVX2 leg prefers unit-stride twiddle loads over shared ones, but the
+//! *accounting* tracks the paper's buffer-read argument.
 
-use crate::cplx::Cplx;
 use crate::engine::FftEngine;
-use crate::ref_fft::{self, CplxScratch, CplxSpectrum};
+use crate::ref_fft::{self, CplxScratch, CplxSpectrum, SplitFactors};
+use crate::simd;
 use crate::tables::{StageTwiddles, TwiddleTables};
 use crate::twist;
 use matcha_math::{IntPolynomial, TorusPolynomial};
@@ -76,11 +80,21 @@ impl DepthFirstFft {
     }
 
     /// Depth-first transform with conjugate-pair twiddle sharing, using the
-    /// caller's recursion workspace (`2·M` entries, sized on first use).
-    fn transform_with(&self, buf: &mut [Cplx], stack: &mut Vec<Cplx>, inverse: bool) {
-        let m = buf.len();
-        stack.clear();
-        stack.resize(2 * m, Cplx::ZERO);
+    /// caller's recursion workspace (`2·M` entries per component, sized on
+    /// first use).
+    fn transform_with(
+        &self,
+        re: &mut [f64],
+        im: &mut [f64],
+        stack_re: &mut Vec<f64>,
+        stack_im: &mut Vec<f64>,
+        inverse: bool,
+    ) {
+        let m = re.len();
+        stack_re.clear();
+        stack_re.resize(2 * m, 0.0);
+        stack_im.clear();
+        stack_im.resize(2 * m, 0.0);
         // Select the per-stage twiddle tables once; the recursion never
         // branches on direction inside its butterfly loop.
         let stages = if inverse {
@@ -88,28 +102,44 @@ impl DepthFirstFft {
         } else {
             self.tables.forward_stages()
         };
-        self.recurse(buf, stack, stages);
+        self.recurse(re, im, stack_re, stack_im, stages);
         if inverse {
             let scale = 1.0 / m as f64;
-            for v in buf.iter_mut() {
-                *v = v.scale(scale);
+            for v in re.iter_mut() {
+                *v *= scale;
+            }
+            for v in im.iter_mut() {
+                *v *= scale;
             }
         }
     }
 
     /// Allocating convenience over [`Self::transform_with`] for callers
     /// without a scratch (uses a thread-local workspace).
-    fn transform(&self, buf: &mut [Cplx], inverse: bool) {
+    fn transform(&self, re: &mut [f64], im: &mut [f64], inverse: bool) {
         thread_local! {
-            static STACK: RefCell<Vec<Cplx>> = const { RefCell::new(Vec::new()) };
+            static STACK: RefCell<(Vec<f64>, Vec<f64>)> =
+                const { RefCell::new((Vec::new(), Vec::new())) };
         }
-        STACK.with(|s| self.transform_with(buf, &mut s.borrow_mut(), inverse));
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let (sre, sim) = &mut *s;
+            self.transform_with(re, im, sre, sim, inverse)
+        });
     }
 
-    /// Recursive decimation-in-time: `buf` holds the sub-sequence gathered
-    /// contiguously; `scratch` provides `2·len` entries of workspace.
-    fn recurse(&self, buf: &mut [Cplx], scratch: &mut [Cplx], stages: &StageTwiddles) {
-        let len = buf.len();
+    /// Recursive decimation-in-time: `(re, im)` hold the sub-sequence
+    /// gathered contiguously; the scratch slices provide `2·len` entries of
+    /// workspace per component.
+    fn recurse(
+        &self,
+        re: &mut [f64],
+        im: &mut [f64],
+        scratch_re: &mut [f64],
+        scratch_im: &mut [f64],
+        stages: &StageTwiddles,
+    ) {
+        let len = re.len();
         if len == 1 {
             return;
         }
@@ -117,43 +147,33 @@ impl DepthFirstFft {
         // Gather even/odd sub-sequences into the scratch window, recurse on
         // each *completely* before combining: this is the depth-first
         // traversal of Figure 2(b).
-        let (work, rest) = scratch.split_at_mut(len);
+        let (work_re, rest_re) = scratch_re.split_at_mut(len);
+        let (work_im, rest_im) = scratch_im.split_at_mut(len);
         for i in 0..half {
-            work[i] = buf[2 * i];
-            work[half + i] = buf[2 * i + 1];
+            work_re[i] = re[2 * i];
+            work_re[half + i] = re[2 * i + 1];
+            work_im[i] = im[2 * i];
+            work_im[half + i] = im[2 * i + 1];
         }
-        let (even, odd) = work.split_at_mut(half);
-        self.recurse(even, rest, stages);
-        self.recurse(odd, rest, stages);
+        let (even_re, odd_re) = work_re.split_at_mut(half);
+        let (even_im, odd_im) = work_im.split_at_mut(half);
+        self.recurse(even_re, even_im, rest_re, rest_im, stages);
+        self.recurse(odd_re, odd_im, rest_re, rest_im, stages);
 
         // This combine level's twiddles, contiguous (unit-stride reads).
-        let ws = stages.stage(len);
-        // Conjugate-pair combination: butterflies k and half-k share the
-        // same twiddle load because w^{half-k} = -conj(w^k).
-        let quarter = half / 2;
-        for k in 0..=quarter {
-            let mirror = half - k;
-            let w = ws[k];
-            self.twiddle_reads.fetch_add(1, Ordering::Relaxed);
-            // Butterfly k.
-            let v = odd[k] * w;
-            let (u0, u1) = (even[k] + v, even[k] - v);
-            buf[k] = u0;
-            buf[k + half] = u1;
-            // Mirror butterfly reusing the conjugate of the same twiddle.
-            if mirror < half && mirror != k {
-                let wm = -w.conj();
-                let vm = odd[mirror] * wm;
-                buf[mirror] = even[mirror] + vm;
-                buf[mirror + half] = even[mirror] - vm;
-            }
-        }
+        let (wre, wim) = stages.stage_split(len);
+        // Conjugate-pair accounting: butterflies k and half-k share one
+        // twiddle load because w^{half-k} = -conj(w^k), so a combine of
+        // `half` butterflies costs `half/2 + 1` buffer reads.
+        self.twiddle_reads
+            .fetch_add(half as u64 / 2 + 1, Ordering::Relaxed);
+        simd::radix2_combine(re, im, even_re, even_im, odd_re, odd_im, wre, wim);
     }
 }
 
 impl FftEngine for DepthFirstFft {
     type Spectrum = CplxSpectrum;
-    type MonomialFactors = Vec<Cplx>;
+    type MonomialFactors = SplitFactors;
     type Scratch = CplxScratch;
 
     fn ring_degree(&self) -> usize {
@@ -161,7 +181,10 @@ impl FftEngine for DepthFirstFft {
     }
 
     fn zero_spectrum(&self) -> CplxSpectrum {
-        CplxSpectrum(vec![Cplx::ZERO; self.n / 2])
+        CplxSpectrum {
+            re: vec![0.0; self.n / 2],
+            im: vec![0.0; self.n / 2],
+        }
     }
 
     fn clear_spectrum(&self, s: &mut CplxSpectrum) {
@@ -174,8 +197,14 @@ impl FftEngine for DepthFirstFft {
         out: &mut CplxSpectrum,
         scratch: &mut CplxScratch,
     ) {
-        twist::fold_int(p, &self.tables, &mut out.0);
-        self.transform_with(&mut out.0, &mut scratch.stack, false);
+        twist::fold_int(p, &self.tables, &mut out.re, &mut out.im);
+        self.transform_with(
+            &mut out.re,
+            &mut out.im,
+            &mut scratch.stack_re,
+            &mut scratch.stack_im,
+            false,
+        );
     }
 
     fn forward_torus_into(
@@ -184,8 +213,14 @@ impl FftEngine for DepthFirstFft {
         out: &mut CplxSpectrum,
         scratch: &mut CplxScratch,
     ) {
-        twist::fold_torus(p, &self.tables, &mut out.0);
-        self.transform_with(&mut out.0, &mut scratch.stack, false);
+        twist::fold_torus(p, &self.tables, &mut out.re, &mut out.im);
+        self.transform_with(
+            &mut out.re,
+            &mut out.im,
+            &mut scratch.stack_re,
+            &mut scratch.stack_im,
+            false,
+        );
     }
 
     fn forward_decomposed_into(
@@ -196,8 +231,14 @@ impl FftEngine for DepthFirstFft {
         out: &mut CplxSpectrum,
         scratch: &mut CplxScratch,
     ) {
-        twist::fold_torus_digit(p, decomp, level, &self.tables, &mut out.0);
-        self.transform_with(&mut out.0, &mut scratch.stack, false);
+        twist::fold_torus_digit(p, decomp, level, &self.tables, &mut out.re, &mut out.im);
+        self.transform_with(
+            &mut out.re,
+            &mut out.im,
+            &mut scratch.stack_re,
+            &mut scratch.stack_im,
+            false,
+        );
     }
 
     fn backward_torus_into(
@@ -206,29 +247,41 @@ impl FftEngine for DepthFirstFft {
         out: &mut TorusPolynomial,
         scratch: &mut CplxScratch,
     ) {
-        scratch.buf.clone_from(&s.0);
-        self.transform_with(&mut scratch.buf, &mut scratch.stack, true);
-        twist::unfold_torus_into(&scratch.buf, &self.tables, out);
+        scratch.buf_re.clone_from(&s.re);
+        scratch.buf_im.clone_from(&s.im);
+        // Split the scratch borrows: buf_* carry the data, stack_* the
+        // recursion workspace.
+        let CplxScratch {
+            buf_re,
+            buf_im,
+            stack_re,
+            stack_im,
+        } = scratch;
+        self.transform_with(buf_re, buf_im, stack_re, stack_im, true);
+        twist::unfold_torus_into(buf_re, buf_im, &self.tables, out);
     }
 
     fn forward_int(&self, p: &IntPolynomial) -> CplxSpectrum {
-        let mut buf = Vec::new();
-        twist::fold_int(p, &self.tables, &mut buf);
-        self.transform(&mut buf, false);
-        CplxSpectrum(buf)
+        let mut re = Vec::new();
+        let mut im = Vec::new();
+        twist::fold_int(p, &self.tables, &mut re, &mut im);
+        self.transform(&mut re, &mut im, false);
+        CplxSpectrum { re, im }
     }
 
     fn forward_torus(&self, p: &TorusPolynomial) -> CplxSpectrum {
-        let mut buf = Vec::new();
-        twist::fold_torus(p, &self.tables, &mut buf);
-        self.transform(&mut buf, false);
-        CplxSpectrum(buf)
+        let mut re = Vec::new();
+        let mut im = Vec::new();
+        twist::fold_torus(p, &self.tables, &mut re, &mut im);
+        self.transform(&mut re, &mut im, false);
+        CplxSpectrum { re, im }
     }
 
     fn backward_torus(&self, s: &CplxSpectrum) -> TorusPolynomial {
-        let mut buf = s.0.clone();
-        self.transform(&mut buf, true);
-        twist::unfold_torus(&buf, &self.tables)
+        let mut re = s.re.clone();
+        let mut im = s.im.clone();
+        self.transform(&mut re, &mut im, true);
+        twist::unfold_torus(&re, &im, &self.tables)
     }
 
     fn mul_accumulate(&self, acc: &mut CplxSpectrum, a: &CplxSpectrum, b: &CplxSpectrum) {
@@ -247,17 +300,14 @@ impl FftEngine for DepthFirstFft {
     }
 
     fn add_assign(&self, acc: &mut CplxSpectrum, a: &CplxSpectrum) {
-        assert_eq!(acc.0.len(), a.0.len(), "spectrum size mismatch");
-        for (dst, &x) in acc.0.iter_mut().zip(a.0.iter()) {
-            *dst += x;
-        }
+        ref_fft::add_assign_cplx(acc, a);
     }
 
-    fn monomial_minus_one_into(&self, exponent: i64, out: &mut Vec<Cplx>) {
+    fn monomial_minus_one_into(&self, exponent: i64, out: &mut SplitFactors) {
         ref_fft::monomial_minus_one_cplx_into(self.n, exponent, out);
     }
 
-    fn scale_accumulate(&self, acc: &mut CplxSpectrum, src: &CplxSpectrum, factors: &Vec<Cplx>) {
+    fn scale_accumulate(&self, acc: &mut CplxSpectrum, src: &CplxSpectrum, factors: &SplitFactors) {
         ref_fft::scale_accumulate_cplx(acc, src, factors);
     }
 
@@ -267,13 +317,14 @@ impl FftEngine for DepthFirstFft {
         acc_b: &mut CplxSpectrum,
         src_a: &CplxSpectrum,
         src_b: &CplxSpectrum,
-        factors: &Vec<Cplx>,
+        factors: &SplitFactors,
     ) {
         ref_fft::scale_accumulate_pair_cplx(acc_a, acc_b, src_a, src_b, factors);
     }
 
     fn bundle_accumulator_into(&self, from: &CplxSpectrum, out: &mut CplxSpectrum) {
-        out.0.clone_from(&from.0);
+        out.re.clone_from(&from.re);
+        out.im.clone_from(&from.im);
     }
 }
 

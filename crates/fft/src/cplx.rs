@@ -73,10 +73,20 @@ impl Cplx {
         }
     }
 
-    /// Fused multiply-add `self + a·b`, the FFT butterfly workhorse.
+    /// Fused multiply-add `self + a·b`, computed with `f64::mul_add` on
+    /// both components — each component carries a single rounding instead
+    /// of the three the expanded `self + a * b` performs, matching the FMA
+    /// contraction of the AVX2 kernels in [`crate::simd`].
+    ///
+    /// On rounding-sensitive inputs this *differs* from the expanded form
+    /// (see the `mul_add_is_fused` test); callers needing bit-compatibility
+    /// with separately rounded products must write `self + a * b`.
     #[inline]
     pub fn mul_add(self, a: Self, b: Self) -> Self {
-        self + a * b
+        Self {
+            re: a.re.mul_add(b.re, (-a.im).mul_add(b.im, self.re)),
+            im: a.re.mul_add(b.im, a.im.mul_add(b.re, self.im)),
+        }
     }
 }
 
@@ -186,10 +196,29 @@ mod tests {
     }
 
     #[test]
-    fn mul_add_matches_expanded() {
+    fn mul_add_matches_expanded_on_exact_inputs() {
+        // Dyadic inputs whose products and sums are exactly representable:
+        // fusion cannot change anything here.
         let acc = Cplx::new(1.0, 1.0);
         let a = Cplx::new(2.0, -1.0);
         let b = Cplx::new(0.5, 0.5);
         assert_eq!(acc.mul_add(a, b), acc + a * b);
+    }
+
+    #[test]
+    fn mul_add_is_fused() {
+        // (1 + 2⁻³⁰)(1 − 2⁻³⁰) = 1 − 2⁻⁶⁰ needs more than 52 mantissa bits:
+        // the expanded form rounds the product to exactly 1.0 and the
+        // subsequent −1.0 cancels to zero, while the fused form feeds the
+        // unrounded product into the addition and recovers −2⁻⁶⁰.
+        let eps = (2.0f64).powi(-30);
+        let acc = Cplx::new(-1.0, 0.0);
+        let a = Cplx::new(1.0 + eps, 0.0);
+        let b = Cplx::new(1.0 - eps, 0.0);
+        let fused = acc.mul_add(a, b);
+        let expanded = acc + a * b;
+        assert_eq!(expanded.re, 0.0, "expanded form loses the 2⁻⁶⁰ tail");
+        assert_eq!(fused.re, -(2.0f64).powi(-60), "fused form keeps it");
+        assert_ne!(fused, expanded);
     }
 }

@@ -18,6 +18,15 @@
 //! [`FftEngine::Scratch`] workspace. After a warm-up call the scratch owns
 //! all required capacity and steady-state transforms allocate nothing. The
 //! allocating methods remain as thin wrappers over the `*_into` core.
+//!
+//! # SIMD
+//!
+//! Every in-tree engine stores spectra split-complex and executes its
+//! butterfly stages and pointwise accumulates through the [`crate::simd`]
+//! kernels, which runtime-detect AVX2+FMA and fall back to an
+//! order-preserving scalar leg elsewhere. Generic callers (the external
+//! product, bootstrapping) pick the vectorized kernels up for free through
+//! this trait — nothing SIMD-specific leaks into the API.
 
 use matcha_math::{GadgetDecomposer, IntPolynomial, TorusPolynomial};
 use std::fmt::Debug;

@@ -17,10 +17,17 @@
 //!   (Figure 2b): identical numerics to [`F64Fft`] but recursing
 //!   sub-transform-first and sharing conjugate twiddle loads; it counts
 //!   twiddle-buffer reads so the locality claim can be measured.
+//! * [`Radix4Fft`] — the depth-first radix-4 flow: one twiddle-buffer read
+//!   per radix-4 butterfly, with `W^{2k}`/`W^{3k}` derived in registers.
 //! * [`ApproxIntFft`] — MATCHA's engine: 64-bit *integer* arithmetic where
 //!   every twiddle rotation is three lifting steps (Figure 3a) whose
 //!   coefficients are dyadic-value-quantized (`α/2^β`, Figure 3b) and applied
 //!   with additions and binary shifts only.
+//!
+//! All four engines store spectra *split-complex* (separate `re[]`/`im[]`
+//! arrays) and run their butterfly stages and pointwise accumulates through
+//! the [`simd`] kernels, which use AVX2+FMA when the CPU supports it
+//! (runtime-detected; `MATCHA_SIMD=0` or [`force_simd`] pin the scalar leg).
 //!
 //! # Examples
 //!
@@ -50,6 +57,7 @@ pub mod lifting;
 pub mod negacyclic;
 pub mod radix4;
 pub mod ref_fft;
+pub mod simd;
 pub mod tables;
 pub mod twist;
 
@@ -60,5 +68,6 @@ pub use engine::{FftEngine, Spectrum};
 pub use error::{fft_roundtrip_error_db, poly_mul_error_db};
 pub use lifting::{DyadicCoeff, LiftingRotation};
 pub use radix4::Radix4Fft;
-pub use ref_fft::F64Fft;
+pub use ref_fft::{CplxSpectrum, F64Fft, SplitFactors};
+pub use simd::{force_simd, simd_active, simd_detected};
 pub use tables::{StageTwiddles, TwiddleTables};

@@ -8,10 +8,12 @@
 //! for twiddle-buffer bandwidth (the scarce resource MATCHA's address
 //! generation unit feeds, Figure 7d). This engine realizes that trade and
 //! counts twiddle reads so it can be compared against the radix-2 flows.
+//! The combine itself runs through [`crate::simd::radix4_combine`] — four
+//! radix-4 butterflies per AVX2+FMA iteration on split-complex data.
 
-use crate::cplx::Cplx;
 use crate::engine::FftEngine;
-use crate::ref_fft::{self, CplxScratch, CplxSpectrum};
+use crate::ref_fft::{self, CplxScratch, CplxSpectrum, SplitFactors};
+use crate::simd;
 use crate::tables::{StageTwiddles, TwiddleTables};
 use crate::twist;
 use matcha_math::{IntPolynomial, TorusPolynomial};
@@ -69,100 +71,104 @@ impl Radix4Fft {
     }
 
     /// Depth-first radix-4 transform using the caller's recursion workspace
-    /// (`2·M` entries, sized on first use).
-    fn transform_with(&self, buf: &mut [Cplx], stack: &mut Vec<Cplx>, inverse: bool) {
-        let m = buf.len();
-        stack.clear();
-        stack.resize(2 * m, Cplx::ZERO);
+    /// (`2·M` entries per component, sized on first use).
+    fn transform_with(
+        &self,
+        re: &mut [f64],
+        im: &mut [f64],
+        stack_re: &mut Vec<f64>,
+        stack_im: &mut Vec<f64>,
+        inverse: bool,
+    ) {
+        let m = re.len();
+        stack_re.clear();
+        stack_re.resize(2 * m, 0.0);
+        stack_im.clear();
+        stack_im.resize(2 * m, 0.0);
         // Direction is decided once: the per-stage conjugated tables and
-        // the rotated `i` are selected here, keeping the butterfly loop
-        // branch-free.
+        // the rotation sign of `±i` are selected here, keeping the
+        // butterfly loop branch-free.
         let stages = if inverse {
             self.tables.inverse_stages()
         } else {
             self.tables.forward_stages()
         };
-        let rot_i = if inverse {
-            Cplx::new(0.0, -1.0)
-        } else {
-            Cplx::new(0.0, 1.0)
-        };
-        self.recurse(buf, stack, stages, rot_i);
+        self.recurse(re, im, stack_re, stack_im, stages, !inverse);
         if inverse {
             let scale = 1.0 / m as f64;
-            for v in buf.iter_mut() {
-                *v = v.scale(scale);
+            for v in re.iter_mut() {
+                *v *= scale;
+            }
+            for v in im.iter_mut() {
+                *v *= scale;
             }
         }
     }
 
-    fn recurse(&self, buf: &mut [Cplx], scratch: &mut [Cplx], stages: &StageTwiddles, rot_i: Cplx) {
-        let len = buf.len();
+    fn recurse(
+        &self,
+        re: &mut [f64],
+        im: &mut [f64],
+        scratch_re: &mut [f64],
+        scratch_im: &mut [f64],
+        stages: &StageTwiddles,
+        forward: bool,
+    ) {
+        let len = re.len();
         match len {
             1 => {}
             2 => {
-                let (a, b) = (buf[0], buf[1]);
-                buf[0] = a + b;
-                buf[1] = a - b;
+                let (ar, br) = (re[0], re[1]);
+                re[0] = ar + br;
+                re[1] = ar - br;
+                let (ai, bi) = (im[0], im[1]);
+                im[0] = ai + bi;
+                im[1] = ai - bi;
             }
-            _ => self.radix4_step(buf, scratch, stages, rot_i),
+            _ => self.radix4_step(re, im, scratch_re, scratch_im, stages, forward),
         }
     }
 
     fn radix4_step(
         &self,
-        buf: &mut [Cplx],
-        scratch: &mut [Cplx],
+        re: &mut [f64],
+        im: &mut [f64],
+        scratch_re: &mut [f64],
+        scratch_im: &mut [f64],
         stages: &StageTwiddles,
-        rot_i: Cplx,
+        forward: bool,
     ) {
-        let len = buf.len();
+        let len = re.len();
         let quarter = len / 4;
         // Gather the four decimated subsequences into the scratch window and
         // complete each sub-transform before combining (depth-first).
-        let (work, rest) = scratch.split_at_mut(len);
+        let (work_re, rest_re) = scratch_re.split_at_mut(len);
+        let (work_im, rest_im) = scratch_im.split_at_mut(len);
         for i in 0..quarter {
             for r in 0..4 {
-                work[r * quarter + i] = buf[4 * i + r];
+                work_re[r * quarter + i] = re[4 * i + r];
+                work_im[r * quarter + i] = im[4 * i + r];
             }
         }
         for r in 0..4 {
-            let (sub, _) = work[r * quarter..].split_at_mut(quarter);
-            self.recurse(sub, rest, stages, rot_i);
+            let sub_re = &mut work_re[r * quarter..(r + 1) * quarter];
+            let sub_im = &mut work_im[r * quarter..(r + 1) * quarter];
+            self.recurse(sub_re, sub_im, rest_re, rest_im, stages, forward);
         }
 
         // This level's radix-2 stage slice: the radix-4 butterflies consume
-        // its first `len/4` entries with unit stride.
-        let ws = stages.stage(len);
-        for k in 0..quarter {
-            // Single twiddle-buffer read per radix-4 butterfly; W^{2k} and
-            // W^{3k} are derived multiplicatively.
-            let w1 = ws[k];
-            self.twiddle_reads.fetch_add(1, Ordering::Relaxed);
-            let w2 = w1 * w1;
-            let w3 = w2 * w1;
-
-            let a = work[k];
-            let b = work[quarter + k] * w1;
-            let c = work[2 * quarter + k] * w2;
-            let d = work[3 * quarter + k] * w3;
-
-            let t0 = a + c;
-            let t1 = a - c;
-            let t2 = b + d;
-            let t3 = (b - d) * rot_i;
-
-            buf[k] = t0 + t2;
-            buf[k + quarter] = t1 + t3;
-            buf[k + 2 * quarter] = t0 - t2;
-            buf[k + 3 * quarter] = t1 - t3;
-        }
+        // its first `len/4` entries with unit stride, a single
+        // twiddle-buffer read each (W^{2k}, W^{3k} derived in registers).
+        let (wre, wim) = stages.stage_split(len);
+        self.twiddle_reads
+            .fetch_add(quarter as u64, Ordering::Relaxed);
+        simd::radix4_combine(re, im, work_re, work_im, wre, wim, forward);
     }
 }
 
 impl FftEngine for Radix4Fft {
     type Spectrum = CplxSpectrum;
-    type MonomialFactors = Vec<Cplx>;
+    type MonomialFactors = SplitFactors;
     type Scratch = CplxScratch;
 
     fn ring_degree(&self) -> usize {
@@ -170,7 +176,10 @@ impl FftEngine for Radix4Fft {
     }
 
     fn zero_spectrum(&self) -> CplxSpectrum {
-        CplxSpectrum(vec![Cplx::ZERO; self.n / 2])
+        CplxSpectrum {
+            re: vec![0.0; self.n / 2],
+            im: vec![0.0; self.n / 2],
+        }
     }
 
     fn clear_spectrum(&self, s: &mut CplxSpectrum) {
@@ -183,8 +192,14 @@ impl FftEngine for Radix4Fft {
         out: &mut CplxSpectrum,
         scratch: &mut CplxScratch,
     ) {
-        twist::fold_int(p, &self.tables, &mut out.0);
-        self.transform_with(&mut out.0, &mut scratch.stack, false);
+        twist::fold_int(p, &self.tables, &mut out.re, &mut out.im);
+        self.transform_with(
+            &mut out.re,
+            &mut out.im,
+            &mut scratch.stack_re,
+            &mut scratch.stack_im,
+            false,
+        );
     }
 
     fn forward_torus_into(
@@ -193,8 +208,14 @@ impl FftEngine for Radix4Fft {
         out: &mut CplxSpectrum,
         scratch: &mut CplxScratch,
     ) {
-        twist::fold_torus(p, &self.tables, &mut out.0);
-        self.transform_with(&mut out.0, &mut scratch.stack, false);
+        twist::fold_torus(p, &self.tables, &mut out.re, &mut out.im);
+        self.transform_with(
+            &mut out.re,
+            &mut out.im,
+            &mut scratch.stack_re,
+            &mut scratch.stack_im,
+            false,
+        );
     }
 
     fn forward_decomposed_into(
@@ -205,8 +226,14 @@ impl FftEngine for Radix4Fft {
         out: &mut CplxSpectrum,
         scratch: &mut CplxScratch,
     ) {
-        twist::fold_torus_digit(p, decomp, level, &self.tables, &mut out.0);
-        self.transform_with(&mut out.0, &mut scratch.stack, false);
+        twist::fold_torus_digit(p, decomp, level, &self.tables, &mut out.re, &mut out.im);
+        self.transform_with(
+            &mut out.re,
+            &mut out.im,
+            &mut scratch.stack_re,
+            &mut scratch.stack_im,
+            false,
+        );
     }
 
     fn backward_torus_into(
@@ -215,9 +242,16 @@ impl FftEngine for Radix4Fft {
         out: &mut TorusPolynomial,
         scratch: &mut CplxScratch,
     ) {
-        scratch.buf.clone_from(&s.0);
-        self.transform_with(&mut scratch.buf, &mut scratch.stack, true);
-        twist::unfold_torus_into(&scratch.buf, &self.tables, out);
+        scratch.buf_re.clone_from(&s.re);
+        scratch.buf_im.clone_from(&s.im);
+        let CplxScratch {
+            buf_re,
+            buf_im,
+            stack_re,
+            stack_im,
+        } = scratch;
+        self.transform_with(buf_re, buf_im, stack_re, stack_im, true);
+        twist::unfold_torus_into(buf_re, buf_im, &self.tables, out);
     }
 
     fn mul_accumulate(&self, acc: &mut CplxSpectrum, a: &CplxSpectrum, b: &CplxSpectrum) {
@@ -236,17 +270,14 @@ impl FftEngine for Radix4Fft {
     }
 
     fn add_assign(&self, acc: &mut CplxSpectrum, a: &CplxSpectrum) {
-        assert_eq!(acc.0.len(), a.0.len(), "spectrum size mismatch");
-        for (dst, &x) in acc.0.iter_mut().zip(a.0.iter()) {
-            *dst += x;
-        }
+        ref_fft::add_assign_cplx(acc, a);
     }
 
-    fn monomial_minus_one_into(&self, exponent: i64, out: &mut Vec<Cplx>) {
+    fn monomial_minus_one_into(&self, exponent: i64, out: &mut SplitFactors) {
         ref_fft::monomial_minus_one_cplx_into(self.n, exponent, out);
     }
 
-    fn scale_accumulate(&self, acc: &mut CplxSpectrum, src: &CplxSpectrum, factors: &Vec<Cplx>) {
+    fn scale_accumulate(&self, acc: &mut CplxSpectrum, src: &CplxSpectrum, factors: &SplitFactors) {
         ref_fft::scale_accumulate_cplx(acc, src, factors);
     }
 
@@ -256,13 +287,14 @@ impl FftEngine for Radix4Fft {
         acc_b: &mut CplxSpectrum,
         src_a: &CplxSpectrum,
         src_b: &CplxSpectrum,
-        factors: &Vec<Cplx>,
+        factors: &SplitFactors,
     ) {
         ref_fft::scale_accumulate_pair_cplx(acc_a, acc_b, src_a, src_b, factors);
     }
 
     fn bundle_accumulator_into(&self, from: &CplxSpectrum, out: &mut CplxSpectrum) {
-        out.0.clone_from(&from.0);
+        out.re.clone_from(&from.re);
+        out.im.clone_from(&from.im);
     }
 }
 

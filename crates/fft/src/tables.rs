@@ -25,7 +25,19 @@ use crate::cplx::Cplx;
 #[derive(Clone, Debug)]
 pub struct StageTwiddles {
     /// All stages back to back: `1 + 2 + … + M/2 = M − 1` entries.
+    ///
+    /// Kept alongside the split arrays below — the factors are stored
+    /// twice, deliberately: both views are built once from the same source
+    /// in the constructor and immutable after, the duplication is a few
+    /// tens of KB per plan at the paper's `N = 1024`, and the [`Cplx`] view
+    /// stays available to tests and external callers without a per-access
+    /// re-interleave.
     flat: Vec<Cplx>,
+    /// The same entries with components split into separate arrays — the
+    /// layout the SIMD butterfly kernels consume (see [`crate::simd`]).
+    flat_re: Vec<f64>,
+    /// Imaginary components of `flat`, split.
+    flat_im: Vec<f64>,
     /// `offsets[s]` = start of the stage for `len = 2^{s+1}`.
     offsets: Vec<usize>,
     /// Transform size `M`.
@@ -47,7 +59,15 @@ impl StageTwiddles {
             flat.extend((0..len / 2).map(|k| full[k * step]));
             len *= 2;
         }
-        Self { flat, offsets, m }
+        let flat_re = flat.iter().map(|w| w.re).collect();
+        let flat_im = flat.iter().map(|w| w.im).collect();
+        Self {
+            flat,
+            flat_re,
+            flat_im,
+            offsets,
+            m,
+        }
     }
 
     /// The contiguous factor slice for butterflies of length `len`
@@ -62,6 +82,21 @@ impl StageTwiddles {
         let s = len.trailing_zeros() as usize - 1;
         let start = self.offsets[s];
         &self.flat[start..start + len / 2]
+    }
+
+    /// [`StageTwiddles::stage`] in split-component form: `(re, im)` slices
+    /// of `len/2` entries each, bit-identical to the [`Cplx`] view.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `len` is not a power of two in `[2, M]`.
+    #[inline]
+    pub fn stage_split(&self, len: usize) -> (&[f64], &[f64]) {
+        debug_assert!(len.is_power_of_two() && len >= 2 && len <= self.m);
+        let s = len.trailing_zeros() as usize - 1;
+        let start = self.offsets[s];
+        let end = start + len / 2;
+        (&self.flat_re[start..end], &self.flat_im[start..end])
     }
 
     /// The full-size table `w^k`, `k < M/2` (the last stage).
@@ -84,6 +119,10 @@ pub struct TwiddleTables {
     inv: StageTwiddles,
     /// `twist[j] = e^{iπj/N}`, `j < M`.
     twist: Vec<Cplx>,
+    /// Real components of `twist`, split for the SIMD fold kernels.
+    twist_re: Vec<f64>,
+    /// Imaginary components of `twist`, split.
+    twist_im: Vec<f64>,
 }
 
 impl TwiddleTables {
@@ -102,14 +141,18 @@ impl TwiddleTables {
             .map(|k| Cplx::from_angle(std::f64::consts::TAU * k as f64 / m as f64))
             .collect();
         let roots_conj: Vec<Cplx> = roots.iter().map(|r| r.conj()).collect();
-        let twist = (0..m)
+        let twist: Vec<Cplx> = (0..m)
             .map(|j| Cplx::from_angle(std::f64::consts::PI * j as f64 / n as f64))
             .collect();
+        let twist_re = twist.iter().map(|w| w.re).collect();
+        let twist_im = twist.iter().map(|w| w.im).collect();
         Self {
             m,
             fwd: StageTwiddles::from_full(&roots, m),
             inv: StageTwiddles::from_full(&roots_conj, m),
             twist,
+            twist_re,
+            twist_im,
         }
     }
 
@@ -154,6 +197,13 @@ impl TwiddleTables {
     pub fn twist(&self, j: usize) -> Cplx {
         self.twist[j]
     }
+
+    /// The twist table in split-component form: `(re, im)` slices of `M`
+    /// entries, bit-identical to the [`Cplx`] view.
+    #[inline]
+    pub fn twist_split(&self) -> (&[f64], &[f64]) {
+        (&self.twist_re, &self.twist_im)
+    }
 }
 
 /// Applies the bit-reversal permutation in place (the "irregular memory
@@ -166,6 +216,27 @@ pub fn bit_reverse_permute<T>(buf: &mut [T]) {
         let j = i.reverse_bits() >> shift;
         if j > i {
             buf.swap(i, j);
+        }
+    }
+}
+
+/// [`bit_reverse_permute`] applied coherently to both components of a
+/// split-complex buffer in one index walk — the reversed index is computed
+/// once per position instead of once per component.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if the slices differ in length.
+pub fn bit_reverse_permute_pair<T, U>(a: &mut [T], b: &mut [U]) {
+    let n = a.len();
+    debug_assert_eq!(n, b.len());
+    debug_assert!(n.is_power_of_two());
+    let shift = (n.leading_zeros() + 1) % usize::BITS;
+    for i in 0..n {
+        let j = i.reverse_bits() >> shift;
+        if j > i {
+            a.swap(i, j);
+            b.swap(i, j);
         }
     }
 }
@@ -239,6 +310,38 @@ mod tests {
         assert_eq!(t.forward_stages().stage(2).len(), 1);
         assert_eq!(t.roots().len(), 1);
         assert!((t.root(0) - Cplx::ONE).abs() < 1e-15);
+    }
+
+    #[test]
+    fn split_views_match_cplx_views() {
+        let t = TwiddleTables::new(64); // M = 32
+        let m = t.size();
+        let mut len = 2;
+        while len <= m {
+            for (dir, stages) in [(0, t.forward_stages()), (1, t.inverse_stages())] {
+                let ws = stages.stage(len);
+                let (re, im) = stages.stage_split(len);
+                assert_eq!(re.len(), ws.len(), "dir={dir} len={len}");
+                for k in 0..ws.len() {
+                    assert_eq!(
+                        re[k].to_bits(),
+                        ws[k].re.to_bits(),
+                        "dir={dir} len={len} k={k}"
+                    );
+                    assert_eq!(
+                        im[k].to_bits(),
+                        ws[k].im.to_bits(),
+                        "dir={dir} len={len} k={k}"
+                    );
+                }
+            }
+            len *= 2;
+        }
+        let (twre, twim) = t.twist_split();
+        for j in 0..m {
+            assert_eq!(twre[j].to_bits(), t.twist(j).re.to_bits(), "twist j={j}");
+            assert_eq!(twim[j].to_bits(), t.twist(j).im.to_bits(), "twist j={j}");
+        }
     }
 
     #[test]

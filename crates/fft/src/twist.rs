@@ -15,89 +15,136 @@
 //! `2/N`, and untwists. Negacyclic products become pointwise products of
 //! these evaluations, which is precisely how TFHE performs the polynomial
 //! multiplications inside external products.
+//!
+//! All folds produce *split-complex* buffers (separate `re[]`/`im[]`
+//! slices): each fold fills the components with a load/convert pass, then
+//! hands the complex twist multiply to [`crate::simd::twist_apply`], which
+//! vectorizes it when AVX2+FMA are available.
 
-use crate::cplx::Cplx;
+use crate::simd;
 use crate::tables::TwiddleTables;
 use matcha_math::{GadgetDecomposer, IntPolynomial, Torus32, TorusPolynomial};
 
-/// Folds an integer polynomial into the twisted complex buffer
+/// Folds an integer polynomial into the twisted split-complex buffer
 /// (the input of the forward transform).
-pub fn fold_int(p: &IntPolynomial, tables: &TwiddleTables, out: &mut Vec<Cplx>) {
+///
+/// # Panics
+///
+/// Panics if `p.len() != 2 * tables.size()`.
+pub fn fold_int(p: &IntPolynomial, tables: &TwiddleTables, re: &mut Vec<f64>, im: &mut Vec<f64>) {
     let m = tables.size();
-    debug_assert_eq!(p.len(), 2 * m);
-    out.clear();
+    assert_eq!(p.len(), 2 * m, "polynomial length mismatch");
     let c = p.coeffs();
-    for j in 0..m {
-        let v = Cplx::new(c[j] as f64, c[j + m] as f64);
-        out.push(v * tables.twist(j));
-    }
+    re.clear();
+    im.clear();
+    re.extend(c[..m].iter().map(|&x| x as f64));
+    im.extend(c[m..].iter().map(|&x| x as f64));
+    let (twre, twim) = tables.twist_split();
+    simd::twist_apply(re, im, twre, twim);
 }
 
 /// Folds one gadget-digit level of a torus polynomial into the twisted
-/// complex buffer — the fused decompose→twist input stage.
+/// split-complex buffer — the fused decompose→twist input stage.
 ///
 /// Each coefficient's centered digit is extracted on the fly while it is
 /// loaded for the twist, so the digit polynomial is never written to
 /// memory. Bit-identical to
 /// [`GadgetDecomposer::decompose_poly_into`] followed by [`fold_int`] on
 /// the requested level.
+///
+/// # Panics
+///
+/// Panics if `p.len() != 2 * tables.size()`.
 pub fn fold_torus_digit(
     p: &TorusPolynomial,
     decomp: &GadgetDecomposer,
     level: usize,
     tables: &TwiddleTables,
-    out: &mut Vec<Cplx>,
+    re: &mut Vec<f64>,
+    im: &mut Vec<f64>,
 ) {
     let m = tables.size();
-    debug_assert_eq!(p.len(), 2 * m);
-    out.clear();
+    assert_eq!(p.len(), 2 * m, "polynomial length mismatch");
     let c = p.coeffs();
-    for j in 0..m {
-        let lo = decomp.digit(decomp.shift(c[j]), level);
-        let hi = decomp.digit(decomp.shift(c[j + m]), level);
-        let v = Cplx::new(lo as f64, hi as f64);
-        out.push(v * tables.twist(j));
-    }
+    re.clear();
+    im.clear();
+    re.extend(
+        c[..m]
+            .iter()
+            .map(|&x| decomp.digit(decomp.shift(x), level) as f64),
+    );
+    im.extend(
+        c[m..]
+            .iter()
+            .map(|&x| decomp.digit(decomp.shift(x), level) as f64),
+    );
+    let (twre, twim) = tables.twist_split();
+    simd::twist_apply(re, im, twre, twim);
 }
 
 /// Folds a torus polynomial (centered representatives) into the twisted
-/// complex buffer.
-pub fn fold_torus(p: &TorusPolynomial, tables: &TwiddleTables, out: &mut Vec<Cplx>) {
+/// split-complex buffer.
+///
+/// # Panics
+///
+/// Panics if `p.len() != 2 * tables.size()`.
+pub fn fold_torus(
+    p: &TorusPolynomial,
+    tables: &TwiddleTables,
+    re: &mut Vec<f64>,
+    im: &mut Vec<f64>,
+) {
     let m = tables.size();
-    debug_assert_eq!(p.len(), 2 * m);
-    out.clear();
+    assert_eq!(p.len(), 2 * m, "polynomial length mismatch");
     let c = p.coeffs();
-    for j in 0..m {
-        let v = Cplx::new(c[j].raw() as i32 as f64, c[j + m].raw() as i32 as f64);
-        out.push(v * tables.twist(j));
-    }
+    re.clear();
+    im.clear();
+    re.extend(c[..m].iter().map(|&x| x.raw() as i32 as f64));
+    im.extend(c[m..].iter().map(|&x| x.raw() as i32 as f64));
+    let (twre, twim) = tables.twist_split();
+    simd::twist_apply(re, im, twre, twim);
 }
 
-/// Unfolds an inverse-transformed buffer back into torus coefficients.
+/// Unfolds an inverse-transformed split buffer back into torus coefficients.
 ///
 /// The buffer must already carry the `1/M` normalization; this routine
 /// applies the untwist and reduces each real coefficient modulo `2^32`.
-pub fn unfold_torus(buf: &[Cplx], tables: &TwiddleTables) -> TorusPolynomial {
+///
+/// # Panics
+///
+/// Panics if `re.len() != tables.size()` or `re.len() != im.len()`.
+pub fn unfold_torus(re: &[f64], im: &[f64], tables: &TwiddleTables) -> TorusPolynomial {
     let mut out = TorusPolynomial::zero(2 * tables.size());
-    unfold_torus_into(buf, tables, &mut out);
+    let mut re = re.to_vec();
+    let mut im = im.to_vec();
+    unfold_torus_into(&mut re, &mut im, tables, &mut out);
     out
 }
 
 /// [`unfold_torus`] into a caller-owned polynomial — the zero-allocation
-/// tail of every backward transform.
+/// tail of every backward transform. The split buffer is untwisted in
+/// place (it is backward-transform scratch, consumed afterwards anyway).
 ///
 /// # Panics
 ///
-/// Panics if `out.len() != 2 * buf.len()`.
-pub fn unfold_torus_into(buf: &[Cplx], tables: &TwiddleTables, out: &mut TorusPolynomial) {
+/// Panics if `re.len() != tables.size()`, `re.len() != im.len()`, or
+/// `out.len() != 2 * re.len()`.
+pub fn unfold_torus_into(
+    re: &mut [f64],
+    im: &mut [f64],
+    tables: &TwiddleTables,
+    out: &mut TorusPolynomial,
+) {
     let m = tables.size();
-    debug_assert_eq!(buf.len(), m);
+    assert_eq!(re.len(), m, "buffer length mismatch");
+    assert_eq!(im.len(), m, "buffer length mismatch");
     assert_eq!(out.len(), 2 * m, "output polynomial length mismatch");
+    let (twre, twim) = tables.twist_split();
+    simd::untwist_apply(re, im, twre, twim);
     let coeffs = out.coeffs_mut();
-    for (j, &v) in buf.iter().enumerate() {
-        let c = v * tables.twist(j).conj();
-        coeffs[j] = f64_to_torus_mod(c.re);
-        coeffs[j + m] = f64_to_torus_mod(c.im);
+    for j in 0..m {
+        coeffs[j] = f64_to_torus_mod(re[j]);
+        coeffs[j + m] = f64_to_torus_mod(im[j]);
     }
 }
 
@@ -117,6 +164,7 @@ pub fn f64_to_torus_mod(x: f64) -> Torus32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cplx::Cplx;
 
     #[test]
     fn f64_mod_small_values() {
@@ -144,11 +192,12 @@ mod tests {
                 .map(|i| Torus32::from_raw(i as u32 * 0x0100_0000))
                 .collect(),
         );
-        let mut buf = Vec::new();
-        fold_torus(&p, &tables, &mut buf);
+        let mut re = Vec::new();
+        let mut im = Vec::new();
+        fold_torus(&p, &tables, &mut re, &mut im);
         // Undo only the twist (no transform): unfold expects untwisted data,
         // so compose manually.
-        let q = unfold_torus(&buf, &tables);
+        let q = unfold_torus(&re, &im, &tables);
         assert_eq!(p, q);
     }
 
@@ -162,12 +211,13 @@ mod tests {
                 .collect(),
         );
         let digits = decomp.decompose_poly(&p);
-        let mut fused = Vec::new();
-        let mut unfused = Vec::new();
+        let (mut fre, mut fim) = (Vec::new(), Vec::new());
+        let (mut ure, mut uim) = (Vec::new(), Vec::new());
         for (level, digit_poly) in digits.iter().enumerate() {
-            fold_torus_digit(&p, &decomp, level, &tables, &mut fused);
-            fold_int(digit_poly, &tables, &mut unfused);
-            assert_eq!(fused, unfused, "level {level}");
+            fold_torus_digit(&p, &decomp, level, &tables, &mut fre, &mut fim);
+            fold_int(digit_poly, &tables, &mut ure, &mut uim);
+            assert_eq!(fre, ure, "level {level}");
+            assert_eq!(fim, uim, "level {level}");
         }
     }
 
@@ -177,8 +227,30 @@ mod tests {
         let mut p = IntPolynomial::zero(8);
         p.coeffs_mut()[0] = 3;
         p.coeffs_mut()[4] = 7;
-        let mut buf = Vec::new();
-        fold_int(&p, &tables, &mut buf);
-        assert!((buf[0] - Cplx::new(3.0, 7.0)).abs() < 1e-12);
+        let mut re = Vec::new();
+        let mut im = Vec::new();
+        fold_int(&p, &tables, &mut re, &mut im);
+        assert!((Cplx::new(re[0], im[0]) - Cplx::new(3.0, 7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length mismatch")]
+    fn unfold_rejects_short_buffer() {
+        // The documented panic is a real assert, not a debug_assert: release
+        // builds reject mis-sized buffers too.
+        let tables = TwiddleTables::new(8);
+        let mut re = vec![0.0; 3];
+        let mut im = vec![0.0; 3];
+        let mut out = TorusPolynomial::zero(8);
+        unfold_torus_into(&mut re, &mut im, &tables, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "polynomial length mismatch")]
+    fn fold_rejects_wrong_length() {
+        let tables = TwiddleTables::new(8);
+        let p = TorusPolynomial::zero(16);
+        let (mut re, mut im) = (Vec::new(), Vec::new());
+        fold_torus(&p, &tables, &mut re, &mut im);
     }
 }

@@ -195,8 +195,8 @@ proptest! {
             engine.forward_int_into(&q, &mut out1, &mut scratch);
             engine.forward_torus_into(&p, &mut out2, &mut scratch);
         }
-        prop_assert_eq!(&out1.0, &engine.forward_int(&q).0);
-        prop_assert_eq!(&out2.0, &engine.forward_torus(&p).0);
+        prop_assert_eq!(&out1, &engine.forward_int(&q));
+        prop_assert_eq!(&out2, &engine.forward_torus(&p));
     }
 
     #[test]

@@ -36,14 +36,17 @@ impl GadgetDecomposer {
     /// # Panics
     ///
     /// Panics if the digits would not fit in 32 bits
-    /// (`bg_bits * levels > 32`), or if either parameter is zero.
+    /// (`bg_bits * levels > 32` or `bg_bits ≥ 32`), or if either parameter
+    /// is zero.
     pub fn new(bg_bits: u32, levels: usize) -> Self {
         assert!(
             bg_bits > 0 && levels > 0,
             "decomposition parameters must be nonzero"
         );
+        // bg_bits = 32 would overflow `1 << bg_bits` in base() even with a
+        // single level, so the base itself must fit too.
         assert!(
-            bg_bits as usize * levels <= 32,
+            bg_bits < 32 && bg_bits as usize * levels <= 32,
             "bg_bits {bg_bits} × levels {levels} exceeds the 32-bit torus"
         );
         // Each level contributes Bg/2 at its own digit position so the
@@ -273,5 +276,12 @@ mod tests {
     #[should_panic(expected = "exceeds the 32-bit torus")]
     fn oversized_parameters_rejected() {
         let _ = GadgetDecomposer::new(10, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 32-bit torus")]
+    fn full_width_base_rejected() {
+        // 32 × 1 passes the product bound but `1 << 32` overflows base().
+        let _ = GadgetDecomposer::new(32, 1);
     }
 }

@@ -24,6 +24,9 @@ pub fn stdev(xs: &[f64]) -> f64 {
 }
 
 /// Root mean square.
+///
+/// NaN entries *propagate* (the squared sum is poisoned): an RMS over
+/// corrupt data must not masquerade as a valid magnitude.
 pub fn rms(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;
@@ -32,6 +35,11 @@ pub fn rms(xs: &[f64]) -> f64 {
 }
 
 /// Largest absolute value.
+///
+/// NaN entries are *ignored* (`f64::max` propagates the non-NaN operand):
+/// the result is the largest magnitude among the finite-or-infinite
+/// entries, or 0 if there are none. Noise measurement uses this to report
+/// the worst observed error even when a reference slot was unusable.
 pub fn max_abs(xs: &[f64]) -> f64 {
     xs.iter().fold(0.0, |acc, &x| acc.max(x.abs()))
 }
@@ -46,18 +54,28 @@ pub fn amplitude_db(ratio: f64) -> f64 {
 
 /// Error level of `approx` relative to `reference`, in dB
 /// (`20·log10(rms(err)/rms(ref))`).
+///
+/// Both RMS values are accumulated in one streaming pass with no
+/// allocation — this sits inside noise-measurement loops that run once per
+/// bootstrapped sample, where a per-call `Vec` of differences was pure
+/// overhead. Exact matches (and empty or all-zero references) report
+/// `-inf` dB, smaller-is-better as in the paper's Figure 8; NaN anywhere
+/// propagates to a NaN result, consistent with [`rms`].
 pub fn error_db(reference: &[f64], approx: &[f64]) -> f64 {
     debug_assert_eq!(reference.len(), approx.len());
-    let err: Vec<f64> = reference
-        .iter()
-        .zip(approx.iter())
-        .map(|(&r, &a)| r - a)
-        .collect();
-    let signal = rms(reference);
-    if signal == 0.0 {
+    let mut err_sq = 0.0;
+    let mut ref_sq = 0.0;
+    for (&r, &a) in reference.iter().zip(approx.iter()) {
+        let e = r - a;
+        err_sq += e * e;
+        ref_sq += r * r;
+    }
+    if ref_sq == 0.0 {
         return f64::NEG_INFINITY;
     }
-    amplitude_db(rms(&err) / signal)
+    // The shared 1/n factors cancel in the ratio; the sqrt of the quotient
+    // equals the quotient of the sqrts exactly for the dB argument.
+    amplitude_db((err_sq / ref_sq).sqrt())
 }
 
 #[cfg(test)]
@@ -89,6 +107,34 @@ mod tests {
     fn db_scale() {
         assert!((amplitude_db(0.1) + 20.0).abs() < 1e-9);
         assert!((amplitude_db(1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_abs_ignores_nan() {
+        // Documented semantics: f64::max drops the NaN operand, so the
+        // largest non-NaN magnitude wins.
+        assert_eq!(max_abs(&[1.0, f64::NAN, -3.0]), 3.0);
+        assert_eq!(max_abs(&[f64::NAN]), 0.0);
+        assert_eq!(max_abs(&[f64::NAN, f64::NAN]), 0.0);
+    }
+
+    #[test]
+    fn rms_propagates_nan() {
+        // Documented semantics: a poisoned square sum stays poisoned.
+        assert!(rms(&[1.0, f64::NAN, 2.0]).is_nan());
+        assert!(rms(&[f64::NAN]).is_nan());
+    }
+
+    #[test]
+    fn error_db_propagates_nan() {
+        assert!(error_db(&[1.0, 2.0], &[1.0, f64::NAN]).is_nan());
+        assert!(error_db(&[f64::NAN, 2.0], &[1.0, 2.0]).is_nan());
+    }
+
+    #[test]
+    fn error_db_zero_reference_is_neg_inf() {
+        assert_eq!(error_db(&[0.0, 0.0], &[0.5, -0.5]), f64::NEG_INFINITY);
+        assert_eq!(error_db(&[], &[]), f64::NEG_INFINITY);
     }
 
     #[test]

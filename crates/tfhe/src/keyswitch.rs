@@ -28,6 +28,15 @@ pub struct KeySwitchKey {
 
 impl KeySwitchKey {
     /// Generates a key-switching key from `from_key` to `to_key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ks_base_log` or `ks_levels` is zero, if
+    /// `ks_base_log ≥ 32` (the base `2^γ` itself must fit a `u32`), or if
+    /// `ks_base_log · ks_levels > 32`: the decomposition shifts
+    /// `32 − (j+1)·γ` (here and in [`KeySwitchKey::switch_into`]) would
+    /// underflow past the 32-bit torus — a debug-build panic and a silent
+    /// release-build wraparound before this constructor-time check.
     pub fn generate<R: Rng>(
         from_key: &LweSecretKey,
         to_key: &LweSecretKey,
@@ -36,6 +45,16 @@ impl KeySwitchKey {
     ) -> Self {
         let base_log = params.ks_base_log;
         let levels = params.ks_levels;
+        assert!(
+            base_log > 0 && levels > 0,
+            "key-switch decomposition parameters must be nonzero"
+        );
+        // base_log = 32 would already overflow `1u32 << base_log` below
+        // even with a single level, so the base itself must fit too.
+        assert!(
+            base_log < 32 && base_log as usize * levels <= 32,
+            "ks_base_log {base_log} × ks_levels {levels} exceeds the 32-bit torus"
+        );
         let base = 1u32 << base_log;
         let n_from = from_key.dimension();
         let mut entries = Vec::with_capacity(n_from * levels * (base as usize - 1));
@@ -181,6 +200,73 @@ mod tests {
         let (_, _, ksk, _) = setup();
         let c = LweCiphertext::trivial(Torus32::ZERO, 64);
         let _ = ksk.switch(&c);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 32-bit torus")]
+    fn oversized_decomposition_rejected() {
+        // 12 × 3 = 36 > 32: the per-level shift `32 − (j+1)·γ` would
+        // underflow at j = 2. Must be rejected at key generation, not
+        // deep inside a switch.
+        let params = ParameterSet {
+            ks_base_log: 12,
+            ks_levels: 3,
+            ..ParameterSet::TEST_FAST
+        };
+        let mut sampler = TorusSampler::new(StdRng::seed_from_u64(1));
+        let from = LweSecretKey::generate(16, &mut sampler);
+        let to = LweSecretKey::generate(params.lwe_dimension, &mut sampler);
+        let _ = KeySwitchKey::generate(&from, &to, &params, &mut sampler);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 32-bit torus")]
+    fn full_width_base_rejected() {
+        // γ = 32 with a single level passes γ·t ≤ 32 but `1u32 << 32`
+        // overflows; the constructor must reject the base itself.
+        let params = ParameterSet {
+            ks_base_log: 32,
+            ks_levels: 1,
+            ..ParameterSet::TEST_FAST
+        };
+        let mut sampler = TorusSampler::new(StdRng::seed_from_u64(4));
+        let from = LweSecretKey::generate(16, &mut sampler);
+        let to = LweSecretKey::generate(params.lwe_dimension, &mut sampler);
+        let _ = KeySwitchKey::generate(&from, &to, &params, &mut sampler);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be nonzero")]
+    fn zero_levels_rejected() {
+        let params = ParameterSet {
+            ks_levels: 0,
+            ..ParameterSet::TEST_FAST
+        };
+        let mut sampler = TorusSampler::new(StdRng::seed_from_u64(2));
+        let from = LweSecretKey::generate(16, &mut sampler);
+        let to = LweSecretKey::generate(params.lwe_dimension, &mut sampler);
+        let _ = KeySwitchKey::generate(&from, &to, &params, &mut sampler);
+    }
+
+    #[test]
+    fn full_precision_32_bits_accepted() {
+        // γ·t = 32 exactly is legal: the finest level's shift is 0 and the
+        // rounding bump is skipped (precision_bits == 32).
+        let params = ParameterSet {
+            ks_base_log: 8,
+            ks_levels: 4,
+            ..ParameterSet::TEST_FAST
+        };
+        let mut sampler = TorusSampler::new(StdRng::seed_from_u64(3));
+        let from = LweSecretKey::generate(16, &mut sampler);
+        let to = LweSecretKey::generate(params.lwe_dimension, &mut sampler);
+        let ksk = KeySwitchKey::generate(&from, &to, &params, &mut sampler);
+        let c = LweCiphertext::encrypt(Torus32::from_f64(0.25), &from, 1e-9, &mut sampler);
+        let err = ksk
+            .switch(&c)
+            .phase(&to)
+            .signed_diff(Torus32::from_f64(0.25));
+        assert!(err.abs() < 1e-2, "error {err}");
     }
 
     #[test]

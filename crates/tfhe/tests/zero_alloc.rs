@@ -92,6 +92,45 @@ fn warmed_external_product_allocates_nothing_radix4() {
     assert_zero_alloc_external_product(&Radix4Fft::new(256), 8);
 }
 
+#[test]
+fn warmed_external_product_allocates_nothing_with_simd_forced() {
+    // The AVX2+FMA kernel leg must stay allocation-free too: the runtime
+    // dispatch is a cached atomic load, and the split-complex spectra reuse
+    // the same warmed buffers as the scalar leg. Forcing SIMD on is a no-op
+    // on CPUs without it (the kernels fall back to scalar), so this test is
+    // meaningful exactly where the vector leg actually runs. The override is
+    // process-global but both legs are allocation-free with identical buffer
+    // sizes, so concurrently running tests in this binary are unaffected; a
+    // drop guard restores auto mode even if an assertion fails.
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            matcha_fft::force_simd(None);
+        }
+    }
+    let _restore = Restore;
+    matcha_fft::force_simd(Some(true));
+    assert_zero_alloc_external_product(&F64Fft::new(256), 9);
+    assert_zero_alloc_external_product(&Radix4Fft::new(256), 10);
+}
+
+#[test]
+fn streaming_error_db_allocates_nothing() {
+    // `stats::error_db` sits inside noise-measurement loops; it must not
+    // allocate a difference vector per call.
+    let reference: Vec<f64> = (0..1024).map(|i| (i as f64).sin()).collect();
+    let approx: Vec<f64> = reference.iter().map(|x| x + 1e-9).collect();
+    let _warm = matcha_math::stats::error_db(&reference, &approx);
+    let before = allocations();
+    let db = matcha_math::stats::error_db(&reference, &approx);
+    let delta = allocations() - before;
+    assert_eq!(delta, 0, "error_db allocated {delta} times");
+    assert!(
+        db < -150.0,
+        "1e-9 error on O(1) signal is ≈ -180 dB, got {db}"
+    );
+}
+
 fn assert_zero_alloc_bootstrap<E>(engine: &E, unroll: usize, seed: u64)
 where
     E: matcha_fft::FftEngine,
