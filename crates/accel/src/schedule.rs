@@ -41,6 +41,29 @@ impl Netlist {
         id
     }
 
+    /// Builds a netlist from an externally produced dependency skeleton —
+    /// the bridge from executable circuits: pass
+    /// `CircuitNetlist::schedule_skeleton()` (in `matcha-tfhe`) here and
+    /// [`schedule`] predicts the makespan/utilization the batch pool
+    /// should achieve, for cross-checking against measured wall-clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry references a not-yet-listed gate (the skeleton
+    /// must be topologically ordered).
+    pub fn from_deps(deps: &[Vec<usize>]) -> Self {
+        let mut net = Self::new();
+        for gate_deps in deps {
+            net.add_gate(gate_deps);
+        }
+        net
+    }
+
+    /// The dependency list of gate `i`.
+    pub fn dependencies(&self, i: usize) -> &[usize] {
+        &self.deps[i]
+    }
+
     /// Number of gates.
     pub fn len(&self) -> usize {
         self.deps.len()
@@ -274,6 +297,26 @@ mod tests {
         let r = schedule(&Netlist::new(), 4, 1.0);
         assert_eq!(r.gates, 0);
         assert_eq!(r.makespan_s, 0.0);
+    }
+
+    #[test]
+    fn from_deps_roundtrips() {
+        let orig = Netlist::ripple_adder(4);
+        let deps: Vec<Vec<usize>> = (0..orig.len())
+            .map(|i| orig.dependencies(i).to_vec())
+            .collect();
+        let rebuilt = Netlist::from_deps(&deps);
+        assert_eq!(rebuilt.len(), orig.len());
+        assert_eq!(rebuilt.critical_path(), orig.critical_path());
+        let a = schedule(&orig, 4, 1.0);
+        let b = schedule(&rebuilt, 4, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier gates")]
+    fn from_deps_rejects_forward_references() {
+        let _ = Netlist::from_deps(&[vec![], vec![2]]);
     }
 
     #[test]

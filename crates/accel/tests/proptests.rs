@@ -2,8 +2,28 @@
 //! (latencies positive, more hardware never slower, traffic monotone in m)
 //! across randomized configurations.
 
+use matcha_accel::schedule::{schedule, Netlist};
 use matcha_accel::{area_power, kernels, pipeline, MatchaConfig, WorkloadParams};
 use proptest::prelude::*;
+
+/// Random dependency DAGs, derived arithmetically from drawn words so the
+/// stub's strategy set suffices: gate `i` consumes up to three distinct
+/// earlier gates picked from its word's bytes.
+fn netlist_strategy() -> impl Strategy<Value = Netlist> {
+    proptest::collection::vec(any::<u64>(), 1..48).prop_map(|words| {
+        let mut net = Netlist::new();
+        for (i, w) in words.iter().enumerate() {
+            let mut deps: Vec<usize> = (0..(w % 4) as usize)
+                .filter(|_| i > 0)
+                .map(|k| (w >> (8 * k + 2)) as usize % i)
+                .collect();
+            deps.sort_unstable();
+            deps.dedup();
+            net.add_gate(&deps);
+        }
+        net
+    })
+}
 
 fn config_strategy() -> impl Strategy<Value = MatchaConfig> {
     (
@@ -119,5 +139,61 @@ proptest! {
         for m in 1..=4 {
             prop_assert!(pipeline::simulate_gate(&cfg, &w, m).latency_s >= best_latency - 1e-15);
         }
+    }
+
+    // ---- list-scheduler invariants (`accel::schedule`) ----
+
+    #[test]
+    fn makespan_dominates_critical_path_and_work(
+        net in netlist_strategy(),
+        pipelines in 1usize..=16,
+        latency in 0.125f64..8.0,
+    ) {
+        let r = schedule(&net, pipelines, latency);
+        let cp_bound = net.critical_path() as f64 * latency;
+        let work_bound = net.len() as f64 / pipelines as f64 * latency;
+        prop_assert!(r.makespan_s >= cp_bound - 1e-9,
+            "makespan {} < critical-path bound {cp_bound}", r.makespan_s);
+        prop_assert!(r.makespan_s >= work_bound - 1e-9,
+            "makespan {} < work bound {work_bound}", r.makespan_s);
+        // Never worse than full serialization either.
+        prop_assert!(r.makespan_s <= net.len() as f64 * latency + 1e-9);
+        prop_assert_eq!(r.gates, net.len());
+    }
+
+    #[test]
+    fn utilization_is_a_proper_fraction(
+        net in netlist_strategy(),
+        pipelines in 1usize..=16,
+        latency in 0.125f64..8.0,
+    ) {
+        let r = schedule(&net, pipelines, latency);
+        prop_assert!(r.utilization > 0.0, "nonempty netlist: {}", r.utilization);
+        prop_assert!(r.utilization <= 1.0 + 1e-12, "{}", r.utilization);
+    }
+
+    #[test]
+    fn single_pipeline_serializes_exactly(net in netlist_strategy(), latency in 0.125f64..8.0) {
+        let r = schedule(&net, 1, latency);
+        prop_assert!((r.makespan_s - net.len() as f64 * latency).abs() < 1e-9);
+        prop_assert!((r.utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_deps_preserves_the_schedule(net in netlist_strategy(), pipelines in 1usize..=8) {
+        let deps: Vec<Vec<usize>> = (0..net.len())
+            .map(|i| net.dependencies(i).to_vec())
+            .collect();
+        let rebuilt = Netlist::from_deps(&deps);
+        prop_assert_eq!(schedule(&rebuilt, pipelines, 1.0), schedule(&net, pipelines, 1.0));
+    }
+
+    #[test]
+    fn empty_netlist_is_the_identity(pipelines in 1usize..=16, latency in 0.125f64..8.0) {
+        let r = schedule(&Netlist::new(), pipelines, latency);
+        prop_assert_eq!(r.makespan_s, 0.0);
+        prop_assert_eq!(r.gates, 0);
+        prop_assert_eq!(r.critical_path, 0);
+        prop_assert_eq!(r.utilization, 0.0);
     }
 }

@@ -9,7 +9,13 @@
 //! (`simd_vs_scalar/*` rows: `alloc_ns` = scalar leg, `scratch_ns` = SIMD
 //! leg, toggled per sample with `force_simd` so the comparison stays
 //! interleaved; on CPUs without AVX2+FMA both sides run scalar and the
-//! rows record ~1×).
+//! rows record ~1×), and, since PR 4, whole lowered circuits
+//! (`circuit_sched_vs_sequential/*` rows: `alloc_ns` = eager sequential
+//! evaluation through the allocating `ServerKey::apply` path,
+//! `scratch_ns` = the same netlist wave-scheduled onto the persistent
+//! `GateBatchPool` with warmed per-worker scratches; on a single-CPU
+//! container the win is scratch reuse — on multicore the waves
+//! additionally parallelize).
 //!
 //! Run with:
 //! `cargo run --release -p matcha-bench --bin bench_pbs`
@@ -364,6 +370,80 @@ fn bench_simd_external_product<E: FftEngine>(name: &str, engine: &E, unroll: usi
     }
 }
 
+/// Whole lowered circuits, wave-scheduled onto the persistent pool vs.
+/// eagerly evaluated gate-by-gate on one thread. `alloc_ns` carries the
+/// sequential eager time (allocating `ServerKey::apply` per op, the seed
+/// way of running a circuit), `scratch_ns` the scheduled pool time. One
+/// shared key/pool across all circuits keeps the dominant cost — MATCHA
+/// keygen — paid once. Alongside the measured row, the predicted makespan
+/// from `accel::schedule` over the circuit's exported dependency skeleton
+/// is printed for the model-vs-measured cross-check.
+fn bench_circuit_sched(rows: &mut Vec<Row>) {
+    use matcha::circuits::netlist;
+    use matcha::tfhe::GateBatchPool;
+    use std::sync::Arc;
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+    let client = ClientKey::generate(ParameterSet::MATCHA, &mut rng);
+    let server = Arc::new(ServerKey::with_unrolling(
+        &client,
+        F64Fft::new(1024),
+        2,
+        &mut rng,
+    ));
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let pool = GateBatchPool::new(Arc::clone(&server), threads);
+    let circuits = [
+        ("adder8", netlist::ripple_adder(8)),
+        ("comparator8", netlist::eq_comparator(8)),
+        ("mux4x4", netlist::mux_tree(2, 4)),
+    ];
+    for (name, net) in circuits {
+        let inputs: Vec<_> = (0..net.num_inputs())
+            .map(|i| client.encrypt_with(i % 3 == 0, &mut rng))
+            .collect();
+        // Warm both paths (pool worker scratches size themselves here).
+        let warm = net.execute(&pool, &inputs);
+        let _ = net.execute_sequential(server.as_ref(), &inputs);
+        let (seq_ns, sched_ns) = measure_paired(
+            3,
+            1,
+            || {
+                std::hint::black_box(net.execute_sequential(server.as_ref(), &inputs));
+            },
+            || {
+                std::hint::black_box(net.execute(&pool, &inputs));
+            },
+        );
+        // Model cross-check. The per-gate latency is *derived from* the
+        // measurement, so at 1 pipeline predicted == measured by
+        // construction; the informative comparisons are (a) the measured
+        // wave count against the model's critical path and (b) the
+        // predicted headroom at the paper's 8 pipelines.
+        let skeleton = matcha::accel::schedule::Netlist::from_deps(&net.schedule_skeleton());
+        let gate_latency_s = sched_ns / 1e9 / net.bootstraps() as f64;
+        let at8 = matcha::accel::schedule::schedule(&skeleton, 8, gate_latency_s);
+        println!(
+            "circuit {name}: {} bootstraps in {} waves on {threads} thread(s), \
+             measured {:.0} ms; model critical path {} units; at 8 pipelines \
+             the model predicts {:.0} ms ({:.0}% utilization)",
+            net.bootstraps(),
+            warm.waves,
+            sched_ns / 1e6,
+            at8.critical_path,
+            at8.makespan_s * 1e3,
+            at8.utilization * 100.0,
+        );
+        rows.push(Row {
+            id: format!("circuit_sched_vs_sequential/{name}"),
+            alloc_ns: seq_ns,
+            scratch_ns: sched_ns,
+        });
+    }
+}
+
 fn bench_gate<E: FftEngine>(name: &str, engine: E, unroll: usize) -> Row {
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);
     let client = ClientKey::generate(ParameterSet::MATCHA, &mut rng);
@@ -405,7 +485,7 @@ fn main() {
             "not detected"
         },
     );
-    let rows = vec![
+    let mut rows = vec![
         bench_external_product("f64", &F64Fft::new(1024), params),
         bench_external_product("approx_int_38", &ApproxIntFft::new(1024, 38), params),
         bench_simd_forward("f64", &F64Fft::new(1024)),
@@ -424,6 +504,7 @@ fn main() {
         bench_gate("f64_m3", F64Fft::new(1024), 3),
         bench_gate("approx38_m2", ApproxIntFft::new(1024, 38), 2),
     ];
+    bench_circuit_sched(&mut rows);
 
     println!(
         "{:<32} {:>12} {:>12} {:>9}",

@@ -6,7 +6,10 @@
 //! multi-bit words, ripple-carry arithmetic, comparators, multiplexers, a
 //! barrel shifter, and a small ALU. Every circuit is generic over the FFT
 //! engine, so the whole stack runs identically on the double-precision
-//! reference kernel and on MATCHA's approximate integer kernel.
+//! reference kernel and on MATCHA's approximate integer kernel. The
+//! [`netlist`] module lowers the adder/comparator/mux structures into
+//! executable [`CircuitNetlist`](matcha_tfhe::CircuitNetlist)s for
+//! wave-scheduled execution on the batch pool and the circuit server.
 //!
 //! # Examples
 //!
@@ -32,6 +35,7 @@ pub mod alu;
 pub mod comparator;
 pub mod multiplier;
 pub mod mux;
+pub mod netlist;
 pub mod popcount;
 pub mod processor;
 pub mod shifter;

@@ -1,0 +1,203 @@
+//! Lowering the eager circuit builders into executable netlists.
+//!
+//! The functions in [`adder`](crate::adder), [`comparator`](crate::comparator)
+//! and [`mux`](crate::mux) evaluate gate-by-gate on the calling thread.
+//! These builders lower the *same* gate structures into
+//! [`CircuitNetlist`]s, so whole circuits can be wave-scheduled onto a
+//! persistent [`GateBatchPool`](matcha_tfhe::GateBatchPool) or submitted to
+//! a [`CircuitServer`](matcha_tfhe::CircuitServer). Because each lowering
+//! emits exactly the gate sequence of its eager counterpart and
+//! bootstrapping is deterministic given the keys, scheduled execution is
+//! decrypt-identical (in fact bit-identical) to the eager path — the
+//! equivalence the `netlist_equiv` suite pins.
+//!
+//! Input-slot conventions (all words LSB first):
+//!
+//! * [`ripple_adder`]/[`ripple_subtractor`]: `a` bits then `b` bits;
+//!   outputs are the sum/difference bits then the carry.
+//! * [`eq_comparator`]: `a` bits then `b` bits; one output.
+//! * [`mux_tree`]: the `k` index bits, then the `2^k` words in order;
+//!   outputs are the selected word's bits.
+
+use matcha_tfhe::circuit::CircuitNetlist;
+use matcha_tfhe::Gate;
+
+/// Lowers one full adder (the 5-gate XOR/AND/OR form of
+/// [`adder::full_adder`](crate::adder::full_adder)); returns `(sum, carry)`.
+fn lower_full_adder(net: &mut CircuitNetlist, a: usize, b: usize, cin: usize) -> (usize, usize) {
+    let axb = net.gate(Gate::Xor, a, b);
+    let sum = net.gate(Gate::Xor, axb, cin);
+    let and_ab = net.gate(Gate::And, a, b);
+    let and_cx = net.gate(Gate::And, axb, cin);
+    let carry = net.gate(Gate::Or, and_ab, and_cx);
+    (sum, carry)
+}
+
+fn ripple_chain(net: &mut CircuitNetlist, a: &[usize], b: &[usize], mut carry: usize) {
+    let mut sums = Vec::with_capacity(a.len());
+    for (&abit, &bbit) in a.iter().zip(b.iter()) {
+        let (sum, cout) = lower_full_adder(net, abit, bbit, carry);
+        sums.push(sum);
+        carry = cout;
+    }
+    for sum in sums {
+        net.mark_output(sum);
+    }
+    net.mark_output(carry);
+}
+
+/// A `width`-bit ripple-carry adder, gate-for-gate the circuit of
+/// [`adder::add`](crate::adder::add): `5·width` bootstrapped gates with a
+/// trivial-false carry-in.
+///
+/// # Panics
+///
+/// Panics if `width` is 0.
+pub fn ripple_adder(width: usize) -> CircuitNetlist {
+    assert!(width > 0, "empty operands");
+    let mut net = CircuitNetlist::new();
+    let a: Vec<usize> = (0..width).map(|_| net.input()).collect();
+    let b: Vec<usize> = (0..width).map(|_| net.input()).collect();
+    let carry_in = net.constant(false);
+    ripple_chain(&mut net, &a, &b, carry_in);
+    net
+}
+
+/// A `width`-bit two's-complement subtractor, gate-for-gate
+/// [`adder::sub`](crate::adder::sub): free `NOT` on every `b` bit, then a
+/// ripple add with a trivial-true carry-in. The final carry is `1` when
+/// `a ≥ b`.
+///
+/// # Panics
+///
+/// Panics if `width` is 0.
+pub fn ripple_subtractor(width: usize) -> CircuitNetlist {
+    assert!(width > 0, "empty operands");
+    let mut net = CircuitNetlist::new();
+    let a: Vec<usize> = (0..width).map(|_| net.input()).collect();
+    let b: Vec<usize> = (0..width).map(|_| net.input()).collect();
+    let not_b: Vec<usize> = b.iter().map(|&bit| net.not(bit)).collect();
+    let carry_in = net.constant(true);
+    ripple_chain(&mut net, &a, &not_b, carry_in);
+    net
+}
+
+/// A `width`-bit equality comparator, gate-for-gate
+/// [`comparator::eq`](crate::comparator::eq): one XNOR per bit and a
+/// balanced AND reduction tree (odd layer elements pass through).
+///
+/// # Panics
+///
+/// Panics if `width` is 0.
+pub fn eq_comparator(width: usize) -> CircuitNetlist {
+    assert!(width > 0, "empty operands");
+    let mut net = CircuitNetlist::new();
+    let a: Vec<usize> = (0..width).map(|_| net.input()).collect();
+    let b: Vec<usize> = (0..width).map(|_| net.input()).collect();
+    let mut layer: Vec<usize> = a
+        .iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| net.gate(Gate::Xnor, x, y))
+        .collect();
+    while layer.len() > 1 {
+        layer = layer
+            .chunks(2)
+            .map(|pair| match pair {
+                [x, y] => net.gate(Gate::And, *x, *y),
+                [x] => *x,
+                _ => unreachable!(),
+            })
+            .collect();
+    }
+    net.mark_output(layer[0]);
+    net
+}
+
+/// A `2^index_bits`-way, `width`-bit-word selection tree, gate-for-gate
+/// [`mux::select_one_of`](crate::mux::select_one_of): `index_bits` levels
+/// of word-wise muxes, each index bit selecting the odd (higher-index)
+/// half.
+///
+/// # Panics
+///
+/// Panics if `index_bits` or `width` is 0.
+pub fn mux_tree(index_bits: usize, width: usize) -> CircuitNetlist {
+    assert!(index_bits > 0, "need at least one index bit");
+    assert!(width > 0, "empty words");
+    let mut net = CircuitNetlist::new();
+    let index: Vec<usize> = (0..index_bits).map(|_| net.input()).collect();
+    let mut layer: Vec<Vec<usize>> = (0..1usize << index_bits)
+        .map(|_| (0..width).map(|_| net.input()).collect())
+        .collect();
+    for &bit in &index {
+        let mut next = Vec::with_capacity(layer.len() / 2);
+        for pair in layer.chunks(2) {
+            // bit == 1 selects the odd (higher-index) word.
+            next.push(
+                pair[0]
+                    .iter()
+                    .zip(pair[1].iter())
+                    .map(|(&lo, &hi)| net.mux(bit, hi, lo))
+                    .collect(),
+            );
+        }
+        layer = next;
+    }
+    for &out in &layer[0] {
+        net.mark_output(out);
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adder_shape_matches_eager_cost() {
+        let net = ripple_adder(8);
+        assert_eq!(net.num_inputs(), 16);
+        assert_eq!(net.bootstraps(), 5 * 8); // 5 gates per full adder
+        assert_eq!(net.outputs().len(), 9); // sum bits + carry
+        assert_eq!(net.schedule_skeleton().len(), 40);
+    }
+
+    #[test]
+    fn subtractor_shape() {
+        let net = ripple_subtractor(4);
+        assert_eq!(net.num_inputs(), 8);
+        // NOTs are free: bootstraps identical to the adder's.
+        assert_eq!(net.bootstraps(), 5 * 4);
+        assert_eq!(net.outputs().len(), 5);
+        // …and transparent in the schedule skeleton…
+        assert_eq!(net.schedule_skeleton().len(), 20);
+        // …and in the wave structure: subtracting is exactly as deep as
+        // adding, because the executor resolves NOT inline between waves.
+        assert_eq!(net.depth(), ripple_adder(4).depth());
+    }
+
+    #[test]
+    fn comparator_shape_and_depth() {
+        let net = eq_comparator(16);
+        assert_eq!(net.num_inputs(), 32);
+        assert_eq!(net.bootstraps(), 16 + 15); // XNOR leaves + AND tree
+        assert_eq!(net.depth(), 5); // 1 XNOR level + 4 AND-tree levels
+    }
+
+    #[test]
+    fn mux_tree_shape() {
+        let net = mux_tree(2, 3);
+        assert_eq!(net.num_inputs(), 2 + 4 * 3);
+        // 2 tree levels: (2 pairs + 1 pair) × 3 bits = 9 muxes, 2 bootstraps each.
+        assert_eq!(net.bootstraps(), 18);
+        assert_eq!(net.outputs().len(), 3);
+        // Each mux is two chained units in the analytic skeleton.
+        assert_eq!(net.schedule_skeleton().len(), 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty operands")]
+    fn zero_width_adder_rejected() {
+        let _ = ripple_adder(0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Scheduled-vs-eager equivalence: every lowered netlist, executed
+//! wave-by-wave on the persistent batch pool, must decrypt identically to
+//! the eager sequential `ServerKey::apply` evaluation of the same circuit
+//! — across random operands, RNG seeds, and pool thread counts 1/2/4.
+//! Because bootstrapping is deterministic given the keys, the scheduled
+//! outputs are additionally required to be *bit-identical* across thread
+//! counts and to the netlist's own sequential executor.
+//!
+//! Case counts are small: every binary gate is a full bootstrap and every
+//! mux is two.
+
+use matcha_circuits::{adder, comparator, mux, netlist, word};
+use matcha_fft::F64Fft;
+use matcha_tfhe::{
+    CircuitNetlist, ClientKey, GateBatchPool, LweCiphertext, ParameterSet, ServerKey,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Arc, OnceLock};
+
+struct Fixture {
+    client: ClientKey,
+    server: Arc<ServerKey<F64Fft>>,
+    /// One persistent pool per tested thread count.
+    pools: Vec<GateBatchPool<F64Fft>>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0x5C8ED);
+        let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+        let engine = F64Fft::new(client.params().ring_degree);
+        let server = Arc::new(ServerKey::with_unrolling(&client, engine, 2, &mut rng));
+        let pools = [1, 2, 4]
+            .iter()
+            .map(|&t| GateBatchPool::new(Arc::clone(&server), t))
+            .collect();
+        Fixture {
+            client,
+            server,
+            pools,
+        }
+    })
+}
+
+/// Runs `net` on every pool (threads 1, 2, 4) and on the sequential
+/// executor; asserts all four output vectors are bit-identical and returns
+/// one of them.
+fn run_everywhere(
+    f: &Fixture,
+    net: &CircuitNetlist,
+    inputs: &[LweCiphertext],
+) -> Vec<LweCiphertext> {
+    let sequential = net.execute_sequential(f.server.as_ref(), inputs);
+    for pool in &f.pools {
+        let scheduled = net.execute(pool, inputs);
+        assert_eq!(
+            scheduled.outputs,
+            sequential.outputs,
+            "threads={}",
+            pool.threads()
+        );
+    }
+    sequential.outputs
+}
+
+fn decrypt_word(f: &Fixture, bits: &[LweCiphertext]) -> u64 {
+    word::decrypt(&f.client, bits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn adder_netlist_equivalent(x in 0u64..16, y in 0u64..16, seed in any::<u64>()) {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = word::encrypt(&f.client, x, 4, &mut rng);
+        let b = word::encrypt(&f.client, y, 4, &mut rng);
+
+        let eager = adder::add(f.server.as_ref(), &a, &b);
+
+        let net = netlist::ripple_adder(4);
+        let inputs: Vec<LweCiphertext> = a.iter().chain(b.iter()).cloned().collect();
+        let outs = run_everywhere(f, &net, &inputs);
+
+        // Scheduled == eager, down to the plaintext.
+        prop_assert_eq!(decrypt_word(f, &outs[..4]), decrypt_word(f, &eager.sum));
+        prop_assert_eq!(f.client.decrypt(&outs[4]), f.client.decrypt(&eager.carry));
+        prop_assert_eq!(decrypt_word(f, &outs[..4]), (x + y) & 0xF);
+        prop_assert_eq!(f.client.decrypt(&outs[4]), x + y > 0xF);
+    }
+
+    #[test]
+    fn subtractor_netlist_equivalent(x in 0u64..8, y in 0u64..8, seed in any::<u64>()) {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = word::encrypt(&f.client, x, 3, &mut rng);
+        let b = word::encrypt(&f.client, y, 3, &mut rng);
+
+        let eager = adder::sub(f.server.as_ref(), &a, &b);
+
+        let net = netlist::ripple_subtractor(3);
+        let inputs: Vec<LweCiphertext> = a.iter().chain(b.iter()).cloned().collect();
+        let outs = run_everywhere(f, &net, &inputs);
+
+        prop_assert_eq!(decrypt_word(f, &outs[..3]), decrypt_word(f, &eager.sum));
+        prop_assert_eq!(decrypt_word(f, &outs[..3]), x.wrapping_sub(y) & 0x7);
+        prop_assert_eq!(f.client.decrypt(&outs[3]), x >= y);
+    }
+
+    #[test]
+    fn comparator_netlist_equivalent(x in 0u64..32, y in 0u64..32, seed in any::<u64>()) {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Width 5 exercises the odd-layer passthrough of the AND tree.
+        let a = word::encrypt(&f.client, x, 5, &mut rng);
+        let b = word::encrypt(&f.client, y, 5, &mut rng);
+
+        let eager = comparator::eq(f.server.as_ref(), &a, &b);
+
+        let net = netlist::eq_comparator(5);
+        let inputs: Vec<LweCiphertext> = a.iter().chain(b.iter()).cloned().collect();
+        let outs = run_everywhere(f, &net, &inputs);
+
+        prop_assert_eq!(f.client.decrypt(&outs[0]), f.client.decrypt(&eager));
+        prop_assert_eq!(f.client.decrypt(&outs[0]), x == y);
+    }
+
+    #[test]
+    fn mux_tree_netlist_equivalent(idx in 0u64..4, seed in any::<u64>()) {
+        let f = fixture();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let width = 2;
+        let words: Vec<_> = (0..4u64)
+            .map(|v| word::encrypt(&f.client, v ^ 0b01, width, &mut rng))
+            .collect();
+        let index = word::encrypt(&f.client, idx, 2, &mut rng);
+
+        let eager = mux::select_one_of(f.server.as_ref(), &index, &words);
+
+        let net = netlist::mux_tree(2, width);
+        let inputs: Vec<LweCiphertext> = index
+            .iter()
+            .chain(words.iter().flatten())
+            .cloned()
+            .collect();
+        let outs = run_everywhere(f, &net, &inputs);
+
+        prop_assert_eq!(decrypt_word(f, &outs), decrypt_word(f, &eager));
+        prop_assert_eq!(decrypt_word(f, &outs), idx ^ 0b01);
+    }
+}

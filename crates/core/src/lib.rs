@@ -10,7 +10,10 @@
 //!   factors ([`ApproxIntFft`]).
 //! * [`tfhe`] — the TFHE scheme itself (LWE/TRLWE/TRGSW, gate
 //!   bootstrapping, key switching, Boolean gates) with generalized
-//!   bootstrapping key unrolling ([`ServerKey::with_unrolling`]).
+//!   bootstrapping key unrolling ([`ServerKey::with_unrolling`]), plus the
+//!   serving stack: the persistent heterogeneous gate-batch pool
+//!   ([`GateBatchPool`]), executable wave-scheduled netlists
+//!   ([`CircuitNetlist`]) and the multi-client [`CircuitServer`].
 //! * [`circuits`] — homomorphic adders, comparators, multiplexers and a
 //!   small ALU built on the gate API.
 //! * [`accel`] — the cycle-level model of the MATCHA hardware and the
@@ -47,7 +50,10 @@ pub use matcha_tfhe as tfhe;
 pub use matcha_accel::{MatchaConfig, WorkloadParams};
 pub use matcha_fft::{ApproxIntFft, DepthFirstFft, F64Fft, FftEngine};
 pub use matcha_math::Torus32;
-pub use matcha_tfhe::{ClientKey, Gate, LweCiphertext, ParameterSet, ServerKey};
+pub use matcha_tfhe::{
+    CircuitNetlist, CircuitServer, ClientKey, Gate, GateBatchPool, GateTask, LweCiphertext,
+    ParameterSet, ServerKey,
+};
 
 #[cfg(test)]
 mod tests {

@@ -15,12 +15,63 @@
 
 use crate::gates::{Gate, ServerKey};
 use crate::lwe::LweCiphertext;
+use crate::scratch::BootstrapScratch;
 use matcha_fft::FftEngine;
 use matcha_math::Torus32;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// One heterogeneous unit of pool work: any gate the circuit layer emits,
+/// bundled with its operands. A wave of a
+/// [`CircuitNetlist`](crate::circuit::CircuitNetlist) is a mixed
+/// `Vec<GateTask>` dispatched with [`GateBatchPool::run_tasks`].
+#[derive(Clone, Debug)]
+pub enum GateTask {
+    /// A two-input bootstrapped gate (one bootstrap + key switch).
+    Binary {
+        /// The gate to evaluate.
+        gate: Gate,
+        /// Left operand.
+        a: LweCiphertext,
+        /// Right operand.
+        b: LweCiphertext,
+    },
+    /// Free negation — no bootstrap.
+    Not {
+        /// The operand.
+        a: LweCiphertext,
+    },
+    /// `sel ? a : b` — two bootstraps + one key switch.
+    Mux {
+        /// The selector.
+        sel: LweCiphertext,
+        /// Taken when `sel` is true.
+        a: LweCiphertext,
+        /// Taken when `sel` is false.
+        b: LweCiphertext,
+    },
+}
+
+impl GateTask {
+    /// Evaluates the task into `out` through `scratch` — the worker inner
+    /// loop of the pool. Allocation-free once the scratch and `out` are
+    /// warmed, for every variant.
+    pub fn apply_into<E: FftEngine>(
+        &self,
+        server: &ServerKey<E>,
+        out: &mut LweCiphertext,
+        scratch: &mut BootstrapScratch<E>,
+    ) {
+        match self {
+            GateTask::Binary { gate, a, b } => server.apply_into(*gate, a, b, out, scratch),
+            GateTask::Not { a } => server.not_into(a, out),
+            GateTask::Mux { sel, a, b } => server.mux_into(sel, a, b, out, scratch),
+        }
+    }
+}
 
 /// The result of a batched run.
 #[derive(Clone, Debug)]
@@ -35,20 +86,42 @@ pub struct BatchResult {
     pub threads: usize,
 }
 
+impl BatchResult {
+    /// Throughput of `gates` outputs over `elapsed_s` seconds.
+    ///
+    /// Well-defined on the whole domain: an empty batch is 0 gates/s, and a
+    /// zero (or sub-tick) elapsed time — possible on coarse clocks when the
+    /// batch is trivially small — is clamped to one nanosecond, the
+    /// resolution of [`Instant`], so the result is finite ("at least this
+    /// fast") instead of `f64::INFINITY`.
+    pub fn throughput(gates: usize, elapsed_s: f64) -> f64 {
+        if gates == 0 {
+            0.0
+        } else {
+            gates as f64 / elapsed_s.max(1e-9)
+        }
+    }
+}
+
 fn finish_batch(outputs: Vec<LweCiphertext>, t0: Instant, threads: usize) -> BatchResult {
     let elapsed_s = t0.elapsed().as_secs_f64();
-    let gates_per_second = if outputs.is_empty() {
-        0.0
-    } else if elapsed_s > 0.0 {
-        outputs.len() as f64 / elapsed_s
-    } else {
-        f64::INFINITY
-    };
+    let gates_per_second = BatchResult::throughput(outputs.len(), elapsed_s);
     BatchResult {
         outputs,
         elapsed_s,
         gates_per_second,
         threads,
+    }
+}
+
+/// Renders a worker panic payload for re-raising on the submitter's thread.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -126,13 +199,14 @@ where
     finish_batch(outputs, t0, threads)
 }
 
-/// One unit of pool work: a gate over two operands, with a reply channel.
+/// One queued unit of pool work: a heterogeneous task with a reply channel.
+/// The reply carries `Err(panic message)` when the task panicked in the
+/// worker, so the failure is re-raised on the submitting thread instead of
+/// killing the worker.
 struct Job {
-    gate: Gate,
-    a: LweCiphertext,
-    b: LweCiphertext,
+    task: GateTask,
     index: usize,
-    reply: mpsc::Sender<(usize, LweCiphertext)>,
+    reply: mpsc::Sender<(usize, Result<LweCiphertext, String>)>,
 }
 
 /// A persistent gate-evaluation worker pool sharing one [`ServerKey`].
@@ -195,13 +269,31 @@ where
                     let mut out =
                         LweCiphertext::trivial(Torus32::ZERO, server.params().lwe_dimension);
                     loop {
-                        // Hold the lock only to pull the next job.
-                        let job = { rx.lock().expect("queue lock").recv() };
+                        // Hold the lock only to pull the next job. A
+                        // poisoned lock is recovered rather than cascaded:
+                        // the queue itself is never left in a torn state by
+                        // a panicking worker (jobs are popped whole).
+                        let job = { rx.lock().unwrap_or_else(PoisonError::into_inner).recv() };
                         let Ok(job) = job else { break };
-                        server.apply_into(job.gate, &job.a, &job.b, &mut out, &mut scratch);
+                        // Panic isolation: a malformed job (e.g. a
+                        // mismatched-dimension operand) must not kill the
+                        // worker or poison anything — the error is shipped
+                        // back and re-raised on the submitter's thread,
+                        // and this worker keeps serving. The scratch stays
+                        // structurally valid across an unwind — every
+                        // apply re-sizes its buffers — hence the
+                        // AssertUnwindSafe; the one cost is that buffers
+                        // mem::take'n by the panicking apply are left
+                        // empty, so this worker's next task re-warms them
+                        // (a few allocations, correctness unaffected).
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            job.task.apply_into(&server, &mut out, &mut scratch);
+                            out.clone()
+                        }))
+                        .map_err(panic_message);
                         // The receiver may have given up (run() panicked);
                         // dropping the result is then the right behavior.
-                        let _ = job.reply.send((job.index, out.clone()));
+                        let _ = job.reply.send((job.index, result));
                     }
                 })
             })
@@ -225,30 +317,75 @@ where
     }
 
     /// Evaluates `gate` over all pairs on the persistent workers, returning
-    /// outputs in input order.
+    /// outputs in input order. A convenience wrapper over
+    /// [`GateBatchPool::run_tasks`] for the homogeneous binary-gate case.
+    ///
+    /// # Panics
+    ///
+    /// Panics (on this thread, with the pool left healthy) if any job
+    /// panicked in a worker.
     pub fn run(&self, gate: Gate, pairs: &[(LweCiphertext, LweCiphertext)]) -> BatchResult {
+        self.run_tasks(
+            pairs
+                .iter()
+                .map(|(a, b)| GateTask::Binary {
+                    gate,
+                    a: a.clone(),
+                    b: b.clone(),
+                })
+                .collect(),
+        )
+    }
+
+    /// Evaluates a heterogeneous batch — any mix of binary gates, free
+    /// negations and muxes — on the persistent workers, returning outputs
+    /// in task order. This is the form circuit waves are dispatched in:
+    /// every wave of a netlist is one `run_tasks` call, and the warmed
+    /// per-worker scratches keep each task allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any task panicked in a worker (e.g. mismatched operand
+    /// dimensions). The panic is re-raised here, on the submitting thread,
+    /// after the whole batch has drained — workers survive, nothing is
+    /// poisoned, and subsequent `run`/`run_tasks` calls complete normally.
+    pub fn run_tasks(&self, tasks: Vec<GateTask>) -> BatchResult {
         let t0 = Instant::now();
-        if pairs.is_empty() {
+        if tasks.is_empty() {
             // Same contract as `run_gate_batch`: an empty batch is a valid
             // request that produces an empty result, not a panic.
             return finish_batch(Vec::new(), t0, 0);
         }
+        let count = tasks.len();
         let (reply_tx, reply_rx) = mpsc::channel();
         let tx = self.tx.as_ref().expect("pool is live");
-        for (index, (a, b)) in pairs.iter().enumerate() {
+        for (index, task) in tasks.into_iter().enumerate() {
             tx.send(Job {
-                gate,
-                a: a.clone(),
-                b: b.clone(),
+                task,
                 index,
                 reply: reply_tx.clone(),
             })
             .expect("workers alive");
         }
         drop(reply_tx);
-        let mut outputs: Vec<Option<LweCiphertext>> = vec![None; pairs.len()];
-        for (index, c) in reply_rx {
-            outputs[index] = Some(c);
+        let mut outputs: Vec<Option<LweCiphertext>> = vec![None; count];
+        let mut failure: Option<(usize, String)> = None;
+        // Drain the whole batch before re-raising any failure, so the pool
+        // is quiescent (no stray in-flight jobs) when the caller unwinds.
+        // Replies arrive in completion order; keep the lowest-index
+        // failure so the re-raised panic is deterministic.
+        for (index, result) in reply_rx {
+            match result {
+                Ok(c) => outputs[index] = Some(c),
+                Err(msg) => {
+                    if failure.as_ref().is_none_or(|(i, _)| index < *i) {
+                        failure = Some((index, msg));
+                    }
+                }
+            }
+        }
+        if let Some((index, msg)) = failure {
+            panic!("pool task {index} panicked in a worker: {msg}");
         }
         let outputs: Vec<LweCiphertext> = outputs
             .into_iter()
@@ -404,6 +541,133 @@ mod tests {
         // Bootstrapping is deterministic given the same keys, so the two
         // paths must agree exactly.
         assert_eq!(pooled.outputs, scoped.outputs);
+    }
+
+    #[test]
+    fn throughput_zero_elapsed_is_finite() {
+        // Sub-tick batches clamp to the 1 ns Instant resolution instead of
+        // reporting f64::INFINITY.
+        let r = BatchResult::throughput(5, 0.0);
+        assert!(r.is_finite(), "zero-elapsed throughput must be finite");
+        assert_eq!(r, 5.0e9);
+        // Empty batches are 0 gates/s whatever the clock says.
+        assert_eq!(BatchResult::throughput(0, 0.0), 0.0);
+        assert_eq!(BatchResult::throughput(0, 1.0), 0.0);
+        // The ordinary case is untouched.
+        assert_eq!(BatchResult::throughput(10, 2.0), 5.0);
+        // Clamping is monotone: a faster batch never reports lower.
+        assert!(BatchResult::throughput(5, 1e-12) >= BatchResult::throughput(5, 1e-3));
+    }
+
+    #[test]
+    fn dropping_pool_joins_all_workers() {
+        let mut rng = StdRng::seed_from_u64(90);
+        let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+        let server = Arc::new(ServerKey::new(&client, F64Fft::new(256), &mut rng));
+        let (_, enc) = inputs(&client, &mut rng, 3);
+        let pool = GateBatchPool::new(Arc::clone(&server), 3);
+        let _ = pool.run(Gate::Or, &enc);
+        drop(pool);
+        // Every worker held a clone of the Arc; all of them having exited
+        // (joined, not leaked or detached) leaves ours as the only one.
+        assert_eq!(Arc::strong_count(&server), 1, "drop must join every worker");
+    }
+
+    #[test]
+    fn panicking_job_poisons_nothing_and_pool_survives() {
+        let mut rng = StdRng::seed_from_u64(91);
+        let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+        let server = Arc::new(ServerKey::new(&client, F64Fft::new(256), &mut rng));
+        let pool = GateBatchPool::new(Arc::clone(&server), 2);
+        let (plain, enc) = inputs(&client, &mut rng, 4);
+
+        // One malformed operand (wrong LWE dimension) makes its task panic
+        // inside a worker; the panic must be re-raised on this thread…
+        let mut bad = enc.clone();
+        bad[1].0 = crate::LweCiphertext::trivial(Torus32::ZERO, 3);
+        let raised = std::panic::catch_unwind(AssertUnwindSafe(|| pool.run(Gate::And, &bad)));
+        let msg = panic_message(raised.expect_err("malformed batch must panic"));
+        assert!(
+            msg.contains("panicked in a worker"),
+            "panic must identify the failing task: {msg}"
+        );
+
+        // …while the workers stay alive and unpoisoned: the same pool runs
+        // the healthy batch to completion, twice, with correct outputs.
+        for _ in 0..2 {
+            let result = pool.run(Gate::And, &enc);
+            assert_eq!(result.outputs.len(), enc.len());
+            for ((a, b), out) in plain.iter().zip(result.outputs.iter()) {
+                assert_eq!(client.decrypt(out), a & b);
+            }
+        }
+        drop(pool);
+        assert_eq!(
+            Arc::strong_count(&server),
+            1,
+            "all workers must still be joinable after a job panic"
+        );
+    }
+
+    #[test]
+    fn mixed_task_batch_evaluates_every_kind() {
+        let mut rng = StdRng::seed_from_u64(92);
+        let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+        let server = Arc::new(ServerKey::new(&client, F64Fft::new(256), &mut rng));
+        let pool = GateBatchPool::new(Arc::clone(&server), 2);
+        let t = client.encrypt_with(true, &mut rng);
+        let f = client.encrypt_with(false, &mut rng);
+        let tasks = vec![
+            GateTask::Binary {
+                gate: Gate::Nand,
+                a: t.clone(),
+                b: t.clone(),
+            },
+            GateTask::Not { a: f.clone() },
+            GateTask::Mux {
+                sel: t.clone(),
+                a: f.clone(),
+                b: t.clone(),
+            },
+            GateTask::Binary {
+                gate: Gate::Xor,
+                a: t.clone(),
+                b: f.clone(),
+            },
+            GateTask::Mux {
+                sel: f.clone(),
+                a: f.clone(),
+                b: t.clone(),
+            },
+        ];
+        let expected = [false, true, false, true, true];
+        let result = pool.run_tasks(tasks);
+        assert_eq!(result.outputs.len(), expected.len());
+        for (i, (out, want)) in result.outputs.iter().zip(expected).enumerate() {
+            assert_eq!(client.decrypt(out), want, "task {i}");
+        }
+        assert!(result.gates_per_second.is_finite());
+    }
+
+    #[test]
+    fn run_delegates_to_tasks_identically() {
+        let mut rng = StdRng::seed_from_u64(93);
+        let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+        let server = Arc::new(ServerKey::new(&client, F64Fft::new(256), &mut rng));
+        let pool = GateBatchPool::new(Arc::clone(&server), 2);
+        let (_, enc) = inputs(&client, &mut rng, 5);
+        let via_run = pool.run(Gate::Xnor, &enc);
+        let via_tasks = pool.run_tasks(
+            enc.iter()
+                .map(|(a, b)| GateTask::Binary {
+                    gate: Gate::Xnor,
+                    a: a.clone(),
+                    b: b.clone(),
+                })
+                .collect(),
+        );
+        // Bootstrapping is deterministic given the keys: exact equality.
+        assert_eq!(via_run.outputs, via_tasks.outputs);
     }
 
     #[test]

@@ -1,0 +1,623 @@
+//! Executable gate netlists and the wave-front circuit executor.
+//!
+//! `accel::schedule` models circuits as dependency DAGs of equal-cost
+//! gates to *predict* makespan on parallel pipelines; this module is the
+//! executable counterpart. A [`CircuitNetlist`] carries real operands —
+//! encrypted inputs, trivial constants, all ten binary [`Gate`]s, the free
+//! `NOT` and the two-bootstrap `MUX` — with dependency edges validated at
+//! construction. [`CircuitNetlist::execute`] schedules it level by level:
+//! every wave of ready gates is dispatched as one mixed-gate batch onto a
+//! persistent [`GateBatchPool`], the software analogue of MATCHA's
+//! scheduler keeping its eight resident bootstrapping pipelines busy on
+//! dependent gate workloads (the throughput story of Figure 10).
+//!
+//! [`CircuitNetlist::schedule_skeleton`] exports the dependency structure
+//! of the bootstrapped work back to the analytical model, so predicted
+//! makespan/utilization can be cross-checked against measured wall-clock.
+
+use crate::batch::{BatchResult, GateBatchPool, GateTask};
+use crate::gates::{Gate, ServerKey};
+use crate::lwe::LweCiphertext;
+use matcha_fft::FftEngine;
+use std::time::Instant;
+
+/// One node of an executable netlist. Operand fields are indices of
+/// earlier nodes (the netlist is topologically ordered by construction).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GateOp {
+    /// The circuit's `slot`-th encrypted input, supplied at execution time.
+    Input(usize),
+    /// A trivial (noiseless, unkeyed) Boolean constant.
+    Constant(bool),
+    /// A two-input bootstrapped gate.
+    Binary(Gate, usize, usize),
+    /// Free negation — no bootstrap.
+    Not(usize),
+    /// `sel ? a : b` — two bootstraps + one key switch.
+    Mux {
+        /// Selector node.
+        sel: usize,
+        /// Node taken when the selector is true.
+        a: usize,
+        /// Node taken when the selector is false.
+        b: usize,
+    },
+}
+
+impl GateOp {
+    /// The operand node indices this op consumes.
+    fn operands(&self) -> [Option<usize>; 3] {
+        match *self {
+            GateOp::Input(_) | GateOp::Constant(_) => [None, None, None],
+            GateOp::Binary(_, a, b) => [Some(a), Some(b), None],
+            GateOp::Not(a) => [Some(a), None, None],
+            GateOp::Mux { sel, a, b } => [Some(sel), Some(a), Some(b)],
+        }
+    }
+
+    /// Gate bootstraps this op costs.
+    fn bootstraps(&self) -> usize {
+        match self {
+            GateOp::Input(_) | GateOp::Constant(_) | GateOp::Not(_) => 0,
+            GateOp::Binary(..) => 1,
+            GateOp::Mux { .. } => 2,
+        }
+    }
+}
+
+/// An executable netlist: a DAG of [`GateOp`]s with designated outputs.
+///
+/// Built incrementally — every constructor returns the new node's index,
+/// and operands must reference earlier nodes, so the op list is always a
+/// valid topological order. Execution is either eager sequential
+/// ([`CircuitNetlist::execute_sequential`]) or wave-scheduled onto a
+/// [`GateBatchPool`] ([`CircuitNetlist::execute`]); both produce
+/// decrypt-identical outputs (bootstrapping is deterministic given the
+/// keys, so they are in fact bit-identical).
+///
+/// # Examples
+///
+/// ```no_run
+/// use matcha_tfhe::circuit::CircuitNetlist;
+/// use matcha_tfhe::{batch::GateBatchPool, ClientKey, Gate, ParameterSet, ServerKey};
+/// use matcha_fft::F64Fft;
+/// use rand::SeedableRng;
+/// use std::sync::Arc;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let client = ClientKey::generate(ParameterSet::MATCHA, &mut rng);
+/// let server = Arc::new(ServerKey::new(&client, F64Fft::new(1024), &mut rng));
+///
+/// // sum = a XOR b, carry = a AND b (a half adder).
+/// let mut net = CircuitNetlist::new();
+/// let a = net.input();
+/// let b = net.input();
+/// let sum = net.gate(Gate::Xor, a, b);
+/// let carry = net.gate(Gate::And, a, b);
+/// net.mark_output(sum);
+/// net.mark_output(carry);
+///
+/// let pool = GateBatchPool::new(server, 8);
+/// let inputs = vec![client.encrypt(true), client.encrypt(true)];
+/// let run = net.execute(&pool, &inputs);
+/// assert!(!client.decrypt(&run.outputs[0])); // 1 ^ 1
+/// assert!(client.decrypt(&run.outputs[1])); // 1 & 1
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CircuitNetlist {
+    ops: Vec<GateOp>,
+    /// Wave level per node: 0 for sources, `1 + max(operand levels)` else.
+    level: Vec<usize>,
+    inputs: usize,
+    outputs: Vec<usize>,
+}
+
+impl CircuitNetlist {
+    /// An empty netlist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` when the netlist has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of input slots ([`CircuitNetlist::execute`] expects exactly
+    /// this many ciphertexts).
+    pub fn num_inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// The designated output nodes, in marking order.
+    pub fn outputs(&self) -> &[usize] {
+        &self.outputs
+    }
+
+    /// The ops, in topological order.
+    pub fn ops(&self) -> &[GateOp] {
+        &self.ops
+    }
+
+    /// Total gate bootstraps in the circuit (binary gates count one, muxes
+    /// two, `NOT`/sources none).
+    pub fn bootstraps(&self) -> usize {
+        self.ops.iter().map(GateOp::bootstraps).sum()
+    }
+
+    /// Number of scheduled waves (the dependency depth over *bootstrapped*
+    /// ops — `NOT` is free, resolved inline between waves, and adds no
+    /// depth, matching [`CircuitNetlist::schedule_skeleton`]'s model).
+    pub fn depth(&self) -> usize {
+        self.level.iter().copied().max().unwrap_or(0)
+    }
+
+    fn push(&mut self, op: GateOp) -> usize {
+        let id = self.ops.len();
+        let mut level = 0;
+        for operand in op.operands().into_iter().flatten() {
+            assert!(
+                operand < id,
+                "operands must reference earlier nodes ({operand} >= {id})"
+            );
+            level = level.max(self.level[operand] + 1);
+        }
+        // A free negation is transparent: its value is available the
+        // moment its operand is, so it inherits the operand's level
+        // instead of starting a wave of its own.
+        if let GateOp::Not(a) = op {
+            level = self.level[a];
+        }
+        self.ops.push(op);
+        self.level.push(level);
+        id
+    }
+
+    /// Adds an encrypted-input node and returns its index. Inputs are
+    /// numbered in creation order; execution takes them positionally.
+    pub fn input(&mut self) -> usize {
+        let slot = self.inputs;
+        self.inputs += 1;
+        self.push(GateOp::Input(slot))
+    }
+
+    /// Adds a trivial constant node.
+    pub fn constant(&mut self, value: bool) -> usize {
+        self.push(GateOp::Constant(value))
+    }
+
+    /// Adds a two-input bootstrapped gate over earlier nodes `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand references a not-yet-added node.
+    pub fn gate(&mut self, gate: Gate, a: usize, b: usize) -> usize {
+        self.push(GateOp::Binary(gate, a, b))
+    }
+
+    /// Adds a free negation of earlier node `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand references a not-yet-added node.
+    pub fn not(&mut self, a: usize) -> usize {
+        self.push(GateOp::Not(a))
+    }
+
+    /// Adds a multiplexer `sel ? a : b` over earlier nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand references a not-yet-added node.
+    pub fn mux(&mut self, sel: usize, a: usize, b: usize) -> usize {
+        self.push(GateOp::Mux { sel, a, b })
+    }
+
+    /// Marks node `id` as a circuit output. Outputs are returned in
+    /// marking order; a node may be marked more than once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` references a not-yet-added node.
+    pub fn mark_output(&mut self, id: usize) {
+        assert!(id < self.ops.len(), "output {id} not in netlist");
+        self.outputs.push(id);
+    }
+
+    /// Groups the *bootstrapped* ops (binary gates and muxes) into
+    /// wave-front levels: wave `r` holds every op whose operands are all
+    /// available after wave `r − 1`. Each wave is independent work — one
+    /// mixed-gate pool batch. Free `NOT`s are not waves: the executor
+    /// resolves them inline the moment their operand's wave completes.
+    pub fn waves(&self) -> Vec<Vec<usize>> {
+        let depth = self.depth();
+        let mut waves: Vec<Vec<usize>> = vec![Vec::new(); depth];
+        for (id, &level) in self.level.iter().enumerate() {
+            if level > 0 && !matches!(self.ops[id], GateOp::Not(_)) {
+                waves[level - 1].push(id);
+            }
+        }
+        waves
+    }
+
+    /// Free negations grouped by the wave level after which they become
+    /// computable (`nots_by_level()[r]` resolves once wave `r` is done;
+    /// index 0 needs only sources). Within a level, ids ascend, so chained
+    /// `NOT`s resolve in dependency order.
+    fn nots_by_level(&self) -> Vec<Vec<usize>> {
+        let mut nots: Vec<Vec<usize>> = vec![Vec::new(); self.depth() + 1];
+        for (id, &level) in self.level.iter().enumerate() {
+            if matches!(self.ops[id], GateOp::Not(_)) {
+                nots[level].push(id);
+            }
+        }
+        nots
+    }
+
+    /// The dependency skeleton of the *bootstrapped* work, for
+    /// [`accel::schedule`]-style analytical models: entry `i` lists the
+    /// unit indices unit `i` consumes. Binary gates are one unit; a mux is
+    /// two chained units (it occupies a worker for two back-to-back
+    /// bootstraps); `NOT` is free and transparent (consumers depend
+    /// directly on its operand's unit); inputs and constants cost nothing.
+    ///
+    /// [`accel::schedule`]: https://docs.rs/matcha-accel
+    pub fn schedule_skeleton(&self) -> Vec<Vec<usize>> {
+        let mut units: Vec<Vec<usize>> = Vec::new();
+        // The unit whose completion makes each node's value available
+        // (None for sources and nots-of-sources: available at time 0).
+        let mut unit_of: Vec<Option<usize>> = Vec::with_capacity(self.ops.len());
+        for op in &self.ops {
+            let unit = match *op {
+                GateOp::Input(_) | GateOp::Constant(_) => None,
+                GateOp::Not(a) => unit_of[a],
+                GateOp::Binary(_, a, b) => {
+                    let deps: Vec<usize> = [unit_of[a], unit_of[b]].into_iter().flatten().collect();
+                    units.push(deps);
+                    Some(units.len() - 1)
+                }
+                GateOp::Mux { sel, a, b } => {
+                    // First bootstrap AND(sel, a); the second, AND(¬sel, b),
+                    // runs after it on the same worker.
+                    let first: Vec<usize> =
+                        [unit_of[sel], unit_of[a]].into_iter().flatten().collect();
+                    units.push(first);
+                    let u1 = units.len() - 1;
+                    let second: Vec<usize> = [Some(u1), unit_of[sel], unit_of[b]]
+                        .into_iter()
+                        .flatten()
+                        .collect();
+                    units.push(second);
+                    Some(units.len() - 1)
+                }
+            };
+            unit_of.push(unit);
+        }
+        units
+    }
+
+    fn resolve_sources<E: FftEngine>(
+        &self,
+        server: &ServerKey<E>,
+        inputs: &[LweCiphertext],
+        values: &mut [Option<LweCiphertext>],
+    ) {
+        assert_eq!(
+            inputs.len(),
+            self.inputs,
+            "circuit expects {} inputs, got {}",
+            self.inputs,
+            inputs.len()
+        );
+        for (id, op) in self.ops.iter().enumerate() {
+            match op {
+                GateOp::Input(slot) => values[id] = Some(inputs[*slot].clone()),
+                GateOp::Constant(v) => values[id] = Some(server.trivial(*v)),
+                _ => {}
+            }
+        }
+    }
+
+    fn value(values: &[Option<LweCiphertext>], id: usize) -> LweCiphertext {
+        values[id]
+            .clone()
+            .expect("operand computed in earlier wave")
+    }
+
+    /// Resolves every free negation at `level` in place — no pool round
+    /// trip for an op that is a local mask/body negation.
+    fn resolve_nots(&self, nots: &[usize], values: &mut [Option<LweCiphertext>]) {
+        for &id in nots {
+            let GateOp::Not(a) = self.ops[id] else {
+                unreachable!("nots_by_level only lists NOT ops")
+            };
+            let mut v = Self::value(values, a);
+            v.neg_assign();
+            values[id] = Some(v);
+        }
+    }
+
+    /// Executes the circuit wave-by-wave on a persistent pool: each ready
+    /// level of bootstrapped gates becomes one heterogeneous [`GateTask`]
+    /// batch, so independent gates of the level run in parallel on the
+    /// warmed workers. Free `NOT`s are resolved inline between waves (they
+    /// never cost a dispatch or a wave barrier).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.num_inputs()`, or if a task panics
+    /// in a worker (mismatched input dimensions; the pool survives).
+    pub fn execute<E>(&self, pool: &GateBatchPool<E>, inputs: &[LweCiphertext]) -> CircuitRun
+    where
+        E: FftEngine + Send + Sync + 'static,
+    {
+        let t0 = Instant::now();
+        let mut values: Vec<Option<LweCiphertext>> = vec![None; self.ops.len()];
+        self.resolve_sources(pool.server(), inputs, &mut values);
+        let nots = self.nots_by_level();
+        self.resolve_nots(&nots[0], &mut values);
+        let waves = self.waves();
+        let wave_count = waves.len();
+        let mut scheduled_ops = nots.iter().map(Vec::len).sum();
+        for (w, wave) in waves.into_iter().enumerate() {
+            let tasks: Vec<GateTask> = wave
+                .iter()
+                .map(|&id| match self.ops[id] {
+                    GateOp::Binary(gate, a, b) => GateTask::Binary {
+                        gate,
+                        a: Self::value(&values, a),
+                        b: Self::value(&values, b),
+                    },
+                    GateOp::Mux { sel, a, b } => GateTask::Mux {
+                        sel: Self::value(&values, sel),
+                        a: Self::value(&values, a),
+                        b: Self::value(&values, b),
+                    },
+                    GateOp::Input(_) | GateOp::Constant(_) | GateOp::Not(_) => {
+                        unreachable!("only bootstrapped ops are scheduled")
+                    }
+                })
+                .collect();
+            scheduled_ops += tasks.len();
+            let BatchResult { outputs, .. } = pool.run_tasks(tasks);
+            for (&id, out) in wave.iter().zip(outputs) {
+                values[id] = Some(out);
+            }
+            self.resolve_nots(&nots[w + 1], &mut values);
+        }
+        self.finish_run(values, t0, wave_count, scheduled_ops)
+    }
+
+    /// Eager sequential reference evaluation: every op runs in netlist
+    /// order on the calling thread through the allocating
+    /// [`ServerKey::apply`]/[`ServerKey::not`]/[`ServerKey::mux`] path.
+    /// The equivalence oracle for [`CircuitNetlist::execute`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.num_inputs()`.
+    pub fn execute_sequential<E: FftEngine>(
+        &self,
+        server: &ServerKey<E>,
+        inputs: &[LweCiphertext],
+    ) -> CircuitRun {
+        let t0 = Instant::now();
+        let mut values: Vec<Option<LweCiphertext>> = vec![None; self.ops.len()];
+        self.resolve_sources(server, inputs, &mut values);
+        let mut scheduled_ops = 0;
+        for (id, op) in self.ops.iter().enumerate() {
+            let out = match *op {
+                GateOp::Input(_) | GateOp::Constant(_) => continue,
+                GateOp::Binary(gate, a, b) => {
+                    server.apply(gate, &Self::value(&values, a), &Self::value(&values, b))
+                }
+                GateOp::Not(a) => server.not(&Self::value(&values, a)),
+                GateOp::Mux { sel, a, b } => server.mux(
+                    &Self::value(&values, sel),
+                    &Self::value(&values, a),
+                    &Self::value(&values, b),
+                ),
+            };
+            scheduled_ops += 1;
+            values[id] = Some(out);
+        }
+        self.finish_run(values, t0, self.depth(), scheduled_ops)
+    }
+
+    fn finish_run(
+        &self,
+        values: Vec<Option<LweCiphertext>>,
+        t0: Instant,
+        waves: usize,
+        scheduled_ops: usize,
+    ) -> CircuitRun {
+        let outputs = self
+            .outputs
+            .iter()
+            .map(|&id| Self::value(&values, id))
+            .collect();
+        CircuitRun {
+            outputs,
+            waves,
+            scheduled_ops,
+            bootstraps: self.bootstraps(),
+            elapsed_s: t0.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// The outcome of one circuit execution.
+#[derive(Clone, Debug)]
+pub struct CircuitRun {
+    /// Ciphertexts of the marked outputs, in marking order.
+    pub outputs: Vec<LweCiphertext>,
+    /// Wave-front levels dispatched (dependency depth).
+    pub waves: usize,
+    /// Ops evaluated (everything but inputs/constants).
+    pub scheduled_ops: usize,
+    /// Total gate bootstraps performed.
+    pub bootstraps: usize,
+    /// Wall-clock seconds for the whole circuit.
+    pub elapsed_s: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParameterSet;
+    use crate::secret::ClientKey;
+    use matcha_fft::F64Fft;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn setup(seed: u64) -> (ClientKey, Arc<ServerKey<F64Fft>>, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+        let server = Arc::new(ServerKey::new(&client, F64Fft::new(256), &mut rng));
+        (client, server, rng)
+    }
+
+    /// sum/carry full adder over three inputs, exercising XOR/AND/OR.
+    fn full_adder_netlist() -> CircuitNetlist {
+        let mut net = CircuitNetlist::new();
+        let a = net.input();
+        let b = net.input();
+        let cin = net.input();
+        let axb = net.gate(Gate::Xor, a, b);
+        let sum = net.gate(Gate::Xor, axb, cin);
+        let and_ab = net.gate(Gate::And, a, b);
+        let and_cx = net.gate(Gate::And, axb, cin);
+        let carry = net.gate(Gate::Or, and_ab, and_cx);
+        net.mark_output(sum);
+        net.mark_output(carry);
+        net
+    }
+
+    #[test]
+    fn wave_levels_follow_dependencies() {
+        let net = full_adder_netlist();
+        assert_eq!(net.len(), 8);
+        assert_eq!(net.depth(), 3); // axb → {sum, and_cx} → carry
+        let waves = net.waves();
+        assert_eq!(waves.len(), 3);
+        assert_eq!(waves[0], vec![3, 5]); // axb and and_ab are ready at once
+        assert_eq!(waves[1], vec![4, 6]);
+        assert_eq!(waves[2], vec![7]);
+        assert_eq!(net.bootstraps(), 5);
+    }
+
+    #[test]
+    fn scheduled_matches_sequential_bit_exactly() {
+        let (client, server, mut rng) = setup(120);
+        let net = full_adder_netlist();
+        let pool = GateBatchPool::new(Arc::clone(&server), 2);
+        for bits in 0u8..8 {
+            let inputs: Vec<LweCiphertext> = (0..3)
+                .map(|i| client.encrypt_with(bits >> i & 1 == 1, &mut rng))
+                .collect();
+            let scheduled = net.execute(&pool, &inputs);
+            let sequential = net.execute_sequential(server.as_ref(), &inputs);
+            assert_eq!(scheduled.outputs, sequential.outputs, "bits={bits:03b}");
+            let total = (bits & 1) + (bits >> 1 & 1) + (bits >> 2 & 1);
+            assert_eq!(client.decrypt(&scheduled.outputs[0]), total & 1 == 1);
+            assert_eq!(client.decrypt(&scheduled.outputs[1]), total >= 2);
+        }
+    }
+
+    #[test]
+    fn constants_not_and_mux_execute() {
+        let (client, server, mut rng) = setup(121);
+        let mut net = CircuitNetlist::new();
+        let a = net.input();
+        let b = net.input();
+        let t = net.constant(true);
+        let na = net.not(a);
+        let m = net.mux(na, b, a); // ¬a ? b : a
+        let g = net.gate(Gate::Xnor, m, t); // == m
+        net.mark_output(m);
+        net.mark_output(g);
+        let pool = GateBatchPool::new(Arc::clone(&server), 2);
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let inputs = vec![
+                client.encrypt_with(va, &mut rng),
+                client.encrypt_with(vb, &mut rng),
+            ];
+            let run = net.execute(&pool, &inputs);
+            let expected = if !va { vb } else { va };
+            assert_eq!(client.decrypt(&run.outputs[0]), expected, "a={va} b={vb}");
+            assert_eq!(client.decrypt(&run.outputs[1]), expected, "a={va} b={vb}");
+            let sequential = net.execute_sequential(server.as_ref(), &inputs);
+            assert_eq!(run.outputs, sequential.outputs);
+        }
+    }
+
+    #[test]
+    fn run_stats_are_consistent() {
+        let (client, server, mut rng) = setup(122);
+        let net = full_adder_netlist();
+        let pool = GateBatchPool::new(Arc::clone(&server), 2);
+        let inputs: Vec<LweCiphertext> = (0..3)
+            .map(|_| client.encrypt_with(true, &mut rng))
+            .collect();
+        let run = net.execute(&pool, &inputs);
+        assert_eq!(run.waves, 3);
+        assert_eq!(run.scheduled_ops, 5);
+        assert_eq!(run.bootstraps, 5);
+        assert!(run.elapsed_s > 0.0);
+    }
+
+    #[test]
+    fn skeleton_passes_through_not_and_chains_mux() {
+        let mut net = CircuitNetlist::new();
+        let a = net.input();
+        let b = net.input();
+        let g = net.gate(Gate::And, a, b); // unit 0
+        let n = net.not(g); // free: transparent
+        let h = net.gate(Gate::Or, n, b); // unit 1, depends on unit 0 via NOT
+        let m = net.mux(h, a, g); // units 2 and 3 (chained)
+        net.mark_output(m);
+        let skeleton = net.schedule_skeleton();
+        assert_eq!(skeleton.len(), 4); // 2 binary + 2 for the mux
+        assert!(skeleton[0].is_empty());
+        assert_eq!(skeleton[1], vec![0]);
+        assert_eq!(skeleton[2], vec![1]); // mux's first bootstrap: sel=h(1), a=input
+        assert_eq!(skeleton[3], vec![2, 1, 0]); // second: chained + sel + g
+    }
+
+    #[test]
+    fn empty_netlist_executes_to_nothing() {
+        let (_, server, _) = setup(123);
+        let net = CircuitNetlist::new();
+        let pool = GateBatchPool::new(Arc::clone(&server), 1);
+        let run = net.execute(&pool, &[]);
+        assert!(run.outputs.is_empty());
+        assert_eq!(run.waves, 0);
+        assert_eq!(run.scheduled_ops, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier nodes")]
+    fn forward_reference_rejected() {
+        let mut net = CircuitNetlist::new();
+        let _ = net.gate(Gate::And, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 inputs")]
+    fn wrong_input_count_rejected() {
+        let (_, server, _) = setup(124);
+        let mut net = CircuitNetlist::new();
+        let a = net.input();
+        let b = net.input();
+        let g = net.gate(Gate::And, a, b);
+        net.mark_output(g);
+        let pool = GateBatchPool::new(Arc::clone(&server), 1);
+        let _ = net.execute(&pool, &[]);
+    }
+}

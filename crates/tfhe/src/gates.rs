@@ -298,6 +298,15 @@ impl<E: FftEngine> ServerKey<E> {
         profile::timed(Phase::Other, || -a.clone())
     }
 
+    /// [`ServerKey::not`] into a caller-owned output — no allocation once
+    /// `out`'s mask has capacity for `a`'s dimension.
+    pub fn not_into(&self, a: &LweCiphertext, out: &mut LweCiphertext) {
+        profile::timed(Phase::Other, || {
+            out.copy_from(a);
+            out.neg_assign();
+        })
+    }
+
     /// Homomorphic multiplexer `sel ? a : b`, built from two bootstraps and
     /// one key switch as in the TFHE reference library.
     pub fn mux(&self, sel: &LweCiphertext, a: &LweCiphertext, b: &LweCiphertext) -> LweCiphertext {
@@ -315,6 +324,39 @@ impl<E: FftEngine> ServerKey<E> {
             u1 + &u2 + &LweCiphertext::trivial(EIGHTH, n_extract)
         });
         self.kit.key_switch_key().switch(&sum)
+    }
+
+    /// [`ServerKey::mux`] into a caller-owned output through the scratch:
+    /// both bootstraps, the recombination and the key switch run with zero
+    /// heap allocations once warmed, and the result is bit-identical to the
+    /// allocating path.
+    pub fn mux_into(
+        &self,
+        sel: &LweCiphertext,
+        a: &LweCiphertext,
+        b: &LweCiphertext,
+        out: &mut LweCiphertext,
+        scratch: &mut crate::scratch::BootstrapScratch<E>,
+    ) {
+        let mut lin = std::mem::take(&mut scratch.lin);
+        let mut u1 = std::mem::take(&mut scratch.extracted);
+        let mut u2 = std::mem::take(&mut scratch.extracted2);
+        // u1 = AND(sel, a), u2 = AND(¬sel, b) — both under the extracted key.
+        self.linear_part_into(Gate::And, sel, a, &mut lin);
+        self.kit
+            .bootstrap_to_extracted_into(&self.engine, &lin, GATE_MU, &mut u1, scratch);
+        self.linear_part_into(Gate::AndNY, sel, b, &mut lin);
+        self.kit
+            .bootstrap_to_extracted_into(&self.engine, &lin, GATE_MU, &mut u2, scratch);
+        // u1 + u2 + (0, 1/8): same wrapping adds as the allocating `mux`.
+        profile::timed(Phase::Other, || {
+            u1.add_assign(&u2);
+            u1.add_body(EIGHTH);
+        });
+        self.kit.key_switch_key().switch_into(&u1, out);
+        scratch.lin = lin;
+        scratch.extracted = u1;
+        scratch.extracted2 = u2;
     }
 }
 
@@ -386,6 +428,35 @@ mod tests {
                     "sel={sel} a={a} b={b}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn mux_into_is_bit_identical_to_mux() {
+        let (client, server, mut rng) = setup(1);
+        let mut scratch = server.make_scratch();
+        let mut out = LweCiphertext::trivial(Torus32::ZERO, 1);
+        for sel in [true, false] {
+            for (a, b) in [(true, false), (false, true)] {
+                let cs = client.encrypt_with(sel, &mut rng);
+                let ca = client.encrypt_with(a, &mut rng);
+                let cb = client.encrypt_with(b, &mut rng);
+                let eager = server.mux(&cs, &ca, &cb);
+                server.mux_into(&cs, &ca, &cb, &mut out, &mut scratch);
+                assert_eq!(out, eager, "sel={sel} a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn not_into_matches_not() {
+        let (client, server, mut rng) = setup(1);
+        let mut out = LweCiphertext::trivial(Torus32::ZERO, 1);
+        for v in [true, false] {
+            let c = client.encrypt_with(v, &mut rng);
+            server.not_into(&c, &mut out);
+            assert_eq!(out, server.not(&c));
+            assert_eq!(client.decrypt(&out), !v);
         }
     }
 

@@ -16,6 +16,9 @@
 //! * [`bootstrap`] — Algorithm 1: mod-switch, blind rotation, sample
 //!   extraction, key switch.
 //! * [`gates`] — the Boolean gate API ([`ServerKey`]).
+//! * [`batch`] / [`circuit`] / [`server`] — the serving stack: persistent
+//!   heterogeneous gate-batch pool, executable netlists wave-scheduled onto
+//!   it, and the multi-client circuit request server.
 //! * [`noise`] / [`profile`] — the measurement harnesses behind the paper's
 //!   Table 3 and Figure 1.
 //!
@@ -42,6 +45,7 @@
 pub mod batch;
 pub mod bku;
 pub mod bootstrap;
+pub mod circuit;
 pub mod cmux;
 pub mod codec;
 pub mod encode;
@@ -55,12 +59,14 @@ pub mod pbs;
 pub mod profile;
 pub mod scratch;
 pub mod secret;
+pub mod server;
 pub mod tgsw;
 pub mod tlwe;
 
-pub use batch::GateBatchPool;
+pub use batch::{GateBatchPool, GateTask};
 pub use bku::UnrolledBootstrappingKey;
 pub use bootstrap::BootstrapKit;
+pub use circuit::{CircuitNetlist, CircuitRun, GateOp};
 pub use codec::Codec;
 pub use encode::BucketEncoding;
 pub use gates::{Gate, ServerKey};
@@ -70,5 +76,6 @@ pub use params::ParameterSet;
 pub use pbs::Lut;
 pub use scratch::{BootstrapScratch, EpScratch};
 pub use secret::{ClientKey, LweSecretKey, RingSecretKey};
+pub use server::{CircuitClient, CircuitServer, PendingCircuit};
 pub use tgsw::{TgswCiphertext, TgswSpectrum};
 pub use tlwe::{TrlweCiphertext, TrlweSpectrum};

@@ -110,8 +110,20 @@ impl LweCiphertext {
     }
 
     /// In-place `self += other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask dimensions differ. (A real assert, not a debug
+    /// one: a mismatched operand in release builds would otherwise
+    /// silently truncate the zip and corrupt the sample — and the batch
+    /// pool's panic-isolation contract relies on misuse panicking
+    /// identically in every build mode.)
     pub fn add_assign(&mut self, other: &Self) {
-        debug_assert_eq!(self.a.len(), other.a.len());
+        assert_eq!(
+            self.a.len(),
+            other.a.len(),
+            "LWE dimension mismatch in add_assign"
+        );
         for (x, &y) in self.a.iter_mut().zip(other.a.iter()) {
             *x += y;
         }
@@ -119,12 +131,29 @@ impl LweCiphertext {
     }
 
     /// In-place `self -= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask dimensions differ (see
+    /// [`LweCiphertext::add_assign`]).
     pub fn sub_assign(&mut self, other: &Self) {
-        debug_assert_eq!(self.a.len(), other.a.len());
+        assert_eq!(
+            self.a.len(),
+            other.a.len(),
+            "LWE dimension mismatch in sub_assign"
+        );
         for (x, &y) in self.a.iter_mut().zip(other.a.iter()) {
             *x -= y;
         }
         self.b -= other.b;
+    }
+
+    /// In-place negation (the free homomorphic NOT).
+    pub fn neg_assign(&mut self) {
+        for x in &mut self.a {
+            *x = -*x;
+        }
+        self.b = -self.b;
     }
 
     /// Scales the ciphertext (and its plaintext) by a small integer.
@@ -165,10 +194,7 @@ impl Sub<&LweCiphertext> for LweCiphertext {
 impl Neg for LweCiphertext {
     type Output = LweCiphertext;
     fn neg(mut self) -> LweCiphertext {
-        for x in &mut self.a {
-            *x = -*x;
-        }
-        self.b = -self.b;
+        self.neg_assign();
         self
     }
 }
@@ -239,6 +265,31 @@ mod tests {
                 .abs()
                 < 1e-5
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch in add_assign")]
+    fn add_assign_rejects_mismatched_dimensions() {
+        let mut c = LweCiphertext::trivial(Torus32::ZERO, 8);
+        let other = LweCiphertext::trivial(Torus32::ZERO, 4);
+        c.add_assign(&other);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch in sub_assign")]
+    fn sub_assign_rejects_mismatched_dimensions() {
+        let mut c = LweCiphertext::trivial(Torus32::ZERO, 8);
+        let other = LweCiphertext::trivial(Torus32::ZERO, 4);
+        c.sub_assign(&other);
+    }
+
+    #[test]
+    fn neg_assign_matches_neg() {
+        let (key, mut sampler) = setup();
+        let c = LweCiphertext::encrypt(Torus32::from_f64(0.125), &key, 1e-8, &mut sampler);
+        let mut inplace = c.clone();
+        inplace.neg_assign();
+        assert_eq!(inplace, -c);
     }
 
     #[test]

@@ -71,6 +71,10 @@ pub struct BootstrapScratch<E: FftEngine> {
     pub(crate) exponents: Vec<u32>,
     /// Sample-extraction output (dimension `N`).
     pub(crate) extracted: LweCiphertext,
+    /// Second extraction buffer: [`ServerKey::mux_into`]
+    /// (crate::gates::ServerKey::mux_into) holds both of its bootstrap
+    /// outputs live at once.
+    pub(crate) extracted2: LweCiphertext,
     /// Gate linear-part buffer (dimension `n`).
     pub(crate) lin: LweCiphertext,
 }
@@ -94,6 +98,7 @@ impl<E: FftEngine> BootstrapScratch<E> {
             testv: TorusPolynomial::zero(n),
             exponents: Vec::with_capacity(8),
             extracted: LweCiphertext::trivial(matcha_math::Torus32::ZERO, n),
+            extracted2: LweCiphertext::trivial(matcha_math::Torus32::ZERO, n),
             lin: LweCiphertext::trivial(matcha_math::Torus32::ZERO, params.lwe_dimension),
         }
     }

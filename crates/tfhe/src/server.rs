@@ -1,0 +1,409 @@
+//! A std-only circuit-serving front end over the persistent batch pool.
+//!
+//! The north-star serving story: many clients submit whole encrypted
+//! circuits, and one scheduler keeps every resident bootstrapping worker
+//! busy on the dependent gate workload — MATCHA's scheduler feeding its
+//! eight pipelines, in software. [`CircuitServer`] owns a scheduler
+//! thread; the scheduler owns a [`GateBatchPool`] and executes each
+//! submitted [`CircuitNetlist`] wave-by-wave. Any number of
+//! [`CircuitClient`] handles (cheaply cloneable, `Send`) can submit
+//! concurrently over the mpsc job queue; each submission yields a
+//! [`PendingCircuit`] ticket, and a client's tickets resolve in its
+//! submission order. Shutdown is graceful: jobs queued before
+//! [`CircuitServer::shutdown`] still complete, later submissions resolve
+//! to `None`.
+
+use crate::batch::GateBatchPool;
+use crate::circuit::{CircuitNetlist, CircuitRun};
+use crate::gates::ServerKey;
+use crate::lwe::LweCiphertext;
+use matcha_fft::FftEngine;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One queued circuit execution request.
+struct CircuitJob {
+    netlist: CircuitNetlist,
+    inputs: Vec<LweCiphertext>,
+    reply: mpsc::Sender<CircuitRun>,
+}
+
+enum Msg {
+    Job(Box<CircuitJob>),
+    Shutdown,
+}
+
+/// A request server executing encrypted circuits on a persistent worker
+/// pool. Non-generic: the FFT engine lives entirely inside the scheduler
+/// thread.
+///
+/// # Examples
+///
+/// ```no_run
+/// use matcha_tfhe::circuit::CircuitNetlist;
+/// use matcha_tfhe::server::CircuitServer;
+/// use matcha_tfhe::{ClientKey, Gate, ParameterSet, ServerKey};
+/// use matcha_fft::F64Fft;
+/// use rand::SeedableRng;
+/// use std::sync::Arc;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let client = ClientKey::generate(ParameterSet::MATCHA, &mut rng);
+/// let key = Arc::new(ServerKey::new(&client, F64Fft::new(1024), &mut rng));
+/// let server = CircuitServer::start(key, 8);
+///
+/// let mut net = CircuitNetlist::new();
+/// let (a, b) = (net.input(), net.input());
+/// let nand = net.gate(Gate::Nand, a, b);
+/// net.mark_output(nand);
+///
+/// let handle = server.client();
+/// let pending = handle.submit(net, vec![client.encrypt(true), client.encrypt(true)]);
+/// let run = pending.wait().expect("server is live");
+/// assert!(!client.decrypt(&run.outputs[0]));
+/// server.shutdown();
+/// ```
+pub struct CircuitServer {
+    tx: mpsc::Sender<Msg>,
+    scheduler: Option<JoinHandle<()>>,
+}
+
+impl CircuitServer {
+    /// Starts the scheduler thread with a fresh `threads`-worker
+    /// [`GateBatchPool`] over `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0.
+    pub fn start<E>(key: Arc<ServerKey<E>>, threads: usize) -> Self
+    where
+        E: FftEngine + Send + Sync + 'static,
+    {
+        assert!(threads > 0, "need at least one worker");
+        let (tx, rx) = mpsc::channel::<Msg>();
+        let scheduler = std::thread::spawn(move || {
+            let pool = GateBatchPool::new(key, threads);
+            let execute = |job: Box<CircuitJob>| {
+                // Fault isolation, one layer up from the pool's: a circuit
+                // that panics mid-execution (e.g. operands with a wrong LWE
+                // dimension — the pool re-raises worker panics on this
+                // thread) must not kill the scheduler for every other
+                // client. The pool itself stays healthy across job panics
+                // (see `GateBatchPool::run_tasks`), so the scheduler keeps
+                // serving; the failed submission's reply sender is dropped
+                // and its ticket resolves to `None`.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    job.netlist.execute(&pool, &job.inputs)
+                }));
+                if let Ok(run) = result {
+                    // A client that dropped its ticket discards the result.
+                    let _ = job.reply.send(run);
+                }
+            };
+            loop {
+                match rx.recv() {
+                    Ok(Msg::Job(job)) => execute(job),
+                    // Graceful by FIFO: every job submitted before the
+                    // Shutdown message was enqueued ahead of it and has
+                    // already been executed by the arm above; anything
+                    // racing in after it resolves to `None`, exactly as
+                    // documented. (No drain here — draining would make
+                    // racing submissions nondeterministically succeed.)
+                    Ok(Msg::Shutdown) => break,
+                    // Server and every client handle dropped.
+                    Err(_) => break,
+                }
+            }
+        });
+        Self {
+            tx,
+            scheduler: Some(scheduler),
+        }
+    }
+
+    /// A new client handle. Handles are independent and `Send`; clone or
+    /// call this again for every submitting thread.
+    pub fn client(&self) -> CircuitClient {
+        CircuitClient {
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// Graceful shutdown: circuits submitted before this call complete and
+    /// their tickets resolve; submissions racing past it resolve to `None`.
+    /// Blocks until the scheduler (and its pool workers) have exited.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if let Some(scheduler) = self.scheduler.take() {
+            let _ = self.tx.send(Msg::Shutdown);
+            let _ = scheduler.join();
+        }
+    }
+}
+
+impl Drop for CircuitServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// A cloneable submission handle for one [`CircuitServer`].
+#[derive(Clone)]
+pub struct CircuitClient {
+    tx: mpsc::Sender<Msg>,
+}
+
+impl CircuitClient {
+    /// Submits a circuit with its encrypted inputs. Returns immediately
+    /// with a ticket; results for a given client arrive in submission
+    /// order. Input-count mismatches are rejected here, before queueing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != netlist.num_inputs()`.
+    pub fn submit(&self, netlist: CircuitNetlist, inputs: Vec<LweCiphertext>) -> PendingCircuit {
+        assert_eq!(
+            inputs.len(),
+            netlist.num_inputs(),
+            "circuit expects {} inputs, got {}",
+            netlist.num_inputs(),
+            inputs.len()
+        );
+        let (reply, rx) = mpsc::channel();
+        // A send to a shut-down server is not an error here; the ticket
+        // resolves to `None` instead.
+        let _ = self.tx.send(Msg::Job(Box::new(CircuitJob {
+            netlist,
+            inputs,
+            reply,
+        })));
+        PendingCircuit { rx }
+    }
+}
+
+/// A ticket for one submitted circuit.
+pub struct PendingCircuit {
+    rx: mpsc::Receiver<CircuitRun>,
+}
+
+impl PendingCircuit {
+    /// Blocks until the circuit has executed. Returns `None` when the
+    /// server shut down before running it, or when the circuit itself
+    /// panicked during execution (e.g. operands of the wrong LWE
+    /// dimension) — the server survives either way.
+    pub fn wait(self) -> Option<CircuitRun> {
+        self.rx.recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitNetlist;
+    use crate::gates::Gate;
+    use crate::params::ParameterSet;
+    use crate::secret::ClientKey;
+    use matcha_fft::F64Fft;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(seed: u64) -> (ClientKey, Arc<ServerKey<F64Fft>>, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+        let server = Arc::new(ServerKey::new(&client, F64Fft::new(256), &mut rng));
+        (client, server, rng)
+    }
+
+    fn xor_chain(len: usize) -> CircuitNetlist {
+        let mut net = CircuitNetlist::new();
+        let mut acc = net.input();
+        for _ in 0..len {
+            let next = net.input();
+            acc = net.gate(Gate::Xor, acc, next);
+        }
+        net.mark_output(acc);
+        net
+    }
+
+    #[test]
+    fn serves_a_single_circuit() {
+        let (client, key, mut rng) = setup(140);
+        let server = CircuitServer::start(Arc::clone(&key), 2);
+        let net = xor_chain(3);
+        let bits = [true, false, true, true];
+        let inputs: Vec<_> = bits
+            .iter()
+            .map(|&b| client.encrypt_with(b, &mut rng))
+            .collect();
+        let run = server
+            .client()
+            .submit(net, inputs)
+            .wait()
+            .expect("server live");
+        assert_eq!(
+            client.decrypt(&run.outputs[0]),
+            bits.iter().fold(false, |a, &b| a ^ b)
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_get_ordered_results() {
+        let (client, key, mut rng) = setup(141);
+        let server = CircuitServer::start(Arc::clone(&key), 2);
+        // Two client threads, each submitting 3 circuits with distinct
+        // expected answers; each must observe its own results in
+        // submission order.
+        let jobs_per_client = 3;
+        let mut expected: Vec<Vec<bool>> = Vec::new();
+        let mut encrypted: Vec<Vec<Vec<LweCiphertext>>> = Vec::new();
+        for c in 0..2 {
+            let mut per_client_expected = Vec::new();
+            let mut per_client_inputs = Vec::new();
+            for j in 0..jobs_per_client {
+                let bits = [c == 0, j % 2 == 0, j == 1];
+                per_client_expected.push(bits.iter().fold(false, |a, &b| a ^ b));
+                per_client_inputs.push(
+                    bits.iter()
+                        .map(|&b| client.encrypt_with(b, &mut rng))
+                        .collect(),
+                );
+            }
+            expected.push(per_client_expected);
+            encrypted.push(per_client_inputs);
+        }
+        let results: Vec<Vec<bool>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = encrypted
+                .into_iter()
+                .map(|inputs| {
+                    let handle = server.client();
+                    scope.spawn(move || {
+                        let tickets: Vec<PendingCircuit> = inputs
+                            .into_iter()
+                            .map(|i| handle.submit(xor_chain(2), i))
+                            .collect();
+                        tickets
+                            .into_iter()
+                            .map(|t| t.wait().expect("server live"))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .map(|runs| runs.iter().map(|r| client.decrypt(&r.outputs[0])).collect())
+                .collect()
+        });
+        assert_eq!(results, expected);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_completes_queued_jobs_and_rejects_later_ones() {
+        let (client, key, mut rng) = setup(142);
+        let server = CircuitServer::start(Arc::clone(&key), 1);
+        let handle = server.client();
+        let pending: Vec<PendingCircuit> = (0..3)
+            .map(|i| {
+                let bits = [i == 0, i == 1, i == 2];
+                handle.submit(
+                    xor_chain(2),
+                    bits.iter()
+                        .map(|&b| client.encrypt_with(b, &mut rng))
+                        .collect(),
+                )
+            })
+            .collect();
+        server.shutdown(); // blocks until the scheduler drained the queue
+        for (i, ticket) in pending.into_iter().enumerate() {
+            let run = ticket
+                .wait()
+                .unwrap_or_else(|| panic!("job {i} was queued before shutdown and must complete"));
+            assert!(client.decrypt(&run.outputs[0]), "job {i}");
+        }
+        // Submissions after shutdown resolve to None instead of hanging.
+        let late = handle.submit(xor_chain(1), {
+            vec![
+                client.encrypt_with(true, &mut rng),
+                client.encrypt_with(false, &mut rng),
+            ]
+        });
+        assert!(late.wait().is_none());
+    }
+
+    #[test]
+    fn panicking_circuit_resolves_none_and_server_survives() {
+        let (client, key, mut rng) = setup(145);
+        let server = CircuitServer::start(Arc::clone(&key), 2);
+        let handle = server.client();
+        // Right input *count*, wrong LWE dimension: panics inside a pool
+        // worker, is re-raised on the scheduler, and must be contained
+        // there — ticket resolves None, server keeps serving everyone.
+        let bad = handle.submit(
+            xor_chain(1),
+            vec![
+                client.encrypt_with(true, &mut rng),
+                LweCiphertext::trivial(matcha_math::Torus32::ZERO, 3),
+            ],
+        );
+        assert!(bad.wait().is_none(), "failed circuit resolves to None");
+        let good = handle.submit(
+            xor_chain(1),
+            vec![
+                client.encrypt_with(true, &mut rng),
+                client.encrypt_with(false, &mut rng),
+            ],
+        );
+        let run = good.wait().expect("server must survive a bad circuit");
+        assert!(client.decrypt(&run.outputs[0]));
+        server.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn start_rejects_zero_threads() {
+        let (_, key, _) = setup(146);
+        let _ = CircuitServer::start(key, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 3 inputs")]
+    fn submit_rejects_wrong_input_count() {
+        let (client, key, mut rng) = setup(143);
+        let server = CircuitServer::start(Arc::clone(&key), 1);
+        let _ = server
+            .client()
+            .submit(xor_chain(2), vec![client.encrypt_with(true, &mut rng)]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn dropping_server_joins_scheduler_and_pool() {
+        let (client, key, mut rng) = setup(144);
+        {
+            let server = CircuitServer::start(Arc::clone(&key), 2);
+            let run = server
+                .client()
+                .submit(
+                    xor_chain(1),
+                    vec![
+                        client.encrypt_with(true, &mut rng),
+                        client.encrypt_with(true, &mut rng),
+                    ],
+                )
+                .wait()
+                .expect("server live");
+            assert!(!client.decrypt(&run.outputs[0]));
+        } // drop == graceful shutdown
+        assert_eq!(
+            Arc::strong_count(&key),
+            1,
+            "scheduler and pool workers must all have exited"
+        );
+    }
+}

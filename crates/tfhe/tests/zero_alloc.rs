@@ -173,6 +173,59 @@ fn warmed_bootstrap_allocates_nothing_approx_m2() {
 }
 
 #[test]
+fn warmed_heterogeneous_tasks_allocate_nothing() {
+    // The pool's worker inner loop is `GateTask::apply_into`: a warmed
+    // scratch must make every task kind — binary gate, free NOT, and the
+    // two-bootstrap MUX — allocation-free, so the heterogeneous circuit
+    // waves keep the zero-alloc property of the homogeneous batch path.
+    use matcha_tfhe::GateTask;
+    let mut rng = StdRng::seed_from_u64(79);
+    let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+    let server = ServerKey::with_unrolling(&client, F64Fft::new(256), 2, &mut rng);
+    let t = client.encrypt_with(true, &mut rng);
+    let f = client.encrypt_with(false, &mut rng);
+    let tasks = [
+        GateTask::Binary {
+            gate: Gate::Nand,
+            a: t.clone(),
+            b: f.clone(),
+        },
+        GateTask::Not { a: t.clone() },
+        GateTask::Mux {
+            sel: t.clone(),
+            a: f.clone(),
+            b: t.clone(),
+        },
+    ];
+    let mut out = matcha_tfhe::LweCiphertext::trivial(Torus32::ZERO, 1);
+    let mut scratch = server.make_scratch();
+
+    // Warm-up: two passes over every task kind size all buffers (the mux
+    // warms the second extraction buffer the binary path never touches).
+    for _ in 0..2 {
+        for task in &tasks {
+            task.apply_into(&server, &mut out, &mut scratch);
+        }
+    }
+
+    let before = allocations();
+    for task in &tasks {
+        task.apply_into(&server, &mut out, &mut scratch);
+    }
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "warmed heterogeneous task batch allocated {delta} times"
+    );
+    // And the results are still right.
+    let expected = [true, false, false];
+    for (task, want) in tasks.iter().zip(expected) {
+        task.apply_into(&server, &mut out, &mut scratch);
+        assert_eq!(client.decrypt(&out), want);
+    }
+}
+
+#[test]
 fn warmed_full_gate_allocates_only_for_outputs() {
     // The whole gate path (linear part + bootstrap + key switch) through
     // `apply_into` is allocation-free once warmed.
