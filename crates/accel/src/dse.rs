@@ -73,12 +73,23 @@ impl Default for SweepSpace {
 }
 
 /// Evaluates one configuration at its best unroll factor.
+///
+/// # Panics
+///
+/// Panics if `unrolls` is empty — a design point needs at least one
+/// unroll factor to evaluate. (A fully empty sweep axis is handled one
+/// level up: [`sweep`] over any empty axis returns no points without
+/// ever calling this.)
 pub fn evaluate(cfg: &MatchaConfig, w: &WorkloadParams, unrolls: &[usize]) -> DesignPoint {
+    assert!(
+        !unrolls.is_empty(),
+        "evaluate needs at least one unroll factor to try"
+    );
     let best = unrolls
         .iter()
         .map(|&m| pipeline::simulate_gate(cfg, w, m))
         .min_by(|a, b| a.latency_s.total_cmp(&b.latency_s))
-        .expect("at least one unroll factor");
+        .expect("non-empty by the assert above");
     let budget = area_power::design_budget(cfg);
     DesignPoint {
         config: cfg.clone(),
@@ -90,22 +101,65 @@ pub fn evaluate(cfg: &MatchaConfig, w: &WorkloadParams, unrolls: &[usize]) -> De
     }
 }
 
-/// Sweeps the whole space.
+/// Sweeps the whole space, sharding the candidate configurations over a
+/// pool of scoped worker threads (the `GateBatchPool` chunking pattern
+/// from `matcha_tfhe::batch`, dependency-free). Each worker writes into
+/// its own pre-split slice of the output, so the result order is
+/// **deterministic** and identical to the sequential nested-loop order:
+/// pipelines outermost, then butterfly cores, then HBM bandwidth.
+///
+/// Any empty axis — including `unrolls` — makes the design-point product
+/// empty, so the sweep returns no points (rather than panicking in
+/// [`evaluate`]).
 pub fn sweep(space: &SweepSpace, w: &WorkloadParams) -> Vec<DesignPoint> {
-    let mut out = Vec::new();
-    for &p in &space.pipelines {
-        for &b in &space.butterfly_cores {
-            for &hbm in &space.hbm_gb_s {
-                let mut cfg = MatchaConfig::paper();
-                cfg.tgsw_clusters = p;
-                cfg.ep_cores = p;
-                cfg.butterfly_cores = b;
-                cfg.hbm_gb_s = hbm;
-                out.push(evaluate(&cfg, w, &space.unrolls));
-            }
-        }
+    if space.unrolls.is_empty() {
+        return Vec::new();
     }
-    out
+    let configs: Vec<MatchaConfig> = space
+        .pipelines
+        .iter()
+        .flat_map(|&p| {
+            space.butterfly_cores.iter().flat_map(move |&b| {
+                space.hbm_gb_s.iter().map(move |&hbm| {
+                    let mut cfg = MatchaConfig::paper();
+                    cfg.tgsw_clusters = p;
+                    cfg.ep_cores = p;
+                    cfg.butterfly_cores = b;
+                    cfg.hbm_gb_s = hbm;
+                    cfg
+                })
+            })
+        })
+        .collect();
+    if configs.is_empty() {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(configs.len());
+    if threads <= 1 {
+        // One core (or one candidate): the scoped-pool spawn overhead
+        // buys nothing — evaluate inline.
+        return configs
+            .iter()
+            .map(|cfg| evaluate(cfg, w, &space.unrolls))
+            .collect();
+    }
+    let chunk = configs.len().div_ceil(threads);
+    let mut out: Vec<Option<DesignPoint>> = vec![None; configs.len()];
+    std::thread::scope(|scope| {
+        for (cfgs, slots) in configs.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (cfg, slot) in cfgs.iter().zip(slots.iter_mut()) {
+                    *slot = Some(evaluate(cfg, w, &space.unrolls));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|p| p.expect("worker filled every slot"))
+        .collect()
 }
 
 /// Extracts the Pareto front (minimizing power and latency), sorted by
@@ -164,6 +218,54 @@ mod tests {
     fn sweep_covers_product_of_axes() {
         let points = sweep(&small_space(), &WorkloadParams::MATCHA);
         assert_eq!(points.len(), 8);
+    }
+
+    #[test]
+    fn sweep_order_is_deterministic_and_matches_sequential() {
+        // The sharded sweep must return points in exactly the sequential
+        // nested-loop order (pipelines, then butterfly cores, then HBM),
+        // regardless of how the chunks land on worker threads.
+        let space = small_space();
+        let parallel = sweep(&space, &WorkloadParams::MATCHA);
+        let mut sequential = Vec::new();
+        for &p in &space.pipelines {
+            for &b in &space.butterfly_cores {
+                for &hbm in &space.hbm_gb_s {
+                    let mut cfg = MatchaConfig::paper();
+                    cfg.tgsw_clusters = p;
+                    cfg.ep_cores = p;
+                    cfg.butterfly_cores = b;
+                    cfg.hbm_gb_s = hbm;
+                    sequential.push(evaluate(&cfg, &WorkloadParams::MATCHA, &space.unrolls));
+                }
+            }
+        }
+        assert_eq!(parallel, sequential);
+        // Twice in a row: identical, not merely order-preserving.
+        assert_eq!(parallel, sweep(&space, &WorkloadParams::MATCHA));
+    }
+
+    #[test]
+    fn sweep_on_any_empty_axis_is_empty() {
+        for wipe in 0..4 {
+            let mut space = small_space();
+            match wipe {
+                0 => space.pipelines.clear(),
+                1 => space.butterfly_cores.clear(),
+                2 => space.hbm_gb_s.clear(),
+                _ => space.unrolls.clear(),
+            }
+            assert!(
+                sweep(&space, &WorkloadParams::MATCHA).is_empty(),
+                "axis {wipe} empty must give an empty sweep"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unroll factor")]
+    fn evaluate_rejects_empty_unrolls() {
+        let _ = evaluate(&MatchaConfig::paper(), &WorkloadParams::MATCHA, &[]);
     }
 
     #[test]

@@ -51,8 +51,8 @@ pub use matcha_accel::{MatchaConfig, WorkloadParams};
 pub use matcha_fft::{ApproxIntFft, DepthFirstFft, F64Fft, FftEngine};
 pub use matcha_math::Torus32;
 pub use matcha_tfhe::{
-    CircuitNetlist, CircuitServer, ClientKey, Gate, GateBatchPool, GateTask, LweCiphertext,
-    ParameterSet, ServerKey,
+    CircuitNetlist, CircuitOutcome, CircuitServer, ClientKey, Gate, GateBatchPool, GateTask,
+    LweCiphertext, ParameterSet, ServerKey, ValueSlab,
 };
 
 #[cfg(test)]

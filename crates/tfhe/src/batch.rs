@@ -12,6 +12,13 @@
 //!   **alive across batches** — the software analogue of MATCHA's eight
 //!   always-resident bootstrapping pipelines, and the fix for the seed
 //!   implementation's spawn-per-call sharding.
+//!
+//! Pool tasks pass operands **by index** into a shared [`ValueSlab`]
+//! rather than cloning ciphertexts into every task: a [`SlabTask`] binds a
+//! [`GateTask`] (node indices only) to the slab it reads from and the slot
+//! it writes to, and one [`GateBatchPool::run_tasks`] dispatch may mix
+//! tasks over several circuits' slabs — which is how the circuit server
+//! interleaves every in-flight circuit's ready wave into one batch.
 
 use crate::gates::{Gate, ServerKey};
 use crate::lwe::LweCiphertext;
@@ -20,57 +27,164 @@ use matcha_fft::FftEngine;
 use matcha_math::Torus32;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+/// A write-once slab of ciphertext values shared between a dispatcher and
+/// the pool workers — one slot per circuit node. Operands are passed **by
+/// index** into the slab instead of being cloned into every task, so a
+/// wave of gates reading the same value shares one ciphertext. Each slot
+/// is set exactly once (by the dispatcher for sources and free `NOT`s, by
+/// the worker that evaluated the node otherwise) and read only after the
+/// dependency order guarantees it is present.
+pub struct ValueSlab {
+    slots: Box<[OnceLock<LweCiphertext>]>,
+}
+
+impl ValueSlab {
+    /// A slab of `len` empty slots.
+    pub fn new(len: usize) -> Self {
+        Self {
+            slots: (0..len).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns `true` when the slab has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Stores the value of node `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was already written — every node's value is
+    /// computed exactly once.
+    pub fn set(&self, index: usize, value: LweCiphertext) {
+        assert!(
+            self.slots[index].set(value).is_ok(),
+            "value slot {index} written twice"
+        );
+    }
+
+    /// The value of node `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot has not been written — an operand referenced
+    /// before its wave completed.
+    pub fn get(&self, index: usize) -> &LweCiphertext {
+        self.slots[index]
+            .get()
+            .unwrap_or_else(|| panic!("value slot {index} not yet computed"))
+    }
+
+    /// The value of node `index`, if already computed.
+    pub fn try_get(&self, index: usize) -> Option<&LweCiphertext> {
+        self.slots[index].get()
+    }
+
+    /// Moves the value out of slot `index` (requires unique ownership of
+    /// the slab, i.e. after every worker dropped its handle).
+    pub fn take(&mut self, index: usize) -> Option<LweCiphertext> {
+        self.slots[index].take()
+    }
+}
+
 /// One heterogeneous unit of pool work: any gate the circuit layer emits,
-/// bundled with its operands. A wave of a
-/// [`CircuitNetlist`](crate::circuit::CircuitNetlist) is a mixed
-/// `Vec<GateTask>` dispatched with [`GateBatchPool::run_tasks`].
-#[derive(Clone, Debug)]
+/// with **by-index operands** — the fields are node indices into the
+/// [`ValueSlab`] the task is dispatched against, not owned ciphertexts.
+/// A wave of a [`CircuitNetlist`](crate::circuit::CircuitNetlist) is a
+/// mixed batch of these, dispatched with [`GateBatchPool::run_tasks`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum GateTask {
     /// A two-input bootstrapped gate (one bootstrap + key switch).
     Binary {
         /// The gate to evaluate.
         gate: Gate,
-        /// Left operand.
-        a: LweCiphertext,
-        /// Right operand.
-        b: LweCiphertext,
+        /// Left operand node.
+        a: usize,
+        /// Right operand node.
+        b: usize,
     },
     /// Free negation — no bootstrap.
     Not {
-        /// The operand.
-        a: LweCiphertext,
+        /// The operand node.
+        a: usize,
     },
     /// `sel ? a : b` — two bootstraps + one key switch.
     Mux {
-        /// The selector.
-        sel: LweCiphertext,
-        /// Taken when `sel` is true.
-        a: LweCiphertext,
-        /// Taken when `sel` is false.
-        b: LweCiphertext,
+        /// The selector node.
+        sel: usize,
+        /// Node taken when `sel` is true.
+        a: usize,
+        /// Node taken when `sel` is false.
+        b: usize,
     },
 }
 
 impl GateTask {
-    /// Evaluates the task into `out` through `scratch` — the worker inner
-    /// loop of the pool. Allocation-free once the scratch and `out` are
-    /// warmed, for every variant.
+    /// Evaluates the task into `out` through `scratch`, reading operands
+    /// from `slab` by index — the worker inner loop of the pool.
+    /// Allocation-free once the scratch and `out` are warmed, for every
+    /// variant: operands are borrowed from the slab, never cloned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand slot has not been computed yet.
     pub fn apply_into<E: FftEngine>(
         &self,
         server: &ServerKey<E>,
+        slab: &ValueSlab,
         out: &mut LweCiphertext,
         scratch: &mut BootstrapScratch<E>,
     ) {
-        match self {
-            GateTask::Binary { gate, a, b } => server.apply_into(*gate, a, b, out, scratch),
-            GateTask::Not { a } => server.not_into(a, out),
-            GateTask::Mux { sel, a, b } => server.mux_into(sel, a, b, out, scratch),
+        match *self {
+            GateTask::Binary { gate, a, b } => {
+                server.apply_into(gate, slab.get(a), slab.get(b), out, scratch)
+            }
+            GateTask::Not { a } => server.not_into(slab.get(a), out),
+            GateTask::Mux { sel, a, b } => {
+                server.mux_into(slab.get(sel), slab.get(a), slab.get(b), out, scratch)
+            }
         }
     }
+}
+
+/// One dispatchable task: a by-index [`GateTask`] bound to the slab its
+/// indices refer to, plus the node slot its result is stored at. Batches
+/// may freely mix tasks over *different* slabs — that is how the server
+/// interleaves waves of several in-flight circuits into one dispatch.
+#[derive(Clone)]
+pub struct SlabTask {
+    /// The value slab `task`'s indices point into.
+    pub slab: Arc<ValueSlab>,
+    /// Slot the result is stored at ([`ValueSlab::set`] by the worker).
+    pub node: usize,
+    /// The gate work itself.
+    pub task: GateTask,
+}
+
+/// Per-batch outcome of [`GateBatchPool::run_tasks`]. Successes are not
+/// listed — a task that does not appear in `failures` has stored its
+/// result in its slab slot.
+#[derive(Clone, Debug)]
+pub struct DispatchResult {
+    /// `(batch index, panic message)` for every task that panicked in a
+    /// worker, ascending by index. Failures are *per task*: the rest of
+    /// the batch still completes, so a dispatcher interleaving several
+    /// circuits can fault only the circuit that owns the failing task.
+    pub failures: Vec<(usize, String)>,
+    /// Wall-clock seconds for the whole batch.
+    pub elapsed_s: f64,
+    /// Worker threads serving the batch.
+    pub threads: usize,
 }
 
 /// The result of a batched run.
@@ -115,7 +229,7 @@ fn finish_batch(outputs: Vec<LweCiphertext>, t0: Instant, threads: usize) -> Bat
 }
 
 /// Renders a worker panic payload for re-raising on the submitter's thread.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -199,14 +313,17 @@ where
     finish_batch(outputs, t0, threads)
 }
 
-/// One queued unit of pool work: a heterogeneous task with a reply channel.
-/// The reply carries `Err(panic message)` when the task panicked in the
-/// worker, so the failure is re-raised on the submitting thread instead of
-/// killing the worker.
+/// One queued unit of pool work: a by-index task, the slab it reads from
+/// and writes to, and a reply channel. The reply carries `Err(panic
+/// message)` when the task panicked in the worker, so the failure is
+/// reported on the dispatching thread instead of killing the worker; on
+/// `Ok` the result is already stored in `slab[node]`.
 struct Job {
+    slab: Arc<ValueSlab>,
+    node: usize,
     task: GateTask,
     index: usize,
-    reply: mpsc::Sender<(usize, Result<LweCiphertext, String>)>,
+    reply: mpsc::Sender<(usize, Result<(), String>)>,
 }
 
 /// A persistent gate-evaluation worker pool sharing one [`ServerKey`].
@@ -278,7 +395,7 @@ where
                         // Panic isolation: a malformed job (e.g. a
                         // mismatched-dimension operand) must not kill the
                         // worker or poison anything — the error is shipped
-                        // back and re-raised on the submitter's thread,
+                        // back and reported on the dispatcher's thread,
                         // and this worker keeps serving. The scratch stays
                         // structurally valid across an unwind — every
                         // apply re-sizes its buffers — hence the
@@ -286,14 +403,25 @@ where
                         // mem::take'n by the panicking apply are left
                         // empty, so this worker's next task re-warms them
                         // (a few allocations, correctness unaffected).
+                        let Job {
+                            slab,
+                            node,
+                            task,
+                            index,
+                            reply,
+                        } = job;
                         let result = catch_unwind(AssertUnwindSafe(|| {
-                            job.task.apply_into(&server, &mut out, &mut scratch);
-                            out.clone()
+                            task.apply_into(&server, &slab, &mut out, &mut scratch);
+                            slab.set(node, out.clone());
                         }))
                         .map_err(panic_message);
+                        // Drop our slab handle *before* replying: once the
+                        // dispatcher has received every reply of a batch,
+                        // its own Arc over each slab is unique again.
+                        drop(slab);
                         // The receiver may have given up (run() panicked);
                         // dropping the result is then the right behavior.
-                        let _ = job.reply.send((job.index, result));
+                        let _ = reply.send((index, result));
                     }
                 })
             })
@@ -318,80 +446,112 @@ where
 
     /// Evaluates `gate` over all pairs on the persistent workers, returning
     /// outputs in input order. A convenience wrapper over
-    /// [`GateBatchPool::run_tasks`] for the homogeneous binary-gate case.
+    /// [`GateBatchPool::run_tasks`] for the homogeneous binary-gate case:
+    /// operands are staged into a throwaway [`ValueSlab`] and the outputs
+    /// moved back out of it.
     ///
     /// # Panics
     ///
     /// Panics (on this thread, with the pool left healthy) if any job
     /// panicked in a worker.
     pub fn run(&self, gate: Gate, pairs: &[(LweCiphertext, LweCiphertext)]) -> BatchResult {
-        self.run_tasks(
-            pairs
-                .iter()
-                .map(|(a, b)| GateTask::Binary {
-                    gate,
-                    a: a.clone(),
-                    b: b.clone(),
-                })
-                .collect(),
-        )
-    }
-
-    /// Evaluates a heterogeneous batch — any mix of binary gates, free
-    /// negations and muxes — on the persistent workers, returning outputs
-    /// in task order. This is the form circuit waves are dispatched in:
-    /// every wave of a netlist is one `run_tasks` call, and the warmed
-    /// per-worker scratches keep each task allocation-free.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any task panicked in a worker (e.g. mismatched operand
-    /// dimensions). The panic is re-raised here, on the submitting thread,
-    /// after the whole batch has drained — workers survive, nothing is
-    /// poisoned, and subsequent `run`/`run_tasks` calls complete normally.
-    pub fn run_tasks(&self, tasks: Vec<GateTask>) -> BatchResult {
         let t0 = Instant::now();
-        if tasks.is_empty() {
+        if pairs.is_empty() {
             // Same contract as `run_gate_batch`: an empty batch is a valid
             // request that produces an empty result, not a panic.
             return finish_batch(Vec::new(), t0, 0);
         }
-        let count = tasks.len();
+        let n = pairs.len();
+        // Slots 0..n hold the left operands, n..2n the right, 2n..3n the
+        // outputs.
+        let slab = ValueSlab::new(3 * n);
+        for (i, (a, b)) in pairs.iter().enumerate() {
+            slab.set(i, a.clone());
+            slab.set(n + i, b.clone());
+        }
+        let slab = Arc::new(slab);
+        let batch: Vec<SlabTask> = (0..n)
+            .map(|i| SlabTask {
+                slab: Arc::clone(&slab),
+                node: 2 * n + i,
+                task: GateTask::Binary {
+                    gate,
+                    a: i,
+                    b: n + i,
+                },
+            })
+            .collect();
+        let dispatch = self.run_tasks(&batch);
+        // The batch has fully drained either way; re-raise the
+        // lowest-index failure so the panic is deterministic.
+        if let Some((index, msg)) = dispatch.failures.first() {
+            panic!("pool task {index} panicked in a worker: {msg}");
+        }
+        drop(batch);
+        let mut slab = Arc::try_unwrap(slab)
+            .ok()
+            .expect("batch drained: no worker still holds the slab");
+        let outputs: Vec<LweCiphertext> = (0..n)
+            .map(|i| slab.take(2 * n + i).expect("worker stored every output"))
+            .collect();
+        finish_batch(outputs, t0, self.threads)
+    }
+
+    /// Dispatches a heterogeneous batch — any mix of binary gates, free
+    /// negations and muxes, possibly spanning **several circuits' slabs**
+    /// — onto the persistent workers, blocking until every task has been
+    /// answered. Each task reads its operands from its slab by index and
+    /// stores its result at `node`; nothing is cloned per operand. This is
+    /// the form circuit waves are dispatched in: the server fills one
+    /// `run_tasks` call with the ready frontier of every in-flight
+    /// circuit, and the warmed per-worker scratches keep each task
+    /// allocation-free.
+    ///
+    /// Operands must already be present in their slabs when the batch is
+    /// dispatched — tasks within one batch must not depend on each other.
+    ///
+    /// A task that panics in a worker (e.g. mismatched operand dimensions)
+    /// is reported in [`DispatchResult::failures`] rather than raised:
+    /// workers survive, nothing is poisoned, the rest of the batch still
+    /// completes, and the dispatcher decides which circuit the failure
+    /// faults.
+    pub fn run_tasks(&self, tasks: &[SlabTask]) -> DispatchResult {
+        let t0 = Instant::now();
+        if tasks.is_empty() {
+            return DispatchResult {
+                failures: Vec::new(),
+                elapsed_s: t0.elapsed().as_secs_f64(),
+                threads: 0,
+            };
+        }
         let (reply_tx, reply_rx) = mpsc::channel();
         let tx = self.tx.as_ref().expect("pool is live");
-        for (index, task) in tasks.into_iter().enumerate() {
+        for (index, st) in tasks.iter().enumerate() {
             tx.send(Job {
-                task,
+                slab: Arc::clone(&st.slab),
+                node: st.node,
+                task: st.task,
                 index,
                 reply: reply_tx.clone(),
             })
             .expect("workers alive");
         }
         drop(reply_tx);
-        let mut outputs: Vec<Option<LweCiphertext>> = vec![None; count];
-        let mut failure: Option<(usize, String)> = None;
-        // Drain the whole batch before re-raising any failure, so the pool
-        // is quiescent (no stray in-flight jobs) when the caller unwinds.
-        // Replies arrive in completion order; keep the lowest-index
-        // failure so the re-raised panic is deterministic.
+        // Drain the whole batch before returning, so the pool is quiescent
+        // (no stray in-flight jobs) and every slab's worker handles are
+        // dropped when the caller resumes.
+        let mut failures: Vec<(usize, String)> = Vec::new();
         for (index, result) in reply_rx {
-            match result {
-                Ok(c) => outputs[index] = Some(c),
-                Err(msg) => {
-                    if failure.as_ref().is_none_or(|(i, _)| index < *i) {
-                        failure = Some((index, msg));
-                    }
-                }
+            if let Err(msg) = result {
+                failures.push((index, msg));
             }
         }
-        if let Some((index, msg)) = failure {
-            panic!("pool task {index} panicked in a worker: {msg}");
+        failures.sort_unstable_by_key(|&(index, _)| index);
+        DispatchResult {
+            failures,
+            elapsed_s: t0.elapsed().as_secs_f64(),
+            threads: self.threads,
         }
-        let outputs: Vec<LweCiphertext> = outputs
-            .into_iter()
-            .map(|o| o.expect("worker answered every job"))
-            .collect();
-        finish_batch(outputs, t0, self.threads)
     }
 }
 
@@ -615,38 +775,122 @@ mod tests {
         let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
         let server = Arc::new(ServerKey::new(&client, F64Fft::new(256), &mut rng));
         let pool = GateBatchPool::new(Arc::clone(&server), 2);
-        let t = client.encrypt_with(true, &mut rng);
-        let f = client.encrypt_with(false, &mut rng);
-        let tasks = vec![
+        // Slots 0/1 hold the shared operands; 2..7 receive the outputs.
+        // Every task reads the *same* two ciphertexts by index — nothing
+        // is cloned per task.
+        let slab = Arc::new(ValueSlab::new(7));
+        slab.set(0, client.encrypt_with(true, &mut rng));
+        slab.set(1, client.encrypt_with(false, &mut rng));
+        let tasks = [
             GateTask::Binary {
                 gate: Gate::Nand,
-                a: t.clone(),
-                b: t.clone(),
+                a: 0,
+                b: 0,
             },
-            GateTask::Not { a: f.clone() },
-            GateTask::Mux {
-                sel: t.clone(),
-                a: f.clone(),
-                b: t.clone(),
-            },
+            GateTask::Not { a: 1 },
+            GateTask::Mux { sel: 0, a: 1, b: 0 },
             GateTask::Binary {
                 gate: Gate::Xor,
-                a: t.clone(),
-                b: f.clone(),
+                a: 0,
+                b: 1,
             },
-            GateTask::Mux {
-                sel: f.clone(),
-                a: f.clone(),
-                b: t.clone(),
-            },
+            GateTask::Mux { sel: 1, a: 1, b: 0 },
         ];
+        let batch: Vec<SlabTask> = tasks
+            .iter()
+            .enumerate()
+            .map(|(i, &task)| SlabTask {
+                slab: Arc::clone(&slab),
+                node: 2 + i,
+                task,
+            })
+            .collect();
         let expected = [false, true, false, true, true];
-        let result = pool.run_tasks(tasks);
-        assert_eq!(result.outputs.len(), expected.len());
-        for (i, (out, want)) in result.outputs.iter().zip(expected).enumerate() {
-            assert_eq!(client.decrypt(out), want, "task {i}");
+        let result = pool.run_tasks(&batch);
+        assert!(result.failures.is_empty());
+        for (i, want) in expected.into_iter().enumerate() {
+            assert_eq!(client.decrypt(slab.get(2 + i)), want, "task {i}");
         }
-        assert!(result.gates_per_second.is_finite());
+    }
+
+    #[test]
+    fn dispatch_reports_per_task_failures_and_finishes_the_rest() {
+        // A failing task must not take the batch down with it: the other
+        // tasks' slots are still filled, and only the failure is reported
+        // — the property the interleaving scheduler's per-circuit fault
+        // isolation is built on.
+        let mut rng = StdRng::seed_from_u64(94);
+        let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+        let server = Arc::new(ServerKey::new(&client, F64Fft::new(256), &mut rng));
+        let pool = GateBatchPool::new(Arc::clone(&server), 2);
+        let slab = Arc::new(ValueSlab::new(6));
+        slab.set(0, client.encrypt_with(true, &mut rng));
+        slab.set(1, client.encrypt_with(false, &mut rng));
+        // Slot 2: right count of coefficients for nothing — wrong LWE
+        // dimension, so any gate reading it panics in its worker.
+        slab.set(2, crate::LweCiphertext::trivial(Torus32::ZERO, 3));
+        let batch: Vec<SlabTask> = [
+            (
+                3,
+                GateTask::Binary {
+                    gate: Gate::And,
+                    a: 0,
+                    b: 1,
+                },
+            ),
+            (
+                4,
+                GateTask::Binary {
+                    gate: Gate::Or,
+                    a: 0,
+                    b: 2,
+                },
+            ),
+            (
+                5,
+                GateTask::Binary {
+                    gate: Gate::Xor,
+                    a: 0,
+                    b: 1,
+                },
+            ),
+        ]
+        .into_iter()
+        .map(|(node, task)| SlabTask {
+            slab: Arc::clone(&slab),
+            node,
+            task,
+        })
+        .collect();
+        let result = pool.run_tasks(&batch);
+        assert_eq!(result.failures.len(), 1, "exactly the bad task fails");
+        assert_eq!(result.failures[0].0, 1, "failure carries its batch index");
+        assert!(!client.decrypt(slab.get(3)), "true AND false");
+        assert!(slab.try_get(4).is_none(), "failed task stores nothing");
+        assert!(client.decrypt(slab.get(5)), "true XOR false");
+        // The pool survives for the next dispatch.
+        let healthy = pool.run(
+            Gate::And,
+            &[(
+                client.encrypt_with(true, &mut rng),
+                client.encrypt_with(true, &mut rng),
+            )],
+        );
+        assert!(client.decrypt(&healthy.outputs[0]));
+    }
+
+    #[test]
+    fn slab_set_twice_is_rejected() {
+        let slab = ValueSlab::new(2);
+        assert_eq!(slab.len(), 2);
+        assert!(!slab.is_empty());
+        slab.set(0, crate::LweCiphertext::trivial(Torus32::ZERO, 3));
+        assert!(slab.try_get(0).is_some());
+        assert!(slab.try_get(1).is_none());
+        let raised = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            slab.set(0, crate::LweCiphertext::trivial(Torus32::ZERO, 3));
+        }));
+        assert!(raised.is_err(), "double write must be rejected");
     }
 
     #[test]
@@ -657,17 +901,30 @@ mod tests {
         let pool = GateBatchPool::new(Arc::clone(&server), 2);
         let (_, enc) = inputs(&client, &mut rng, 5);
         let via_run = pool.run(Gate::Xnor, &enc);
-        let via_tasks = pool.run_tasks(
-            enc.iter()
-                .map(|(a, b)| GateTask::Binary {
+        // The same batch staged by hand on an explicit slab.
+        let n = enc.len();
+        let slab = Arc::new(ValueSlab::new(3 * n));
+        for (i, (a, b)) in enc.iter().enumerate() {
+            slab.set(i, a.clone());
+            slab.set(n + i, b.clone());
+        }
+        let batch: Vec<SlabTask> = (0..n)
+            .map(|i| SlabTask {
+                slab: Arc::clone(&slab),
+                node: 2 * n + i,
+                task: GateTask::Binary {
                     gate: Gate::Xnor,
-                    a: a.clone(),
-                    b: b.clone(),
-                })
-                .collect(),
-        );
+                    a: i,
+                    b: n + i,
+                },
+            })
+            .collect();
+        let dispatch = pool.run_tasks(&batch);
+        assert!(dispatch.failures.is_empty());
         // Bootstrapping is deterministic given the keys: exact equality.
-        assert_eq!(via_run.outputs, via_tasks.outputs);
+        for (i, out) in via_run.outputs.iter().enumerate() {
+            assert_eq!(out, slab.get(2 * n + i), "task {i}");
+        }
     }
 
     #[test]

@@ -15,10 +15,11 @@
 //! of the bootstrapped work back to the analytical model, so predicted
 //! makespan/utilization can be cross-checked against measured wall-clock.
 
-use crate::batch::{BatchResult, GateBatchPool, GateTask};
+use crate::batch::{GateBatchPool, GateTask, SlabTask, ValueSlab};
 use crate::gates::{Gate, ServerKey};
 use crate::lwe::LweCiphertext;
 use matcha_fft::FftEngine;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One node of an executable netlist. Operand fields are indices of
@@ -245,20 +246,6 @@ impl CircuitNetlist {
         waves
     }
 
-    /// Free negations grouped by the wave level after which they become
-    /// computable (`nots_by_level()[r]` resolves once wave `r` is done;
-    /// index 0 needs only sources). Within a level, ids ascend, so chained
-    /// `NOT`s resolve in dependency order.
-    fn nots_by_level(&self) -> Vec<Vec<usize>> {
-        let mut nots: Vec<Vec<usize>> = vec![Vec::new(); self.depth() + 1];
-        for (id, &level) in self.level.iter().enumerate() {
-            if matches!(self.ops[id], GateOp::Not(_)) {
-                nots[level].push(id);
-            }
-        }
-        nots
-    }
-
     /// The dependency skeleton of the *bootstrapped* work, for
     /// [`accel::schedule`]-style analytical models: entry `i` lists the
     /// unit indices unit `i` consumes. Binary gates are one unit; a mux is
@@ -329,24 +316,14 @@ impl CircuitNetlist {
             .expect("operand computed in earlier wave")
     }
 
-    /// Resolves every free negation at `level` in place — no pool round
-    /// trip for an op that is a local mask/body negation.
-    fn resolve_nots(&self, nots: &[usize], values: &mut [Option<LweCiphertext>]) {
-        for &id in nots {
-            let GateOp::Not(a) = self.ops[id] else {
-                unreachable!("nots_by_level only lists NOT ops")
-            };
-            let mut v = Self::value(values, a);
-            v.neg_assign();
-            values[id] = Some(v);
-        }
-    }
-
     /// Executes the circuit wave-by-wave on a persistent pool: each ready
-    /// level of bootstrapped gates becomes one heterogeneous [`GateTask`]
-    /// batch, so independent gates of the level run in parallel on the
-    /// warmed workers. Free `NOT`s are resolved inline between waves (they
-    /// never cost a dispatch or a wave barrier).
+    /// frontier of bootstrapped gates becomes one heterogeneous by-index
+    /// [`GateTask`] batch over the run's [`ValueSlab`], so independent
+    /// gates of a level run in parallel on the warmed workers with **no
+    /// per-wave operand clones**. Free `NOT`s are resolved inline between
+    /// waves (they never cost a dispatch or a wave barrier). This is the
+    /// solo-circuit driver over [`CircuitFrontier`]; the multi-circuit
+    /// interleaving driver is [`CircuitServer`](crate::server::CircuitServer).
     ///
     /// # Panics
     ///
@@ -356,41 +333,24 @@ impl CircuitNetlist {
     where
         E: FftEngine + Send + Sync + 'static,
     {
-        let t0 = Instant::now();
-        let mut values: Vec<Option<LweCiphertext>> = vec![None; self.ops.len()];
-        self.resolve_sources(pool.server(), inputs, &mut values);
-        let nots = self.nots_by_level();
-        self.resolve_nots(&nots[0], &mut values);
-        let waves = self.waves();
-        let wave_count = waves.len();
-        let mut scheduled_ops = nots.iter().map(Vec::len).sum();
-        for (w, wave) in waves.into_iter().enumerate() {
-            let tasks: Vec<GateTask> = wave
-                .iter()
-                .map(|&id| match self.ops[id] {
-                    GateOp::Binary(gate, a, b) => GateTask::Binary {
-                        gate,
-                        a: Self::value(&values, a),
-                        b: Self::value(&values, b),
-                    },
-                    GateOp::Mux { sel, a, b } => GateTask::Mux {
-                        sel: Self::value(&values, sel),
-                        a: Self::value(&values, a),
-                        b: Self::value(&values, b),
-                    },
-                    GateOp::Input(_) | GateOp::Constant(_) | GateOp::Not(_) => {
-                        unreachable!("only bootstrapped ops are scheduled")
-                    }
-                })
-                .collect();
-            scheduled_ops += tasks.len();
-            let BatchResult { outputs, .. } = pool.run_tasks(tasks);
-            for (&id, out) in wave.iter().zip(outputs) {
-                values[id] = Some(out);
+        // The netlist clone is O(nodes) of plain indices — noise next to
+        // the O(nodes) gate bootstraps the run performs; it buys the
+        // frontier the same owned form the interleaving server uses.
+        let mut frontier = CircuitFrontier::new(Arc::new(self.clone()), pool.server(), inputs);
+        let mut batch: Vec<SlabTask> = Vec::new();
+        while !frontier.is_done() {
+            batch.clear();
+            frontier.take_ready(&mut batch);
+            debug_assert!(!batch.is_empty(), "unfinished circuit must have ready work");
+            let dispatch = pool.run_tasks(&batch);
+            if let Some((index, msg)) = dispatch.failures.first() {
+                panic!("pool task {index} panicked in a worker: {msg}");
             }
-            self.resolve_nots(&nots[w + 1], &mut values);
+            for st in &batch {
+                frontier.complete(st.node);
+            }
         }
-        self.finish_run(values, t0, wave_count, scheduled_ops)
+        frontier.finish()
     }
 
     /// Eager sequential reference evaluation: every op runs in netlist
@@ -447,6 +407,198 @@ impl CircuitNetlist {
             scheduled_ops,
             bootstraps: self.bootstraps(),
             elapsed_s: t0.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// The ready-frontier of one in-flight circuit execution: which
+/// bootstrapped ops can be dispatched *right now*, backed by the run's
+/// shared [`ValueSlab`].
+///
+/// This is the unit the interleaving scheduler juggles: it keeps one
+/// `CircuitFrontier` per in-flight circuit and fills every pool dispatch
+/// with [`CircuitFrontier::take_ready`] tasks from all of them. The
+/// protocol per circuit is: `take_ready` → dispatch the tasks (each
+/// worker stores its result in the slab) → [`CircuitFrontier::complete`]
+/// each dispatched node → repeat until [`CircuitFrontier::is_done`], then
+/// [`CircuitFrontier::finish`]. Free `NOT`s never surface as tasks: they
+/// are resolved inline (a local negation) the moment their operand's
+/// value lands, so chains of negations add no waves and no dispatches.
+pub struct CircuitFrontier {
+    net: Arc<CircuitNetlist>,
+    slab: Arc<ValueSlab>,
+    /// Operand slots (with multiplicity) not yet available, per node.
+    pending: Vec<usize>,
+    /// Consumer edges: `consumers[v]` lists every node with an operand
+    /// slot reading `v`, one entry per slot. Drained when `v` resolves
+    /// (each node becomes available exactly once).
+    consumers: Vec<Vec<usize>>,
+    /// Bootstrapped ops whose operands are all available, not yet taken.
+    ready: Vec<usize>,
+    /// Bootstrapped ops not yet completed.
+    remaining: usize,
+    scheduled_ops: usize,
+    waves: usize,
+    t0: Instant,
+}
+
+impl CircuitFrontier {
+    /// Starts a run: clones the encrypted inputs into a fresh slab,
+    /// resolves constants and source-level `NOT`s, and seeds the ready
+    /// set with every bootstrapped op that depends only on sources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != net.num_inputs()`.
+    pub fn new<E: FftEngine>(
+        net: Arc<CircuitNetlist>,
+        server: &ServerKey<E>,
+        inputs: &[LweCiphertext],
+    ) -> Self {
+        assert_eq!(
+            inputs.len(),
+            net.inputs,
+            "circuit expects {} inputs, got {}",
+            net.inputs,
+            inputs.len()
+        );
+        let n = net.ops.len();
+        let mut pending = vec![0usize; n];
+        let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut remaining = 0;
+        for (id, op) in net.ops.iter().enumerate() {
+            for operand in op.operands().into_iter().flatten() {
+                pending[id] += 1;
+                consumers[operand].push(id);
+            }
+            remaining += usize::from(op.bootstraps() > 0);
+        }
+        let mut frontier = Self {
+            slab: Arc::new(ValueSlab::new(n)),
+            net,
+            pending,
+            consumers,
+            ready: Vec::new(),
+            remaining,
+            scheduled_ops: 0,
+            waves: 0,
+            t0: Instant::now(),
+        };
+        for id in 0..n {
+            match frontier.net.ops[id] {
+                GateOp::Input(slot) => {
+                    frontier.slab.set(id, inputs[slot].clone());
+                    frontier.mark_available(id);
+                }
+                GateOp::Constant(v) => {
+                    frontier.slab.set(id, server.trivial(v));
+                    frontier.mark_available(id);
+                }
+                _ => {}
+            }
+        }
+        frontier
+    }
+
+    /// Propagates "node `id`'s value is in the slab" to its consumers:
+    /// newly satisfied free `NOT`s resolve inline (cascading), newly
+    /// satisfied bootstrapped ops join the ready set.
+    fn mark_available(&mut self, id: usize) {
+        let mut stack = vec![id];
+        while let Some(id) = stack.pop() {
+            // Each node resolves exactly once, so its edge list can be
+            // consumed rather than borrowed.
+            for c in std::mem::take(&mut self.consumers[id]) {
+                self.pending[c] -= 1;
+                if self.pending[c] == 0 {
+                    if let GateOp::Not(a) = self.net.ops[c] {
+                        let mut v = self.slab.get(a).clone();
+                        v.neg_assign();
+                        self.slab.set(c, v);
+                        self.scheduled_ops += 1;
+                        stack.push(c);
+                    } else {
+                        self.ready.push(c);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains every currently-ready bootstrapped op into `batch` as
+    /// by-index tasks over this run's slab, returning how many were
+    /// taken. Ops taken here count as one wave of this circuit; they must
+    /// each be [`CircuitFrontier::complete`]d once their worker has
+    /// stored the result.
+    pub fn take_ready(&mut self, batch: &mut Vec<SlabTask>) -> usize {
+        let taken = self.ready.len();
+        if taken > 0 {
+            self.waves += 1;
+        }
+        for id in self.ready.drain(..) {
+            let task = match self.net.ops[id] {
+                GateOp::Binary(gate, a, b) => GateTask::Binary { gate, a, b },
+                GateOp::Mux { sel, a, b } => GateTask::Mux { sel, a, b },
+                GateOp::Input(_) | GateOp::Constant(_) | GateOp::Not(_) => {
+                    unreachable!("only bootstrapped ops enter the ready set")
+                }
+            };
+            batch.push(SlabTask {
+                slab: Arc::clone(&self.slab),
+                node: id,
+                task,
+            });
+        }
+        taken
+    }
+
+    /// Records that the worker evaluating `node` has stored its result in
+    /// the slab, unlocking downstream ops (and resolving any free `NOT`s
+    /// that became computable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node`'s value is not in the slab (completing a task
+    /// whose worker failed) or it was never taken from the ready set.
+    pub fn complete(&mut self, node: usize) {
+        assert!(
+            self.slab.try_get(node).is_some(),
+            "completed node {node} has no value in the slab"
+        );
+        self.remaining -= 1;
+        self.scheduled_ops += 1;
+        self.mark_available(node);
+    }
+
+    /// `true` once every bootstrapped op has completed.
+    pub fn is_done(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// Bootstrapped ops currently ready to dispatch.
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Finishes the run: collects the marked outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is not [`CircuitFrontier::is_done`].
+    pub fn finish(self) -> CircuitRun {
+        assert!(self.is_done(), "circuit still has unfinished work");
+        let outputs = self
+            .net
+            .outputs
+            .iter()
+            .map(|&id| self.slab.get(id).clone())
+            .collect();
+        CircuitRun {
+            outputs,
+            waves: self.waves,
+            scheduled_ops: self.scheduled_ops,
+            bootstraps: self.net.bootstraps(),
+            elapsed_s: self.t0.elapsed().as_secs_f64(),
         }
     }
 }

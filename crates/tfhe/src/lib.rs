@@ -63,10 +63,10 @@ pub mod server;
 pub mod tgsw;
 pub mod tlwe;
 
-pub use batch::{GateBatchPool, GateTask};
+pub use batch::{DispatchResult, GateBatchPool, GateTask, SlabTask, ValueSlab};
 pub use bku::UnrolledBootstrappingKey;
 pub use bootstrap::BootstrapKit;
-pub use circuit::{CircuitNetlist, CircuitRun, GateOp};
+pub use circuit::{CircuitFrontier, CircuitNetlist, CircuitRun, GateOp};
 pub use codec::Codec;
 pub use encode::BucketEncoding;
 pub use gates::{Gate, ServerKey};
@@ -76,6 +76,6 @@ pub use params::ParameterSet;
 pub use pbs::Lut;
 pub use scratch::{BootstrapScratch, EpScratch};
 pub use secret::{ClientKey, LweSecretKey, RingSecretKey};
-pub use server::{CircuitClient, CircuitServer, PendingCircuit};
+pub use server::{CircuitClient, CircuitOutcome, CircuitServer, PendingCircuit, SchedulerStats};
 pub use tgsw::{TgswCiphertext, TgswSpectrum};
 pub use tlwe::{TrlweCiphertext, TrlweSpectrum};

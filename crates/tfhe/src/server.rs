@@ -1,24 +1,48 @@
-//! A std-only circuit-serving front end over the persistent batch pool.
+//! A std-only circuit-serving front end over the persistent batch pool,
+//! with **cross-circuit wave interleaving**.
 //!
 //! The north-star serving story: many clients submit whole encrypted
 //! circuits, and one scheduler keeps every resident bootstrapping worker
 //! busy on the dependent gate workload — MATCHA's scheduler feeding its
 //! eight pipelines, in software. [`CircuitServer`] owns a scheduler
-//! thread; the scheduler owns a [`GateBatchPool`] and executes each
-//! submitted [`CircuitNetlist`] wave-by-wave. Any number of
-//! [`CircuitClient`] handles (cheaply cloneable, `Send`) can submit
-//! concurrently over the mpsc job queue; each submission yields a
-//! [`PendingCircuit`] ticket, and a client's tickets resolve in its
-//! submission order. Shutdown is graceful: jobs queued before
-//! [`CircuitServer::shutdown`] still complete, later submissions resolve
-//! to `None`.
+//! thread; the scheduler owns a [`GateBatchPool`] and keeps **every
+//! submitted circuit in flight at once**: each pool dispatch is filled
+//! with the ready frontier of *all* in-flight circuits (oldest admission
+//! first), so a deep, narrow circuit no longer leaves workers idle while
+//! other clients queue behind it — the utilization gap the paper's
+//! 8-pipeline scheduler closes with dependent-gate interleaving.
+//!
+//! Any number of [`CircuitClient`] handles (cheaply cloneable, `Send`)
+//! can submit concurrently over the mpsc job queue; each submission
+//! yields a [`PendingCircuit`] ticket resolving to a [`CircuitOutcome`].
+//! Fairness and isolation guarantees:
+//!
+//! * **FIFO-fair**: circuits are admitted in queue order and each
+//!   dispatch takes ready tasks oldest-circuit-first; every in-flight
+//!   circuit contributes its whole ready frontier to every dispatch, so
+//!   no circuit can starve another.
+//! * **Per-client order**: a client's tickets resolve through their own
+//!   channels, so waiting on them in submission order always observes
+//!   that order, even though a short circuit may *finish* before a long
+//!   one submitted earlier.
+//! * **Per-circuit fault isolation**: a task that panics in a worker
+//!   (e.g. a wrong-dimension operand smuggled past validation) faults
+//!   only the circuit that owns it — its ticket resolves to
+//!   [`CircuitOutcome::Faulted`] while every other in-flight circuit,
+//!   the scheduler, and the pool keep going.
+//!
+//! Shutdown is graceful: circuits admitted before [`CircuitServer::shutdown`]
+//! still run to completion, later submissions resolve to
+//! [`CircuitOutcome::Rejected`].
 
-use crate::batch::GateBatchPool;
-use crate::circuit::{CircuitNetlist, CircuitRun};
+use crate::batch::{panic_message, GateBatchPool, SlabTask};
+use crate::circuit::{CircuitFrontier, CircuitNetlist, CircuitRun};
 use crate::gates::ServerKey;
 use crate::lwe::LweCiphertext;
 use matcha_fft::FftEngine;
-use std::sync::mpsc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -26,7 +50,7 @@ use std::thread::JoinHandle;
 struct CircuitJob {
     netlist: CircuitNetlist,
     inputs: Vec<LweCiphertext>,
-    reply: mpsc::Sender<CircuitRun>,
+    reply: mpsc::Sender<CircuitOutcome>,
 }
 
 enum Msg {
@@ -34,9 +58,109 @@ enum Msg {
     Shutdown,
 }
 
+/// How one submitted circuit ended.
+#[derive(Clone, Debug)]
+pub enum CircuitOutcome {
+    /// The circuit ran to completion.
+    Completed(CircuitRun),
+    /// The circuit panicked during execution (the message is the panic
+    /// payload, e.g. a dimension-mismatch assertion). The server and
+    /// every other in-flight circuit keep running.
+    Faulted(String),
+    /// The server shut down before admitting the circuit; it never ran.
+    Rejected,
+}
+
+impl CircuitOutcome {
+    /// The completed run, if any — `None` for `Faulted`/`Rejected`.
+    pub fn completed(self) -> Option<CircuitRun> {
+        match self {
+            CircuitOutcome::Completed(run) => Some(run),
+            CircuitOutcome::Faulted(_) | CircuitOutcome::Rejected => None,
+        }
+    }
+
+    /// `true` when the circuit ran to completion.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, CircuitOutcome::Completed(_))
+    }
+
+    /// `true` when the circuit panicked during execution.
+    pub fn is_faulted(&self) -> bool {
+        matches!(self, CircuitOutcome::Faulted(_))
+    }
+
+    /// `true` when the server shut down before running the circuit.
+    pub fn is_rejected(&self) -> bool {
+        matches!(self, CircuitOutcome::Rejected)
+    }
+}
+
+/// Live scheduler counters, shared with [`CircuitServer::stats`] readers.
+#[derive(Default)]
+struct StatsCells {
+    dispatches: AtomicU64,
+    tasks: AtomicU64,
+    slots: AtomicU64,
+    max_in_flight: AtomicU64,
+    completed: AtomicU64,
+    faulted: AtomicU64,
+}
+
+/// A snapshot of the scheduler's monotone counters.
+///
+/// `slots` models each non-empty dispatch of `t` tasks on `P` workers as
+/// `ceil(t / P)` rounds of `P` task-slots, so
+/// [`SchedulerStats::utilization`] — busy task-slots over offered
+/// wave-slots — is a *structural* measure of how full the pool's waves
+/// run, independent of clock noise: interleaving several circuits fills
+/// the narrow tail waves of each with the other circuits' work.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Non-empty pool dispatches (interleaved super-waves).
+    pub dispatches: u64,
+    /// Tasks dispatched across all circuits.
+    pub tasks: u64,
+    /// Task-slots offered: `Σ ceil(tasks / threads) · threads`.
+    pub slots: u64,
+    /// High-water mark of circuits simultaneously in flight.
+    pub max_in_flight: u64,
+    /// Circuits that resolved [`CircuitOutcome::Completed`].
+    pub completed: u64,
+    /// Circuits that resolved [`CircuitOutcome::Faulted`].
+    pub faulted: u64,
+}
+
+impl SchedulerStats {
+    /// Busy task-slots over offered wave-slots, in `(0, 1]` once any
+    /// dispatch ran (0.0 before).
+    pub fn utilization(&self) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            self.tasks as f64 / self.slots as f64
+        }
+    }
+
+    /// Counter deltas since an `earlier` snapshot, for measuring one
+    /// phase of traffic. `max_in_flight` is a high-water mark, not a
+    /// counter: the later snapshot's value is kept as-is.
+    pub fn since(&self, earlier: &SchedulerStats) -> SchedulerStats {
+        SchedulerStats {
+            dispatches: self.dispatches - earlier.dispatches,
+            tasks: self.tasks - earlier.tasks,
+            slots: self.slots - earlier.slots,
+            max_in_flight: self.max_in_flight,
+            completed: self.completed - earlier.completed,
+            faulted: self.faulted - earlier.faulted,
+        }
+    }
+}
+
 /// A request server executing encrypted circuits on a persistent worker
-/// pool. Non-generic: the FFT engine lives entirely inside the scheduler
-/// thread.
+/// pool, interleaving every in-flight circuit's ready wave into each
+/// dispatch. Non-generic: the FFT engine lives entirely inside the
+/// scheduler thread.
 ///
 /// # Examples
 ///
@@ -60,13 +184,157 @@ enum Msg {
 ///
 /// let handle = server.client();
 /// let pending = handle.submit(net, vec![client.encrypt(true), client.encrypt(true)]);
-/// let run = pending.wait().expect("server is live");
+/// let run = pending.wait().completed().expect("server is live");
 /// assert!(!client.decrypt(&run.outputs[0]));
 /// server.shutdown();
 /// ```
 pub struct CircuitServer {
     tx: mpsc::Sender<Msg>,
     scheduler: Option<JoinHandle<()>>,
+    stats: Arc<StatsCells>,
+    lwe_dimension: usize,
+}
+
+/// One circuit in flight on the scheduler.
+struct InFlight {
+    frontier: CircuitFrontier,
+    reply: mpsc::Sender<CircuitOutcome>,
+}
+
+/// Builds a frontier for a freshly admitted job. Admission-time panics
+/// (malformed netlists or inputs that slipped past submit-side
+/// validation) fault only this circuit, not the scheduler.
+fn admit<E>(
+    in_flight: &mut Vec<InFlight>,
+    job: CircuitJob,
+    pool: &GateBatchPool<E>,
+    stats: &StatsCells,
+) where
+    E: FftEngine + Send + Sync + 'static,
+{
+    let CircuitJob {
+        netlist,
+        inputs,
+        reply,
+    } = job;
+    match catch_unwind(AssertUnwindSafe(|| {
+        CircuitFrontier::new(Arc::new(netlist), pool.server(), &inputs)
+    })) {
+        Ok(frontier) => {
+            in_flight.push(InFlight { frontier, reply });
+            stats
+                .max_in_flight
+                .fetch_max(in_flight.len() as u64, Ordering::Relaxed);
+        }
+        Err(payload) => {
+            stats.faulted.fetch_add(1, Ordering::Relaxed);
+            let _ = reply.send(CircuitOutcome::Faulted(panic_message(payload)));
+        }
+    }
+}
+
+/// The scheduler: admits circuits from the queue, fills every pool
+/// dispatch with the ready frontier of all in-flight circuits (oldest
+/// first), routes per-task failures to the owning circuit, and resolves
+/// tickets as circuits complete or fault.
+fn scheduler_loop<E>(
+    key: Arc<ServerKey<E>>,
+    threads: usize,
+    rx: mpsc::Receiver<Msg>,
+    stats: Arc<StatsCells>,
+) where
+    E: FftEngine + Send + Sync + 'static,
+{
+    let pool = GateBatchPool::new(key, threads);
+    let mut in_flight: Vec<InFlight> = Vec::new();
+    // Saw Shutdown: finish what is admitted, admit nothing more.
+    let mut draining = false;
+    let mut batch: Vec<SlabTask> = Vec::new();
+    // Parallel to `batch`: index into `in_flight` owning each task.
+    let mut owners: Vec<usize> = Vec::new();
+    loop {
+        // Admission. Block only when idle; with work in flight, drain
+        // whatever has queued up between dispatches so new circuits join
+        // the very next super-wave.
+        if in_flight.is_empty() && !draining {
+            match rx.recv() {
+                Ok(Msg::Job(job)) => admit(&mut in_flight, *job, &pool, &stats),
+                // Graceful by FIFO: every job submitted before the
+                // Shutdown message was enqueued ahead of it and already
+                // admitted; anything racing in after it resolves to
+                // `Rejected` when the queue is dropped below.
+                Ok(Msg::Shutdown) | Err(_) => break,
+            }
+        }
+        while !draining {
+            match rx.try_recv() {
+                Ok(Msg::Job(job)) => admit(&mut in_flight, *job, &pool, &stats),
+                Ok(Msg::Shutdown) | Err(TryRecvError::Disconnected) => draining = true,
+                Err(TryRecvError::Empty) => break,
+            }
+        }
+        if in_flight.is_empty() {
+            if draining {
+                break;
+            }
+            continue;
+        }
+
+        // One interleaved super-wave: every in-flight circuit's ready
+        // frontier, admission order first — FIFO-fair, and no circuit
+        // can monopolize the dispatch because every other circuit's
+        // ready tasks ride along.
+        batch.clear();
+        owners.clear();
+        for (ci, fl) in in_flight.iter_mut().enumerate() {
+            fl.frontier.take_ready(&mut batch);
+            owners.resize(batch.len(), ci);
+        }
+        let dispatch = pool.run_tasks(&batch);
+        if !batch.is_empty() {
+            let p = pool.threads() as u64;
+            stats.dispatches.fetch_add(1, Ordering::Relaxed);
+            stats.tasks.fetch_add(batch.len() as u64, Ordering::Relaxed);
+            stats
+                .slots
+                .fetch_add((batch.len() as u64).div_ceil(p) * p, Ordering::Relaxed);
+        }
+
+        // Route failures to their owning circuits (first message wins);
+        // propagate completions for everyone still healthy.
+        let mut faults: Vec<Option<String>> = vec![None; in_flight.len()];
+        for (index, msg) in dispatch.failures {
+            let fault = &mut faults[owners[index]];
+            if fault.is_none() {
+                *fault = Some(msg);
+            }
+        }
+        for (index, st) in batch.iter().enumerate() {
+            let ci = owners[index];
+            if faults[ci].is_none() {
+                in_flight[ci].frontier.complete(st.node);
+            }
+        }
+
+        // Resolve tickets; keep the rest in flight, order preserved.
+        let mut keep: Vec<InFlight> = Vec::with_capacity(in_flight.len());
+        for (fl, fault) in in_flight.drain(..).zip(faults) {
+            if let Some(msg) = fault {
+                stats.faulted.fetch_add(1, Ordering::Relaxed);
+                let _ = fl.reply.send(CircuitOutcome::Faulted(msg));
+            } else if fl.frontier.is_done() {
+                stats.completed.fetch_add(1, Ordering::Relaxed);
+                let _ = fl
+                    .reply
+                    .send(CircuitOutcome::Completed(fl.frontier.finish()));
+            } else {
+                keep.push(fl);
+            }
+        }
+        in_flight = keep;
+    }
+    // Dropping `rx` here drops any queued-but-never-admitted jobs: their
+    // reply senders close and those tickets resolve to `Rejected`.
 }
 
 impl CircuitServer {
@@ -81,44 +349,16 @@ impl CircuitServer {
         E: FftEngine + Send + Sync + 'static,
     {
         assert!(threads > 0, "need at least one worker");
+        let lwe_dimension = key.params().lwe_dimension;
         let (tx, rx) = mpsc::channel::<Msg>();
-        let scheduler = std::thread::spawn(move || {
-            let pool = GateBatchPool::new(key, threads);
-            let execute = |job: Box<CircuitJob>| {
-                // Fault isolation, one layer up from the pool's: a circuit
-                // that panics mid-execution (e.g. operands with a wrong LWE
-                // dimension — the pool re-raises worker panics on this
-                // thread) must not kill the scheduler for every other
-                // client. The pool itself stays healthy across job panics
-                // (see `GateBatchPool::run_tasks`), so the scheduler keeps
-                // serving; the failed submission's reply sender is dropped
-                // and its ticket resolves to `None`.
-                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    job.netlist.execute(&pool, &job.inputs)
-                }));
-                if let Ok(run) = result {
-                    // A client that dropped its ticket discards the result.
-                    let _ = job.reply.send(run);
-                }
-            };
-            loop {
-                match rx.recv() {
-                    Ok(Msg::Job(job)) => execute(job),
-                    // Graceful by FIFO: every job submitted before the
-                    // Shutdown message was enqueued ahead of it and has
-                    // already been executed by the arm above; anything
-                    // racing in after it resolves to `None`, exactly as
-                    // documented. (No drain here — draining would make
-                    // racing submissions nondeterministically succeed.)
-                    Ok(Msg::Shutdown) => break,
-                    // Server and every client handle dropped.
-                    Err(_) => break,
-                }
-            }
-        });
+        let stats = Arc::new(StatsCells::default());
+        let cells = Arc::clone(&stats);
+        let scheduler = std::thread::spawn(move || scheduler_loop(key, threads, rx, cells));
         Self {
             tx,
             scheduler: Some(scheduler),
+            stats,
+            lwe_dimension,
         }
     }
 
@@ -127,12 +367,29 @@ impl CircuitServer {
     pub fn client(&self) -> CircuitClient {
         CircuitClient {
             tx: self.tx.clone(),
+            lwe_dimension: self.lwe_dimension,
         }
     }
 
-    /// Graceful shutdown: circuits submitted before this call complete and
-    /// their tickets resolve; submissions racing past it resolve to `None`.
-    /// Blocks until the scheduler (and its pool workers) have exited.
+    /// A snapshot of the scheduler counters: dispatches, tasks, offered
+    /// task-slots (the structural utilization measure), the in-flight
+    /// high-water mark and outcome counts. Counters are monotone; use
+    /// [`SchedulerStats::since`] to measure one phase of traffic.
+    pub fn stats(&self) -> SchedulerStats {
+        SchedulerStats {
+            dispatches: self.stats.dispatches.load(Ordering::Relaxed),
+            tasks: self.stats.tasks.load(Ordering::Relaxed),
+            slots: self.stats.slots.load(Ordering::Relaxed),
+            max_in_flight: self.stats.max_in_flight.load(Ordering::Relaxed),
+            completed: self.stats.completed.load(Ordering::Relaxed),
+            faulted: self.stats.faulted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful shutdown: circuits admitted before this call run to
+    /// completion and their tickets resolve; submissions racing past it
+    /// resolve to [`CircuitOutcome::Rejected`]. Blocks until the
+    /// scheduler (and its pool workers) have exited.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
@@ -155,16 +412,24 @@ impl Drop for CircuitServer {
 #[derive(Clone)]
 pub struct CircuitClient {
     tx: mpsc::Sender<Msg>,
+    lwe_dimension: usize,
 }
 
 impl CircuitClient {
     /// Submits a circuit with its encrypted inputs. Returns immediately
-    /// with a ticket; results for a given client arrive in submission
-    /// order. Input-count mismatches are rejected here, before queueing.
+    /// with a ticket; the circuit joins the in-flight set at the
+    /// scheduler's next dispatch boundary and runs interleaved with
+    /// everything else in flight. Malformed submissions are rejected
+    /// here, before queueing: both the input *count* and each input's
+    /// LWE *dimension* are validated, so a wrong-dimension ciphertext
+    /// fails fast at the API boundary instead of panicking a worker
+    /// mid-execution.
     ///
     /// # Panics
     ///
-    /// Panics if `inputs.len() != netlist.num_inputs()`.
+    /// Panics if `inputs.len() != netlist.num_inputs()`, or if any input's
+    /// [`LweCiphertext::dimension`] differs from the server key's LWE
+    /// dimension.
     pub fn submit(&self, netlist: CircuitNetlist, inputs: Vec<LweCiphertext>) -> PendingCircuit {
         assert_eq!(
             inputs.len(),
@@ -173,9 +438,18 @@ impl CircuitClient {
             netlist.num_inputs(),
             inputs.len()
         );
+        for (slot, input) in inputs.iter().enumerate() {
+            assert_eq!(
+                input.dimension(),
+                self.lwe_dimension,
+                "input {slot} has LWE dimension {}, the server key expects {}",
+                input.dimension(),
+                self.lwe_dimension
+            );
+        }
         let (reply, rx) = mpsc::channel();
         // A send to a shut-down server is not an error here; the ticket
-        // resolves to `None` instead.
+        // resolves to `Rejected` instead.
         let _ = self.tx.send(Msg::Job(Box::new(CircuitJob {
             netlist,
             inputs,
@@ -187,16 +461,27 @@ impl CircuitClient {
 
 /// A ticket for one submitted circuit.
 pub struct PendingCircuit {
-    rx: mpsc::Receiver<CircuitRun>,
+    rx: mpsc::Receiver<CircuitOutcome>,
 }
 
 impl PendingCircuit {
-    /// Blocks until the circuit has executed. Returns `None` when the
-    /// server shut down before running it, or when the circuit itself
-    /// panicked during execution (e.g. operands of the wrong LWE
-    /// dimension) — the server survives either way.
-    pub fn wait(self) -> Option<CircuitRun> {
-        self.rx.recv().ok()
+    /// Blocks until the circuit has resolved: [`CircuitOutcome::Completed`]
+    /// with its run, [`CircuitOutcome::Faulted`] when the circuit itself
+    /// panicked during execution (the server survives), or
+    /// [`CircuitOutcome::Rejected`] when the server shut down before
+    /// running it.
+    pub fn wait(self) -> CircuitOutcome {
+        self.rx.recv().unwrap_or(CircuitOutcome::Rejected)
+    }
+
+    /// Non-blocking probe: `None` while the circuit is still queued or
+    /// in flight, `Some` once it has resolved.
+    pub fn try_wait(&self) -> Option<CircuitOutcome> {
+        match self.rx.try_recv() {
+            Ok(outcome) => Some(outcome),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => Some(CircuitOutcome::Rejected),
+        }
     }
 }
 
@@ -243,11 +528,16 @@ mod tests {
             .client()
             .submit(net, inputs)
             .wait()
+            .completed()
             .expect("server live");
         assert_eq!(
             client.decrypt(&run.outputs[0]),
             bits.iter().fold(false, |a, &b| a ^ b)
         );
+        let stats = server.stats();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.tasks, 3, "three XOR gates dispatched");
+        assert!(stats.utilization() > 0.0 && stats.utilization() <= 1.0);
         server.shutdown();
     }
 
@@ -288,7 +578,7 @@ mod tests {
                             .collect();
                         tickets
                             .into_iter()
-                            .map(|t| t.wait().expect("server live"))
+                            .map(|t| t.wait().completed().expect("server live"))
                             .collect::<Vec<_>>()
                     })
                 })
@@ -300,6 +590,52 @@ mod tests {
                 .collect()
         });
         assert_eq!(results, expected);
+        server.shutdown();
+    }
+
+    #[test]
+    fn interleaves_circuits_and_reports_in_flight_high_water() {
+        let (client, key, mut rng) = setup(147);
+        let server = CircuitServer::start(Arc::clone(&key), 2);
+        let handle = server.client();
+        // A deep chain first: while its first wave runs, the two short
+        // circuits are admitted and ride the subsequent super-waves.
+        let deep_bits = [true, false, true, true, false, true, false];
+        let deep = handle.submit(
+            xor_chain(6),
+            deep_bits
+                .iter()
+                .map(|&b| client.encrypt_with(b, &mut rng))
+                .collect(),
+        );
+        let shorts: Vec<PendingCircuit> = (0..2)
+            .map(|i| {
+                let bits = [i == 0, true];
+                handle.submit(
+                    xor_chain(1),
+                    bits.iter()
+                        .map(|&b| client.encrypt_with(b, &mut rng))
+                        .collect(),
+                )
+            })
+            .collect();
+        for (i, short) in shorts.into_iter().enumerate() {
+            let run = short.wait().completed().expect("short circuit completes");
+            assert_eq!(client.decrypt(&run.outputs[0]), i != 0);
+        }
+        let run = deep.wait().completed().expect("deep circuit completes");
+        assert_eq!(
+            client.decrypt(&run.outputs[0]),
+            deep_bits.iter().fold(false, |a, &b| a ^ b)
+        );
+        let stats = server.stats();
+        assert!(
+            stats.max_in_flight >= 2,
+            "short circuits must have been in flight with the deep one (high water {})",
+            stats.max_in_flight
+        );
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.tasks, 6 + 1 + 1);
         server.shutdown();
     }
 
@@ -319,39 +655,52 @@ mod tests {
                 )
             })
             .collect();
-        server.shutdown(); // blocks until the scheduler drained the queue
+        server.shutdown(); // blocks until every admitted circuit resolved
         for (i, ticket) in pending.into_iter().enumerate() {
             let run = ticket
                 .wait()
+                .completed()
                 .unwrap_or_else(|| panic!("job {i} was queued before shutdown and must complete"));
             assert!(client.decrypt(&run.outputs[0]), "job {i}");
         }
-        // Submissions after shutdown resolve to None instead of hanging.
+        // Submissions after shutdown resolve to Rejected instead of
+        // hanging.
         let late = handle.submit(xor_chain(1), {
             vec![
                 client.encrypt_with(true, &mut rng),
                 client.encrypt_with(false, &mut rng),
             ]
         });
-        assert!(late.wait().is_none());
+        assert!(late.wait().is_rejected());
     }
 
     #[test]
-    fn panicking_circuit_resolves_none_and_server_survives() {
+    fn faulted_circuit_resolves_faulted_and_server_survives() {
         let (client, key, mut rng) = setup(145);
         let server = CircuitServer::start(Arc::clone(&key), 2);
         let handle = server.client();
-        // Right input *count*, wrong LWE dimension: panics inside a pool
-        // worker, is re-raised on the scheduler, and must be contained
-        // there — ticket resolves None, server keeps serving everyone.
-        let bad = handle.submit(
-            xor_chain(1),
-            vec![
-                client.encrypt_with(true, &mut rng),
-                LweCiphertext::trivial(matcha_math::Torus32::ZERO, 3),
-            ],
-        );
-        assert!(bad.wait().is_none(), "failed circuit resolves to None");
+        // `submit` validates dimensions now, so smuggle the malformed
+        // input past it on the raw queue, as a buggy or hostile client
+        // linking against the internals would: the task panics inside a
+        // pool worker and must fault only its own circuit.
+        let (reply, bad_rx) = mpsc::channel();
+        server
+            .tx
+            .send(Msg::Job(Box::new(CircuitJob {
+                netlist: xor_chain(1),
+                inputs: vec![
+                    client.encrypt_with(true, &mut rng),
+                    LweCiphertext::trivial(matcha_math::Torus32::ZERO, 3),
+                ],
+                reply,
+            })))
+            .expect("server live");
+        let outcome = bad_rx.recv().expect("scheduler answers the bad job");
+        let CircuitOutcome::Faulted(msg) = outcome else {
+            panic!("wrong-dimension circuit must fault, got {outcome:?}");
+        };
+        assert!(!msg.is_empty(), "fault carries the panic message");
+        // …while the server keeps serving everyone else.
         let good = handle.submit(
             xor_chain(1),
             vec![
@@ -359,8 +708,53 @@ mod tests {
                 client.encrypt_with(false, &mut rng),
             ],
         );
-        let run = good.wait().expect("server must survive a bad circuit");
+        let run = good
+            .wait()
+            .completed()
+            .expect("server must survive a faulted circuit");
         assert!(client.decrypt(&run.outputs[0]));
+        assert_eq!(server.stats().faulted, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn fault_spares_interleaved_neighbors() {
+        let (client, key, mut rng) = setup(148);
+        let server = CircuitServer::start(Arc::clone(&key), 2);
+        let handle = server.client();
+        // A healthy deep circuit is in flight when a malformed one joins
+        // the same super-waves; the fault must not touch it.
+        let bits = [true, true, false, true, false];
+        let healthy = handle.submit(
+            xor_chain(4),
+            bits.iter()
+                .map(|&b| client.encrypt_with(b, &mut rng))
+                .collect(),
+        );
+        let (reply, bad_rx) = mpsc::channel();
+        server
+            .tx
+            .send(Msg::Job(Box::new(CircuitJob {
+                netlist: xor_chain(1),
+                inputs: vec![
+                    client.encrypt_with(true, &mut rng),
+                    LweCiphertext::trivial(matcha_math::Torus32::ZERO, 3),
+                ],
+                reply,
+            })))
+            .expect("server live");
+        assert!(matches!(
+            bad_rx.recv().expect("bad job answered"),
+            CircuitOutcome::Faulted(_)
+        ));
+        let run = healthy
+            .wait()
+            .completed()
+            .expect("healthy neighbor completes");
+        assert_eq!(
+            client.decrypt(&run.outputs[0]),
+            bits.iter().fold(false, |a, &b| a ^ b)
+        );
         server.shutdown();
     }
 
@@ -383,6 +777,23 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "LWE dimension")]
+    fn submit_rejects_wrong_input_dimension() {
+        let (client, key, mut rng) = setup(149);
+        let server = CircuitServer::start(Arc::clone(&key), 1);
+        // Right count, wrong dimension: rejected at the API boundary,
+        // before the circuit ever reaches a worker.
+        let _ = server.client().submit(
+            xor_chain(1),
+            vec![
+                client.encrypt_with(true, &mut rng),
+                LweCiphertext::trivial(matcha_math::Torus32::ZERO, 3),
+            ],
+        );
+        server.shutdown();
+    }
+
+    #[test]
     fn dropping_server_joins_scheduler_and_pool() {
         let (client, key, mut rng) = setup(144);
         {
@@ -397,6 +808,7 @@ mod tests {
                     ],
                 )
                 .wait()
+                .completed()
                 .expect("server live");
             assert!(!client.decrypt(&run.outputs[0]));
         } // drop == graceful shutdown
@@ -405,5 +817,21 @@ mod tests {
             1,
             "scheduler and pool workers must all have exited"
         );
+    }
+
+    #[test]
+    fn empty_netlist_completes_immediately() {
+        let (_, key, _) = setup(150);
+        let server = CircuitServer::start(Arc::clone(&key), 1);
+        let net = CircuitNetlist::new();
+        let run = server
+            .client()
+            .submit(net, Vec::new())
+            .wait()
+            .completed()
+            .expect("empty circuit completes");
+        assert!(run.outputs.is_empty());
+        assert_eq!(run.scheduled_ops, 0);
+        server.shutdown();
     }
 }

@@ -174,28 +174,29 @@ fn warmed_bootstrap_allocates_nothing_approx_m2() {
 
 #[test]
 fn warmed_heterogeneous_tasks_allocate_nothing() {
-    // The pool's worker inner loop is `GateTask::apply_into`: a warmed
-    // scratch must make every task kind — binary gate, free NOT, and the
-    // two-bootstrap MUX — allocation-free, so the heterogeneous circuit
-    // waves keep the zero-alloc property of the homogeneous batch path.
-    use matcha_tfhe::GateTask;
+    // The pool's worker inner loop is the by-index `GateTask::apply_into`:
+    // a warmed scratch must make every task kind — binary gate, free NOT,
+    // and the two-bootstrap MUX — allocation-free, operands *borrowed*
+    // from the shared value slab rather than cloned into the task, so the
+    // heterogeneous interleaved circuit waves keep the zero-alloc
+    // property of the homogeneous batch path.
+    use matcha_tfhe::{GateTask, ValueSlab};
     let mut rng = StdRng::seed_from_u64(79);
     let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
     let server = ServerKey::with_unrolling(&client, F64Fft::new(256), 2, &mut rng);
-    let t = client.encrypt_with(true, &mut rng);
-    let f = client.encrypt_with(false, &mut rng);
+    // Slot 0 holds `true`, slot 1 holds `false`; the tasks reference the
+    // operands purely by index.
+    let slab = ValueSlab::new(2);
+    slab.set(0, client.encrypt_with(true, &mut rng));
+    slab.set(1, client.encrypt_with(false, &mut rng));
     let tasks = [
         GateTask::Binary {
             gate: Gate::Nand,
-            a: t.clone(),
-            b: f.clone(),
+            a: 0,
+            b: 1,
         },
-        GateTask::Not { a: t.clone() },
-        GateTask::Mux {
-            sel: t.clone(),
-            a: f.clone(),
-            b: t.clone(),
-        },
+        GateTask::Not { a: 0 },
+        GateTask::Mux { sel: 0, a: 1, b: 0 },
     ];
     let mut out = matcha_tfhe::LweCiphertext::trivial(Torus32::ZERO, 1);
     let mut scratch = server.make_scratch();
@@ -204,23 +205,23 @@ fn warmed_heterogeneous_tasks_allocate_nothing() {
     // warms the second extraction buffer the binary path never touches).
     for _ in 0..2 {
         for task in &tasks {
-            task.apply_into(&server, &mut out, &mut scratch);
+            task.apply_into(&server, &slab, &mut out, &mut scratch);
         }
     }
 
     let before = allocations();
     for task in &tasks {
-        task.apply_into(&server, &mut out, &mut scratch);
+        task.apply_into(&server, &slab, &mut out, &mut scratch);
     }
     let delta = allocations() - before;
     assert_eq!(
         delta, 0,
-        "warmed heterogeneous task batch allocated {delta} times"
+        "warmed by-index task batch allocated {delta} times"
     );
     // And the results are still right.
     let expected = [true, false, false];
     for (task, want) in tasks.iter().zip(expected) {
-        task.apply_into(&server, &mut out, &mut scratch);
+        task.apply_into(&server, &slab, &mut out, &mut scratch);
         assert_eq!(client.decrypt(&out), want);
     }
 }

@@ -1,9 +1,9 @@
 //! Serving encrypted circuits: multiple clients submit whole gate
-//! netlists to a [`CircuitServer`], which wave-schedules them onto the
-//! persistent bootstrapping pool — the software analogue of MATCHA's
-//! scheduler keeping eight resident pipelines busy (Figure 10), with the
-//! analytical `accel::schedule` model cross-checked against measured
-//! wall-clock.
+//! netlists to a [`CircuitServer`], which keeps every submitted circuit
+//! in flight at once and fills each pool dispatch with ready gates from
+//! all of them — the software analogue of MATCHA's scheduler keeping
+//! eight resident pipelines busy (Figure 10), with the analytical
+//! `accel::schedule` model cross-checked against measured wall-clock.
 //!
 //! Run with: `cargo run --release --example circuit_server [-- --fast]`
 //! (`--fast` uses the small test parameters instead of the paper's.)
@@ -60,7 +60,7 @@ fn main() {
 
     let t0 = Instant::now();
     for (x, y, pending) in sums {
-        let run = pending.wait().expect("server is live");
+        let run = pending.wait().completed().expect("server is live");
         let sum = word::decrypt(&client, &run.outputs[..8]);
         println!(
             "  adder: {x:3} + {y:3} = {sum:3}  [{} bootstraps, {} waves, {:.1?}]",
@@ -71,7 +71,7 @@ fn main() {
         assert_eq!(sum, (x + y) & 0xFF);
     }
     for (idx, pending) in selects {
-        let run = pending.wait().expect("server is live");
+        let run = pending.wait().completed().expect("server is live");
         let picked = word::decrypt(&client, &run.outputs);
         println!(
             "  mux tree: word[{idx}] = {picked}  [{} bootstraps, {} waves, {:.1?}]",
@@ -92,6 +92,7 @@ fn main() {
             .client()
             .submit(adder.clone(), inputs)
             .wait()
+            .completed()
             .expect("server is live")
     };
     // The model's gate latency comes from this measurement, so the honest
@@ -109,6 +110,18 @@ fn main() {
         at8.critical_path,
         at8.makespan_s * 1e3,
         at8.utilization * 100.0,
+    );
+    let stats = server.stats();
+    println!(
+        "scheduler: {} circuits completed over {} interleaved dispatches, \
+         up to {} in flight at once, {} tasks over {} offered wave-slots \
+         ({:.0}% structural utilization)",
+        stats.completed,
+        stats.dispatches,
+        stats.max_in_flight,
+        stats.tasks,
+        stats.slots,
+        stats.utilization() * 100.0,
     );
     println!("all circuits served and verified in {wall:.1?}");
     server.shutdown();
