@@ -20,7 +20,12 @@
 //! PR 4 one-circuit-at-a-time server loop, `scratch_ns` = all circuits
 //! submitted up front and interleaved into shared super-waves; the
 //! printed structural utilizations — busy task-slots over offered
-//! wave-slots — carry the clock-independent comparison).
+//! wave-slots — carry the clock-independent comparison), and, since PR 6,
+//! admission-control fairness (`adversarial_mix/*` rows: `alloc_ns` = mean
+//! light-client completion latency with quotas off while a heavy client
+//! floods the pool, `scratch_ns` = the same under `per_client_quota = 1`,
+//! with the heavy client's over-quota circuits rejected as
+//! `QuotaExceeded`).
 //!
 //! Run with:
 //! `cargo run --release -p matcha-bench --bin bench_pbs`
@@ -577,6 +582,121 @@ fn bench_circuit_interleaved(rows: &mut Vec<Row>) {
     server.shutdown();
 }
 
+/// Admission-control fairness under an adversarial mix: one heavy client
+/// floods the 2-worker pool with 8-bit adders while four light clients
+/// each want a single gate. `alloc_ns` carries the mean light-client
+/// completion latency with quotas off (the heavy circuits monopolize the
+/// super-waves, so every light gate queues behind dozens of adder tasks),
+/// `scratch_ns` the same with `per_client_quota = 1` (the heavy client
+/// keeps one circuit in flight and the surplus is rejected with a
+/// structured `QuotaExceeded`, so the light gates land in small waves).
+/// The heavy completed/rejected counts are printed so the trade is
+/// explicit: the latency win is bought by refusing over-quota work.
+fn bench_adversarial_mix(rows: &mut Vec<Row>) {
+    use matcha::circuits::{netlist, word};
+    use matcha::tfhe::{CircuitNetlist, CircuitServer, RejectReason, ServerConfig};
+    use matcha::LweCiphertext;
+    use std::sync::Arc;
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(71);
+    let client = ClientKey::generate(ParameterSet::MATCHA, &mut rng);
+    let server_key = Arc::new(ServerKey::with_unrolling(
+        &client,
+        F64Fft::new(1024),
+        2,
+        &mut rng,
+    ));
+    let threads = 2;
+    const HEAVY: usize = 4;
+    const LIGHT: usize = 4;
+
+    let light_net = || {
+        let mut net = CircuitNetlist::new();
+        let (a, b) = (net.input(), net.input());
+        let g = net.gate(Gate::Xor, a, b);
+        net.mark_output(g);
+        net
+    };
+
+    // One leg: start a fresh server under `config`, flood it from the
+    // heavy client, then submit the light gates and measure their mean
+    // completion latency (clock started at the first light submit; each
+    // ticket's latency is read when its `wait` returns, in submit order).
+    let run_leg = |config: ServerConfig, rng: &mut rand::rngs::StdRng| -> (f64, u64, u64) {
+        let server = CircuitServer::start_with(Arc::clone(&server_key), threads, config);
+        let heavy = server.client();
+        // Warm the worker scratches so neither leg pays first-touch costs.
+        {
+            let a = word::encrypt(&client, 1, 8, rng);
+            let b = word::encrypt(&client, 2, 8, rng);
+            let inputs: Vec<LweCiphertext> = a.into_iter().chain(b).collect();
+            let warm = heavy.submit(netlist::ripple_adder(8), inputs).wait();
+            assert!(warm.is_completed());
+        }
+        let heavy_tickets: Vec<_> = (0..HEAVY)
+            .map(|i| {
+                let a = word::encrypt(&client, 100 + i as u64, 8, rng);
+                let b = word::encrypt(&client, 31 * i as u64, 8, rng);
+                heavy.submit(netlist::ripple_adder(8), a.into_iter().chain(b).collect())
+            })
+            .collect();
+        let light_started = Instant::now();
+        let light_tickets: Vec<_> = (0..LIGHT)
+            .map(|_| {
+                let inputs = vec![
+                    client.encrypt_with(true, rng),
+                    client.encrypt_with(false, rng),
+                ];
+                server.client().submit(light_net(), inputs)
+            })
+            .collect();
+        let mut light_total_ns = 0.0;
+        for ticket in light_tickets {
+            let outcome = ticket.wait();
+            assert!(
+                outcome.is_completed(),
+                "light gates are within quota and must complete: {outcome:?}"
+            );
+            light_total_ns += light_started.elapsed().as_secs_f64() * 1e9;
+        }
+        let (mut done, mut rejected) = (0u64, 0u64);
+        for ticket in heavy_tickets {
+            let outcome = ticket.wait();
+            if outcome.is_completed() {
+                done += 1;
+            } else {
+                assert_eq!(outcome.reject_reason(), Some(RejectReason::QuotaExceeded));
+                rejected += 1;
+            }
+        }
+        server.shutdown();
+        (light_total_ns / LIGHT as f64, done, rejected)
+    };
+
+    let (off_ns, off_done, off_rej) = run_leg(ServerConfig::default(), &mut rng);
+    let (on_ns, on_done, on_rej) = run_leg(
+        ServerConfig {
+            per_client_quota: 1,
+            ..ServerConfig::default()
+        },
+        &mut rng,
+    );
+    println!(
+        "adversarial mix (1 heavy × {HEAVY} adder8 + {LIGHT} light 1-gate clients, \
+         {threads} workers): light latency {:.0} ms quota-off ({off_done} heavy done, \
+         {off_rej} rejected) vs {:.0} ms quota-on ({on_done} heavy done, {on_rej} \
+         rejected with QuotaExceeded) — the fairness win is paid for by refusing \
+         the heavy client's over-quota circuits",
+        off_ns / 1e6,
+        on_ns / 1e6,
+    );
+    rows.push(Row {
+        id: "adversarial_mix/heavy1x4_light4_quota_off_vs_on".into(),
+        alloc_ns: off_ns,
+        scratch_ns: on_ns,
+    });
+}
+
 fn bench_gate<E: FftEngine>(name: &str, engine: E, unroll: usize) -> Row {
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);
     let client = ClientKey::generate(ParameterSet::MATCHA, &mut rng);
@@ -639,6 +759,7 @@ fn main() {
     ];
     bench_circuit_sched(&mut rows);
     bench_circuit_interleaved(&mut rows);
+    bench_adversarial_mix(&mut rows);
 
     println!(
         "{:<32} {:>12} {:>12} {:>9}",

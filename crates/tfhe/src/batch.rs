@@ -20,16 +20,18 @@
 //! tasks over several circuits' slabs — which is how the circuit server
 //! interleaves every in-flight circuit's ready wave into one batch.
 
+use crate::faults::{FaultAction, FaultPlan};
 use crate::gates::{Gate, ServerKey};
 use crate::lwe::LweCiphertext;
 use crate::scratch::BootstrapScratch;
 use matcha_fft::FftEngine;
 use matcha_math::Torus32;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A write-once slab of ciphertext values shared between a dispatcher and
 /// the pool workers — one slot per circuit node. Operands are passed **by
@@ -40,14 +42,32 @@ use std::time::Instant;
 /// dependency order guarantees it is present.
 pub struct ValueSlab {
     slots: Box<[OnceLock<LweCiphertext>]>,
+    /// Circuit identity for fault scripting: the
+    /// [`CircuitServer`](crate::server::CircuitServer) tags each admitted
+    /// circuit's slab with its admission sequence number, so a
+    /// [`FaultPlan`] can address "node `n` of the `k`-th admitted
+    /// circuit" deterministically. Standalone slabs are tag 0.
+    tag: u64,
 }
 
 impl ValueSlab {
-    /// A slab of `len` empty slots.
+    /// A slab of `len` empty slots, tagged 0.
     pub fn new(len: usize) -> Self {
+        Self::tagged(len, 0)
+    }
+
+    /// A slab of `len` empty slots carrying a circuit `tag` — the key
+    /// [`FaultPlan`] sites match on.
+    pub fn tagged(len: usize, tag: u64) -> Self {
         Self {
             slots: (0..len).map(|_| OnceLock::new()).collect(),
+            tag,
         }
+    }
+
+    /// The circuit tag fault sites are keyed by.
+    pub fn tag(&self) -> u64 {
+        self.tag
     }
 
     /// Number of slots.
@@ -359,9 +379,88 @@ where
     E: FftEngine + Send + Sync + 'static,
 {
     tx: Option<mpsc::Sender<Job>>,
-    workers: Vec<JoinHandle<()>>,
+    /// The pool keeps its own handle on the job queue's receiving end so
+    /// (a) sending never fails even if every worker died, and (b) healed
+    /// workers can be attached to the same queue.
+    rx: Arc<Mutex<mpsc::Receiver<Job>>>,
+    /// Interior mutability so [`GateBatchPool::heal`] can respawn dead
+    /// workers from `&self` (dispatchers hold the pool by shared ref).
+    workers: Mutex<Vec<JoinHandle<()>>>,
     threads: usize,
     server: Arc<ServerKey<E>>,
+    faults: Option<Arc<FaultPlan>>,
+    restarts: AtomicU64,
+}
+
+/// One persistent worker: pulls jobs off the shared queue, evaluates them
+/// into its warmed scratch, stores results in the job's slab and replies.
+/// Extracted as a free function so [`GateBatchPool::heal`] can respawn a
+/// replacement attached to the same queue.
+fn spawn_worker<E>(
+    server: Arc<ServerKey<E>>,
+    rx: Arc<Mutex<mpsc::Receiver<Job>>>,
+    faults: Option<Arc<FaultPlan>>,
+) -> JoinHandle<()>
+where
+    E: FftEngine + Send + Sync + 'static,
+{
+    std::thread::spawn(move || {
+        let mut scratch = server.make_scratch();
+        let mut out = LweCiphertext::trivial(Torus32::ZERO, server.params().lwe_dimension);
+        loop {
+            // Hold the lock only to pull the next job. A
+            // poisoned lock is recovered rather than cascaded:
+            // the queue itself is never left in a torn state by
+            // a panicking worker (jobs are popped whole).
+            let job = { rx.lock().unwrap_or_else(PoisonError::into_inner).recv() };
+            let Ok(job) = job else { break };
+            let Job {
+                slab,
+                node,
+                task,
+                index,
+                reply,
+            } = job;
+            // Scripted fault sites, consumed one-shot per (tag, node).
+            let injected = faults.as_ref().and_then(|plan| plan.take(slab.tag(), node));
+            match injected {
+                // Death *outside* the per-task catch_unwind: the thread
+                // exits holding the job, so its reply sender is dropped
+                // unanswered — exactly what a stack overflow or foreign
+                // abort looks like from the dispatcher's side. run_tasks
+                // detects the lost reply, heals the pool and retries.
+                Some(FaultAction::KillWorker) => return,
+                Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+                Some(FaultAction::Panic) | None => {}
+            }
+            // Panic isolation: a malformed job (e.g. a
+            // mismatched-dimension operand) must not kill the
+            // worker or poison anything — the error is shipped
+            // back and reported on the dispatcher's thread,
+            // and this worker keeps serving. The scratch stays
+            // structurally valid across an unwind — every
+            // apply re-sizes its buffers — hence the
+            // AssertUnwindSafe; the one cost is that buffers
+            // mem::take'n by the panicking apply are left
+            // empty, so this worker's next task re-warms them
+            // (a few allocations, correctness unaffected).
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                if matches!(injected, Some(FaultAction::Panic)) {
+                    panic!("injected fault: task for node {node} panicked in its worker");
+                }
+                task.apply_into(&server, &slab, &mut out, &mut scratch);
+                slab.set(node, out.clone());
+            }))
+            .map_err(panic_message);
+            // Drop our slab handle *before* replying: once the
+            // dispatcher has received every reply of a batch,
+            // its own Arc over each slab is unique again.
+            drop(slab);
+            // The receiver may have given up (run() panicked);
+            // dropping the result is then the right behavior.
+            let _ = reply.send((index, result));
+        }
+    })
 }
 
 impl<E> GateBatchPool<E>
@@ -374,69 +473,78 @@ where
     ///
     /// Panics if `threads` is 0.
     pub fn new(server: Arc<ServerKey<E>>, threads: usize) -> Self {
+        Self::build(server, threads, None)
+    }
+
+    /// Like [`GateBatchPool::new`], but with a scripted [`FaultPlan`]
+    /// wired into every worker — the deterministic fault-injection
+    /// harness the robustness tests drive. Production pools use
+    /// [`GateBatchPool::new`]; a faultless plan behaves identically
+    /// either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0.
+    pub fn with_faults(server: Arc<ServerKey<E>>, threads: usize, faults: Arc<FaultPlan>) -> Self {
+        Self::build(server, threads, Some(faults))
+    }
+
+    fn build(server: Arc<ServerKey<E>>, threads: usize, faults: Option<Arc<FaultPlan>>) -> Self {
         assert!(threads > 0, "need at least one worker");
         let (tx, rx) = mpsc::channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..threads)
-            .map(|_| {
-                let rx = Arc::clone(&rx);
-                let server = Arc::clone(&server);
-                std::thread::spawn(move || {
-                    let mut scratch = server.make_scratch();
-                    let mut out =
-                        LweCiphertext::trivial(Torus32::ZERO, server.params().lwe_dimension);
-                    loop {
-                        // Hold the lock only to pull the next job. A
-                        // poisoned lock is recovered rather than cascaded:
-                        // the queue itself is never left in a torn state by
-                        // a panicking worker (jobs are popped whole).
-                        let job = { rx.lock().unwrap_or_else(PoisonError::into_inner).recv() };
-                        let Ok(job) = job else { break };
-                        // Panic isolation: a malformed job (e.g. a
-                        // mismatched-dimension operand) must not kill the
-                        // worker or poison anything — the error is shipped
-                        // back and reported on the dispatcher's thread,
-                        // and this worker keeps serving. The scratch stays
-                        // structurally valid across an unwind — every
-                        // apply re-sizes its buffers — hence the
-                        // AssertUnwindSafe; the one cost is that buffers
-                        // mem::take'n by the panicking apply are left
-                        // empty, so this worker's next task re-warms them
-                        // (a few allocations, correctness unaffected).
-                        let Job {
-                            slab,
-                            node,
-                            task,
-                            index,
-                            reply,
-                        } = job;
-                        let result = catch_unwind(AssertUnwindSafe(|| {
-                            task.apply_into(&server, &slab, &mut out, &mut scratch);
-                            slab.set(node, out.clone());
-                        }))
-                        .map_err(panic_message);
-                        // Drop our slab handle *before* replying: once the
-                        // dispatcher has received every reply of a batch,
-                        // its own Arc over each slab is unique again.
-                        drop(slab);
-                        // The receiver may have given up (run() panicked);
-                        // dropping the result is then the right behavior.
-                        let _ = reply.send((index, result));
-                    }
-                })
-            })
+            .map(|_| spawn_worker(Arc::clone(&server), Arc::clone(&rx), faults.clone()))
             .collect();
         Self {
             tx: Some(tx),
-            workers,
+            rx,
+            workers: Mutex::new(workers),
             threads,
             server,
+            faults,
+            restarts: AtomicU64::new(0),
         }
     }
 
     /// Worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Workers respawned after dying outside the per-task panic isolation
+    /// (see [`GateBatchPool::heal`]). 0 in healthy operation.
+    pub fn restarts(&self) -> u64 {
+        self.restarts.load(Ordering::Relaxed)
+    }
+
+    /// Self-healing: joins every worker thread that has exited (death
+    /// outside the per-task `catch_unwind` — in production a stack
+    /// overflow or foreign abort, in tests [`FaultAction::KillWorker`])
+    /// and respawns a replacement with a fresh scratch on the same job
+    /// queue, so the pool never silently loses capacity. Returns how many
+    /// workers were respawned; each bumps [`GateBatchPool::restarts`].
+    /// Called automatically by [`GateBatchPool::run_tasks`] when a reply
+    /// goes missing; cheap (a `JoinHandle::is_finished` scan) otherwise.
+    pub fn heal(&self) -> usize {
+        let mut workers = self.workers.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut respawned = 0;
+        for slot in workers.iter_mut() {
+            if slot.is_finished() {
+                let dead = std::mem::replace(
+                    slot,
+                    spawn_worker(
+                        Arc::clone(&self.server),
+                        Arc::clone(&self.rx),
+                        self.faults.clone(),
+                    ),
+                );
+                let _ = dead.join();
+                self.restarts.fetch_add(1, Ordering::Relaxed);
+                respawned += 1;
+            }
+        }
+        respawned
     }
 
     /// The shared server key the workers evaluate under.
@@ -515,6 +623,12 @@ where
     /// workers survive, nothing is poisoned, the rest of the batch still
     /// completes, and the dispatcher decides which circuit the failure
     /// faults.
+    ///
+    /// A worker that *dies* mid-batch (exit outside the per-task panic
+    /// isolation) is detected by its lost reply, respawned via
+    /// [`GateBatchPool::heal`], and the lost task retried once on the
+    /// healed pool; only a task lost twice is reported as a failure. The
+    /// batch therefore still completes after any single worker death.
     pub fn run_tasks(&self, tasks: &[SlabTask]) -> DispatchResult {
         let t0 = Instant::now();
         if tasks.is_empty() {
@@ -524,26 +638,23 @@ where
                 threads: 0,
             };
         }
-        let (reply_tx, reply_rx) = mpsc::channel();
-        let tx = self.tx.as_ref().expect("pool is live");
-        for (index, st) in tasks.iter().enumerate() {
-            tx.send(Job {
-                slab: Arc::clone(&st.slab),
-                node: st.node,
-                task: st.task,
-                index,
-                reply: reply_tx.clone(),
-            })
-            .expect("workers alive");
-        }
-        drop(reply_tx);
-        // Drain the whole batch before returning, so the pool is quiescent
-        // (no stray in-flight jobs) and every slab's worker handles are
-        // dropped when the caller resumes.
+        let mut done = vec![false; tasks.len()];
         let mut failures: Vec<(usize, String)> = Vec::new();
-        for (index, result) in reply_rx {
-            if let Err(msg) = result {
-                failures.push((index, msg));
+        self.dispatch_round(tasks, 0..tasks.len(), &mut done, &mut failures);
+        // An index with no reply lost its job inside a dying worker (the
+        // job — and its reply sender — were dropped unanswered). Heal the
+        // pool and retry those tasks once: a scripted KillWorker was
+        // consumed when it fired, so the retry runs clean, and a genuine
+        // repeat offender is reported instead of retried forever.
+        let missing: Vec<usize> = (0..tasks.len()).filter(|&i| !done[i]).collect();
+        if !missing.is_empty() {
+            self.heal();
+            self.dispatch_round(tasks, missing.into_iter(), &mut done, &mut failures);
+            for index in (0..tasks.len()).filter(|&i| !done[i]) {
+                failures.push((
+                    index,
+                    "worker died while executing this task (twice; giving up)".to_string(),
+                ));
             }
         }
         failures.sort_unstable_by_key(|&(index, _)| index);
@@ -551,6 +662,52 @@ where
             failures,
             elapsed_s: t0.elapsed().as_secs_f64(),
             threads: self.threads,
+        }
+    }
+
+    /// Sends the tasks at `indices` and drains their replies until every
+    /// job of this round is accounted for: answered, or dropped by a dying
+    /// worker (each job holds a reply sender, so the reply channel
+    /// disconnects exactly when no job of the round is queued or running
+    /// any more). The timeout arm covers the one case disconnection cannot:
+    /// every worker dead with jobs still sitting in the queue — those
+    /// queued jobs keep the reply channel open forever, so a quiet stretch
+    /// triggers a heal, which is a cheap `is_finished` scan when nothing
+    /// died and restarts the drain when something did.
+    fn dispatch_round(
+        &self,
+        tasks: &[SlabTask],
+        indices: impl Iterator<Item = usize>,
+        done: &mut [bool],
+        failures: &mut Vec<(usize, String)>,
+    ) {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let tx = self.tx.as_ref().expect("pool is live");
+        for index in indices {
+            let st = &tasks[index];
+            tx.send(Job {
+                slab: Arc::clone(&st.slab),
+                node: st.node,
+                task: st.task,
+                index,
+                reply: reply_tx.clone(),
+            })
+            .expect("pool holds the queue receiver, sends cannot fail");
+        }
+        drop(reply_tx);
+        loop {
+            match reply_rx.recv_timeout(Duration::from_millis(25)) {
+                Ok((index, result)) => {
+                    done[index] = true;
+                    if let Err(msg) = result {
+                        failures.push((index, msg));
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    self.heal();
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
         }
     }
 }
@@ -562,7 +719,8 @@ where
     fn drop(&mut self) {
         // Closing the channel ends every worker's recv loop.
         drop(self.tx.take());
-        for w in self.workers.drain(..) {
+        let mut workers = self.workers.lock().unwrap_or_else(PoisonError::into_inner);
+        for w in workers.drain(..) {
             let _ = w.join();
         }
     }
@@ -924,6 +1082,128 @@ mod tests {
         // Bootstrapping is deterministic given the keys: exact equality.
         for (i, out) in via_run.outputs.iter().enumerate() {
             assert_eq!(out, slab.get(2 * n + i), "task {i}");
+        }
+    }
+
+    /// Stages `pairs` as a manual `Gate::And` batch on a tag-0 slab and
+    /// returns `(slab, tasks)`; output for pair `i` lands at node
+    /// `2 * len + i` — the node fault sites target.
+    fn staged_and_batch(enc: &EncryptedPairs) -> (Arc<ValueSlab>, Vec<SlabTask>) {
+        let n = enc.len();
+        let slab = Arc::new(ValueSlab::new(3 * n));
+        for (i, (a, b)) in enc.iter().enumerate() {
+            slab.set(i, a.clone());
+            slab.set(n + i, b.clone());
+        }
+        let batch = (0..n)
+            .map(|i| SlabTask {
+                slab: Arc::clone(&slab),
+                node: 2 * n + i,
+                task: GateTask::Binary {
+                    gate: Gate::And,
+                    a: i,
+                    b: n + i,
+                },
+            })
+            .collect();
+        (slab, batch)
+    }
+
+    #[test]
+    fn worker_death_heals_and_batch_completes() {
+        // A scripted worker death mid-batch: the pool must notice the
+        // lost reply, respawn the worker, retry the lost task, and still
+        // deliver the whole batch — the tentpole self-healing guarantee.
+        let mut rng = StdRng::seed_from_u64(95);
+        let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+        let server = Arc::new(ServerKey::new(&client, F64Fft::new(256), &mut rng));
+        let (plain, enc) = inputs(&client, &mut rng, 4);
+        let (slab, batch) = staged_and_batch(&enc);
+        let plan = Arc::new(FaultPlan::new().inject(0, 2 * enc.len() + 1, FaultAction::KillWorker));
+        let pool = GateBatchPool::with_faults(Arc::clone(&server), 2, Arc::clone(&plan));
+        let result = pool.run_tasks(&batch);
+        assert!(result.failures.is_empty(), "{:?}", result.failures);
+        assert_eq!(pool.restarts(), 1, "exactly the killed worker respawned");
+        assert!(plan.is_spent(), "the death fired");
+        for (i, (a, b)) in plain.iter().enumerate() {
+            assert_eq!(client.decrypt(slab.get(2 * enc.len() + i)), a & b);
+        }
+        // The healed pool keeps serving.
+        let again = pool.run(Gate::Or, &enc);
+        for ((a, b), out) in plain.iter().zip(again.outputs.iter()) {
+            assert_eq!(client.decrypt(out), a | b);
+        }
+        drop(pool);
+        assert_eq!(Arc::strong_count(&server), 1, "healed workers join too");
+    }
+
+    #[test]
+    fn sole_worker_death_with_queued_jobs_still_completes() {
+        // The nastiest liveness case: one worker, killed while the rest
+        // of the batch is still *queued*. Those queued jobs hold reply
+        // senders, so the reply channel never disconnects on its own —
+        // the timeout arm of the drain must heal the pool to get the
+        // queue moving again.
+        let mut rng = StdRng::seed_from_u64(96);
+        let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+        let server = Arc::new(ServerKey::new(&client, F64Fft::new(256), &mut rng));
+        let (plain, enc) = inputs(&client, &mut rng, 3);
+        let (slab, batch) = staged_and_batch(&enc);
+        // Kill on the *first* task so jobs 1 and 2 are still queued.
+        let plan = Arc::new(FaultPlan::new().inject(0, 2 * enc.len(), FaultAction::KillWorker));
+        let pool = GateBatchPool::with_faults(Arc::clone(&server), 1, plan);
+        let result = pool.run_tasks(&batch);
+        assert!(result.failures.is_empty(), "{:?}", result.failures);
+        assert_eq!(pool.restarts(), 1);
+        for (i, (a, b)) in plain.iter().enumerate() {
+            assert_eq!(client.decrypt(slab.get(2 * enc.len() + i)), a & b);
+        }
+    }
+
+    #[test]
+    fn injected_panic_fails_only_its_task() {
+        let mut rng = StdRng::seed_from_u64(97);
+        let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+        let server = Arc::new(ServerKey::new(&client, F64Fft::new(256), &mut rng));
+        let (plain, enc) = inputs(&client, &mut rng, 3);
+        let (slab, batch) = staged_and_batch(&enc);
+        let plan = Arc::new(FaultPlan::new().inject(0, 2 * enc.len() + 2, FaultAction::Panic));
+        let pool = GateBatchPool::with_faults(Arc::clone(&server), 2, plan);
+        let result = pool.run_tasks(&batch);
+        assert_eq!(result.failures.len(), 1);
+        assert_eq!(result.failures[0].0, 2);
+        assert!(
+            result.failures[0].1.contains("injected fault"),
+            "{}",
+            result.failures[0].1
+        );
+        assert_eq!(pool.restarts(), 0, "a caught panic is not a death");
+        for (i, (a, b)) in plain.iter().enumerate().take(2) {
+            assert_eq!(client.decrypt(slab.get(2 * enc.len() + i)), a & b);
+        }
+        assert!(slab.try_get(2 * enc.len() + 2).is_none());
+    }
+
+    #[test]
+    fn injected_delay_completes_normally() {
+        let mut rng = StdRng::seed_from_u64(98);
+        let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+        let server = Arc::new(ServerKey::new(&client, F64Fft::new(256), &mut rng));
+        let (plain, enc) = inputs(&client, &mut rng, 2);
+        let (slab, batch) = staged_and_batch(&enc);
+        // Longer than the 25 ms drain timeout, to prove a slow task is
+        // not mistaken for a dead worker (heal is a no-op, no restart).
+        let plan = Arc::new(FaultPlan::new().inject(
+            0,
+            2 * enc.len(),
+            FaultAction::Delay(Duration::from_millis(80)),
+        ));
+        let pool = GateBatchPool::with_faults(Arc::clone(&server), 2, plan);
+        let result = pool.run_tasks(&batch);
+        assert!(result.failures.is_empty());
+        assert_eq!(pool.restarts(), 0, "slow is not dead");
+        for (i, (a, b)) in plain.iter().enumerate() {
+            assert_eq!(client.decrypt(slab.get(2 * enc.len() + i)), a & b);
         }
     }
 

@@ -455,6 +455,24 @@ impl CircuitFrontier {
         server: &ServerKey<E>,
         inputs: &[LweCiphertext],
     ) -> Self {
+        Self::with_tag(net, server, inputs, 0)
+    }
+
+    /// Like [`CircuitFrontier::new`], but tagging the run's slab with a
+    /// circuit identity (see [`ValueSlab::tagged`]) so scripted
+    /// [`FaultPlan`](crate::faults::FaultPlan) sites can address this
+    /// run's nodes deterministically. The server tags each admitted
+    /// circuit with its admission sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != net.num_inputs()`.
+    pub fn with_tag<E: FftEngine>(
+        net: Arc<CircuitNetlist>,
+        server: &ServerKey<E>,
+        inputs: &[LweCiphertext],
+        tag: u64,
+    ) -> Self {
         assert_eq!(
             inputs.len(),
             net.inputs,
@@ -474,7 +492,7 @@ impl CircuitFrontier {
             remaining += usize::from(op.bootstraps() > 0);
         }
         let mut frontier = Self {
-            slab: Arc::new(ValueSlab::new(n)),
+            slab: Arc::new(ValueSlab::tagged(n, tag)),
             net,
             pending,
             consumers,
@@ -578,6 +596,27 @@ impl CircuitFrontier {
     /// Bootstrapped ops currently ready to dispatch.
     pub fn ready_len(&self) -> usize {
         self.ready.len()
+    }
+
+    /// Bootstrapped ops not yet completed — the work an
+    /// [`CircuitFrontier::abandon`] call walks away from.
+    pub fn remaining_ops(&self) -> usize {
+        self.remaining
+    }
+
+    /// Tears the run down mid-flight (deadline expiry, cancellation,
+    /// shutdown), returning how many bootstrapped ops were never
+    /// dispatched or completed. Consuming `self` drops the ready set,
+    /// the dependency bookkeeping, and this side's slab handle; any
+    /// worker still evaluating a previously dispatched task holds its own
+    /// `Arc` on the slab, so in-flight writes stay safe and the slab's
+    /// memory is freed when the last such task replies. Safe to call at
+    /// any point **between** dispatches — i.e. when none of this
+    /// frontier's taken tasks are awaiting [`CircuitFrontier::complete`];
+    /// abandoning with a dispatch outstanding merely wastes that wave's
+    /// bootstraps, it cannot corrupt other circuits.
+    pub fn abandon(self) -> usize {
+        self.remaining
     }
 
     /// Finishes the run: collects the marked outputs.

@@ -49,6 +49,7 @@ pub mod circuit;
 pub mod cmux;
 pub mod codec;
 pub mod encode;
+pub mod faults;
 pub mod gates;
 pub mod keyswitch;
 pub mod lwe;
@@ -69,6 +70,7 @@ pub use bootstrap::BootstrapKit;
 pub use circuit::{CircuitFrontier, CircuitNetlist, CircuitRun, GateOp};
 pub use codec::Codec;
 pub use encode::BucketEncoding;
+pub use faults::{FaultAction, FaultPlan};
 pub use gates::{Gate, ServerKey};
 pub use keyswitch::KeySwitchKey;
 pub use lwe::LweCiphertext;
@@ -76,6 +78,9 @@ pub use params::ParameterSet;
 pub use pbs::Lut;
 pub use scratch::{BootstrapScratch, EpScratch};
 pub use secret::{ClientKey, LweSecretKey, RingSecretKey};
-pub use server::{CircuitClient, CircuitOutcome, CircuitServer, PendingCircuit, SchedulerStats};
+pub use server::{
+    CircuitClient, CircuitOutcome, CircuitServer, ClientTally, PendingCircuit, RejectReason,
+    SchedulerStats, ServerConfig,
+};
 pub use tgsw::{TgswCiphertext, TgswSpectrum};
 pub use tlwe::{TrlweCiphertext, TrlweSpectrum};

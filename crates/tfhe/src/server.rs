@@ -1,12 +1,13 @@
 //! A std-only circuit-serving front end over the persistent batch pool,
-//! with **cross-circuit wave interleaving**.
+//! with **cross-circuit wave interleaving** and production-grade
+//! admission control.
 //!
 //! The north-star serving story: many clients submit whole encrypted
 //! circuits, and one scheduler keeps every resident bootstrapping worker
 //! busy on the dependent gate workload — MATCHA's scheduler feeding its
 //! eight pipelines, in software. [`CircuitServer`] owns a scheduler
 //! thread; the scheduler owns a [`GateBatchPool`] and keeps **every
-//! submitted circuit in flight at once**: each pool dispatch is filled
+//! admitted circuit in flight at once**: each pool dispatch is filled
 //! with the ready frontier of *all* in-flight circuits (oldest admission
 //! first), so a deep, narrow circuit no longer leaves workers idle while
 //! other clients queue behind it — the utilization gap the paper's
@@ -15,12 +16,23 @@
 //! Any number of [`CircuitClient`] handles (cheaply cloneable, `Send`)
 //! can submit concurrently over the mpsc job queue; each submission
 //! yields a [`PendingCircuit`] ticket resolving to a [`CircuitOutcome`].
-//! Fairness and isolation guarantees:
+//! Fairness, isolation and robustness guarantees:
 //!
 //! * **FIFO-fair**: circuits are admitted in queue order and each
 //!   dispatch takes ready tasks oldest-circuit-first; every in-flight
 //!   circuit contributes its whole ready frontier to every dispatch, so
 //!   no circuit can starve another.
+//! * **Bounded admission**: a [`ServerConfig`] caps the in-flight set
+//!   ([`ServerConfig::queue_depth`]) and each client's share of it
+//!   ([`ServerConfig::per_client_quota`]); overflow resolves to a
+//!   structured [`CircuitOutcome::Rejected`] with a [`RejectReason`]
+//!   instead of unbounded queueing behind a heavy client.
+//! * **Deadlines and cancellation**: [`CircuitClient::submit_with_deadline`]
+//!   bounds a circuit's wall-clock; the scheduler checks deadlines and
+//!   [`PendingCircuit::cancel`] flags between dispatches, resolves the
+//!   circuit to [`CircuitOutcome::Expired`] / [`CircuitOutcome::Cancelled`]
+//!   and abandons its remaining frontier so dead work stops consuming
+//!   bootstrap slots.
 //! * **Per-client order**: a client's tickets resolve through their own
 //!   channels, so waiting on them in submission order always observes
 //!   that order, even though a short circuit may *finish* before a long
@@ -29,28 +41,92 @@
 //!   (e.g. a wrong-dimension operand smuggled past validation) faults
 //!   only the circuit that owns it — its ticket resolves to
 //!   [`CircuitOutcome::Faulted`] while every other in-flight circuit,
-//!   the scheduler, and the pool keep going.
+//!   the scheduler, and the pool keep going. A worker that *dies* is
+//!   respawned by the pool ([`GateBatchPool::heal`]) and surfaced in
+//!   [`SchedulerStats::restarts`].
+//!
+//! Every guarantee above is pinned by deterministic tests driving the
+//! [`faults`](crate::faults) module through
+//! [`CircuitServer::start_with_faults`]: each admitted circuit's slab is
+//! tagged with its admission sequence number (0, 1, 2, … in queue
+//! order), so a [`FaultPlan`](crate::faults::FaultPlan) can script a
+//! panic, delay, or worker death at an exact `(circuit, node)` point.
 //!
 //! Shutdown is graceful: circuits admitted before [`CircuitServer::shutdown`]
 //! still run to completion, later submissions resolve to
-//! [`CircuitOutcome::Rejected`].
+//! [`CircuitOutcome::Rejected`] with [`RejectReason::Shutdown`].
 
 use crate::batch::{panic_message, GateBatchPool, SlabTask};
 use crate::circuit::{CircuitFrontier, CircuitNetlist, CircuitRun};
+use crate::faults::FaultPlan;
 use crate::gates::ServerKey;
 use crate::lwe::LweCiphertext;
 use matcha_fft::FftEngine;
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, TryRecvError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Admission-control knobs for a [`CircuitServer`]. The default is the
+/// pre-robustness behavior: unbounded in-flight set, unbounded per-client
+/// share, no deadline.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Maximum circuits admitted (in flight) at once; an admission past
+    /// this resolves to [`RejectReason::QueueFull`].
+    pub queue_depth: usize,
+    /// Maximum in-flight circuits per client handle; an admission past
+    /// this resolves to [`RejectReason::QuotaExceeded`] while other
+    /// clients keep being admitted — one heavy client cannot monopolize
+    /// the pool.
+    pub per_client_quota: usize,
+    /// Deadline applied by [`CircuitClient::submit`] when the caller does
+    /// not pick one; `None` means submissions run unbounded.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            queue_depth: usize::MAX,
+            per_client_quota: usize::MAX,
+            default_deadline: None,
+        }
+    }
+}
+
+/// Why a circuit was turned away without running.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The in-flight set was at [`ServerConfig::queue_depth`].
+    QueueFull,
+    /// The submitting client was at [`ServerConfig::per_client_quota`].
+    QuotaExceeded,
+    /// The deadline had already passed when the circuit reached
+    /// admission — running it could only waste bootstraps.
+    DeadlineUnmeetable,
+    /// The submission failed validation (input count or LWE dimension)
+    /// at the client API boundary; it was never queued.
+    InvalidInput,
+    /// The server shut down before admitting the circuit.
+    Shutdown,
+}
 
 /// One queued circuit execution request.
 struct CircuitJob {
     netlist: CircuitNetlist,
     inputs: Vec<LweCiphertext>,
     reply: mpsc::Sender<CircuitOutcome>,
+    /// Submitting client handle's identity, for quotas and tallies.
+    client: u64,
+    /// Absolute wall-clock bound, if any.
+    deadline: Option<Instant>,
+    /// Set by [`PendingCircuit::cancel`]; checked at admission and
+    /// between dispatches.
+    cancel: Arc<AtomicBool>,
 }
 
 enum Msg {
@@ -58,7 +134,8 @@ enum Msg {
     Shutdown,
 }
 
-/// How one submitted circuit ended.
+/// How one submitted circuit ended. Every ticket resolves to exactly one
+/// of these.
 #[derive(Clone, Debug)]
 pub enum CircuitOutcome {
     /// The circuit ran to completion.
@@ -67,16 +144,23 @@ pub enum CircuitOutcome {
     /// payload, e.g. a dimension-mismatch assertion). The server and
     /// every other in-flight circuit keep running.
     Faulted(String),
-    /// The server shut down before admitting the circuit; it never ran.
-    Rejected,
+    /// The circuit was turned away without running — see the
+    /// [`RejectReason`] for which admission bound it hit.
+    Rejected(RejectReason),
+    /// The circuit's deadline passed before it finished; its remaining
+    /// work was abandoned mid-flight.
+    Expired,
+    /// [`PendingCircuit::cancel`] was observed before the circuit
+    /// finished; its remaining work was abandoned.
+    Cancelled,
 }
 
 impl CircuitOutcome {
-    /// The completed run, if any — `None` for `Faulted`/`Rejected`.
+    /// The completed run, if any — `None` for every other variant.
     pub fn completed(self) -> Option<CircuitRun> {
         match self {
             CircuitOutcome::Completed(run) => Some(run),
-            CircuitOutcome::Faulted(_) | CircuitOutcome::Rejected => None,
+            _ => None,
         }
     }
 
@@ -90,10 +174,39 @@ impl CircuitOutcome {
         matches!(self, CircuitOutcome::Faulted(_))
     }
 
-    /// `true` when the server shut down before running the circuit.
+    /// `true` when the circuit was turned away without running (any
+    /// [`RejectReason`]).
     pub fn is_rejected(&self) -> bool {
-        matches!(self, CircuitOutcome::Rejected)
+        matches!(self, CircuitOutcome::Rejected(_))
     }
+
+    /// The structured rejection reason, if the circuit was rejected.
+    pub fn reject_reason(&self) -> Option<RejectReason> {
+        match self {
+            CircuitOutcome::Rejected(reason) => Some(*reason),
+            _ => None,
+        }
+    }
+
+    /// `true` when the circuit's deadline passed mid-flight.
+    pub fn is_expired(&self) -> bool {
+        matches!(self, CircuitOutcome::Expired)
+    }
+
+    /// `true` when the circuit was cancelled before finishing.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, CircuitOutcome::Cancelled)
+    }
+}
+
+/// Per-client outcome tallies, reported in [`SchedulerStats::per_client`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClientTally {
+    /// Circuits of this client that resolved [`CircuitOutcome::Completed`].
+    pub completed: u64,
+    /// Circuits of this client that resolved [`CircuitOutcome::Rejected`]
+    /// (any reason, including client-side `InvalidInput`).
+    pub rejected: u64,
 }
 
 /// Live scheduler counters, shared with [`CircuitServer::stats`] readers.
@@ -105,6 +218,37 @@ struct StatsCells {
     max_in_flight: AtomicU64,
     completed: AtomicU64,
     faulted: AtomicU64,
+    rejected: AtomicU64,
+    expired: AtomicU64,
+    cancelled: AtomicU64,
+    restarts: AtomicU64,
+    per_client: Mutex<BTreeMap<u64, ClientTally>>,
+}
+
+impl StatsCells {
+    fn tally_completed(&self, client: u64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.per_client
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(client)
+            .or_default()
+            .completed += 1;
+    }
+
+    /// Counts a structured rejection against `client` and resolves the
+    /// ticket. Used by the scheduler at admission and by the client
+    /// handle for boundary (`InvalidInput`) rejections.
+    fn reject(&self, client: u64, reason: RejectReason, reply: &mpsc::Sender<CircuitOutcome>) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.per_client
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(client)
+            .or_default()
+            .rejected += 1;
+        let _ = reply.send(CircuitOutcome::Rejected(reason));
+    }
 }
 
 /// A snapshot of the scheduler's monotone counters.
@@ -115,7 +259,7 @@ struct StatsCells {
 /// wave-slots — is a *structural* measure of how full the pool's waves
 /// run, independent of clock noise: interleaving several circuits fills
 /// the narrow tail waves of each with the other circuits' work.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SchedulerStats {
     /// Non-empty pool dispatches (interleaved super-waves).
     pub dispatches: u64,
@@ -129,6 +273,17 @@ pub struct SchedulerStats {
     pub completed: u64,
     /// Circuits that resolved [`CircuitOutcome::Faulted`].
     pub faulted: u64,
+    /// Circuits that resolved [`CircuitOutcome::Rejected`] (any reason).
+    pub rejected: u64,
+    /// Circuits that resolved [`CircuitOutcome::Expired`].
+    pub expired: u64,
+    /// Circuits that resolved [`CircuitOutcome::Cancelled`].
+    pub cancelled: u64,
+    /// Pool workers respawned after dying outside the per-task panic
+    /// isolation (mirrors [`GateBatchPool::restarts`]).
+    pub restarts: u64,
+    /// Per-client completed/rejected tallies, ascending by client id.
+    pub per_client: Vec<(u64, ClientTally)>,
 }
 
 impl SchedulerStats {
@@ -144,15 +299,42 @@ impl SchedulerStats {
 
     /// Counter deltas since an `earlier` snapshot, for measuring one
     /// phase of traffic. `max_in_flight` is a high-water mark, not a
-    /// counter: the later snapshot's value is kept as-is.
+    /// counter: the later snapshot's value is kept as-is. Every field
+    /// saturates at zero, so feeding snapshots in the wrong order (or
+    /// racing a snapshot against a concurrent update) yields zeros, never
+    /// an underflow panic.
     pub fn since(&self, earlier: &SchedulerStats) -> SchedulerStats {
+        let per_client = self
+            .per_client
+            .iter()
+            .map(|&(id, tally)| {
+                let before = earlier
+                    .per_client
+                    .iter()
+                    .find(|&&(eid, _)| eid == id)
+                    .map(|&(_, t)| t)
+                    .unwrap_or_default();
+                (
+                    id,
+                    ClientTally {
+                        completed: tally.completed.saturating_sub(before.completed),
+                        rejected: tally.rejected.saturating_sub(before.rejected),
+                    },
+                )
+            })
+            .collect();
         SchedulerStats {
-            dispatches: self.dispatches - earlier.dispatches,
-            tasks: self.tasks - earlier.tasks,
-            slots: self.slots - earlier.slots,
+            dispatches: self.dispatches.saturating_sub(earlier.dispatches),
+            tasks: self.tasks.saturating_sub(earlier.tasks),
+            slots: self.slots.saturating_sub(earlier.slots),
             max_in_flight: self.max_in_flight,
-            completed: self.completed - earlier.completed,
-            faulted: self.faulted - earlier.faulted,
+            completed: self.completed.saturating_sub(earlier.completed),
+            faulted: self.faulted.saturating_sub(earlier.faulted),
+            rejected: self.rejected.saturating_sub(earlier.rejected),
+            expired: self.expired.saturating_sub(earlier.expired),
+            cancelled: self.cancelled.saturating_sub(earlier.cancelled),
+            restarts: self.restarts.saturating_sub(earlier.restarts),
+            per_client,
         }
     }
 }
@@ -193,22 +375,31 @@ pub struct CircuitServer {
     scheduler: Option<JoinHandle<()>>,
     stats: Arc<StatsCells>,
     lwe_dimension: usize,
+    default_deadline: Option<Duration>,
+    next_client: AtomicU64,
 }
 
 /// One circuit in flight on the scheduler.
 struct InFlight {
     frontier: CircuitFrontier,
     reply: mpsc::Sender<CircuitOutcome>,
+    client: u64,
+    deadline: Option<Instant>,
+    cancel: Arc<AtomicBool>,
 }
 
-/// Builds a frontier for a freshly admitted job. Admission-time panics
-/// (malformed netlists or inputs that slipped past submit-side
-/// validation) fault only this circuit, not the scheduler.
+/// Admission: applies the [`ServerConfig`] bounds, then builds a frontier
+/// for the job, tagging its slab with the admission sequence number
+/// (`next_tag`) fault plans key on. Admission-time panics (malformed
+/// netlists or inputs that slipped past submit-side validation) fault
+/// only this circuit, not the scheduler.
 fn admit<E>(
     in_flight: &mut Vec<InFlight>,
     job: CircuitJob,
     pool: &GateBatchPool<E>,
     stats: &StatsCells,
+    config: &ServerConfig,
+    next_tag: &mut u64,
 ) where
     E: FftEngine + Send + Sync + 'static,
 {
@@ -216,12 +407,40 @@ fn admit<E>(
         netlist,
         inputs,
         reply,
+        client,
+        deadline,
+        cancel,
     } = job;
+    // A cancel that raced ahead of admission: honor it without running.
+    if cancel.load(Ordering::Relaxed) {
+        stats.cancelled.fetch_add(1, Ordering::Relaxed);
+        let _ = reply.send(CircuitOutcome::Cancelled);
+        return;
+    }
+    if in_flight.len() >= config.queue_depth {
+        stats.reject(client, RejectReason::QueueFull, &reply);
+        return;
+    }
+    if in_flight.iter().filter(|fl| fl.client == client).count() >= config.per_client_quota {
+        stats.reject(client, RejectReason::QuotaExceeded, &reply);
+        return;
+    }
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        stats.reject(client, RejectReason::DeadlineUnmeetable, &reply);
+        return;
+    }
     match catch_unwind(AssertUnwindSafe(|| {
-        CircuitFrontier::new(Arc::new(netlist), pool.server(), &inputs)
+        CircuitFrontier::with_tag(Arc::new(netlist), pool.server(), &inputs, *next_tag)
     })) {
         Ok(frontier) => {
-            in_flight.push(InFlight { frontier, reply });
+            *next_tag += 1;
+            in_flight.push(InFlight {
+                frontier,
+                reply,
+                client,
+                deadline,
+                cancel,
+            });
             stats
                 .max_in_flight
                 .fetch_max(in_flight.len() as u64, Ordering::Relaxed);
@@ -233,22 +452,58 @@ fn admit<E>(
     }
 }
 
-/// The scheduler: admits circuits from the queue, fills every pool
-/// dispatch with the ready frontier of all in-flight circuits (oldest
-/// first), routes per-task failures to the owning circuit, and resolves
-/// tickets as circuits complete or fault.
+/// The between-dispatches reap: resolves every in-flight circuit whose
+/// cancel flag is set or whose deadline has passed, abandoning its
+/// remaining frontier so dead work stops consuming bootstrap slots.
+/// Order of the survivors is preserved (admission order).
+fn reap(in_flight: &mut Vec<InFlight>, stats: &StatsCells) {
+    let now = Instant::now();
+    let doomed =
+        |fl: &InFlight| fl.cancel.load(Ordering::Relaxed) || fl.deadline.is_some_and(|d| now >= d);
+    if !in_flight.iter().any(doomed) {
+        return;
+    }
+    let mut keep = Vec::with_capacity(in_flight.len());
+    for fl in in_flight.drain(..) {
+        if fl.cancel.load(Ordering::Relaxed) {
+            stats.cancelled.fetch_add(1, Ordering::Relaxed);
+            fl.frontier.abandon();
+            let _ = fl.reply.send(CircuitOutcome::Cancelled);
+        } else if fl.deadline.is_some_and(|d| now >= d) {
+            stats.expired.fetch_add(1, Ordering::Relaxed);
+            fl.frontier.abandon();
+            let _ = fl.reply.send(CircuitOutcome::Expired);
+        } else {
+            keep.push(fl);
+        }
+    }
+    *in_flight = keep;
+}
+
+/// The scheduler: admits circuits from the queue (applying the admission
+/// bounds), reaps expired/cancelled circuits between dispatches, fills
+/// every pool dispatch with the ready frontier of all in-flight circuits
+/// (oldest first), routes per-task failures to the owning circuit, and
+/// resolves tickets as circuits complete, fault, expire or are cancelled.
 fn scheduler_loop<E>(
     key: Arc<ServerKey<E>>,
     threads: usize,
     rx: mpsc::Receiver<Msg>,
     stats: Arc<StatsCells>,
+    config: ServerConfig,
+    faults: Option<Arc<FaultPlan>>,
 ) where
     E: FftEngine + Send + Sync + 'static,
 {
-    let pool = GateBatchPool::new(key, threads);
+    let pool = match faults {
+        Some(plan) => GateBatchPool::with_faults(key, threads, plan),
+        None => GateBatchPool::new(key, threads),
+    };
     let mut in_flight: Vec<InFlight> = Vec::new();
     // Saw Shutdown: finish what is admitted, admit nothing more.
     let mut draining = false;
+    // Admission sequence number — the slab tag fault plans key on.
+    let mut next_tag: u64 = 0;
     let mut batch: Vec<SlabTask> = Vec::new();
     // Parallel to `batch`: index into `in_flight` owning each task.
     let mut owners: Vec<usize> = Vec::new();
@@ -258,21 +513,28 @@ fn scheduler_loop<E>(
         // the very next super-wave.
         if in_flight.is_empty() && !draining {
             match rx.recv() {
-                Ok(Msg::Job(job)) => admit(&mut in_flight, *job, &pool, &stats),
+                Ok(Msg::Job(job)) => {
+                    admit(&mut in_flight, *job, &pool, &stats, &config, &mut next_tag)
+                }
                 // Graceful by FIFO: every job submitted before the
                 // Shutdown message was enqueued ahead of it and already
-                // admitted; anything racing in after it resolves to
-                // `Rejected` when the queue is dropped below.
-                Ok(Msg::Shutdown) | Err(_) => break,
+                // admitted; anything racing in after it is explicitly
+                // rejected below.
+                Ok(Msg::Shutdown) | Err(_) => draining = true,
             }
         }
         while !draining {
             match rx.try_recv() {
-                Ok(Msg::Job(job)) => admit(&mut in_flight, *job, &pool, &stats),
+                Ok(Msg::Job(job)) => {
+                    admit(&mut in_flight, *job, &pool, &stats, &config, &mut next_tag)
+                }
                 Ok(Msg::Shutdown) | Err(TryRecvError::Disconnected) => draining = true,
                 Err(TryRecvError::Empty) => break,
             }
         }
+        // Deadlines and cancellations are honored between dispatches —
+        // including for circuits that expired while queued.
+        reap(&mut in_flight, &stats);
         if in_flight.is_empty() {
             if draining {
                 break;
@@ -299,31 +561,32 @@ fn scheduler_loop<E>(
                 .slots
                 .fetch_add((batch.len() as u64).div_ceil(p) * p, Ordering::Relaxed);
         }
+        stats.restarts.store(pool.restarts(), Ordering::Relaxed);
 
         // Route failures to their owning circuits (first message wins);
         // propagate completions for everyone still healthy.
-        let mut faults: Vec<Option<String>> = vec![None; in_flight.len()];
+        let mut faulted: Vec<Option<String>> = vec![None; in_flight.len()];
         for (index, msg) in dispatch.failures {
-            let fault = &mut faults[owners[index]];
+            let fault = &mut faulted[owners[index]];
             if fault.is_none() {
                 *fault = Some(msg);
             }
         }
         for (index, st) in batch.iter().enumerate() {
             let ci = owners[index];
-            if faults[ci].is_none() {
+            if faulted[ci].is_none() {
                 in_flight[ci].frontier.complete(st.node);
             }
         }
 
         // Resolve tickets; keep the rest in flight, order preserved.
         let mut keep: Vec<InFlight> = Vec::with_capacity(in_flight.len());
-        for (fl, fault) in in_flight.drain(..).zip(faults) {
+        for (fl, fault) in in_flight.drain(..).zip(faulted) {
             if let Some(msg) = fault {
                 stats.faulted.fetch_add(1, Ordering::Relaxed);
                 let _ = fl.reply.send(CircuitOutcome::Faulted(msg));
             } else if fl.frontier.is_done() {
-                stats.completed.fetch_add(1, Ordering::Relaxed);
+                stats.tally_completed(fl.client);
                 let _ = fl
                     .reply
                     .send(CircuitOutcome::Completed(fl.frontier.finish()));
@@ -333,13 +596,18 @@ fn scheduler_loop<E>(
         }
         in_flight = keep;
     }
-    // Dropping `rx` here drops any queued-but-never-admitted jobs: their
-    // reply senders close and those tickets resolve to `Rejected`.
+    // Explicitly reject everything still queued so those tickets resolve
+    // with a structured reason (the dropped-sender fallback in `wait` is
+    // only a backstop for abrupt scheduler death).
+    while let Ok(Msg::Job(job)) = rx.try_recv() {
+        stats.reject(job.client, RejectReason::Shutdown, &job.reply);
+    }
 }
 
 impl CircuitServer {
     /// Starts the scheduler thread with a fresh `threads`-worker
-    /// [`GateBatchPool`] over `key`.
+    /// [`GateBatchPool`] over `key` and the default (unbounded)
+    /// [`ServerConfig`].
     ///
     /// # Panics
     ///
@@ -348,33 +616,90 @@ impl CircuitServer {
     where
         E: FftEngine + Send + Sync + 'static,
     {
+        Self::start_with(key, threads, ServerConfig::default())
+    }
+
+    /// Starts the scheduler with explicit admission bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0.
+    pub fn start_with<E>(key: Arc<ServerKey<E>>, threads: usize, config: ServerConfig) -> Self
+    where
+        E: FftEngine + Send + Sync + 'static,
+    {
+        Self::launch(key, threads, config, None)
+    }
+
+    /// Starts the scheduler with a scripted [`FaultPlan`] wired into the
+    /// pool workers — the deterministic fault-injection harness. Fault
+    /// sites are keyed `(admission sequence number, node)`; admission
+    /// numbers are assigned 0, 1, 2, … in queue order. Intended for
+    /// robustness tests; a production server uses
+    /// [`CircuitServer::start`] / [`CircuitServer::start_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0.
+    pub fn start_with_faults<E>(
+        key: Arc<ServerKey<E>>,
+        threads: usize,
+        config: ServerConfig,
+        faults: Arc<FaultPlan>,
+    ) -> Self
+    where
+        E: FftEngine + Send + Sync + 'static,
+    {
+        Self::launch(key, threads, config, Some(faults))
+    }
+
+    fn launch<E>(
+        key: Arc<ServerKey<E>>,
+        threads: usize,
+        config: ServerConfig,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Self
+    where
+        E: FftEngine + Send + Sync + 'static,
+    {
         assert!(threads > 0, "need at least one worker");
         let lwe_dimension = key.params().lwe_dimension;
+        let default_deadline = config.default_deadline;
         let (tx, rx) = mpsc::channel::<Msg>();
         let stats = Arc::new(StatsCells::default());
         let cells = Arc::clone(&stats);
-        let scheduler = std::thread::spawn(move || scheduler_loop(key, threads, rx, cells));
+        let scheduler =
+            std::thread::spawn(move || scheduler_loop(key, threads, rx, cells, config, faults));
         Self {
             tx,
             scheduler: Some(scheduler),
             stats,
             lwe_dimension,
+            default_deadline,
+            next_client: AtomicU64::new(0),
         }
     }
 
-    /// A new client handle. Handles are independent and `Send`; clone or
-    /// call this again for every submitting thread.
+    /// A new client handle with a fresh client identity (used for quotas
+    /// and per-client tallies). Handles are independent and `Send`;
+    /// *clone* a handle to submit from several threads as one client, or
+    /// call this again for a distinct client.
     pub fn client(&self) -> CircuitClient {
         CircuitClient {
             tx: self.tx.clone(),
             lwe_dimension: self.lwe_dimension,
+            id: self.next_client.fetch_add(1, Ordering::Relaxed),
+            stats: Arc::clone(&self.stats),
+            default_deadline: self.default_deadline,
         }
     }
 
     /// A snapshot of the scheduler counters: dispatches, tasks, offered
     /// task-slots (the structural utilization measure), the in-flight
-    /// high-water mark and outcome counts. Counters are monotone; use
-    /// [`SchedulerStats::since`] to measure one phase of traffic.
+    /// high-water mark, outcome counts (completed/faulted/rejected/
+    /// expired/cancelled), pool worker restarts, and per-client tallies.
+    /// Counters are monotone; use [`SchedulerStats::since`] to measure
+    /// one phase of traffic.
     pub fn stats(&self) -> SchedulerStats {
         SchedulerStats {
             dispatches: self.stats.dispatches.load(Ordering::Relaxed),
@@ -383,13 +708,26 @@ impl CircuitServer {
             max_in_flight: self.stats.max_in_flight.load(Ordering::Relaxed),
             completed: self.stats.completed.load(Ordering::Relaxed),
             faulted: self.stats.faulted.load(Ordering::Relaxed),
+            rejected: self.stats.rejected.load(Ordering::Relaxed),
+            expired: self.stats.expired.load(Ordering::Relaxed),
+            cancelled: self.stats.cancelled.load(Ordering::Relaxed),
+            restarts: self.stats.restarts.load(Ordering::Relaxed),
+            per_client: self
+                .stats
+                .per_client
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .iter()
+                .map(|(&id, &tally)| (id, tally))
+                .collect(),
         }
     }
 
     /// Graceful shutdown: circuits admitted before this call run to
     /// completion and their tickets resolve; submissions racing past it
-    /// resolve to [`CircuitOutcome::Rejected`]. Blocks until the
-    /// scheduler (and its pool workers) have exited.
+    /// resolve to [`CircuitOutcome::Rejected`] with
+    /// [`RejectReason::Shutdown`]. Blocks until the scheduler (and its
+    /// pool workers) have exited.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
@@ -408,80 +746,159 @@ impl Drop for CircuitServer {
     }
 }
 
-/// A cloneable submission handle for one [`CircuitServer`].
+/// A cloneable submission handle for one [`CircuitServer`]. Each handle
+/// from [`CircuitServer::client`] is a distinct client for quota and
+/// tally purposes; clones share the identity.
 #[derive(Clone)]
 pub struct CircuitClient {
     tx: mpsc::Sender<Msg>,
     lwe_dimension: usize,
+    id: u64,
+    stats: Arc<StatsCells>,
+    default_deadline: Option<Duration>,
 }
 
 impl CircuitClient {
+    /// This handle's client identity, as it appears in
+    /// [`SchedulerStats::per_client`].
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
     /// Submits a circuit with its encrypted inputs. Returns immediately
     /// with a ticket; the circuit joins the in-flight set at the
-    /// scheduler's next dispatch boundary and runs interleaved with
-    /// everything else in flight. Malformed submissions are rejected
-    /// here, before queueing: both the input *count* and each input's
-    /// LWE *dimension* are validated, so a wrong-dimension ciphertext
-    /// fails fast at the API boundary instead of panicking a worker
-    /// mid-execution.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `inputs.len() != netlist.num_inputs()`, or if any input's
-    /// [`LweCiphertext::dimension`] differs from the server key's LWE
-    /// dimension.
+    /// scheduler's next dispatch boundary (subject to the server's
+    /// admission bounds) and runs interleaved with everything else in
+    /// flight. Malformed submissions — wrong input *count* or a wrong
+    /// LWE *dimension* on any input — resolve to
+    /// [`CircuitOutcome::Rejected`] with [`RejectReason::InvalidInput`]
+    /// without ever being queued: a misbehaving remote client must not be
+    /// able to panic a library caller. The server's
+    /// [`ServerConfig::default_deadline`], if any, applies.
     pub fn submit(&self, netlist: CircuitNetlist, inputs: Vec<LweCiphertext>) -> PendingCircuit {
-        assert_eq!(
-            inputs.len(),
-            netlist.num_inputs(),
-            "circuit expects {} inputs, got {}",
-            netlist.num_inputs(),
-            inputs.len()
-        );
-        for (slot, input) in inputs.iter().enumerate() {
-            assert_eq!(
-                input.dimension(),
-                self.lwe_dimension,
-                "input {slot} has LWE dimension {}, the server key expects {}",
-                input.dimension(),
-                self.lwe_dimension
-            );
+        if !self.valid(&netlist, &inputs) {
+            return self.reject_invalid();
         }
+        let deadline = self.default_deadline.map(|d| Instant::now() + d);
+        self.enqueue(netlist, inputs, deadline)
+    }
+
+    /// Like [`CircuitClient::submit`], but bounding the circuit's
+    /// wall-clock: if `deadline` elapses before the circuit completes —
+    /// while queued or mid-flight — the scheduler abandons its remaining
+    /// work and the ticket resolves to [`CircuitOutcome::Expired`] (or
+    /// [`RejectReason::DeadlineUnmeetable`] if the deadline had already
+    /// passed at admission). Overrides the server's default deadline.
+    pub fn submit_with_deadline(
+        &self,
+        netlist: CircuitNetlist,
+        inputs: Vec<LweCiphertext>,
+        deadline: Duration,
+    ) -> PendingCircuit {
+        if !self.valid(&netlist, &inputs) {
+            return self.reject_invalid();
+        }
+        self.enqueue(netlist, inputs, Some(Instant::now() + deadline))
+    }
+
+    /// [`CircuitClient::submit`] without the boundary validation — the
+    /// hot path for trusted in-process callers that constructed their
+    /// inputs against the server key. A malformed submission here is not
+    /// rejected: it faults its own circuit at admission or in a worker
+    /// ([`CircuitOutcome::Faulted`]), with the server unaffected.
+    pub fn submit_unchecked(
+        &self,
+        netlist: CircuitNetlist,
+        inputs: Vec<LweCiphertext>,
+    ) -> PendingCircuit {
+        let deadline = self.default_deadline.map(|d| Instant::now() + d);
+        self.enqueue(netlist, inputs, deadline)
+    }
+
+    fn valid(&self, netlist: &CircuitNetlist, inputs: &[LweCiphertext]) -> bool {
+        inputs.len() == netlist.num_inputs()
+            && inputs.iter().all(|i| i.dimension() == self.lwe_dimension)
+    }
+
+    /// Resolves an `InvalidInput` rejection immediately, tallying it
+    /// against this client without touching the scheduler queue.
+    fn reject_invalid(&self) -> PendingCircuit {
         let (reply, rx) = mpsc::channel();
+        self.stats
+            .reject(self.id, RejectReason::InvalidInput, &reply);
+        PendingCircuit {
+            rx,
+            cancel: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    fn enqueue(
+        &self,
+        netlist: CircuitNetlist,
+        inputs: Vec<LweCiphertext>,
+        deadline: Option<Instant>,
+    ) -> PendingCircuit {
+        let (reply, rx) = mpsc::channel();
+        let cancel = Arc::new(AtomicBool::new(false));
         // A send to a shut-down server is not an error here; the ticket
-        // resolves to `Rejected` instead.
+        // resolves through the dropped-sender backstop in `wait`.
         let _ = self.tx.send(Msg::Job(Box::new(CircuitJob {
             netlist,
             inputs,
             reply,
+            client: self.id,
+            deadline,
+            cancel: Arc::clone(&cancel),
         })));
-        PendingCircuit { rx }
+        PendingCircuit { rx, cancel }
     }
 }
 
-/// A ticket for one submitted circuit.
+/// A ticket for one submitted circuit. Every ticket resolves to exactly
+/// one [`CircuitOutcome`].
 pub struct PendingCircuit {
     rx: mpsc::Receiver<CircuitOutcome>,
+    cancel: Arc<AtomicBool>,
 }
 
 impl PendingCircuit {
-    /// Blocks until the circuit has resolved: [`CircuitOutcome::Completed`]
-    /// with its run, [`CircuitOutcome::Faulted`] when the circuit itself
-    /// panicked during execution (the server survives), or
-    /// [`CircuitOutcome::Rejected`] when the server shut down before
-    /// running it.
+    /// Blocks until the circuit has resolved to its [`CircuitOutcome`].
+    ///
+    /// A reply sender dropped without an outcome — the scheduler died
+    /// abruptly or the submission never reached a live server — resolves
+    /// to [`CircuitOutcome::Rejected`] with [`RejectReason::Shutdown`];
+    /// a graceful [`CircuitServer::shutdown`] sends that same outcome
+    /// explicitly for every queued-but-unadmitted circuit, so `Shutdown`
+    /// always means "the server went away", never "the queue was full"
+    /// (that is [`RejectReason::QueueFull`]).
     pub fn wait(self) -> CircuitOutcome {
-        self.rx.recv().unwrap_or(CircuitOutcome::Rejected)
+        self.rx
+            .recv()
+            .unwrap_or(CircuitOutcome::Rejected(RejectReason::Shutdown))
     }
 
     /// Non-blocking probe: `None` while the circuit is still queued or
-    /// in flight, `Some` once it has resolved.
+    /// in flight, `Some` once it has resolved. A disconnected reply
+    /// channel maps to [`RejectReason::Shutdown`] exactly as in
+    /// [`PendingCircuit::wait`].
     pub fn try_wait(&self) -> Option<CircuitOutcome> {
         match self.rx.try_recv() {
             Ok(outcome) => Some(outcome),
             Err(TryRecvError::Empty) => None,
-            Err(TryRecvError::Disconnected) => Some(CircuitOutcome::Rejected),
+            Err(TryRecvError::Disconnected) => {
+                Some(CircuitOutcome::Rejected(RejectReason::Shutdown))
+            }
         }
+    }
+
+    /// Requests cancellation: the scheduler checks the flag at admission
+    /// and between dispatches, abandons the circuit's remaining work and
+    /// resolves the ticket to [`CircuitOutcome::Cancelled`]. Best-effort
+    /// — a circuit that completes (or faults) before the flag is
+    /// observed resolves with that outcome instead; either way the
+    /// ticket resolves exactly once.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
     }
 }
 
@@ -489,6 +906,7 @@ impl PendingCircuit {
 mod tests {
     use super::*;
     use crate::circuit::CircuitNetlist;
+    use crate::faults::FaultAction;
     use crate::gates::Gate;
     use crate::params::ParameterSet;
     use crate::secret::ClientKey;
@@ -503,6 +921,9 @@ mod tests {
         (client, server, rng)
     }
 
+    /// `len`-gate XOR chain over `len + 1` inputs; gate nodes are
+    /// `2, 4, 6, …` (odd-indexed nodes are the later inputs), which is
+    /// what fault sites target.
     fn xor_chain(len: usize) -> CircuitNetlist {
         let mut net = CircuitNetlist::new();
         let mut acc = net.input();
@@ -514,30 +935,32 @@ mod tests {
         net
     }
 
+    fn encrypt_bits(client: &ClientKey, bits: &[bool], rng: &mut StdRng) -> Vec<LweCiphertext> {
+        bits.iter().map(|&b| client.encrypt_with(b, rng)).collect()
+    }
+
+    fn xor_all(bits: &[bool]) -> bool {
+        bits.iter().fold(false, |a, &b| a ^ b)
+    }
+
     #[test]
     fn serves_a_single_circuit() {
         let (client, key, mut rng) = setup(140);
         let server = CircuitServer::start(Arc::clone(&key), 2);
         let net = xor_chain(3);
         let bits = [true, false, true, true];
-        let inputs: Vec<_> = bits
-            .iter()
-            .map(|&b| client.encrypt_with(b, &mut rng))
-            .collect();
         let run = server
             .client()
-            .submit(net, inputs)
+            .submit(net, encrypt_bits(&client, &bits, &mut rng))
             .wait()
             .completed()
             .expect("server live");
-        assert_eq!(
-            client.decrypt(&run.outputs[0]),
-            bits.iter().fold(false, |a, &b| a ^ b)
-        );
+        assert_eq!(client.decrypt(&run.outputs[0]), xor_all(&bits));
         let stats = server.stats();
         assert_eq!(stats.completed, 1);
         assert_eq!(stats.tasks, 3, "three XOR gates dispatched");
         assert!(stats.utilization() > 0.0 && stats.utilization() <= 1.0);
+        assert_eq!(stats.restarts, 0);
         server.shutdown();
     }
 
@@ -556,12 +979,8 @@ mod tests {
             let mut per_client_inputs = Vec::new();
             for j in 0..jobs_per_client {
                 let bits = [c == 0, j % 2 == 0, j == 1];
-                per_client_expected.push(bits.iter().fold(false, |a, &b| a ^ b));
-                per_client_inputs.push(
-                    bits.iter()
-                        .map(|&b| client.encrypt_with(b, &mut rng))
-                        .collect(),
-                );
+                per_client_expected.push(xor_all(&bits));
+                per_client_inputs.push(encrypt_bits(&client, &bits, &mut rng));
             }
             expected.push(per_client_expected);
             encrypted.push(per_client_inputs);
@@ -601,22 +1020,11 @@ mod tests {
         // A deep chain first: while its first wave runs, the two short
         // circuits are admitted and ride the subsequent super-waves.
         let deep_bits = [true, false, true, true, false, true, false];
-        let deep = handle.submit(
-            xor_chain(6),
-            deep_bits
-                .iter()
-                .map(|&b| client.encrypt_with(b, &mut rng))
-                .collect(),
-        );
+        let deep = handle.submit(xor_chain(6), encrypt_bits(&client, &deep_bits, &mut rng));
         let shorts: Vec<PendingCircuit> = (0..2)
             .map(|i| {
                 let bits = [i == 0, true];
-                handle.submit(
-                    xor_chain(1),
-                    bits.iter()
-                        .map(|&b| client.encrypt_with(b, &mut rng))
-                        .collect(),
-                )
+                handle.submit(xor_chain(1), encrypt_bits(&client, &bits, &mut rng))
             })
             .collect();
         for (i, short) in shorts.into_iter().enumerate() {
@@ -624,10 +1032,7 @@ mod tests {
             assert_eq!(client.decrypt(&run.outputs[0]), i != 0);
         }
         let run = deep.wait().completed().expect("deep circuit completes");
-        assert_eq!(
-            client.decrypt(&run.outputs[0]),
-            deep_bits.iter().fold(false, |a, &b| a ^ b)
-        );
+        assert_eq!(client.decrypt(&run.outputs[0]), xor_all(&deep_bits));
         let stats = server.stats();
         assert!(
             stats.max_in_flight >= 2,
@@ -647,12 +1052,7 @@ mod tests {
         let pending: Vec<PendingCircuit> = (0..3)
             .map(|i| {
                 let bits = [i == 0, i == 1, i == 2];
-                handle.submit(
-                    xor_chain(2),
-                    bits.iter()
-                        .map(|&b| client.encrypt_with(b, &mut rng))
-                        .collect(),
-                )
+                handle.submit(xor_chain(2), encrypt_bits(&client, &bits, &mut rng))
             })
             .collect();
         server.shutdown(); // blocks until every admitted circuit resolved
@@ -663,15 +1063,15 @@ mod tests {
                 .unwrap_or_else(|| panic!("job {i} was queued before shutdown and must complete"));
             assert!(client.decrypt(&run.outputs[0]), "job {i}");
         }
-        // Submissions after shutdown resolve to Rejected instead of
-        // hanging.
-        let late = handle.submit(xor_chain(1), {
-            vec![
-                client.encrypt_with(true, &mut rng),
-                client.encrypt_with(false, &mut rng),
-            ]
-        });
-        assert!(late.wait().is_rejected());
+        // Submissions after shutdown resolve to a structured Shutdown
+        // rejection instead of hanging — distinct from QueueFull.
+        let late = handle.submit(
+            xor_chain(1),
+            encrypt_bits(&client, &[true, false], &mut rng),
+        );
+        let outcome = late.wait();
+        assert!(outcome.is_rejected());
+        assert_eq!(outcome.reject_reason(), Some(RejectReason::Shutdown));
     }
 
     #[test]
@@ -680,22 +1080,17 @@ mod tests {
         let server = CircuitServer::start(Arc::clone(&key), 2);
         let handle = server.client();
         // `submit` validates dimensions now, so smuggle the malformed
-        // input past it on the raw queue, as a buggy or hostile client
-        // linking against the internals would: the task panics inside a
-        // pool worker and must fault only its own circuit.
-        let (reply, bad_rx) = mpsc::channel();
-        server
-            .tx
-            .send(Msg::Job(Box::new(CircuitJob {
-                netlist: xor_chain(1),
-                inputs: vec![
-                    client.encrypt_with(true, &mut rng),
-                    LweCiphertext::trivial(matcha_math::Torus32::ZERO, 3),
-                ],
-                reply,
-            })))
-            .expect("server live");
-        let outcome = bad_rx.recv().expect("scheduler answers the bad job");
+        // input past it with `submit_unchecked`, as a buggy trusted
+        // caller would: the task panics inside a pool worker and must
+        // fault only its own circuit.
+        let bad = handle.submit_unchecked(
+            xor_chain(1),
+            vec![
+                client.encrypt_with(true, &mut rng),
+                LweCiphertext::trivial(matcha_math::Torus32::ZERO, 3),
+            ],
+        );
+        let outcome = bad.wait();
         let CircuitOutcome::Faulted(msg) = outcome else {
             panic!("wrong-dimension circuit must fault, got {outcome:?}");
         };
@@ -703,10 +1098,7 @@ mod tests {
         // …while the server keeps serving everyone else.
         let good = handle.submit(
             xor_chain(1),
-            vec![
-                client.encrypt_with(true, &mut rng),
-                client.encrypt_with(false, &mut rng),
-            ],
+            encrypt_bits(&client, &[true, false], &mut rng),
         );
         let run = good
             .wait()
@@ -725,36 +1117,20 @@ mod tests {
         // A healthy deep circuit is in flight when a malformed one joins
         // the same super-waves; the fault must not touch it.
         let bits = [true, true, false, true, false];
-        let healthy = handle.submit(
-            xor_chain(4),
-            bits.iter()
-                .map(|&b| client.encrypt_with(b, &mut rng))
-                .collect(),
+        let healthy = handle.submit(xor_chain(4), encrypt_bits(&client, &bits, &mut rng));
+        let bad = handle.submit_unchecked(
+            xor_chain(1),
+            vec![
+                client.encrypt_with(true, &mut rng),
+                LweCiphertext::trivial(matcha_math::Torus32::ZERO, 3),
+            ],
         );
-        let (reply, bad_rx) = mpsc::channel();
-        server
-            .tx
-            .send(Msg::Job(Box::new(CircuitJob {
-                netlist: xor_chain(1),
-                inputs: vec![
-                    client.encrypt_with(true, &mut rng),
-                    LweCiphertext::trivial(matcha_math::Torus32::ZERO, 3),
-                ],
-                reply,
-            })))
-            .expect("server live");
-        assert!(matches!(
-            bad_rx.recv().expect("bad job answered"),
-            CircuitOutcome::Faulted(_)
-        ));
+        assert!(bad.wait().is_faulted());
         let run = healthy
             .wait()
             .completed()
             .expect("healthy neighbor completes");
-        assert_eq!(
-            client.decrypt(&run.outputs[0]),
-            bits.iter().fold(false, |a, &b| a ^ b)
-        );
+        assert_eq!(client.decrypt(&run.outputs[0]), xor_all(&bits));
         server.shutdown();
     }
 
@@ -766,30 +1142,40 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "expects 3 inputs")]
     fn submit_rejects_wrong_input_count() {
         let (client, key, mut rng) = setup(143);
         let server = CircuitServer::start(Arc::clone(&key), 1);
-        let _ = server
+        // Wrong count: a structured client-side rejection, not a panic —
+        // a misbehaving remote client must not crash a library caller.
+        let pending = server
             .client()
             .submit(xor_chain(2), vec![client.encrypt_with(true, &mut rng)]);
+        assert_eq!(
+            pending.wait().reject_reason(),
+            Some(RejectReason::InvalidInput)
+        );
+        assert_eq!(server.stats().rejected, 1);
         server.shutdown();
     }
 
     #[test]
-    #[should_panic(expected = "LWE dimension")]
     fn submit_rejects_wrong_input_dimension() {
         let (client, key, mut rng) = setup(149);
         let server = CircuitServer::start(Arc::clone(&key), 1);
         // Right count, wrong dimension: rejected at the API boundary,
         // before the circuit ever reaches a worker.
-        let _ = server.client().submit(
+        let pending = server.client().submit(
             xor_chain(1),
             vec![
                 client.encrypt_with(true, &mut rng),
                 LweCiphertext::trivial(matcha_math::Torus32::ZERO, 3),
             ],
         );
+        assert_eq!(
+            pending.wait().reject_reason(),
+            Some(RejectReason::InvalidInput)
+        );
+        assert_eq!(server.stats().faulted, 0, "never reached a worker");
         server.shutdown();
     }
 
@@ -800,13 +1186,7 @@ mod tests {
             let server = CircuitServer::start(Arc::clone(&key), 2);
             let run = server
                 .client()
-                .submit(
-                    xor_chain(1),
-                    vec![
-                        client.encrypt_with(true, &mut rng),
-                        client.encrypt_with(true, &mut rng),
-                    ],
-                )
+                .submit(xor_chain(1), encrypt_bits(&client, &[true, true], &mut rng))
                 .wait()
                 .completed()
                 .expect("server live");
@@ -832,6 +1212,292 @@ mod tests {
             .expect("empty circuit completes");
         assert!(run.outputs.is_empty());
         assert_eq!(run.scheduled_ops, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn queue_overflow_rejects_with_queue_full() {
+        let (client, key, mut rng) = setup(151);
+        // Hold the first circuit in flight across several admission
+        // drains by delaying its first gate (tag 0, node 2): any circuit
+        // admitted meanwhile sees a full queue.
+        let plan =
+            Arc::new(FaultPlan::new().inject(0, 2, FaultAction::Delay(Duration::from_millis(150))));
+        let config = ServerConfig {
+            queue_depth: 1,
+            ..ServerConfig::default()
+        };
+        let server = CircuitServer::start_with_faults(Arc::clone(&key), 1, config, plan);
+        let handle = server.client();
+        let first_bits = [true, false, true];
+        let first = handle.submit(xor_chain(2), encrypt_bits(&client, &first_bits, &mut rng));
+        let overflow = handle.submit(
+            xor_chain(2),
+            encrypt_bits(&client, &[true, true, false], &mut rng),
+        );
+        assert_eq!(
+            overflow.wait().reject_reason(),
+            Some(RejectReason::QueueFull)
+        );
+        let run = first.wait().completed().expect("first circuit unaffected");
+        assert_eq!(client.decrypt(&run.outputs[0]), xor_all(&first_bits));
+        let stats = server.stats();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.completed, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn quota_breach_rejects_heavy_client_and_spares_light_one() {
+        let (client, key, mut rng) = setup(152);
+        let plan =
+            Arc::new(FaultPlan::new().inject(0, 2, FaultAction::Delay(Duration::from_millis(150))));
+        let config = ServerConfig {
+            per_client_quota: 1,
+            ..ServerConfig::default()
+        };
+        let server = CircuitServer::start_with_faults(Arc::clone(&key), 1, config, plan);
+        let heavy = server.client();
+        let light = server.client();
+        let first_bits = [true, false, true];
+        let light_bits = [false, true];
+        // The heavy client's first circuit is held in flight by the
+        // delayed gate; its second breaches the quota, while the light
+        // client's submission is admitted and completes.
+        let first = heavy.submit(xor_chain(2), encrypt_bits(&client, &first_bits, &mut rng));
+        let second = heavy.submit(
+            xor_chain(2),
+            encrypt_bits(&client, &[false, false, true], &mut rng),
+        );
+        let light_ticket = light.submit(xor_chain(1), encrypt_bits(&client, &light_bits, &mut rng));
+        assert_eq!(
+            second.wait().reject_reason(),
+            Some(RejectReason::QuotaExceeded)
+        );
+        let light_run = light_ticket
+            .wait()
+            .completed()
+            .expect("light client is not starved by the heavy one");
+        assert_eq!(client.decrypt(&light_run.outputs[0]), xor_all(&light_bits));
+        let run = first.wait().completed().expect("first circuit unaffected");
+        assert_eq!(client.decrypt(&run.outputs[0]), xor_all(&first_bits));
+        let stats = server.stats();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.completed, 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn already_passed_deadline_is_unmeetable() {
+        let (client, key, mut rng) = setup(153);
+        let server = CircuitServer::start(Arc::clone(&key), 1);
+        let pending = server.client().submit_with_deadline(
+            xor_chain(1),
+            encrypt_bits(&client, &[true, false], &mut rng),
+            Duration::ZERO,
+        );
+        assert_eq!(
+            pending.wait().reject_reason(),
+            Some(RejectReason::DeadlineUnmeetable)
+        );
+        assert_eq!(server.stats().rejected, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn deadline_expiry_mid_flight_spares_concurrent_circuits() {
+        let (client, key, mut rng) = setup(154);
+        // The victim's first gate (tag 0, node 2) takes 400 ms against a
+        // 120 ms deadline, so it *cannot* finish in time; the reap after
+        // that wave resolves it Expired. The bystander shares the
+        // super-waves and must complete bit-identical to the eager
+        // sequential execution.
+        let plan =
+            Arc::new(FaultPlan::new().inject(0, 2, FaultAction::Delay(Duration::from_millis(400))));
+        let server =
+            CircuitServer::start_with_faults(Arc::clone(&key), 2, ServerConfig::default(), plan);
+        let victim_client = server.client();
+        let bystander_client = server.client();
+        let victim = victim_client.submit_with_deadline(
+            xor_chain(2),
+            encrypt_bits(&client, &[true, true, false], &mut rng),
+            Duration::from_millis(120),
+        );
+        let net = xor_chain(2);
+        let bystander_inputs = encrypt_bits(&client, &[true, false, true], &mut rng);
+        let bystander = bystander_client.submit(net.clone(), bystander_inputs.clone());
+        assert!(victim.wait().is_expired(), "the delayed circuit expires");
+        let run = bystander
+            .wait()
+            .completed()
+            .expect("bystander survives its neighbor's expiry");
+        let sequential = net.execute_sequential(key.as_ref(), &bystander_inputs);
+        assert_eq!(
+            run.outputs, sequential.outputs,
+            "bystander is bit-identical to eager execution"
+        );
+        let stats = server.stats();
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.completed, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn cancel_resolves_cancelled_and_server_keeps_serving() {
+        let (client, key, mut rng) = setup(155);
+        let plan =
+            Arc::new(FaultPlan::new().inject(0, 2, FaultAction::Delay(Duration::from_millis(250))));
+        let server =
+            CircuitServer::start_with_faults(Arc::clone(&key), 1, ServerConfig::default(), plan);
+        let handle = server.client();
+        let victim = handle.submit(
+            xor_chain(2),
+            encrypt_bits(&client, &[true, false, true], &mut rng),
+        );
+        // The flag is set while the victim is queued or inside its
+        // delayed first wave; the scheduler observes it at admission or
+        // at the next reap — both resolve Cancelled before wave two.
+        victim.cancel();
+        assert!(victim.wait().is_cancelled());
+        assert_eq!(server.stats().cancelled, 1);
+        // The scheduler keeps serving afterwards.
+        let bits = [true, true];
+        let run = handle
+            .submit(xor_chain(1), encrypt_bits(&client, &bits, &mut rng))
+            .wait()
+            .completed()
+            .expect("server live after a cancellation");
+        assert_eq!(client.decrypt(&run.outputs[0]), xor_all(&bits));
+        server.shutdown();
+    }
+
+    #[test]
+    fn worker_death_heals_and_circuit_completes() {
+        let (client, key, mut rng) = setup(156);
+        // Kill the worker picking up the first gate: the pool must
+        // respawn it, retry the task, and the circuit still completes —
+        // with the restart surfaced in the scheduler stats.
+        let plan = Arc::new(FaultPlan::new().inject(0, 2, FaultAction::KillWorker));
+        let server =
+            CircuitServer::start_with_faults(Arc::clone(&key), 2, ServerConfig::default(), plan);
+        let bits = [true, false, true];
+        let run = server
+            .client()
+            .submit(xor_chain(2), encrypt_bits(&client, &bits, &mut rng))
+            .wait()
+            .completed()
+            .expect("circuit completes despite the worker death");
+        assert_eq!(client.decrypt(&run.outputs[0]), xor_all(&bits));
+        let stats = server.stats();
+        assert!(
+            stats.restarts >= 1,
+            "the respawn is surfaced (restarts = {})",
+            stats.restarts
+        );
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.faulted, 0, "a healed death is not a fault");
+        server.shutdown();
+    }
+
+    #[test]
+    fn since_saturates_instead_of_underflowing() {
+        let newer = SchedulerStats {
+            dispatches: 10,
+            tasks: 40,
+            slots: 48,
+            max_in_flight: 3,
+            completed: 5,
+            faulted: 1,
+            rejected: 2,
+            expired: 1,
+            cancelled: 1,
+            restarts: 1,
+            per_client: vec![(
+                0,
+                ClientTally {
+                    completed: 5,
+                    rejected: 2,
+                },
+            )],
+        };
+        let older = SchedulerStats {
+            dispatches: 4,
+            tasks: 16,
+            slots: 20,
+            max_in_flight: 2,
+            completed: 2,
+            faulted: 0,
+            rejected: 1,
+            expired: 0,
+            cancelled: 0,
+            restarts: 0,
+            per_client: vec![(
+                0,
+                ClientTally {
+                    completed: 2,
+                    rejected: 1,
+                },
+            )],
+        };
+        let delta = newer.since(&older);
+        assert_eq!(delta.dispatches, 6);
+        assert_eq!(delta.completed, 3);
+        assert_eq!(delta.per_client[0].1.completed, 3);
+        // Feeding the snapshots in the wrong order must yield zeros, not
+        // a debug-build underflow panic (racy snapshots can look exactly
+        // like this).
+        let reversed = older.since(&newer);
+        assert_eq!(reversed.dispatches, 0);
+        assert_eq!(reversed.tasks, 0);
+        assert_eq!(reversed.slots, 0);
+        assert_eq!(reversed.completed, 0);
+        assert_eq!(reversed.faulted, 0);
+        assert_eq!(reversed.rejected, 0);
+        assert_eq!(reversed.expired, 0);
+        assert_eq!(reversed.cancelled, 0);
+        assert_eq!(reversed.restarts, 0);
+        assert_eq!(reversed.per_client[0].1, ClientTally::default());
+    }
+
+    #[test]
+    fn per_client_tallies_track_completed_and_rejected() {
+        let (client, key, mut rng) = setup(157);
+        let server = CircuitServer::start(Arc::clone(&key), 1);
+        let a = server.client();
+        let b = server.client();
+        assert_eq!(a.id(), 0);
+        assert_eq!(b.id(), 1);
+        for _ in 0..2 {
+            let bits = [true, false];
+            let run = a
+                .submit(xor_chain(1), encrypt_bits(&client, &bits, &mut rng))
+                .wait()
+                .completed()
+                .expect("server live");
+            assert_eq!(client.decrypt(&run.outputs[0]), xor_all(&bits));
+        }
+        let bad = b.submit(xor_chain(2), vec![client.encrypt_with(true, &mut rng)]);
+        assert_eq!(bad.wait().reject_reason(), Some(RejectReason::InvalidInput));
+        let stats = server.stats();
+        assert_eq!(
+            stats.per_client,
+            vec![
+                (
+                    0,
+                    ClientTally {
+                        completed: 2,
+                        rejected: 0
+                    }
+                ),
+                (
+                    1,
+                    ClientTally {
+                        completed: 0,
+                        rejected: 1
+                    }
+                ),
+            ]
+        );
         server.shutdown();
     }
 }

@@ -4,17 +4,21 @@
 //! all of them — the software analogue of MATCHA's scheduler keeping
 //! eight resident pipelines busy (Figure 10), with the analytical
 //! `accel::schedule` model cross-checked against measured wall-clock.
+//! Since PR 6 the server also practices admission control: malformed
+//! submissions and unmeetable deadlines come back as structured
+//! `Rejected` outcomes instead of panics, and the scheduler stats count
+//! every way a ticket can resolve.
 //!
 //! Run with: `cargo run --release --example circuit_server [-- --fast]`
 //! (`--fast` uses the small test parameters instead of the paper's.)
 
 use matcha::accel::schedule;
 use matcha::circuits::{netlist, word};
-use matcha::tfhe::{CircuitServer, PendingCircuit};
+use matcha::tfhe::{CircuitServer, PendingCircuit, RejectReason};
 use matcha::{ClientKey, F64Fft, ParameterSet, ServerKey};
 use rand::SeedableRng;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn main() {
     let fast = std::env::args().any(|a| a == "--fast");
@@ -111,18 +115,56 @@ fn main() {
         at8.makespan_s * 1e3,
         at8.utilization * 100.0,
     );
+    // Admission control in action: a malformed submission and an
+    // already-expired deadline both resolve as structured rejections
+    // instead of panicking the client or hanging the ticket.
+    let handle = server.client();
+    let bad = handle.submit(adder.clone(), vec![]).wait();
+    assert_eq!(bad.reject_reason(), Some(RejectReason::InvalidInput));
+    println!(
+        "  empty input list  -> Rejected({:?})",
+        RejectReason::InvalidInput
+    );
+    let late = {
+        let a = word::encrypt(&client, 1, 8, &mut rng);
+        let b = word::encrypt(&client, 2, 8, &mut rng);
+        handle
+            .submit_with_deadline(
+                adder.clone(),
+                a.into_iter().chain(b).collect(),
+                Duration::ZERO,
+            )
+            .wait()
+    };
+    assert_eq!(late.reject_reason(), Some(RejectReason::DeadlineUnmeetable));
+    println!(
+        "  zero deadline     -> Rejected({:?})",
+        RejectReason::DeadlineUnmeetable
+    );
+
     let stats = server.stats();
     println!(
-        "scheduler: {} circuits completed over {} interleaved dispatches, \
+        "scheduler: {} circuits completed, {} rejected, {} expired, \
+         {} cancelled, {} worker restarts over {} interleaved dispatches, \
          up to {} in flight at once, {} tasks over {} offered wave-slots \
          ({:.0}% structural utilization)",
         stats.completed,
+        stats.rejected,
+        stats.expired,
+        stats.cancelled,
+        stats.restarts,
         stats.dispatches,
         stats.max_in_flight,
         stats.tasks,
         stats.slots,
         stats.utilization() * 100.0,
     );
+    for (id, tally) in &stats.per_client {
+        println!(
+            "  client {id}: {} completed, {} rejected",
+            tally.completed, tally.rejected
+        );
+    }
     println!("all circuits served and verified in {wall:.1?}");
     server.shutdown();
 }
