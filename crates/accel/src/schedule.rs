@@ -85,6 +85,25 @@ impl Netlist {
         best
     }
 
+    /// Critical-path priority rank per gate: `ranks()[i]` is the length
+    /// (in gates, counting gate `i` itself) of the longest dependency
+    /// chain from `i` to any sink. A list scheduler dispatching
+    /// highest-rank-first among ready gates is the classic
+    /// critical-path-first heuristic; `ranks().max() == critical_path()`.
+    pub fn ranks(&self) -> Vec<usize> {
+        let n = self.deps.len();
+        let mut rank = vec![1usize; n];
+        // Single backward sweep: topological order means every consumer
+        // has a higher index than its dependencies.
+        for i in (0..n).rev() {
+            let r = rank[i];
+            for &d in &self.deps[i] {
+                rank[d] = rank[d].max(r + 1);
+            }
+        }
+        rank
+    }
+
     /// A `width`-bit ripple-carry adder: 5 gates per full adder, with the
     /// carry chaining between stages (the circuit of
     /// `matcha_circuits::adder`).
@@ -297,6 +316,39 @@ mod tests {
         let r = schedule(&Netlist::new(), 4, 1.0);
         assert_eq!(r.gates, 0);
         assert_eq!(r.makespan_s, 0.0);
+    }
+
+    #[test]
+    fn ranks_match_critical_path() {
+        for net in [
+            Netlist::ripple_adder(8),
+            Netlist::comparator(16),
+            Netlist::multiplier(4),
+        ] {
+            let ranks = net.ranks();
+            assert_eq!(ranks.len(), net.len());
+            assert_eq!(
+                ranks.iter().copied().max().unwrap_or(0),
+                net.critical_path()
+            );
+            // A gate's rank strictly exceeds every consumer's rank.
+            for (i, deps) in (0..net.len()).map(|i| (i, net.dependencies(i))) {
+                for &d in deps {
+                    assert!(ranks[d] > ranks[i], "dep {d} of {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ranks_of_chain_descend() {
+        let mut net = Netlist::new();
+        let a = net.add_gate(&[]);
+        let b = net.add_gate(&[a]);
+        let c = net.add_gate(&[b]);
+        let lone = net.add_gate(&[]);
+        assert_eq!(net.ranks(), vec![3, 2, 1, 1]);
+        let _ = (c, lone);
     }
 
     #[test]

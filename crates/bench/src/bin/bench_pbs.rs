@@ -25,7 +25,16 @@
 //! light-client completion latency with quotas off while a heavy client
 //! floods the pool, `scratch_ns` = the same under `per_client_quota = 1`,
 //! with the heavy client's over-quota circuits rejected as
-//! `QuotaExceeded`).
+//! `QuotaExceeded`), and, since PR 7, static analysis
+//! (`netlist_simplified_vs_raw/*` rows: **bootstrap counts, not
+//! nanoseconds** — `alloc_ns` = bootstraps in the raw lowering,
+//! `scratch_ns` = bootstraps after `matcha::tfhe::simplify`, so `speedup`
+//! is the gate-count ratio the rewriter buys before a single ciphertext
+//! is touched; and the `netlist_analyze_vs_one_bootstrap/adder8` row:
+//! `alloc_ns` = one warmed NAND bootstrap reused from this run's
+//! `nand/f64_m2` row, `scratch_ns` = a full `analyze()` pass over the
+//! adder8 netlist, putting the analyzer's overhead in units of the work
+//! it certifies).
 //!
 //! Run with:
 //! `cargo run --release -p matcha-bench --bin bench_pbs`
@@ -697,6 +706,56 @@ fn bench_adversarial_mix(rows: &mut Vec<Row>) {
     });
 }
 
+/// Static-analysis rows. The `netlist_simplified_vs_raw/*` rows carry
+/// **bootstrap counts, not nanoseconds** (`alloc_ns` = raw lowering,
+/// `scratch_ns` = after `simplify`): the interesting quantity is how many
+/// gate bootstraps the rewriter removes before any ciphertext work, and a
+/// count survives container noise perfectly. The
+/// `netlist_analyze_vs_one_bootstrap/adder8` row compares a full
+/// `analyze()` pass (lints + noise certificates + cost ranks, in
+/// `scratch_ns`) against one warmed NAND bootstrap reused from this run's
+/// `nand/f64_m2` row (`alloc_ns`) — the analyzer must stay microseconds
+/// against the milliseconds of work it certifies, or admission-time
+/// verification would not be free.
+fn bench_netlist_analysis(rows: &mut Vec<Row>) {
+    use matcha::circuits::analysis;
+    use matcha::tfhe::analyze::{analyze, simplify};
+
+    for (name, net) in analysis::library() {
+        let (_, report) = simplify(&net);
+        rows.push(Row {
+            id: format!("netlist_simplified_vs_raw/{name}"),
+            alloc_ns: report.bootstraps_before as f64,
+            scratch_ns: report.bootstraps_after as f64,
+        });
+    }
+
+    let net = matcha::circuits::netlist::ripple_adder(8);
+    let params = ParameterSet::MATCHA;
+    let analyze_ns = measure(15, 20, || {
+        std::hint::black_box(analyze(&net, &params, 2));
+    });
+    let nand_ns = rows
+        .iter()
+        .find(|r| r.id == "nand/f64_m2")
+        .expect("nand/f64_m2 row is measured before the analysis rows")
+        .scratch_ns;
+    println!(
+        "netlist analysis: full adder8 certificate in {:.1} µs vs {:.2} ms \
+         for one NAND bootstrap ({:.0}× cheaper than a single gate of the \
+         {} it certifies)",
+        analyze_ns / 1e3,
+        nand_ns / 1e6,
+        nand_ns / analyze_ns,
+        net.bootstraps(),
+    );
+    rows.push(Row {
+        id: "netlist_analyze_vs_one_bootstrap/adder8".into(),
+        alloc_ns: nand_ns,
+        scratch_ns: analyze_ns,
+    });
+}
+
 fn bench_gate<E: FftEngine>(name: &str, engine: E, unroll: usize) -> Row {
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);
     let client = ClientKey::generate(ParameterSet::MATCHA, &mut rng);
@@ -757,6 +816,7 @@ fn main() {
         bench_gate("f64_m3", F64Fft::new(1024), 3),
         bench_gate("approx38_m2", ApproxIntFft::new(1024, 38), 2),
     ];
+    bench_netlist_analysis(&mut rows);
     bench_circuit_sched(&mut rows);
     bench_circuit_interleaved(&mut rows);
     bench_adversarial_mix(&mut rows);

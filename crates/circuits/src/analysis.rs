@@ -1,0 +1,184 @@
+//! The static-analysis driver for the circuit library: runs
+//! `matcha_tfhe::analyze` over every shipped lowering and bridges the
+//! cost section to `matcha_accel::schedule`'s list scheduler for a
+//! predicted makespan — the pre-execution certificate (lints, noise
+//! bounds, priority ranks, latency estimate) for a whole netlist, with
+//! zero bootstraps spent.
+//!
+//! The CI `netlist-lint` job runs [`analyze_library`] (via the
+//! `netlist_lint` example) and fails on any `Error`-severity finding, so
+//! every lowering the crate ships stays admissible under the default
+//! [`AnalysisPolicy`](matcha_tfhe::AnalysisPolicy).
+
+use crate::netlist;
+use matcha_accel::schedule::{self, ScheduleResult};
+use matcha_tfhe::circuit::CircuitNetlist;
+use matcha_tfhe::params::ParameterSet;
+use matcha_tfhe::{analyze, simplify, NetlistReport, SimplifyReport};
+
+/// The full pre-execution certificate for one lowering.
+#[derive(Clone, Debug)]
+pub struct CircuitAnalysis {
+    /// Which lowering this is (e.g. `"adder8"`).
+    pub name: &'static str,
+    /// Lints, per-output noise certificates, and cost ranks.
+    pub report: NetlistReport,
+    /// What [`matcha_tfhe::simplify`] would save on this netlist.
+    pub simplified: SimplifyReport,
+    /// List-scheduled latency prediction over the bootstrap-unit skeleton.
+    pub predicted: ScheduleResult,
+}
+
+/// Analyzes one netlist end to end: [`matcha_tfhe::analyze`] for
+/// lints/noise/cost, [`matcha_tfhe::simplify`] for the rewrite savings,
+/// and `matcha_accel::schedule` over
+/// [`CircuitNetlist::schedule_skeleton`] for the makespan a
+/// `pipelines`-wide pool at `gate_latency_s` per bootstrap should hit.
+///
+/// # Panics
+///
+/// Panics if `unroll` is outside `1..=8`, `pipelines == 0`, or
+/// `gate_latency_s <= 0` (the underlying analyzers' bounds).
+pub fn analyze_netlist(
+    name: &'static str,
+    net: &CircuitNetlist,
+    params: &ParameterSet,
+    unroll: usize,
+    pipelines: usize,
+    gate_latency_s: f64,
+) -> CircuitAnalysis {
+    let report = analyze(net, params, unroll);
+    let (_, simplified) = simplify(net);
+    let dag = schedule::Netlist::from_deps(&net.schedule_skeleton());
+    let predicted = schedule::schedule(&dag, pipelines, gate_latency_s);
+    debug_assert_eq!(
+        report.cost.critical_path_units,
+        dag.critical_path(),
+        "analyze and accel::schedule must agree on the critical path"
+    );
+    CircuitAnalysis {
+        name,
+        report,
+        simplified,
+        predicted,
+    }
+}
+
+/// The shipped library lowerings, by name — the set the CI lint job and
+/// the bench rows cover.
+pub fn library() -> Vec<(&'static str, CircuitNetlist)> {
+    vec![
+        ("adder8", netlist::ripple_adder(8)),
+        ("subtractor8", netlist::ripple_subtractor(8)),
+        ("comparator8", netlist::eq_comparator(8)),
+        ("mux4x4", netlist::mux_tree(2, 4)),
+    ]
+}
+
+/// Runs [`analyze_netlist`] over the whole [`library`].
+pub fn analyze_library(
+    params: &ParameterSet,
+    unroll: usize,
+    pipelines: usize,
+    gate_latency_s: f64,
+) -> Vec<CircuitAnalysis> {
+    library()
+        .iter()
+        .map(|(name, net)| analyze_netlist(name, net, params, unroll, pipelines, gate_latency_s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matcha_tfhe::Severity;
+
+    #[test]
+    fn every_lowering_is_lint_clean_at_error_severity() {
+        for a in analyze_library(&ParameterSet::MATCHA, 2, 4, 1.0) {
+            assert!(
+                a.report.is_clean(Severity::Error),
+                "{}: {:?}",
+                a.name,
+                a.report.lints
+            );
+        }
+    }
+
+    #[test]
+    fn ranks_are_consistent_with_the_accel_list_scheduler() {
+        for (name, net) in library() {
+            let skeleton = net.schedule_skeleton();
+            let dag = schedule::Netlist::from_deps(&skeleton);
+            let report = analyze(&net, &ParameterSet::MATCHA, 2);
+            assert_eq!(
+                report.cost.critical_path_units,
+                dag.critical_path(),
+                "{name}"
+            );
+            assert_eq!(
+                report.cost.node_ranks.iter().copied().max().unwrap_or(0),
+                dag.ranks().iter().copied().max().unwrap_or(0),
+                "{name}"
+            );
+            assert_eq!(report.cost.bootstraps, dag.len(), "{name}");
+        }
+    }
+
+    #[test]
+    fn predicted_makespan_respects_the_classic_bounds() {
+        for a in analyze_library(&ParameterSet::MATCHA, 2, 4, 1.0) {
+            let cp = a.report.cost.critical_path_units as f64;
+            let work = a.report.cost.bootstraps as f64 / 4.0;
+            assert!(a.predicted.makespan_s >= cp.max(work) - 1e-9, "{}", a.name);
+            assert!(
+                a.predicted.makespan_s <= a.report.cost.bootstraps as f64 + 1e-9,
+                "{}",
+                a.name
+            );
+        }
+    }
+
+    #[test]
+    fn simplify_savings_match_the_const_carry_folds() {
+        let by_name: Vec<(&str, usize, usize)> = analyze_library(&ParameterSet::MATCHA, 2, 4, 1.0)
+            .iter()
+            .map(|a| {
+                (
+                    a.name,
+                    a.simplified.bootstraps_before,
+                    a.simplified.bootstraps_after,
+                )
+            })
+            .collect();
+        // The constant carry-in of the first full adder folds: the adder
+        // loses its cin XOR and both cin ANDs' dependents (40 → 37); the
+        // subtractor's true carry-in folds its sum XOR into a free NOT
+        // and one AND into an alias (40 → 38); the comparator and the mux
+        // tree are already minimal.
+        assert_eq!(
+            by_name,
+            vec![
+                ("adder8", 40, 37),
+                ("subtractor8", 40, 38),
+                ("comparator8", 15, 15),
+                ("mux4x4", 24, 24),
+            ]
+        );
+    }
+
+    #[test]
+    fn noise_certificates_pass_the_default_budget_at_paper_params() {
+        for unroll in [1, 2] {
+            for a in analyze_library(&ParameterSet::MATCHA, unroll, 4, 1.0) {
+                let p = a.report.max_failure_prob();
+                assert!(
+                    p < matcha_tfhe::analyze::DEFAULT_FAILURE_BUDGET,
+                    "{} at unroll {unroll}: bound {p}",
+                    a.name
+                );
+                assert!(p > 0.0, "{}: MATCHA noise is not literally zero", a.name);
+            }
+        }
+    }
+}

@@ -32,6 +32,7 @@
 
 pub mod adder;
 pub mod alu;
+pub mod analysis;
 pub mod comparator;
 pub mod multiplier;
 pub mod mux;

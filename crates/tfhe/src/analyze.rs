@@ -1,0 +1,1327 @@
+//! Static analysis of executable netlists: structural lints, a safe
+//! simplification rewriter, analytic worst-case noise certification, and
+//! critical-path cost analysis — all computed from the DAG alone, before a
+//! single bootstrap is spent.
+//!
+//! Bootstraps are the only expensive resource in gate-level TFHE, and a
+//! malformed or noise-over-budget circuit wastes them (or worse, silently
+//! decrypts wrong). [`analyze`] walks a [`CircuitNetlist`] once and
+//! produces a machine-readable [`NetlistReport`] with three sections:
+//!
+//! * **Lints** ([`lint`]) — structural findings with [`Severity`] levels:
+//!   dead bootstrapped nodes, netlists with work but no outputs
+//!   ([`Severity::Error`]), unused inputs, constant-foldable gates,
+//!   duplicate gates, muxes with identical arms ([`Severity::Warning`]),
+//!   and double negations ([`Severity::Info`]).
+//! * **Noise** — per-node worst-case error variance propagated through
+//!   each gate's linear combination and reset at every bootstrap (the
+//!   [`NoiseModel`] mirrors this crate's blind-rotate / key-switch /
+//!   mod-switch pipeline), then turned into a per-output
+//!   decryption-failure probability bound via Gaussian tails and a union
+//!   bound over the output's backward cone. Tests cross-validate the
+//!   bound against the empirical [`noise`](crate::noise) harness.
+//! * **Cost** — bootstrap counts, wave depth, and per-node critical-path
+//!   priority ranks in bootstrap units, consistent with
+//!   `accel::schedule`'s list scheduler over
+//!   [`CircuitNetlist::schedule_skeleton`].
+//!
+//! [`simplify`] applies the safe subset of the lint findings as rewrites —
+//! constant folding, double-`NOT` collapse, common-subexpression
+//! elimination, and dead-code removal — and reports whether the result is
+//! bit-identical to the original (CSE/`NOT` rewrites are; folding a
+//! bootstrapped gate into a trivial constant or an alias is
+//! decrypt-equivalent only, and the report says so).
+//!
+//! [`AnalysisPolicy`] packages the two admission knobs
+//! (`CircuitServer`-side): the minimum lint severity to reject on and the
+//! per-output failure-probability budget.
+
+use crate::circuit::{CircuitNetlist, GateOp};
+use crate::gates::Gate;
+use crate::params::ParameterSet;
+use std::collections::HashMap;
+use std::fmt;
+
+/// How bad a [`Lint`] is. Ordered: `Info < Warning < Error`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Harmless but noteworthy (costs no bootstraps).
+    Info,
+    /// Wastes bootstraps or signals likely construction bugs, but the
+    /// circuit still computes its outputs.
+    Warning,
+    /// The circuit burns bootstraps on work that cannot reach any output.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// The catalogue of structural findings [`lint`] can report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LintKind {
+    /// A bootstrapped node (binary gate or mux) unreachable from every
+    /// marked output: the executor still spends its bootstraps.
+    DeadNode,
+    /// The netlist performs bootstrapped work but marks no outputs — all
+    /// of it is wasted.
+    NoOutputs,
+    /// An input slot no output depends on.
+    UnusedInput,
+    /// A gate, `NOT`, or mux with a constant operand: partial evaluation
+    /// removes or cheapens it ([`simplify`] does).
+    ConstantFoldable,
+    /// A node structurally identical to an earlier one (same op, same
+    /// operands up to commutativity): a CSE candidate.
+    DuplicateGate,
+    /// A mux whose two data arms are the same node — it can only ever
+    /// produce that node's value (at two bootstraps).
+    MuxIdenticalArms,
+    /// `NOT(NOT(x))` — free, but pure slab traffic.
+    DoubleNot,
+}
+
+impl LintKind {
+    /// The fixed severity of this finding.
+    pub fn severity(self) -> Severity {
+        match self {
+            LintKind::DeadNode | LintKind::NoOutputs => Severity::Error,
+            LintKind::UnusedInput
+            | LintKind::ConstantFoldable
+            | LintKind::DuplicateGate
+            | LintKind::MuxIdenticalArms => Severity::Warning,
+            LintKind::DoubleNot => Severity::Info,
+        }
+    }
+}
+
+impl fmt::Display for LintKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LintKind::DeadNode => "dead-node",
+            LintKind::NoOutputs => "no-outputs",
+            LintKind::UnusedInput => "unused-input",
+            LintKind::ConstantFoldable => "constant-foldable",
+            LintKind::DuplicateGate => "duplicate-gate",
+            LintKind::MuxIdenticalArms => "mux-identical-arms",
+            LintKind::DoubleNot => "double-not",
+        })
+    }
+}
+
+/// One structural finding, anchored at a netlist node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Lint {
+    /// What was found.
+    pub kind: LintKind,
+    /// The offending node index (for [`LintKind::NoOutputs`], which has no
+    /// single node, this is `0`).
+    pub node: usize,
+}
+
+impl Lint {
+    /// Shorthand for `self.kind.severity()`.
+    pub fn severity(&self) -> Severity {
+        self.kind.severity()
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} at node {}",
+            self.severity(),
+            self.kind,
+            self.node
+        )
+    }
+}
+
+/// Nodes reachable (backwards through operands) from any marked output.
+fn reachable(net: &CircuitNetlist) -> Vec<bool> {
+    let mut seen = vec![false; net.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    for &out in net.outputs() {
+        if !seen[out] {
+            seen[out] = true;
+            stack.push(out);
+        }
+    }
+    while let Some(id) = stack.pop() {
+        for operand in net.ops()[id].operands().into_iter().flatten() {
+            if !seen[operand] {
+                seen[operand] = true;
+                stack.push(operand);
+            }
+        }
+    }
+    seen
+}
+
+/// `true` when swapping the gate's operands leaves its value (and its
+/// exact linear part, hence the output ciphertext bits) unchanged.
+fn commutative(gate: Gate) -> bool {
+    matches!(
+        gate,
+        Gate::And | Gate::Or | Gate::Nand | Gate::Nor | Gate::Xor | Gate::Xnor
+    )
+}
+
+/// The canonical form of an op for duplicate detection: commutative
+/// binary gates get their operands sorted.
+fn canonical(op: GateOp) -> GateOp {
+    match op {
+        GateOp::Binary(g, a, b) if commutative(g) && b < a => GateOp::Binary(g, b, a),
+        other => other,
+    }
+}
+
+/// Runs the structural lints over `net`. Findings are reported in node
+/// order, severest first within a node; [`LintKind::DeadNode`] and
+/// [`LintKind::UnusedInput`] consider reachability from the marked
+/// outputs, every other lint only fires on reachable nodes (a dead
+/// foldable gate is already reported dead).
+pub fn lint(net: &CircuitNetlist) -> Vec<Lint> {
+    let mut lints = Vec::new();
+    if net.bootstraps() > 0 && net.outputs().is_empty() {
+        lints.push(Lint {
+            kind: LintKind::NoOutputs,
+            node: 0,
+        });
+    }
+    let live = reachable(net);
+    let is_const = |id: usize| matches!(net.ops()[id], GateOp::Constant(_));
+    let mut seen: HashMap<GateOp, usize> = HashMap::new();
+    for (id, &op) in net.ops().iter().enumerate() {
+        if !live[id] {
+            match op {
+                GateOp::Input(_) => lints.push(Lint {
+                    kind: LintKind::UnusedInput,
+                    node: id,
+                }),
+                GateOp::Binary(..) | GateOp::Mux { .. } => lints.push(Lint {
+                    kind: LintKind::DeadNode,
+                    node: id,
+                }),
+                GateOp::Constant(_) | GateOp::Not(_) => {}
+            }
+            continue;
+        }
+        let foldable = match op {
+            GateOp::Binary(_, a, b) => is_const(a) || is_const(b),
+            GateOp::Not(a) => is_const(a),
+            GateOp::Mux { sel, a, b } => is_const(sel) || is_const(a) || is_const(b),
+            GateOp::Input(_) | GateOp::Constant(_) => false,
+        };
+        if foldable {
+            lints.push(Lint {
+                kind: LintKind::ConstantFoldable,
+                node: id,
+            });
+        }
+        if let GateOp::Mux { a, b, .. } = op {
+            if a == b {
+                lints.push(Lint {
+                    kind: LintKind::MuxIdenticalArms,
+                    node: id,
+                });
+            }
+        }
+        if let GateOp::Not(a) = op {
+            if matches!(net.ops()[a], GateOp::Not(_)) {
+                lints.push(Lint {
+                    kind: LintKind::DoubleNot,
+                    node: id,
+                });
+            }
+        }
+        if matches!(op, GateOp::Binary(..) | GateOp::Mux { .. } | GateOp::Not(_))
+            && seen.insert(canonical(op), id).is_some()
+        {
+            lints.push(Lint {
+                kind: LintKind::DuplicateGate,
+                node: id,
+            });
+        }
+    }
+    lints
+}
+
+/// What [`simplify`] did, and how faithful the result is.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimplifyReport {
+    /// Node count of the original netlist.
+    pub nodes_before: usize,
+    /// Node count of the simplified netlist.
+    pub nodes_after: usize,
+    /// Gate bootstraps in the original netlist.
+    pub bootstraps_before: usize,
+    /// Gate bootstraps in the simplified netlist.
+    pub bootstraps_after: usize,
+    /// Ops removed or cheapened by constant folding / partial evaluation.
+    pub folded_constants: usize,
+    /// `NOT(NOT(x))` chains collapsed to `x`.
+    pub collapsed_nots: usize,
+    /// Ops aliased to a structurally identical earlier op (CSE).
+    pub deduplicated: usize,
+    /// Dead (output-unreachable, non-input) nodes swept.
+    pub dead_removed: usize,
+    /// `true` when every rewrite applied was *bit*-exact: outputs of the
+    /// simplified netlist are bit-identical ciphertexts to the original's
+    /// (CSE, `NOT` collapse, `NOT`-of-constant, constant pooling, and
+    /// dead-code removal all are — bootstrapping is deterministic given
+    /// the keys). Folding a *bootstrapped* gate to a constant or an alias
+    /// clears this: the outputs then agree on decryption (same plaintext,
+    /// noise within the gate margins) but not bit-for-bit.
+    pub exact: bool,
+}
+
+impl SimplifyReport {
+    /// Bootstraps the rewrite saved.
+    pub fn bootstraps_saved(&self) -> usize {
+        self.bootstraps_before - self.bootstraps_after
+    }
+}
+
+/// Rewrite pass state shared by the op emitters in [`simplify`].
+struct Rewriter {
+    mid: CircuitNetlist,
+    /// Pooled constant node per value, once emitted.
+    const_node: [Option<usize>; 2],
+    /// Canonicalized op → emitted node (CSE).
+    seen: HashMap<GateOp, usize>,
+    report: SimplifyReport,
+}
+
+impl Rewriter {
+    fn const_of(&self, id: usize) -> Option<bool> {
+        match self.mid.ops()[id] {
+            GateOp::Constant(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The pooled constant node for `v`, emitting it on first use.
+    fn constant(&mut self, v: bool) -> usize {
+        match self.const_node[v as usize] {
+            Some(id) => id,
+            None => {
+                let id = self.mid.constant(v);
+                self.const_node[v as usize] = Some(id);
+                id
+            }
+        }
+    }
+
+    /// Emits (or aliases) `NOT a`, folding constants and collapsing
+    /// double negations. Both rewrites are bit-exact: the `false`/`true`
+    /// encodings are symmetric (±1/8), so negating a trivial constant is
+    /// the other trivial constant, and wrapping negation is an involution.
+    fn not(&mut self, a: usize) -> usize {
+        if let Some(v) = self.const_of(a) {
+            self.report.folded_constants += 1;
+            return self.constant(!v);
+        }
+        if let GateOp::Not(x) = self.mid.ops()[a] {
+            self.report.collapsed_nots += 1;
+            return x;
+        }
+        self.dedup_or(GateOp::Not(a))
+    }
+
+    /// Emits (or aliases) a binary gate with no constant operands.
+    fn gate(&mut self, g: Gate, a: usize, b: usize) -> usize {
+        self.dedup_or(canonical(GateOp::Binary(g, a, b)))
+    }
+
+    /// Emits `op` unless a structurally identical node exists (then
+    /// aliases it — bit-exact, bootstrapping is deterministic).
+    fn dedup_or(&mut self, op: GateOp) -> usize {
+        if let Some(&id) = self.seen.get(&op) {
+            self.report.deduplicated += 1;
+            return id;
+        }
+        let id = match op {
+            GateOp::Not(a) => self.mid.not(a),
+            GateOp::Binary(g, a, b) => self.mid.gate(g, a, b),
+            GateOp::Mux { sel, a, b } => self.mid.mux(sel, a, b),
+            GateOp::Input(_) | GateOp::Constant(_) => unreachable!("sources are not deduped here"),
+        };
+        self.seen.insert(op, id);
+        id
+    }
+}
+
+/// Rewrites `net` into an output-equivalent netlist with fewer (never
+/// more) bootstraps, applying the safe subset of the [`lint`] findings:
+///
+/// * **Constant folding / partial evaluation** — gates, `NOT`s, and muxes
+///   with constant operands become constants, aliases, free `NOT`s, or
+///   (for one-constant-arm muxes) a single binary gate.
+/// * **Double-`NOT` collapse** — `NOT(NOT(x))` aliases `x`.
+/// * **CSE** — structurally identical ops (up to operand order for the
+///   six commutative gates) are computed once.
+/// * **Dead-code removal** — nodes no output depends on are swept.
+///
+/// Rewrites cascade in one forward pass (folding a gate can make its
+/// consumer foldable). Every input node is preserved in slot order, so
+/// the simplified netlist takes the same input vector; outputs are
+/// remapped and stay in marking order. Muxes with identical (non-constant)
+/// arms are *not* rewritten — aliasing the arm would skip a noise reset —
+/// they are only linted.
+///
+/// The returned [`SimplifyReport`] says what fired and whether the result
+/// is bit-identical to the original ([`SimplifyReport::exact`]) or
+/// decrypt-equivalent only.
+pub fn simplify(net: &CircuitNetlist) -> (CircuitNetlist, SimplifyReport) {
+    let mut rw = Rewriter {
+        mid: CircuitNetlist::new(),
+        const_node: [None, None],
+        seen: HashMap::new(),
+        report: SimplifyReport {
+            nodes_before: net.len(),
+            bootstraps_before: net.bootstraps(),
+            exact: true,
+            ..SimplifyReport::default()
+        },
+    };
+    // Pass 1: forward rewrite with an alias map (old node → mid node).
+    let mut alias: Vec<usize> = Vec::with_capacity(net.len());
+    for &op in net.ops() {
+        let new_id = match op {
+            GateOp::Input(_) => rw.mid.input(),
+            GateOp::Constant(v) => {
+                let pooled = rw.const_node[v as usize].is_some();
+                if pooled {
+                    rw.report.deduplicated += 1;
+                }
+                rw.constant(v)
+            }
+            GateOp::Not(a0) => rw.not(alias[a0]),
+            GateOp::Binary(g, a0, b0) => {
+                let (a, b) = (alias[a0], alias[b0]);
+                match (rw.const_of(a), rw.const_of(b)) {
+                    (Some(va), Some(vb)) => {
+                        rw.report.folded_constants += 1;
+                        rw.report.exact = false;
+                        rw.constant(g.eval(va, vb))
+                    }
+                    (Some(va), None) => rw.fold_half(|x| g.eval(va, x), b),
+                    (None, Some(vb)) => rw.fold_half(|x| g.eval(x, vb), a),
+                    (None, None) => rw.gate(g, a, b),
+                }
+            }
+            GateOp::Mux { sel, a, b } => {
+                let (s, a, b) = (alias[sel], alias[a], alias[b]);
+                if let Some(vs) = rw.const_of(s) {
+                    rw.report.folded_constants += 1;
+                    rw.report.exact = false;
+                    if vs {
+                        a
+                    } else {
+                        b
+                    }
+                } else if a == b {
+                    // Identical arms: linted, never rewritten — the mux's
+                    // bootstraps reset the arm's noise, and the "safe
+                    // subset" keeps every noise reset in place.
+                    rw.dedup_or(GateOp::Mux { sel: s, a, b })
+                } else {
+                    match (rw.const_of(a), rw.const_of(b)) {
+                        // Arms are pooled constants, distinct ⇒ differing
+                        // values: `sel ? v : !v` is `sel` or `NOT sel`.
+                        (Some(va), Some(_)) => {
+                            rw.report.folded_constants += 1;
+                            rw.report.exact = false;
+                            if va {
+                                s
+                            } else {
+                                rw.not(s)
+                            }
+                        }
+                        // `sel ? true : b` = `sel OR b`;
+                        // `sel ? false : b` = `¬sel AND b`.
+                        (Some(va), None) => {
+                            rw.report.folded_constants += 1;
+                            rw.report.exact = false;
+                            let g = if va { Gate::Or } else { Gate::AndNY };
+                            rw.gate(g, s, b)
+                        }
+                        // `sel ? a : true` = `¬sel OR a`;
+                        // `sel ? a : false` = `sel AND a`.
+                        (None, Some(vb)) => {
+                            rw.report.folded_constants += 1;
+                            rw.report.exact = false;
+                            let g = if vb { Gate::OrNY } else { Gate::And };
+                            rw.gate(g, s, a)
+                        }
+                        (None, None) => rw.dedup_or(GateOp::Mux { sel: s, a, b }),
+                    }
+                }
+            }
+        };
+        alias.push(new_id);
+    }
+    for &out in net.outputs() {
+        rw.mid.mark_output(alias[out]);
+    }
+    let Rewriter {
+        mid, mut report, ..
+    } = rw;
+
+    // Pass 2: sweep dead nodes (inputs always stay — the simplified
+    // netlist must take the original input vector positionally).
+    let live = reachable(&mid);
+    let mut out = CircuitNetlist::new();
+    let mut remap: Vec<Option<usize>> = Vec::with_capacity(mid.len());
+    for (id, &op) in mid.ops().iter().enumerate() {
+        let keep = live[id] || matches!(op, GateOp::Input(_));
+        if !keep {
+            report.dead_removed += 1;
+            remap.push(None);
+            continue;
+        }
+        let m = |x: usize| remap[x].expect("live operand kept");
+        let new_id = match op {
+            GateOp::Input(_) => out.input(),
+            GateOp::Constant(v) => out.constant(v),
+            GateOp::Not(a) => out.not(m(a)),
+            GateOp::Binary(g, a, b) => out.gate(g, m(a), m(b)),
+            GateOp::Mux { sel, a, b } => out.mux(m(sel), m(a), m(b)),
+        };
+        remap.push(Some(new_id));
+    }
+    for &o in mid.outputs() {
+        out.mark_output(remap[o].expect("outputs are live"));
+    }
+    report.nodes_after = out.len();
+    report.bootstraps_after = out.bootstraps();
+    (out, report)
+}
+
+impl Rewriter {
+    /// Partial evaluation of a binary gate with one constant operand:
+    /// `f` is the gate as a function of the remaining operand `other`.
+    /// The result is a constant, an alias, or a free `NOT` — never a
+    /// bootstrap. Not bit-exact: the original output was a freshly
+    /// bootstrapped ciphertext.
+    fn fold_half(&mut self, f: impl Fn(bool) -> bool, other: usize) -> usize {
+        self.report.folded_constants += 1;
+        self.report.exact = false;
+        match (f(false), f(true)) {
+            (v, w) if v == w => self.constant(v),
+            (false, true) => other,
+            _ => self.not(other),
+        }
+    }
+}
+
+/// The worst-case per-operation noise variances of this crate's gate
+/// bootstrap pipeline, derived from a [`ParameterSet`] and the
+/// bootstrapping-key unroll factor `m`. All variances are in squared
+/// torus units (the torus is `[-1/2, 1/2)`).
+///
+/// The model mirrors the implementation, not a generic TFHE bound:
+///
+/// * **Blind rotate** ([`NoiseModel::v_blind_rotate`]) — `⌈n/m⌉`
+///   external products, each against a bundle `1 + Σ_p (X^{e_p} − 1)·BK_p`
+///   over the group's `2^m − 1` pattern keys. Scaling a key by
+///   `X^e − 1` doubles its per-coefficient noise variance, every nonempty
+///   pattern is charged, digits are taken at the worst-case magnitude
+///   `Bg/2`, and the gadget's `ℓ`-level approximation contributes
+///   `(1 + N)·(2^{-ℓ·log Bg})²` per product.
+/// * **Key switch** ([`NoiseModel::v_key_switch`]) — digit multiples are
+///   pre-encrypted (`KeySwitchKey` stores `v·s′_i/2^{(j+1)γ}` entries), so
+///   each of the `N·t` digits subtracts exactly one fresh-noise sample;
+///   rounding each coefficient to `t·γ` bits adds a half-step per
+///   coefficient, all `N` charged.
+/// * **Mod switch** ([`NoiseModel::v_mod_switch`]) — rounding `n + 1`
+///   torus coefficients to multiples of `1/2N`, uniform within a step.
+///
+/// A bootstrapped gate output carries
+/// [`v_bootstrapped`](NoiseModel::v_bootstrapped) `= v_blind_rotate +
+/// v_key_switch` regardless of its inputs (the reset that makes
+/// gate-level TFHE compose); a mux output carries two blind rotations
+/// plus one key switch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NoiseModel {
+    v_fresh: f64,
+    v_blind_rotate: f64,
+    v_key_switch: f64,
+    v_mod_switch: f64,
+}
+
+/// Margin of the AND-family gate decision: the linear part sits at
+/// distance 1/8 from the sign boundary.
+const AND_MARGIN: f64 = 0.125;
+/// Margin of the XOR/XNOR decision (the `±1/4` encodings)…
+const XOR_MARGIN: f64 = 0.25;
+/// …whose `2·(a + b)` linear part also scales the operand error by 2
+/// (variance by 4).
+const XOR_SCALE2: f64 = 4.0;
+/// Margin charged to the final decryption of each output: the symmetric
+/// ±1/8 encoding decides on the sign, so an error of 1/8 toward the
+/// boundary is what flips a decrypted bit. (The empirical
+/// [`noise`](crate::noise) harness documents the tighter 1/16 acceptance
+/// threshold it checks samples against; the decision margin itself is
+/// 1/8.)
+const DECRYPT_MARGIN: f64 = 0.125;
+
+impl NoiseModel {
+    /// Builds the model for `params` at bootstrapping-key unroll `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unroll` is outside `1..=8` (the [`ServerKey`] bound).
+    ///
+    /// [`ServerKey`]: crate::gates::ServerKey
+    pub fn new(params: &ParameterSet, unroll: usize) -> Self {
+        assert!(
+            (1..=8).contains(&unroll),
+            "unroll factor {unroll} outside 1..=8"
+        );
+        let n = params.lwe_dimension as f64;
+        let big_n = params.ring_degree as f64;
+        let groups = params.lwe_dimension.div_ceil(unroll) as f64;
+        let patterns = ((1usize << unroll) - 1) as f64;
+        let bg = (params.decomp_base_log as f64).exp2();
+        let ell = params.decomp_levels as f64;
+        // `(X^e − 1)` doubles a pattern key's per-coefficient variance.
+        let v_bundle = 2.0 * patterns * params.ring_noise_stdev * params.ring_noise_stdev;
+        let eps_bg = (-(params.decomp_base_log as f64 * params.decomp_levels as f64)).exp2();
+        let v_blind_rotate = groups
+            * (2.0 * ell * big_n * (bg * bg / 4.0) * v_bundle + (1.0 + big_n) * eps_bg * eps_bg);
+        let eps_ks = (-(params.ks_base_log as f64 * params.ks_levels as f64)).exp2();
+        let v_key_switch =
+            big_n * params.ks_levels as f64 * params.lwe_noise_stdev * params.lwe_noise_stdev
+                + big_n * (eps_ks / 2.0) * (eps_ks / 2.0);
+        let step = 1.0 / (2.0 * big_n);
+        let v_mod_switch = (n + 1.0) * step * step / 12.0;
+        Self {
+            v_fresh: params.lwe_noise_stdev * params.lwe_noise_stdev,
+            v_blind_rotate,
+            v_key_switch,
+            v_mod_switch,
+        }
+    }
+
+    /// Variance of a fresh client-encrypted input.
+    pub fn v_fresh(&self) -> f64 {
+        self.v_fresh
+    }
+
+    /// Worst-case variance added by one blind rotation.
+    pub fn v_blind_rotate(&self) -> f64 {
+        self.v_blind_rotate
+    }
+
+    /// Worst-case variance added by one key switch (including its
+    /// decomposition rounding).
+    pub fn v_key_switch(&self) -> f64 {
+        self.v_key_switch
+    }
+
+    /// Worst-case variance of the mod-switch rounding, charged to every
+    /// bootstrap decision.
+    pub fn v_mod_switch(&self) -> f64 {
+        self.v_mod_switch
+    }
+
+    /// Variance of a bootstrapped binary-gate output (blind rotate + key
+    /// switch) — independent of the inputs: the noise reset.
+    pub fn v_bootstrapped(&self) -> f64 {
+        self.v_blind_rotate + self.v_key_switch
+    }
+
+    /// Variance of a mux output: two extracted-key bootstraps summed,
+    /// then one key switch.
+    pub fn v_mux_output(&self) -> f64 {
+        2.0 * self.v_blind_rotate + self.v_key_switch
+    }
+
+    /// A Gaussian tail bound on the probability that an error of the
+    /// given variance exceeds `margin` in absolute value:
+    /// `min(1, 2·exp(−margin²/2σ²))`. This dominates the exact
+    /// `erfc(margin/σ√2)` for every useful margin (z ≳ 0.8), so the
+    /// certificate stays a true upper bound. Zero variance means zero
+    /// failure probability (trivial ciphertexts).
+    pub fn tail_bound(margin: f64, variance: f64) -> f64 {
+        if variance <= 0.0 {
+            return 0.0;
+        }
+        let z2 = margin * margin / variance;
+        (2.0 * (-z2 / 2.0).exp()).min(1.0)
+    }
+
+    /// Failure-probability bound of one binary-gate bootstrap decision
+    /// whose operands carry variances `va` and `vb`. XOR/XNOR place the
+    /// encodings at ±1/4 (margin 1/4) but scale operand error by 2;
+    /// every other gate decides at margin 1/8 with unit coefficients.
+    pub fn gate_failure(&self, gate: Gate, va: f64, vb: f64) -> f64 {
+        let (margin, scale2) = match gate {
+            Gate::Xor | Gate::Xnor => (XOR_MARGIN, XOR_SCALE2),
+            _ => (AND_MARGIN, 1.0),
+        };
+        Self::tail_bound(margin, scale2 * (va + vb) + self.v_mod_switch)
+    }
+
+    /// Summed failure bound of a mux's two AND-type bootstrap decisions,
+    /// `AND(sel, a)` and `AND(¬sel, b)`.
+    pub fn mux_failure(&self, v_sel: f64, va: f64, vb: f64) -> f64 {
+        Self::tail_bound(AND_MARGIN, v_sel + va + self.v_mod_switch)
+            + Self::tail_bound(AND_MARGIN, v_sel + vb + self.v_mod_switch)
+    }
+
+    /// Failure bound of decrypting a value of variance `v` against the
+    /// conservative 1/16 margin.
+    pub fn decrypt_failure(&self, v: f64) -> f64 {
+        Self::tail_bound(DECRYPT_MARGIN, v)
+    }
+}
+
+/// The analytic noise certificate for one marked output.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OutputNoise {
+    /// The output's node index in the netlist.
+    pub node: usize,
+    /// Worst-case variance of the output's value.
+    pub variance: f64,
+    /// Union bound on the probability that this output decrypts wrong:
+    /// the sum of every bootstrap-decision failure bound in the output's
+    /// backward cone, plus the final decryption tail. Clamped to 1.
+    pub failure_prob: f64,
+}
+
+/// The noise section of a [`NetlistReport`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct NoiseReport {
+    /// Worst-case value variance per node, in netlist order.
+    pub node_variance: Vec<f64>,
+    /// Per-output certificates, in marking order.
+    pub outputs: Vec<OutputNoise>,
+    /// The parameter-derived model the certificates used.
+    pub model: NoiseModel,
+}
+
+impl NoiseReport {
+    /// The largest per-output failure bound (0 when nothing is marked).
+    pub fn max_failure_prob(&self) -> f64 {
+        self.outputs
+            .iter()
+            .map(|o| o.failure_prob)
+            .fold(0.0, f64::max)
+    }
+}
+
+fn noise_report(net: &CircuitNetlist, model: NoiseModel) -> NoiseReport {
+    let n = net.len();
+    let mut variance = vec![0.0f64; n];
+    // Failure bound of each node's own bootstrap decisions (0 for free ops).
+    let mut decision = vec![0.0f64; n];
+    for (id, &op) in net.ops().iter().enumerate() {
+        match op {
+            GateOp::Input(_) => variance[id] = model.v_fresh(),
+            GateOp::Constant(_) => variance[id] = 0.0,
+            GateOp::Not(a) => variance[id] = variance[a],
+            GateOp::Binary(g, a, b) => {
+                decision[id] = model.gate_failure(g, variance[a], variance[b]);
+                variance[id] = model.v_bootstrapped();
+            }
+            GateOp::Mux { sel, a, b } => {
+                decision[id] = model.mux_failure(variance[sel], variance[a], variance[b]);
+                variance[id] = model.v_mux_output();
+            }
+        }
+    }
+    let mut outputs = Vec::with_capacity(net.outputs().len());
+    let mut seen = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    for &out in net.outputs() {
+        // Union bound over the output's backward cone.
+        seen.iter_mut().for_each(|s| *s = false);
+        let mut p = model.decrypt_failure(variance[out]);
+        seen[out] = true;
+        stack.push(out);
+        while let Some(id) = stack.pop() {
+            p += decision[id];
+            for operand in net.ops()[id].operands().into_iter().flatten() {
+                if !seen[operand] {
+                    seen[operand] = true;
+                    stack.push(operand);
+                }
+            }
+        }
+        outputs.push(OutputNoise {
+            node: out,
+            variance: variance[out],
+            failure_prob: p.min(1.0),
+        });
+    }
+    NoiseReport {
+        node_variance: variance,
+        outputs,
+        model,
+    }
+}
+
+/// The cost section of a [`NetlistReport`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CostReport {
+    /// Total gate bootstraps (the schedule-skeleton unit count).
+    pub bootstraps: usize,
+    /// Wave depth (free `NOT`s add none).
+    pub depth: usize,
+    /// Longest dependency chain in bootstrap units — equals
+    /// `accel::schedule::Netlist::from_deps(skeleton).critical_path()`.
+    pub critical_path_units: usize,
+    /// Critical-path priority rank per *node*, in bootstrap units: the
+    /// length of the longest downstream chain including the node's own
+    /// bootstraps (binary 1, mux 2, free ops 0). A frontier scheduler
+    /// dispatching highest-rank-first is critical-path-first; sources and
+    /// `NOT`s carry the rank of their longest consumer chain.
+    pub node_ranks: Vec<usize>,
+}
+
+fn cost_report(net: &CircuitNetlist) -> CostReport {
+    let units = net.schedule_skeleton();
+    // Unit-level ranks: longest chain (in units, inclusive) to any sink.
+    let mut unit_rank = vec![1usize; units.len()];
+    for u in (0..units.len()).rev() {
+        let r = unit_rank[u];
+        for &d in &units[u] {
+            unit_rank[d] = unit_rank[d].max(r + 1);
+        }
+    }
+    // Re-derive the node → unit mapping the skeleton used (mirrors
+    // `CircuitNetlist::schedule_skeleton`'s construction order: binary
+    // gates one unit, muxes two chained units).
+    let mut next_unit = 0usize;
+    let mut node_units: Vec<Option<(usize, usize)>> = Vec::with_capacity(net.len());
+    for &op in net.ops() {
+        node_units.push(match op {
+            GateOp::Binary(..) => {
+                next_unit += 1;
+                Some((next_unit - 1, next_unit - 1))
+            }
+            GateOp::Mux { .. } => {
+                next_unit += 2;
+                Some((next_unit - 2, next_unit - 1))
+            }
+            _ => None,
+        });
+    }
+    debug_assert_eq!(next_unit, units.len());
+    let mut ranks = vec![0usize; net.len()];
+    for (id, &op) in net.ops().iter().enumerate().rev() {
+        if let Some((first, _)) = node_units[id] {
+            ranks[id] = ranks[id].max(unit_rank[first]);
+        }
+        let own = ranks[id];
+        for (pos, operand) in op.operands().into_iter().enumerate() {
+            let Some(o) = operand else { continue };
+            // A mux's `b` arm only feeds its second unit; everything else
+            // chains through the node's full rank.
+            let contribution = match (op, pos) {
+                (GateOp::Mux { .. }, 2) => unit_rank[node_units[id].expect("mux has units").1],
+                _ => own,
+            };
+            ranks[o] = ranks[o].max(contribution);
+        }
+    }
+    CostReport {
+        bootstraps: net.bootstraps(),
+        depth: net.depth(),
+        critical_path_units: unit_rank.iter().copied().max().unwrap_or(0),
+        node_ranks: ranks,
+    }
+}
+
+/// The full machine-readable result of [`analyze`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetlistReport {
+    /// Structural findings (see [`lint`]).
+    pub lints: Vec<Lint>,
+    /// Per-output analytic noise certificates.
+    pub noise: NoiseReport,
+    /// Bootstrap counts, depth, and priority ranks.
+    pub cost: CostReport,
+}
+
+impl NetlistReport {
+    /// The severest lint severity present, if any lint fired.
+    pub fn worst_severity(&self) -> Option<Severity> {
+        self.lints.iter().map(Lint::severity).max()
+    }
+
+    /// `true` when no lint at or above `deny` fired.
+    pub fn is_clean(&self, deny: Severity) -> bool {
+        self.lints.iter().all(|l| l.severity() < deny)
+    }
+
+    /// The severest lint at or above `deny`, if any — what an admission
+    /// policy rejects on.
+    pub fn worst_lint_at_least(&self, deny: Severity) -> Option<&Lint> {
+        self.lints
+            .iter()
+            .filter(|l| l.severity() >= deny)
+            .max_by_key(|l| l.severity())
+    }
+
+    /// The largest per-output failure bound (0 when nothing is marked).
+    pub fn max_failure_prob(&self) -> f64 {
+        self.noise.max_failure_prob()
+    }
+}
+
+/// Analyzes `net` in one pass: structural [`lint`]s, analytic per-output
+/// noise certification under `params` at bootstrapping-key unroll
+/// `unroll`, and critical-path cost analysis.
+///
+/// # Panics
+///
+/// Panics if `unroll` is outside `1..=8` (the `ServerKey` bound).
+pub fn analyze(net: &CircuitNetlist, params: &ParameterSet, unroll: usize) -> NetlistReport {
+    let model = NoiseModel::new(params, unroll);
+    NetlistReport {
+        lints: lint(net),
+        noise: noise_report(net, model),
+        cost: cost_report(net),
+    }
+}
+
+/// Default per-output decryption-failure budget: `2⁻²⁰` (≈ `9.5·10⁻⁷`).
+/// Far above the analytic bound of any shipped lowering at any shipped
+/// parameter set, far below anything a production client should accept.
+pub const DEFAULT_FAILURE_BUDGET: f64 = 1.0 / (1 << 20) as f64;
+
+/// Admission-time analysis knobs for a `CircuitServer` (set on
+/// `ServerConfig::analysis`): every submitted netlist is [`analyze`]d
+/// before admission and rejected — with a structured reason naming the
+/// failing lint or output bound — when it trips either knob.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AnalysisPolicy {
+    /// Reject circuits carrying any lint at or above this severity.
+    pub deny: Severity,
+    /// Reject circuits whose analytic per-output failure bound exceeds
+    /// this probability.
+    pub max_failure_prob: f64,
+}
+
+impl Default for AnalysisPolicy {
+    /// Rejects on [`Severity::Error`] lints and on outputs past
+    /// [`DEFAULT_FAILURE_BUDGET`].
+    fn default() -> Self {
+        Self {
+            deny: Severity::Error,
+            max_failure_prob: DEFAULT_FAILURE_BUDGET,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParameterSet;
+
+    /// sum/carry half adder: clean by construction.
+    fn half_adder() -> CircuitNetlist {
+        let mut net = CircuitNetlist::new();
+        let a = net.input();
+        let b = net.input();
+        let sum = net.gate(Gate::Xor, a, b);
+        let carry = net.gate(Gate::And, a, b);
+        net.mark_output(sum);
+        net.mark_output(carry);
+        net
+    }
+
+    fn kinds(lints: &[Lint]) -> Vec<LintKind> {
+        lints.iter().map(|l| l.kind).collect()
+    }
+
+    #[test]
+    fn clean_netlist_has_no_lints() {
+        assert!(lint(&half_adder()).is_empty());
+        assert!(lint(&CircuitNetlist::new()).is_empty());
+    }
+
+    #[test]
+    fn dead_bootstrapped_node_is_an_error() {
+        let mut net = half_adder();
+        let a = net.input();
+        let dead = net.gate(Gate::Or, 0, a);
+        let l = lint(&net);
+        assert!(l.contains(&Lint {
+            kind: LintKind::DeadNode,
+            node: dead
+        }));
+        assert!(l.contains(&Lint {
+            kind: LintKind::UnusedInput,
+            node: a
+        }));
+        assert_eq!(l.iter().map(Lint::severity).max(), Some(Severity::Error));
+    }
+
+    #[test]
+    fn no_outputs_is_an_error() {
+        let mut net = CircuitNetlist::new();
+        let a = net.input();
+        let b = net.input();
+        let _ = net.gate(Gate::And, a, b);
+        assert!(kinds(&lint(&net)).contains(&LintKind::NoOutputs));
+        // …but a netlist with no bootstrapped work and no outputs is not
+        // burning anything.
+        let mut empty = CircuitNetlist::new();
+        let _ = empty.input();
+        assert!(!kinds(&lint(&empty)).contains(&LintKind::NoOutputs));
+    }
+
+    #[test]
+    fn foldable_duplicate_double_not_and_mux_arms_lint() {
+        let mut net = CircuitNetlist::new();
+        let a = net.input();
+        let b = net.input();
+        let t = net.constant(true);
+        let foldable = net.gate(Gate::And, a, t);
+        let g1 = net.gate(Gate::Or, a, b);
+        let dup = net.gate(Gate::Or, b, a); // commutative duplicate
+        let n1 = net.not(g1);
+        let dnot = net.not(n1);
+        let mux = net.mux(b, g1, g1);
+        for id in [foldable, dup, dnot, mux] {
+            net.mark_output(id);
+        }
+        let l = lint(&net);
+        let k = kinds(&l);
+        assert!(k.contains(&LintKind::ConstantFoldable));
+        assert!(k.contains(&LintKind::DuplicateGate));
+        assert!(k.contains(&LintKind::DoubleNot));
+        assert!(k.contains(&LintKind::MuxIdenticalArms));
+        assert_eq!(l.iter().map(Lint::severity).max(), Some(Severity::Warning));
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(LintKind::DeadNode.severity(), Severity::Error);
+        assert_eq!(LintKind::DoubleNot.severity(), Severity::Info);
+        assert_eq!(
+            format!(
+                "{}",
+                Lint {
+                    kind: LintKind::DeadNode,
+                    node: 3
+                }
+            ),
+            "error: dead-node at node 3"
+        );
+    }
+
+    #[test]
+    fn simplify_collapses_double_not_exactly() {
+        let mut net = CircuitNetlist::new();
+        let a = net.input();
+        let b = net.input();
+        let g = net.gate(Gate::And, a, b);
+        let n1 = net.not(g);
+        let n2 = net.not(n1);
+        net.mark_output(n2);
+        let (s, r) = simplify(&net);
+        assert!(r.exact);
+        assert_eq!(r.collapsed_nots, 1);
+        assert_eq!(s.bootstraps(), 1);
+        // The double negation and the inner NOT are gone.
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.outputs(), &[2]);
+    }
+
+    #[test]
+    fn simplify_dedups_commutative_gates_exactly() {
+        let mut net = CircuitNetlist::new();
+        let a = net.input();
+        let b = net.input();
+        let g1 = net.gate(Gate::Xor, a, b);
+        let g2 = net.gate(Gate::Xor, b, a);
+        let g3 = net.gate(Gate::AndYN, a, b);
+        let g4 = net.gate(Gate::AndYN, b, a); // NOT a duplicate (order matters)
+        net.mark_output(g1);
+        net.mark_output(g2);
+        net.mark_output(g3);
+        net.mark_output(g4);
+        let (s, r) = simplify(&net);
+        assert!(r.exact);
+        assert_eq!(r.deduplicated, 1);
+        assert_eq!(s.bootstraps(), 3);
+        // Both XOR outputs alias the same node.
+        assert_eq!(s.outputs()[0], s.outputs()[1]);
+        assert_ne!(s.outputs()[2], s.outputs()[3]);
+    }
+
+    #[test]
+    fn simplify_folds_constants_and_cascades() {
+        // AND(a, true) → a, then XOR(a, a)… stays: XOR of the same node
+        // twice is not folded (it is a duplicate-operand gate, left to
+        // run); instead check OR(AND(a,true), false) → a.
+        let mut net = CircuitNetlist::new();
+        let a = net.input();
+        let t = net.constant(true);
+        let f = net.constant(false);
+        let g1 = net.gate(Gate::And, a, t); // → a
+        let g2 = net.gate(Gate::Or, g1, f); // → g1 → a
+        net.mark_output(g2);
+        let (s, r) = simplify(&net);
+        assert!(!r.exact);
+        assert_eq!(r.folded_constants, 2);
+        assert_eq!(s.bootstraps(), 0);
+        // Just the input survives (constants die with their consumers).
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.outputs(), &[0]);
+        assert_eq!(s.num_inputs(), 1);
+    }
+
+    #[test]
+    fn simplify_folds_not_of_constant_exactly() {
+        let mut net = CircuitNetlist::new();
+        let a = net.input();
+        let f = net.constant(false);
+        let n = net.not(f); // → constant true, bit-exact (symmetric ±1/8)
+        let g = net.gate(Gate::Xor, a, n);
+        net.mark_output(g);
+        let (s, r) = simplify(&net);
+        // The XOR still folds (constant operand) — not exact overall…
+        assert!(!r.exact);
+        // …but run the NOT fold alone and exactness survives:
+        let mut net2 = CircuitNetlist::new();
+        let _ = net2.input();
+        let f2 = net2.constant(false);
+        let n2 = net2.not(f2);
+        net2.mark_output(n2);
+        let (s2, r2) = simplify(&net2);
+        assert!(r2.exact);
+        assert!(matches!(s2.ops()[s2.outputs()[0]], GateOp::Constant(true)));
+        assert_eq!(s.bootstraps(), 0);
+    }
+
+    #[test]
+    fn simplify_mux_constant_selector_and_arms() {
+        let mut net = CircuitNetlist::new();
+        let sel = net.input();
+        let a = net.input();
+        let b = net.input();
+        let t = net.constant(true);
+        let m1 = net.mux(t, a, b); // const sel → a
+        let m2 = net.mux(sel, t, b); // → OR(sel, b)
+        let m3 = net.mux(sel, a, t); // → ORNY(sel, a)
+        net.mark_output(m1);
+        net.mark_output(m2);
+        net.mark_output(m3);
+        let (s, r) = simplify(&net);
+        assert!(!r.exact);
+        assert_eq!(r.folded_constants, 3);
+        // Three muxes (6 bootstraps) became two binary gates.
+        assert_eq!(s.bootstraps(), 2);
+        assert!(matches!(
+            s.ops()[s.outputs()[1]],
+            GateOp::Binary(Gate::Or, _, _)
+        ));
+        assert!(matches!(
+            s.ops()[s.outputs()[2]],
+            GateOp::Binary(Gate::OrNY, _, _)
+        ));
+    }
+
+    #[test]
+    fn simplify_keeps_identical_arm_muxes() {
+        let mut net = CircuitNetlist::new();
+        let sel = net.input();
+        let a = net.input();
+        let m = net.mux(sel, a, a);
+        net.mark_output(m);
+        let (s, r) = simplify(&net);
+        assert!(r.exact);
+        assert_eq!(s.bootstraps(), 2, "the noise reset stays");
+    }
+
+    #[test]
+    fn simplify_sweeps_dead_nodes_but_keeps_inputs() {
+        let mut net = half_adder();
+        let c = net.input(); // unused input: kept
+        let dead = net.gate(Gate::Nor, 0, c); // dead gate: swept
+        let _ = dead;
+        let (s, r) = simplify(&net);
+        assert!(r.exact);
+        assert_eq!(r.dead_removed, 1);
+        assert_eq!(s.num_inputs(), 3);
+        assert_eq!(s.bootstraps(), 2);
+    }
+
+    #[test]
+    fn simplify_preserves_output_multiplicity_and_order() {
+        let mut net = half_adder();
+        net.mark_output(net.outputs()[0]); // sum marked twice
+        let (s, r) = simplify(&net);
+        assert!(r.exact);
+        assert_eq!(s.outputs().len(), 3);
+        assert_eq!(s.outputs()[0], s.outputs()[2]);
+    }
+
+    #[test]
+    fn cost_ranks_match_units() {
+        // XOR → AND chain: ranks descend along the chain.
+        let mut net = CircuitNetlist::new();
+        let a = net.input();
+        let b = net.input();
+        let g1 = net.gate(Gate::Xor, a, b);
+        let g2 = net.gate(Gate::And, g1, b);
+        let g3 = net.gate(Gate::Or, g2, a);
+        net.mark_output(g3);
+        let c = cost_report(&net);
+        assert_eq!(c.bootstraps, 3);
+        assert_eq!(c.critical_path_units, 3);
+        assert_eq!(c.node_ranks[g1], 3);
+        assert_eq!(c.node_ranks[g2], 2);
+        assert_eq!(c.node_ranks[g3], 1);
+        assert_eq!(c.node_ranks[a], 3, "source rank = longest chain below");
+    }
+
+    #[test]
+    fn cost_ranks_charge_mux_as_two_units() {
+        let mut net = CircuitNetlist::new();
+        let s = net.input();
+        let a = net.input();
+        let b = net.input();
+        let m = net.mux(s, a, b);
+        let g = net.gate(Gate::And, m, a);
+        net.mark_output(g);
+        let c = cost_report(&net);
+        assert_eq!(c.critical_path_units, 3);
+        assert_eq!(c.node_ranks[m], 3, "two mux units + the AND");
+        assert_eq!(c.node_ranks[s], 3);
+        assert_eq!(c.node_ranks[a], 3, "a feeds the first mux unit");
+        assert_eq!(c.node_ranks[b], 2, "b only feeds the second mux unit");
+    }
+
+    #[test]
+    fn cost_ranks_not_is_transparent() {
+        let mut net = CircuitNetlist::new();
+        let a = net.input();
+        let b = net.input();
+        let g1 = net.gate(Gate::And, a, b);
+        let n = net.not(g1);
+        let g2 = net.gate(Gate::Or, n, b);
+        net.mark_output(g2);
+        let c = cost_report(&net);
+        assert_eq!(c.node_ranks[n], 1, "NOT carries its consumer's rank");
+        assert_eq!(c.node_ranks[g1], 2);
+        assert_eq!(c.critical_path_units, 2);
+    }
+
+    #[test]
+    fn noise_resets_at_each_bootstrap() {
+        let model = NoiseModel::new(&ParameterSet::TEST_FAST, 2);
+        let mut net = CircuitNetlist::new();
+        let a = net.input();
+        let b = net.input();
+        let mut g = net.gate(Gate::And, a, b);
+        for _ in 0..20 {
+            g = net.gate(Gate::And, g, b);
+        }
+        net.mark_output(g);
+        let r = noise_report(&net, model);
+        // A 21-gate chain's output variance equals a single gate's.
+        assert_eq!(r.node_variance[g], model.v_bootstrapped());
+        // …but its union failure bound is larger than a single gate's.
+        let single = noise_report(&half_adder(), model);
+        assert!(r.outputs[0].failure_prob >= single.outputs[1].failure_prob);
+        assert!(r.outputs[0].failure_prob <= 1.0);
+    }
+
+    #[test]
+    fn noise_constants_are_noiseless() {
+        let model = NoiseModel::new(&ParameterSet::TEST_FAST, 2);
+        let mut net = CircuitNetlist::new();
+        let c = net.constant(true);
+        let n = net.not(c);
+        net.mark_output(n);
+        let r = noise_report(&net, model);
+        assert_eq!(r.node_variance[n], 0.0);
+        assert_eq!(r.outputs[0].failure_prob, 0.0);
+    }
+
+    #[test]
+    fn tail_bound_behaves() {
+        assert_eq!(NoiseModel::tail_bound(0.125, 0.0), 0.0);
+        let loose = NoiseModel::tail_bound(0.125, 1.0);
+        assert_eq!(loose, 1.0, "hopeless variance clamps to certainty");
+        let p1 = NoiseModel::tail_bound(0.125, 1e-4);
+        let p2 = NoiseModel::tail_bound(0.25, 1e-4);
+        assert!(p2 < p1, "larger margin, smaller failure bound");
+        assert!(p1 > 0.0 && p1 < 1.0);
+    }
+
+    #[test]
+    fn analyze_ties_the_sections_together() {
+        let net = half_adder();
+        let report = analyze(&net, &ParameterSet::TEST_FAST, 2);
+        assert!(report.is_clean(Severity::Info));
+        assert_eq!(report.worst_severity(), None);
+        assert_eq!(report.cost.bootstraps, 2);
+        assert_eq!(report.noise.outputs.len(), 2);
+        assert!(report.max_failure_prob() < DEFAULT_FAILURE_BUDGET);
+    }
+
+    #[test]
+    fn policy_default_rejects_errors_only() {
+        let policy = AnalysisPolicy::default();
+        assert_eq!(policy.deny, Severity::Error);
+        let mut net = half_adder();
+        let a = net.input();
+        let _dead = net.gate(Gate::Or, 0, a);
+        let report = analyze(&net, &ParameterSet::TEST_FAST, 2);
+        let worst = report.worst_lint_at_least(policy.deny).expect("dead node");
+        assert_eq!(worst.kind, LintKind::DeadNode);
+        // A warnings-only netlist passes the default policy.
+        let mut warn = CircuitNetlist::new();
+        let x = warn.input();
+        let t = warn.constant(true);
+        let g = warn.gate(Gate::And, x, t);
+        warn.mark_output(g);
+        let warn_report = analyze(&warn, &ParameterSet::TEST_FAST, 2);
+        assert!(warn_report.worst_lint_at_least(policy.deny).is_none());
+        assert_eq!(warn_report.worst_severity(), Some(Severity::Warning));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=8")]
+    fn model_rejects_bad_unroll() {
+        let _ = NoiseModel::new(&ParameterSet::TEST_FAST, 0);
+    }
+
+    #[test]
+    fn model_variances_are_positive_and_ordered() {
+        for p in [
+            ParameterSet::MATCHA,
+            ParameterSet::TFHE_DEFAULT,
+            ParameterSet::TEST_FAST,
+            ParameterSet::TEST_MEDIUM,
+        ] {
+            for unroll in [1, 2, 4] {
+                let m = NoiseModel::new(&p, unroll);
+                assert!(m.v_fresh() > 0.0);
+                assert!(m.v_blind_rotate() > 0.0);
+                assert!(m.v_key_switch() > 0.0);
+                assert!(m.v_mod_switch() > 0.0);
+                assert!(m.v_mux_output() > m.v_bootstrapped());
+            }
+        }
+    }
+}

@@ -84,8 +84,8 @@ impl ValueSlab {
     ///
     /// # Panics
     ///
-    /// Panics if the slot was already written — every node's value is
-    /// computed exactly once.
+    /// Panics if `index >= self.len()`, or if the slot was already
+    /// written — every node's value is computed exactly once.
     pub fn set(&self, index: usize, value: LweCiphertext) {
         assert!(
             self.slots[index].set(value).is_ok(),
@@ -97,8 +97,8 @@ impl ValueSlab {
     ///
     /// # Panics
     ///
-    /// Panics if the slot has not been written — an operand referenced
-    /// before its wave completed.
+    /// Panics if `index >= self.len()`, or if the slot has not been
+    /// written — an operand referenced before its wave completed.
     pub fn get(&self, index: usize) -> &LweCiphertext {
         self.slots[index]
             .get()
@@ -1049,6 +1049,20 @@ mod tests {
             slab.set(0, crate::LweCiphertext::trivial(Torus32::ZERO, 3));
         }));
         assert!(raised.is_err(), "double write must be rejected");
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn slab_set_out_of_range_rejected() {
+        let slab = ValueSlab::new(2);
+        slab.set(2, crate::LweCiphertext::trivial(Torus32::ZERO, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn slab_get_out_of_range_rejected() {
+        let slab = ValueSlab::new(1);
+        let _ = slab.get(5);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use std::time::Instant;
 
 /// One node of an executable netlist. Operand fields are indices of
 /// earlier nodes (the netlist is topologically ordered by construction).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum GateOp {
     /// The circuit's `slot`-th encrypted input, supplied at execution time.
     Input(usize),
@@ -46,8 +46,9 @@ pub enum GateOp {
 }
 
 impl GateOp {
-    /// The operand node indices this op consumes.
-    fn operands(&self) -> [Option<usize>; 3] {
+    /// The operand node indices this op consumes (`None` entries pad the
+    /// fixed-width array; sources consume nothing).
+    pub fn operands(&self) -> [Option<usize>; 3] {
         match *self {
             GateOp::Input(_) | GateOp::Constant(_) => [None, None, None],
             GateOp::Binary(_, a, b) => [Some(a), Some(b), None],
@@ -56,8 +57,9 @@ impl GateOp {
         }
     }
 
-    /// Gate bootstraps this op costs.
-    fn bootstraps(&self) -> usize {
+    /// Gate bootstraps this op costs (binary gates one, muxes two,
+    /// sources and free `NOT`s none).
+    pub fn bootstraps(&self) -> usize {
         match self {
             GateOp::Input(_) | GateOp::Constant(_) | GateOp::Not(_) => 0,
             GateOp::Binary(..) => 1,
@@ -797,6 +799,30 @@ mod tests {
     fn forward_reference_rejected() {
         let mut net = CircuitNetlist::new();
         let _ = net.gate(Gate::And, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "operands must reference earlier nodes")]
+    fn not_forward_reference_rejected() {
+        let mut net = CircuitNetlist::new();
+        let _ = net.not(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "operands must reference earlier nodes")]
+    fn mux_forward_reference_rejected() {
+        let mut net = CircuitNetlist::new();
+        let sel = net.input();
+        let a = net.input();
+        let _ = net.mux(sel, a, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "output 3 not in netlist")]
+    fn mark_output_out_of_range_rejected() {
+        let mut net = CircuitNetlist::new();
+        let _ = net.input();
+        net.mark_output(3);
     }
 
     #[test]

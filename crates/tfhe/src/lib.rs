@@ -19,6 +19,10 @@
 //! * [`batch`] / [`circuit`] / [`server`] — the serving stack: persistent
 //!   heterogeneous gate-batch pool, executable netlists wave-scheduled onto
 //!   it, and the multi-client circuit request server.
+//! * [`analyze`] — netlist static analysis: structural lints, the
+//!   `simplify` rewriter, analytic worst-case noise certification, and
+//!   critical-path cost ranks — run at server admission via
+//!   [`AnalysisPolicy`].
 //! * [`noise`] / [`profile`] — the measurement harnesses behind the paper's
 //!   Table 3 and Figure 1.
 //!
@@ -42,6 +46,9 @@
 //! assert_eq!(client.decrypt(&c), false);
 //! ```
 
+#![warn(missing_docs)]
+
+pub mod analyze;
 pub mod batch;
 pub mod bku;
 pub mod bootstrap;
@@ -64,6 +71,10 @@ pub mod server;
 pub mod tgsw;
 pub mod tlwe;
 
+pub use analyze::{
+    analyze, lint, simplify, AnalysisPolicy, CostReport, Lint, LintKind, NetlistReport, NoiseModel,
+    NoiseReport, OutputNoise, Severity, SimplifyReport,
+};
 pub use batch::{DispatchResult, GateBatchPool, GateTask, SlabTask, ValueSlab};
 pub use bku::UnrolledBootstrappingKey;
 pub use bootstrap::BootstrapKit;

@@ -56,6 +56,7 @@
 //! still run to completion, later submissions resolve to
 //! [`CircuitOutcome::Rejected`] with [`RejectReason::Shutdown`].
 
+use crate::analyze::{self, AnalysisPolicy, LintKind};
 use crate::batch::{panic_message, GateBatchPool, SlabTask};
 use crate::circuit::{CircuitFrontier, CircuitNetlist, CircuitRun};
 use crate::faults::FaultPlan;
@@ -86,6 +87,12 @@ pub struct ServerConfig {
     /// Deadline applied by [`CircuitClient::submit`] when the caller does
     /// not pick one; `None` means submissions run unbounded.
     pub default_deadline: Option<Duration>,
+    /// Static-analysis admission policy: when set, every submission is
+    /// [`analyze`](crate::analyze::analyze)d before admission and rejected
+    /// with [`RejectReason::Lint`] or [`RejectReason::NoiseBudget`] when it
+    /// trips the policy's lint-severity or failure-probability knob.
+    /// `None` (the default) admits without analysis.
+    pub analysis: Option<AnalysisPolicy>,
 }
 
 impl Default for ServerConfig {
@@ -94,12 +101,13 @@ impl Default for ServerConfig {
             queue_depth: usize::MAX,
             per_client_quota: usize::MAX,
             default_deadline: None,
+            analysis: None,
         }
     }
 }
 
 /// Why a circuit was turned away without running.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum RejectReason {
     /// The in-flight set was at [`ServerConfig::queue_depth`].
     QueueFull,
@@ -111,6 +119,26 @@ pub enum RejectReason {
     /// The submission failed validation (input count or LWE dimension)
     /// at the client API boundary; it was never queued.
     InvalidInput,
+    /// Admission analysis found a structural lint at or above the
+    /// [`AnalysisPolicy::deny`] severity — the circuit would waste
+    /// bootstraps on malformed structure.
+    Lint {
+        /// The lint that fired.
+        kind: LintKind,
+        /// The offending netlist node.
+        node: usize,
+    },
+    /// Admission analysis certified an output's worst-case decryption
+    /// failure probability above the policy budget — running the circuit
+    /// could silently decrypt wrong.
+    NoiseBudget {
+        /// Index into the netlist's output list (marking order).
+        output: usize,
+        /// The analytic failure-probability bound for that output.
+        bound: f64,
+        /// The [`AnalysisPolicy::max_failure_prob`] budget it exceeded.
+        budget: f64,
+    },
     /// The server shut down before admitting the circuit.
     Shutdown,
 }
@@ -428,6 +456,34 @@ fn admit<E>(
     if deadline.is_some_and(|d| Instant::now() >= d) {
         stats.reject(client, RejectReason::DeadlineUnmeetable, &reply);
         return;
+    }
+    // Static-analysis admission: certify structure and noise budget
+    // before a single bootstrap is spent on this circuit.
+    if let Some(policy) = config.analysis {
+        let report = analyze::analyze(&netlist, pool.server().params(), pool.server().unroll());
+        if let Some(l) = report.worst_lint_at_least(policy.deny) {
+            let reason = RejectReason::Lint {
+                kind: l.kind,
+                node: l.node,
+            };
+            stats.reject(client, reason, &reply);
+            return;
+        }
+        if let Some((output, o)) = report
+            .noise
+            .outputs
+            .iter()
+            .enumerate()
+            .find(|(_, o)| o.failure_prob > policy.max_failure_prob)
+        {
+            let reason = RejectReason::NoiseBudget {
+                output,
+                bound: o.failure_prob,
+                budget: policy.max_failure_prob,
+            };
+            stats.reject(client, reason, &reply);
+            return;
+        }
     }
     match catch_unwind(AssertUnwindSafe(|| {
         CircuitFrontier::with_tag(Arc::new(netlist), pool.server(), &inputs, *next_tag)
@@ -1497,6 +1553,118 @@ mod tests {
                     }
                 ),
             ]
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn analysis_policy_rejects_malformed_netlist_with_lint_reason() {
+        let (client, key, mut rng) = setup(170);
+        let config = ServerConfig {
+            analysis: Some(AnalysisPolicy::default()),
+            ..ServerConfig::default()
+        };
+        let server = CircuitServer::start_with(Arc::clone(&key), 1, config);
+        let handle = server.client();
+        // A netlist burning a bootstrap on a node no output depends on.
+        let mut net = CircuitNetlist::new();
+        let a = net.input();
+        let b = net.input();
+        let live = net.gate(Gate::Xor, a, b);
+        let dead = net.gate(Gate::And, a, b);
+        net.mark_output(live);
+        let ticket = handle.submit(net, encrypt_bits(&client, &[true, false], &mut rng));
+        assert_eq!(
+            ticket.wait().reject_reason(),
+            Some(RejectReason::Lint {
+                kind: LintKind::DeadNode,
+                node: dead
+            })
+        );
+        assert_eq!(server.stats().rejected, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn analysis_policy_rejects_over_budget_circuit_with_noise_bound() {
+        // Deliberately noisy gate-level samples: the key-switching key's
+        // N·t fresh-noise contributions push the analytic per-output
+        // failure bound far past any sane budget. Keys still generate —
+        // the point is that admission rejects before a bootstrap runs.
+        let params = ParameterSet {
+            lwe_noise_stdev: 5e-3,
+            ..ParameterSet::TEST_FAST
+        };
+        let mut rng = StdRng::seed_from_u64(171);
+        let client = ClientKey::generate(params, &mut rng);
+        let key = Arc::new(ServerKey::new(&client, F64Fft::new(256), &mut rng));
+        let config = ServerConfig {
+            analysis: Some(AnalysisPolicy::default()),
+            ..ServerConfig::default()
+        };
+        let server = CircuitServer::start_with(Arc::clone(&key), 1, config);
+        let handle = server.client();
+        let ticket = handle.submit(
+            xor_chain(2),
+            encrypt_bits(&client, &[true, false, true], &mut rng),
+        );
+        match ticket.wait().reject_reason() {
+            Some(RejectReason::NoiseBudget {
+                output,
+                bound,
+                budget,
+            }) => {
+                assert_eq!(output, 0);
+                assert!(bound > budget, "bound {bound} must exceed budget {budget}");
+                assert_eq!(budget, crate::analyze::DEFAULT_FAILURE_BUDGET);
+            }
+            other => panic!("expected a noise-budget rejection, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn analysis_policy_admits_clean_circuits_and_denies_warnings_when_strict() {
+        let (client, key, mut rng) = setup(172);
+        // Default policy: a clean circuit runs to completion.
+        let config = ServerConfig {
+            analysis: Some(AnalysisPolicy::default()),
+            ..ServerConfig::default()
+        };
+        let server = CircuitServer::start_with(Arc::clone(&key), 1, config);
+        let handle = server.client();
+        let bits = [true, false, true];
+        let run = handle
+            .submit(xor_chain(2), encrypt_bits(&client, &bits, &mut rng))
+            .wait()
+            .completed()
+            .expect("clean circuit admitted and completed");
+        assert_eq!(client.decrypt(&run.outputs[0]), xor_all(&bits));
+        server.shutdown();
+
+        // Strict policy: a warning-level (constant-foldable) circuit is
+        // turned away with the structured lint.
+        let strict = ServerConfig {
+            analysis: Some(AnalysisPolicy {
+                deny: crate::analyze::Severity::Warning,
+                ..AnalysisPolicy::default()
+            }),
+            ..ServerConfig::default()
+        };
+        let server = CircuitServer::start_with(Arc::clone(&key), 1, strict);
+        let handle = server.client();
+        let mut net = CircuitNetlist::new();
+        let x = net.input();
+        let t = net.constant(true);
+        let g = net.gate(Gate::And, x, t);
+        net.mark_output(g);
+        let ticket = handle.submit(net, encrypt_bits(&client, &[true], &mut rng));
+        assert_eq!(
+            ticket.wait().reject_reason(),
+            Some(RejectReason::Lint {
+                kind: LintKind::ConstantFoldable,
+                node: g
+            })
         );
         server.shutdown();
     }

@@ -1,0 +1,90 @@
+//! Cross-validation of the analytic noise model in [`matcha_tfhe::analyze`]
+//! against the empirical [`matcha_tfhe::noise`] harness.
+//!
+//! The admission-time certificate is only sound if the analytic worst-case
+//! variance *dominates* what real bootstraps produce. These tests measure
+//! post-bootstrap and pre-key-switch noise on live ciphertexts across two
+//! parameter sets and two unrolling factors and assert the model's stdev is
+//! an upper bound every time (with real slack — the model charges every key
+//! bit and every rounding half-step, so it should not be within a hair).
+
+use matcha_fft::F64Fft;
+use matcha_tfhe::noise::{bootstrap_noise, extracted_noise};
+use matcha_tfhe::params::ParameterSet;
+use matcha_tfhe::{ClientKey, NoiseModel, ServerKey};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// (label, parameter set, unroll factors worth exercising).
+fn cases() -> Vec<(&'static str, ParameterSet, Vec<usize>)> {
+    vec![
+        ("TEST_FAST", ParameterSet::TEST_FAST, vec![1, 2]),
+        ("TEST_MEDIUM", ParameterSet::TEST_MEDIUM, vec![2]),
+    ]
+}
+
+#[test]
+fn analytic_bound_dominates_empirical_bootstrap_noise() {
+    for (label, params, unrolls) in cases() {
+        for unroll in unrolls {
+            let mut rng = StdRng::seed_from_u64(7 + unroll as u64);
+            let client = ClientKey::generate(params, &mut rng);
+            let engine = F64Fft::new(params.ring_degree);
+            let server = ServerKey::with_unrolling(&client, engine, unroll, &mut rng);
+            let model = NoiseModel::new(&params, unroll);
+
+            let analytic = model.v_bootstrapped().sqrt();
+            let empirical =
+                bootstrap_noise(&client, server.kit(), server.engine(), 64, &mut rng).stdev;
+            assert!(
+                analytic >= empirical,
+                "{label} unroll {unroll}: analytic stdev {analytic:.3e} \
+                 below empirical {empirical:.3e}"
+            );
+            // The bound is worst-case, not asymptotically tight, but it
+            // should not be vacuous either: within three decades.
+            assert!(
+                analytic < empirical * 1e3,
+                "{label} unroll {unroll}: analytic stdev {analytic:.3e} \
+                 is vacuously far above empirical {empirical:.3e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn analytic_blind_rotate_bound_dominates_extracted_noise() {
+    for (label, params, unrolls) in cases() {
+        for unroll in unrolls {
+            let mut rng = StdRng::seed_from_u64(11 + unroll as u64);
+            let client = ClientKey::generate(params, &mut rng);
+            let engine = F64Fft::new(params.ring_degree);
+            let server = ServerKey::with_unrolling(&client, engine, unroll, &mut rng);
+            let model = NoiseModel::new(&params, unroll);
+
+            let analytic = model.v_blind_rotate().sqrt();
+            let empirical =
+                extracted_noise(&client, server.kit(), server.engine(), 64, &mut rng).stdev;
+            assert!(
+                analytic >= empirical,
+                "{label} unroll {unroll}: blind-rotate stdev bound {analytic:.3e} \
+                 below empirical {empirical:.3e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn variance_ordering_matches_the_pipeline() {
+    // Sanity on the model's internal decomposition: each stage adds
+    // variance, and a mux output (two blind rotates) is noisier than a
+    // binary gate output (one).
+    for (_, params, unrolls) in cases() {
+        for unroll in unrolls {
+            let model = NoiseModel::new(&params, unroll);
+            assert!(model.v_blind_rotate() > 0.0);
+            assert!(model.v_bootstrapped() > model.v_blind_rotate());
+            assert!(model.v_mux_output() > model.v_bootstrapped());
+        }
+    }
+}
