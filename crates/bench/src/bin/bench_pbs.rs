@@ -34,7 +34,15 @@
 //! `alloc_ns` = one warmed NAND bootstrap reused from this run's
 //! `nand/f64_m2` row, `scratch_ns` = a full `analyze()` pass over the
 //! adder8 netlist, putting the analyzer's overhead in units of the work
-//! it certifies).
+//! it certifies). Since PR 8 the word-level library is lowered too, so
+//! `circuit_sched_vs_sequential/*` gains the 8×8 schoolbook multiplier
+//! (`mul8`, the widest DAG the scheduler serves) and one full
+//! encrypted-CPU cycle (`processor_cycle8`), and the
+//! `netlist_simplified_vs_raw/*` family picks up every new library entry
+//! (`mul8`, `mul_low8`, `alu8`, `popcount16`, `shifter8`,
+//! `processor_cycle8`) — the fold-built lowerings record 1.0× there by
+//! design (the builder already skipped what the simplifier would fold),
+//! while the ALU-shaped rows record the CSE + constant-carry savings.
 //!
 //! Run with:
 //! `cargo run --release -p matcha-bench --bin bench_pbs`
@@ -418,6 +426,22 @@ fn bench_circuit_sched(rows: &mut Vec<Row>) {
         ("adder8", netlist::ripple_adder(8)),
         ("comparator8", netlist::eq_comparator(8)),
         ("mux4x4", netlist::mux_tree(2, 4)),
+        // The PR 8 word-level lowerings: the widest DAG the scheduler
+        // serves (8×8 schoolbook multiply) and one full encrypted-CPU
+        // cycle (register file + encrypted opcode in, register file out).
+        ("mul8", netlist::mul(8)),
+        (
+            "processor_cycle8",
+            netlist::processor_cycle(
+                2,
+                8,
+                netlist::CycleInstruction::Alu {
+                    dst: 0,
+                    src1: 0,
+                    src2: 1,
+                },
+            ),
+        ),
     ];
     for (name, net) in circuits {
         let inputs: Vec<_> = (0..net.num_inputs())

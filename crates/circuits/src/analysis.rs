@@ -72,6 +72,23 @@ pub fn library() -> Vec<(&'static str, CircuitNetlist)> {
         ("subtractor8", netlist::ripple_subtractor(8)),
         ("comparator8", netlist::eq_comparator(8)),
         ("mux4x4", netlist::mux_tree(2, 4)),
+        ("mul8", netlist::mul(8)),
+        ("mul_low8", netlist::mul_low(8)),
+        ("alu8", netlist::alu(8)),
+        ("popcount16", netlist::popcount(16)),
+        ("shifter8", netlist::shl(8, 4)),
+        (
+            "processor_cycle8",
+            netlist::processor_cycle(
+                2,
+                8,
+                netlist::CycleInstruction::Alu {
+                    dst: 0,
+                    src1: 0,
+                    src2: 1,
+                },
+            ),
+        ),
     ]
 }
 
@@ -155,7 +172,14 @@ mod tests {
         // loses its cin XOR and both cin ANDs' dependents (40 → 37); the
         // subtractor's true carry-in folds its sum XOR into a free NOT
         // and one AND into an alias (40 → 38); the comparator and the mux
-        // tree are already minimal.
+        // tree are already minimal. The fold-built lowerings (multiplier,
+        // popcount, shifter) never emit a constant-operand gate, so they
+        // are fixpoints. The ALU (and the processor cycle wrapping the
+        // same body) keeps its raw chains bit-identical to the eager
+        // path, so the simplifier finds the two chains' constant
+        // carry-ins (3 + 2) and the word-wise AND/XOR gates that
+        // duplicate the add chain's internal And(a_i,b_i)/Xor(a_i,b_i)
+        // (7 + 8 CSE hits): 138 → 118.
         assert_eq!(
             by_name,
             vec![
@@ -163,8 +187,81 @@ mod tests {
                 ("subtractor8", 40, 38),
                 ("comparator8", 15, 15),
                 ("mux4x4", 24, 24),
+                ("mul8", 320, 320),
+                ("mul_low8", 136, 136),
+                ("alu8", 138, 118),
+                ("popcount16", 63, 63),
+                ("shifter8", 49, 49),
+                ("processor_cycle8", 138, 118),
             ]
         );
+    }
+
+    #[test]
+    fn multiplier_lowering_skips_what_the_simplifier_would_fold() {
+        use crate::netlist::{NetBit, NetWord, WordNetlist};
+        use matcha_tfhe::Gate;
+
+        // The naive schoolbook lowering: zero-extend every partial
+        // product to 2·width and push it through a full-width raw ripple
+        // chain, trivial zeros and all (the pre-refactor eager shape,
+        // with its dropped final carries).
+        let width = 8;
+        let out_width = 2 * width;
+        let mut w = WordNetlist::new();
+        let a = w.input_word(width);
+        let b = w.input_word(width);
+        let mut acc = NetWord::from_bits(
+            (0..out_width)
+                .map(|i| {
+                    if i < width {
+                        w.gate(Gate::And, a[i], b[0])
+                    } else {
+                        NetBit::Const(false)
+                    }
+                })
+                .collect(),
+        );
+        for j in 1..width {
+            let partial = NetWord::from_bits(
+                (0..out_width)
+                    .map(|i| {
+                        if i >= j && i - j < width {
+                            w.gate(Gate::And, a[i - j], b[j])
+                        } else {
+                            NetBit::Const(false)
+                        }
+                    })
+                    .collect(),
+            );
+            let (sums, _dropped_carry) = w.ripple_add(&acc, &partial, NetBit::Const(false));
+            acc = sums;
+        }
+        w.mark_output_word(&acc);
+        let naive = w.finish();
+
+        // 64 partial-product ANDs + 7 full-width ripple adds.
+        assert_eq!(naive.bootstraps(), 64 + 7 * 5 * 16);
+        let (_, naive_report) = simplify(&naive);
+        assert!(
+            naive_report.bootstraps_after < naive_report.bootstraps_before,
+            "the simplifier must fold the trivial-zero columns"
+        );
+        assert!(
+            !naive_report.exact,
+            "folding bootstrapped gates on constants is not bit-exact"
+        );
+
+        // The shipped lowering skips those columns at build time instead:
+        // raw → simplified is a no-op, so the rewrite is trivially exact,
+        // and the raw count already undercuts everything the simplifier
+        // can salvage from the naive netlist.
+        let shipped = netlist::mul(8);
+        let (_, report) = simplify(&shipped);
+        assert_eq!(report.bootstraps_before, 320);
+        assert_eq!(report.bootstraps_after, 320);
+        assert!(report.exact);
+        assert!(shipped.bootstraps() <= naive_report.bootstraps_after);
     }
 
     #[test]

@@ -7,9 +7,14 @@
 //! barrel shifter, and a small ALU. Every circuit is generic over the FFT
 //! engine, so the whole stack runs identically on the double-precision
 //! reference kernel and on MATCHA's approximate integer kernel. The
-//! [`netlist`] module lowers the adder/comparator/mux structures into
-//! executable [`CircuitNetlist`](matcha_tfhe::CircuitNetlist)s for
-//! wave-scheduled execution on the batch pool and the circuit server.
+//! [`netlist`] module lowers the *entire* word-level library — adders,
+//! comparators, mux trees, the schoolbook multiplier, the ALU, popcount,
+//! the barrel shifter, and whole [`processor`] cycles — into executable
+//! [`CircuitNetlist`](matcha_tfhe::CircuitNetlist)s for wave-scheduled
+//! execution on the batch pool and the circuit server, each pinned
+//! bit-identical to its eager counterpart; its word-level
+//! [`WordNetlist`](netlist::WordNetlist) builder is how new workloads
+//! compose without hand-threading node indices.
 //!
 //! # Examples
 //!

@@ -4,6 +4,16 @@
 //! `n − 1` ripple additions — hundreds of bootstrapped gates even at small
 //! widths, which is exactly why the paper cares about gate *throughput*
 //! (Figure 10), not just latency.
+//!
+//! The additions only touch positions the shifted partial product can
+//! actually reach: each `width`-bit partial covers a window of the
+//! `2·width`-bit accumulator, so positions below the window pass through,
+//! the window start takes a half adder, positions past the known
+//! accumulator take a half adder on (partial, carry), and the carry lands
+//! one past the window for free. An 8×8 multiply is 320 bootstraps this
+//! way instead of the 624 a naive zero-extended ripple chain would spend —
+//! the same structure [`netlist::mul`](crate::netlist::mul) builds, so the
+//! scheduled path stays bit-identical.
 
 use crate::adder;
 use crate::word::EncryptedWord;
@@ -24,44 +34,77 @@ pub fn mul<E: FftEngine>(
     assert_eq!(a.len(), b.len(), "operand widths differ");
     assert!(!a.is_empty(), "empty operands");
     let width = a.len();
-    let out_width = 2 * width;
 
-    // acc starts as the first partial product (a · b_0), zero-extended.
-    let mut acc: EncryptedWord = (0..out_width)
-        .map(|i| {
-            if i < width {
-                server.and(&a[i], &b[0])
-            } else {
-                server.trivial(false)
-            }
-        })
-        .collect();
+    // acc starts as the first partial product (a · b_0); positions above
+    // it are known zero and stay implicit until a carry reaches them.
+    let mut acc: EncryptedWord = a.iter().map(|ai| server.and(ai, &b[0])).collect();
 
     for (j, bj) in b.iter().enumerate().skip(1) {
-        // Partial product a · b_j, shifted left by j within out_width bits.
-        let partial: EncryptedWord = (0..out_width)
-            .map(|i| {
-                if i >= j && i - j < width {
-                    server.and(&a[i - j], bj)
-                } else {
-                    server.trivial(false)
-                }
-            })
-            .collect();
-        acc = adder::add(server, &acc, &partial).sum;
+        // Partial product a · b_j, occupying positions j..j+width.
+        let partial: EncryptedWord = a.iter().map(|ai| server.and(ai, bj)).collect();
+        // Window start: carry-in is known zero, a half adder suffices.
+        let (sum, mut carry) = adder::half_adder(server, &acc[j], &partial[0]);
+        acc[j] = sum;
+        for (i, pbit) in partial.iter().enumerate().skip(1) {
+            let pos = j + i;
+            if pos < acc.len() {
+                let (s, c) = adder::full_adder(server, &acc[pos], pbit, &carry);
+                acc[pos] = s;
+                carry = c;
+            } else {
+                // The accumulator is known zero here: partial + carry.
+                let (s, c) = adder::half_adder(server, pbit, &carry);
+                acc.push(s);
+                carry = c;
+            }
+        }
+        // One past the window the partial is zero too: the carry drops in.
+        acc.push(carry);
+    }
+    while acc.len() < 2 * width {
+        acc.push(server.trivial(false));
     }
     acc
 }
 
-/// Truncated (wrapping) product: only the low `width` bits.
+/// Truncated (wrapping) product: only the low `width` bits. Partial
+/// products are truncated to the bits that land below `width` and the
+/// ripple chains never compute their carry out, so this is much cheaper
+/// than truncating [`mul`] (136 vs 320 bootstraps at 8 bits).
+///
+/// # Panics
+///
+/// Panics if the words have different widths or are empty.
 pub fn mul_low<E: FftEngine>(
     server: &ServerKey<E>,
     a: &EncryptedWord,
     b: &EncryptedWord,
 ) -> EncryptedWord {
-    let mut full = mul(server, a, b);
-    full.truncate(a.len());
-    full
+    assert_eq!(a.len(), b.len(), "operand widths differ");
+    assert!(!a.is_empty(), "empty operands");
+    let width = a.len();
+    let mut acc: EncryptedWord = a.iter().map(|ai| server.and(ai, &b[0])).collect();
+    for (j, bj) in b.iter().enumerate().skip(1) {
+        // Only the n = width − j low partial bits land below `width`.
+        let n = width - j;
+        let partial: EncryptedWord = a[..n].iter().map(|ai| server.and(ai, bj)).collect();
+        if n == 1 {
+            // Top column: the sum XOR alone (no carry to propagate).
+            acc[j] = server.xor(&acc[j], &partial[0]);
+            continue;
+        }
+        let (sum, mut carry) = adder::half_adder(server, &acc[j], &partial[0]);
+        acc[j] = sum;
+        for i in 1..n - 1 {
+            let (s, c) = adder::full_adder(server, &acc[j + i], &partial[i], &carry);
+            acc[j + i] = s;
+            carry = c;
+        }
+        // Top position: only the two sum XORs, the carry out is unwanted.
+        let axb = server.xor(&acc[width - 1], &partial[n - 1]);
+        acc[width - 1] = server.xor(&axb, &carry);
+    }
+    acc
 }
 
 /// Square of a word (same cost shape as [`mul`]; kept separate so
@@ -105,6 +148,17 @@ mod tests {
         let b = word::encrypt(&client, 3, 2, &mut rng);
         // 9 mod 4 = 1.
         assert_eq!(word::decrypt(&client, &mul_low(&server, &a, &b)), 1);
+    }
+
+    #[test]
+    fn four_bit_product_hits_every_window_case() {
+        // Wide enough that windows start with half adders, ripple through
+        // full adders, and spill carries past the known accumulator.
+        let (client, server, mut rng) = setup(705);
+        let a = word::encrypt(&client, 13, 4, &mut rng);
+        let b = word::encrypt(&client, 11, 4, &mut rng);
+        assert_eq!(word::decrypt(&client, &mul(&server, &a, &b)), 143);
+        assert_eq!(word::decrypt(&client, &mul_low(&server, &a, &b)), 143 % 16);
     }
 
     #[test]

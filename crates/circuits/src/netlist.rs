@@ -1,8 +1,11 @@
 //! Lowering the eager circuit builders into executable netlists.
 //!
-//! The functions in [`adder`](crate::adder), [`comparator`](crate::comparator)
-//! and [`mux`](crate::mux) evaluate gate-by-gate on the calling thread.
-//! These builders lower the *same* gate structures into
+//! The functions in the word-level modules ([`adder`](crate::adder),
+//! [`comparator`](crate::comparator), [`mux`](crate::mux),
+//! [`multiplier`](crate::multiplier), [`alu`](crate::alu),
+//! [`popcount`](crate::popcount), [`shifter`](crate::shifter) and
+//! [`processor`](crate::processor)) evaluate gate-by-gate on the calling
+//! thread. These builders lower the *same* gate structures into
 //! [`CircuitNetlist`]s, so whole circuits can be wave-scheduled onto a
 //! persistent [`GateBatchPool`](matcha_tfhe::GateBatchPool) or submitted to
 //! a [`CircuitServer`](matcha_tfhe::CircuitServer). Because each lowering
@@ -11,6 +14,16 @@
 //! decrypt-identical (in fact bit-identical) to the eager path — the
 //! equivalence the `netlist_equiv` suite pins.
 //!
+//! Rather than hand-threading node indices, lowerings are written against
+//! the word-level [`WordNetlist`] builder: words of [`NetBit`] wires
+//! ([`NetWord`], LSB first), per-bit gate application, ripple chains, mux
+//! layers and reduction trees. Builder-known constants stay symbolic
+//! ([`NetBit::Const`]) until a gate actually consumes them, and the
+//! `fold_*` helpers fold gates on constant operands away entirely — that is
+//! how [`mul`] skips the constant-zero partial-product columns of the
+//! schoolbook multiply instead of pushing trivial zeros through full
+//! adders.
+//!
 //! Input-slot conventions (all words LSB first):
 //!
 //! * [`ripple_adder`]/[`ripple_subtractor`]: `a` bits then `b` bits;
@@ -18,32 +31,447 @@
 //! * [`eq_comparator`]: `a` bits then `b` bits; one output.
 //! * [`mux_tree`]: the `k` index bits, then the `2^k` words in order;
 //!   outputs are the selected word's bits.
+//! * [`mul`]/[`mul_low`]: `a` bits then `b` bits; outputs are the
+//!   `2·width` (resp. low `width`) product bits.
+//! * [`alu`]: the 2 opcode bits (LSB first: `Add=00`, `Sub=01`, `And=10`,
+//!   `Xor=11`, matching [`AluOp::opcode_bits`](crate::alu::AluOp)), then
+//!   `a` bits, then `b` bits; outputs are the result word.
+//! * [`popcount`]: the `n` input bits; outputs are the
+//!   `⌈log2(n+1)⌉`-bit count.
+//! * [`shl`]/[`shr`]: the `amount_bits` shift-amount bits, then the word;
+//!   outputs are the shifted word.
+//! * [`processor_cycle`]: the full register file `r0, r1, …` (each
+//!   `width` bits, LSB first), then the instruction's encrypted control
+//!   bits — 2 opcode bits for [`CycleInstruction::Alu`], 1 flag bit for
+//!   [`CycleInstruction::CMov`]; outputs are the *entire* new register
+//!   file in order (non-destination registers pass through).
 
 use matcha_tfhe::circuit::CircuitNetlist;
 use matcha_tfhe::Gate;
 
-/// Lowers one full adder (the 5-gate XOR/AND/OR form of
-/// [`adder::full_adder`](crate::adder::full_adder)); returns `(sum, carry)`.
-fn lower_full_adder(net: &mut CircuitNetlist, a: usize, b: usize, cin: usize) -> (usize, usize) {
-    let axb = net.gate(Gate::Xor, a, b);
-    let sum = net.gate(Gate::Xor, axb, cin);
-    let and_ab = net.gate(Gate::And, a, b);
-    let and_cx = net.gate(Gate::And, axb, cin);
-    let carry = net.gate(Gate::Or, and_ab, and_cx);
-    (sum, carry)
+/// One wire of a [`WordNetlist`] under construction.
+///
+/// Constants stay symbolic until something actually consumes them: a
+/// `Const` wire owns no netlist node, and the `fold_*` builder methods
+/// eliminate gates whose operands are `Const` outright. Only when a
+/// constant reaches a raw gate or an output is a (pooled) trivial node
+/// materialized.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetBit {
+    /// A builder-known constant; no netlist node exists for it (yet).
+    Const(bool),
+    /// A node in the underlying [`CircuitNetlist`].
+    Node(usize),
 }
 
-fn ripple_chain(net: &mut CircuitNetlist, a: &[usize], b: &[usize], mut carry: usize) {
-    let mut sums = Vec::with_capacity(a.len());
-    for (&abit, &bbit) in a.iter().zip(b.iter()) {
-        let (sum, cout) = lower_full_adder(net, abit, bbit, carry);
-        sums.push(sum);
-        carry = cout;
+/// A word of netlist wires, least-significant bit first.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetWord {
+    bits: Vec<NetBit>,
+}
+
+impl NetWord {
+    /// Wraps raw wires (LSB first) as a word.
+    pub fn from_bits(bits: Vec<NetBit>) -> Self {
+        Self { bits }
     }
-    for sum in sums {
-        net.mark_output(sum);
+
+    /// An all-constant-zero word of `width` bits (no netlist nodes).
+    pub fn zeros(width: usize) -> Self {
+        Self {
+            bits: vec![NetBit::Const(false); width],
+        }
     }
-    net.mark_output(carry);
+
+    /// Word width in bits.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The wires, LSB first.
+    pub fn bits(&self) -> &[NetBit] {
+        &self.bits
+    }
+}
+
+impl std::ops::Index<usize> for NetWord {
+    type Output = NetBit;
+
+    fn index(&self, i: usize) -> &NetBit {
+        &self.bits[i]
+    }
+}
+
+/// Word-level [`CircuitNetlist`] builder.
+///
+/// Wraps a netlist under construction and exposes the vocabulary the
+/// eager word-level modules are written in — input words, per-bit gates,
+/// half/full adders, ripple chains, word muxes, selection trees and
+/// reduction trees — so lowerings read like their eager counterparts
+/// instead of hand-threaded node indices.
+///
+/// Two tiers of gate emission:
+///
+/// * **raw** ([`gate`](Self::gate), [`mux`](Self::mux),
+///   [`ripple_add`](Self::ripple_add), …) always emits the bootstrapped
+///   gate, materializing constant operands as pooled trivial nodes. Use
+///   these to mirror an eager circuit gate-for-gate (bit-identical
+///   ciphertexts), even where the eager path spends bootstraps on known
+///   bits (e.g. the adder's trivial carry-in).
+/// * **fold** ([`fold_gate`](Self::fold_gate), [`fold_mux`](Self::fold_mux),
+///   [`fold_ripple_add`](Self::fold_ripple_add), …) constant-folds at
+///   build time: gates with two known operands become constants, gates
+///   with one known operand collapse to an alias, a free NOT, or a
+///   constant, and muxes with a constant arm drop to a single AND/OR-form
+///   bootstrap. Use these where the eager path never touched the known
+///   bits at all (e.g. zero-extension columns in the multiplier).
+pub struct WordNetlist {
+    net: CircuitNetlist,
+    /// Pooled trivial-false / trivial-true nodes, created on first use so
+    /// lean netlists never carry unused constant nodes.
+    const_nodes: [Option<usize>; 2],
+}
+
+impl Default for WordNetlist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WordNetlist {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self {
+            net: CircuitNetlist::new(),
+            const_nodes: [None, None],
+        }
+    }
+
+    /// Ensures `bit` names a real netlist node, materializing (and
+    /// pooling) a constant node if needed.
+    fn materialize(&mut self, bit: NetBit) -> usize {
+        match bit {
+            NetBit::Node(id) => id,
+            NetBit::Const(v) => {
+                if let Some(id) = self.const_nodes[usize::from(v)] {
+                    id
+                } else {
+                    let id = self.net.constant(v);
+                    self.const_nodes[usize::from(v)] = Some(id);
+                    id
+                }
+            }
+        }
+    }
+
+    /// Adds one input slot and returns its wire.
+    pub fn input_bit(&mut self) -> NetBit {
+        NetBit::Node(self.net.input())
+    }
+
+    /// Adds `width` consecutive input slots as a word (LSB first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0.
+    pub fn input_word(&mut self, width: usize) -> NetWord {
+        assert!(width > 0, "empty operands");
+        NetWord::from_bits((0..width).map(|_| self.input_bit()).collect())
+    }
+
+    /// Emits a bootstrapped binary gate (constants are materialized).
+    pub fn gate(&mut self, gate: Gate, a: NetBit, b: NetBit) -> NetBit {
+        let a = self.materialize(a);
+        let b = self.materialize(b);
+        NetBit::Node(self.net.gate(gate, a, b))
+    }
+
+    /// A free NOT: folds constants, emits a transparent NOT node otherwise.
+    pub fn not(&mut self, a: NetBit) -> NetBit {
+        match a {
+            NetBit::Const(v) => NetBit::Const(!v),
+            NetBit::Node(id) => NetBit::Node(self.net.not(id)),
+        }
+    }
+
+    /// Emits a two-bootstrap MUX, `sel ? a : b` (constants materialized).
+    pub fn mux(&mut self, sel: NetBit, a: NetBit, b: NetBit) -> NetBit {
+        let sel = self.materialize(sel);
+        let a = self.materialize(a);
+        let b = self.materialize(b);
+        NetBit::Node(self.net.mux(sel, a, b))
+    }
+
+    /// A binary gate with build-time constant folding: two known operands
+    /// evaluate to a constant, one known operand collapses the gate to an
+    /// alias, a free NOT, or a constant (via the gate's truth table). Only
+    /// gates on two live wires bootstrap.
+    pub fn fold_gate(&mut self, gate: Gate, a: NetBit, b: NetBit) -> NetBit {
+        match (a, b) {
+            (NetBit::Const(x), NetBit::Const(y)) => NetBit::Const(gate.eval(x, y)),
+            (NetBit::Const(x), NetBit::Node(_)) => {
+                match (gate.eval(x, false), gate.eval(x, true)) {
+                    (false, true) => b,
+                    (true, false) => self.not(b),
+                    (v, _) => NetBit::Const(v),
+                }
+            }
+            (NetBit::Node(_), NetBit::Const(y)) => {
+                match (gate.eval(false, y), gate.eval(true, y)) {
+                    (false, true) => a,
+                    (true, false) => self.not(a),
+                    (v, _) => NetBit::Const(v),
+                }
+            }
+            (NetBit::Node(_), NetBit::Node(_)) => self.gate(gate, a, b),
+        }
+    }
+
+    /// `sel ? a : b` with build-time folding: a known selector picks an
+    /// arm for free, a known arm drops the MUX to a single AND/OR-form
+    /// bootstrap, equal constant arms are free.
+    pub fn fold_mux(&mut self, sel: NetBit, a: NetBit, b: NetBit) -> NetBit {
+        match sel {
+            NetBit::Const(true) => a,
+            NetBit::Const(false) => b,
+            NetBit::Node(_) => match (a, b) {
+                (NetBit::Const(x), NetBit::Const(y)) if x == y => NetBit::Const(x),
+                (NetBit::Const(true), NetBit::Const(false)) => sel,
+                (NetBit::Const(false), NetBit::Const(true)) => self.not(sel),
+                // sel ? 0 : b  =  ¬sel ∧ b
+                (NetBit::Const(false), _) => self.gate(Gate::AndNY, sel, b),
+                // sel ? 1 : b  =  sel ∨ b
+                (NetBit::Const(true), _) => self.gate(Gate::Or, sel, b),
+                // sel ? a : 0  =  sel ∧ a
+                (_, NetBit::Const(false)) => self.gate(Gate::And, sel, a),
+                // sel ? a : 1  =  ¬sel ∨ a
+                (_, NetBit::Const(true)) => self.gate(Gate::OrNY, sel, a),
+                _ => self.mux(sel, a, b),
+            },
+        }
+    }
+
+    /// Applies `gate` bit-wise across two equal-width words (raw).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn bitwise(&mut self, gate: Gate, a: &NetWord, b: &NetWord) -> NetWord {
+        assert_eq!(a.width(), b.width(), "word width mismatch");
+        NetWord::from_bits(
+            (0..a.width())
+                .map(|i| self.gate(gate, a[i], b[i]))
+                .collect(),
+        )
+    }
+
+    /// Free bit-wise NOT of a word.
+    pub fn not_word(&mut self, a: &NetWord) -> NetWord {
+        NetWord::from_bits((0..a.width()).map(|i| self.not(a[i])).collect())
+    }
+
+    /// One half adder (raw): `(sum, carry) = (a XOR b, a AND b)`,
+    /// gate-for-gate [`adder::half_adder`](crate::adder::half_adder).
+    pub fn half_add(&mut self, a: NetBit, b: NetBit) -> (NetBit, NetBit) {
+        let sum = self.gate(Gate::Xor, a, b);
+        let carry = self.gate(Gate::And, a, b);
+        (sum, carry)
+    }
+
+    /// One full adder (raw): the 5-gate XOR/AND/OR form of
+    /// [`adder::full_adder`](crate::adder::full_adder), emitted in the
+    /// same gate order; returns `(sum, carry)`.
+    pub fn full_add(&mut self, a: NetBit, b: NetBit, cin: NetBit) -> (NetBit, NetBit) {
+        let axb = self.gate(Gate::Xor, a, b);
+        let sum = self.gate(Gate::Xor, axb, cin);
+        let and_ab = self.gate(Gate::And, a, b);
+        let and_cx = self.gate(Gate::And, axb, cin);
+        let carry = self.gate(Gate::Or, and_ab, and_cx);
+        (sum, carry)
+    }
+
+    /// One full adder with constant folding: same gate order as
+    /// [`full_add`](Self::full_add), but every gate goes through
+    /// [`fold_gate`](Self::fold_gate), so positions where an operand or
+    /// the carry is known cost 2, 1 or 0 bootstraps instead of 5.
+    pub fn fold_full_add(&mut self, a: NetBit, b: NetBit, cin: NetBit) -> (NetBit, NetBit) {
+        let axb = self.fold_gate(Gate::Xor, a, b);
+        let sum = self.fold_gate(Gate::Xor, axb, cin);
+        let and_ab = self.fold_gate(Gate::And, a, b);
+        let and_cx = self.fold_gate(Gate::And, axb, cin);
+        let carry = self.fold_gate(Gate::Or, and_ab, and_cx);
+        (sum, carry)
+    }
+
+    /// A ripple-carry chain of raw [`full_add`](Self::full_add)s over two
+    /// equal-width words; returns `(sums, carry_out)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ or the words are empty.
+    pub fn ripple_add(&mut self, a: &NetWord, b: &NetWord, carry_in: NetBit) -> (NetWord, NetBit) {
+        assert_eq!(a.width(), b.width(), "word width mismatch");
+        assert!(a.width() > 0, "empty operands");
+        let mut carry = carry_in;
+        let mut sums = Vec::with_capacity(a.width());
+        for i in 0..a.width() {
+            let (sum, cout) = self.full_add(a[i], b[i], carry);
+            sums.push(sum);
+            carry = cout;
+        }
+        (NetWord::from_bits(sums), carry)
+    }
+
+    /// Like [`ripple_add`](Self::ripple_add) but the carry out is not
+    /// computed: the top position emits only its two sum XORs, so no
+    /// bootstrapped gate is left dangling when the carry is unwanted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ or the words are empty.
+    pub fn ripple_add_no_carry(&mut self, a: &NetWord, b: &NetWord, carry_in: NetBit) -> NetWord {
+        assert_eq!(a.width(), b.width(), "word width mismatch");
+        assert!(a.width() > 0, "empty operands");
+        let top = a.width() - 1;
+        let mut carry = carry_in;
+        let mut sums = Vec::with_capacity(a.width());
+        for i in 0..top {
+            let (sum, cout) = self.full_add(a[i], b[i], carry);
+            sums.push(sum);
+            carry = cout;
+        }
+        let axb = self.gate(Gate::Xor, a[top], b[top]);
+        sums.push(self.gate(Gate::Xor, axb, carry));
+        NetWord::from_bits(sums)
+    }
+
+    /// Constant-folding ripple-carry chain ([`fold_full_add`](Self::fold_full_add)
+    /// per position); returns `(sums, carry_out)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ or the words are empty.
+    pub fn fold_ripple_add(
+        &mut self,
+        a: &NetWord,
+        b: &NetWord,
+        carry_in: NetBit,
+    ) -> (NetWord, NetBit) {
+        assert_eq!(a.width(), b.width(), "word width mismatch");
+        assert!(a.width() > 0, "empty operands");
+        let mut carry = carry_in;
+        let mut sums = Vec::with_capacity(a.width());
+        for i in 0..a.width() {
+            let (sum, cout) = self.fold_full_add(a[i], b[i], carry);
+            sums.push(sum);
+            carry = cout;
+        }
+        (NetWord::from_bits(sums), carry)
+    }
+
+    /// Constant-folding ripple chain without a carry out (the top position
+    /// emits at most its two sum XORs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ or the words are empty.
+    pub fn fold_ripple_add_no_carry(
+        &mut self,
+        a: &NetWord,
+        b: &NetWord,
+        carry_in: NetBit,
+    ) -> NetWord {
+        assert_eq!(a.width(), b.width(), "word width mismatch");
+        assert!(a.width() > 0, "empty operands");
+        let top = a.width() - 1;
+        let mut carry = carry_in;
+        let mut sums = Vec::with_capacity(a.width());
+        for i in 0..top {
+            let (sum, cout) = self.fold_full_add(a[i], b[i], carry);
+            sums.push(sum);
+            carry = cout;
+        }
+        let axb = self.fold_gate(Gate::Xor, a[top], b[top]);
+        sums.push(self.fold_gate(Gate::Xor, axb, carry));
+        NetWord::from_bits(sums)
+    }
+
+    /// Word-wise `sel ? a : b` (raw muxes), gate-for-gate
+    /// [`mux::select_word`](crate::mux::select_word).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn mux_word(&mut self, sel: NetBit, a: &NetWord, b: &NetWord) -> NetWord {
+        assert_eq!(a.width(), b.width(), "word width mismatch");
+        NetWord::from_bits((0..a.width()).map(|i| self.mux(sel, a[i], b[i])).collect())
+    }
+
+    /// A `2^k`-way selection tree over `words`, gate-for-gate
+    /// [`mux::select_one_of`](crate::mux::select_one_of): one
+    /// [`mux_word`](Self::mux_word) level per index bit (LSB first), each
+    /// bit selecting the odd (higher-index) word of its pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `words.len() == 2^index.len()` and `words` is
+    /// non-empty.
+    pub fn select_one_of(&mut self, index: &[NetBit], words: &[NetWord]) -> NetWord {
+        assert!(!words.is_empty(), "empty selection");
+        assert_eq!(
+            words.len(),
+            1usize << index.len(),
+            "need exactly 2^index_bits words"
+        );
+        let mut layer: Vec<NetWord> = words.to_vec();
+        for &bit in index {
+            layer = layer
+                .chunks(2)
+                .map(|pair| self.mux_word(bit, &pair[1], &pair[0]))
+                .collect();
+        }
+        layer.pop().expect("non-empty selection layer")
+    }
+
+    /// Balanced AND-reduction tree (odd layer elements pass through),
+    /// gate-for-gate the reduction in [`comparator::eq`](crate::comparator::eq).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty.
+    pub fn and_reduce(&mut self, bits: &[NetBit]) -> NetBit {
+        assert!(!bits.is_empty(), "empty reduction");
+        let mut layer = bits.to_vec();
+        while layer.len() > 1 {
+            layer = layer
+                .chunks(2)
+                .map(|pair| match pair {
+                    [x, y] => self.gate(Gate::And, *x, *y),
+                    [x] => *x,
+                    _ => unreachable!(),
+                })
+                .collect();
+        }
+        layer[0]
+    }
+
+    /// Marks a wire as a circuit output (constants are materialized).
+    pub fn mark_output(&mut self, bit: NetBit) {
+        let id = self.materialize(bit);
+        self.net.mark_output(id);
+    }
+
+    /// Marks every bit of a word as an output, LSB first.
+    pub fn mark_output_word(&mut self, word: &NetWord) {
+        for i in 0..word.width() {
+            self.mark_output(word[i]);
+        }
+    }
+
+    /// Finishes building and returns the netlist.
+    pub fn finish(self) -> CircuitNetlist {
+        self.net
+    }
 }
 
 /// A `width`-bit ripple-carry adder, gate-for-gate the circuit of
@@ -55,12 +483,13 @@ fn ripple_chain(net: &mut CircuitNetlist, a: &[usize], b: &[usize], mut carry: u
 /// Panics if `width` is 0.
 pub fn ripple_adder(width: usize) -> CircuitNetlist {
     assert!(width > 0, "empty operands");
-    let mut net = CircuitNetlist::new();
-    let a: Vec<usize> = (0..width).map(|_| net.input()).collect();
-    let b: Vec<usize> = (0..width).map(|_| net.input()).collect();
-    let carry_in = net.constant(false);
-    ripple_chain(&mut net, &a, &b, carry_in);
-    net
+    let mut w = WordNetlist::new();
+    let a = w.input_word(width);
+    let b = w.input_word(width);
+    let (sums, carry) = w.ripple_add(&a, &b, NetBit::Const(false));
+    w.mark_output_word(&sums);
+    w.mark_output(carry);
+    w.finish()
 }
 
 /// A `width`-bit two's-complement subtractor, gate-for-gate
@@ -73,13 +502,14 @@ pub fn ripple_adder(width: usize) -> CircuitNetlist {
 /// Panics if `width` is 0.
 pub fn ripple_subtractor(width: usize) -> CircuitNetlist {
     assert!(width > 0, "empty operands");
-    let mut net = CircuitNetlist::new();
-    let a: Vec<usize> = (0..width).map(|_| net.input()).collect();
-    let b: Vec<usize> = (0..width).map(|_| net.input()).collect();
-    let not_b: Vec<usize> = b.iter().map(|&bit| net.not(bit)).collect();
-    let carry_in = net.constant(true);
-    ripple_chain(&mut net, &a, &not_b, carry_in);
-    net
+    let mut w = WordNetlist::new();
+    let a = w.input_word(width);
+    let b = w.input_word(width);
+    let not_b = w.not_word(&b);
+    let (sums, carry) = w.ripple_add(&a, &not_b, NetBit::Const(true));
+    w.mark_output_word(&sums);
+    w.mark_output(carry);
+    w.finish()
 }
 
 /// A `width`-bit equality comparator, gate-for-gate
@@ -91,26 +521,13 @@ pub fn ripple_subtractor(width: usize) -> CircuitNetlist {
 /// Panics if `width` is 0.
 pub fn eq_comparator(width: usize) -> CircuitNetlist {
     assert!(width > 0, "empty operands");
-    let mut net = CircuitNetlist::new();
-    let a: Vec<usize> = (0..width).map(|_| net.input()).collect();
-    let b: Vec<usize> = (0..width).map(|_| net.input()).collect();
-    let mut layer: Vec<usize> = a
-        .iter()
-        .zip(b.iter())
-        .map(|(&x, &y)| net.gate(Gate::Xnor, x, y))
-        .collect();
-    while layer.len() > 1 {
-        layer = layer
-            .chunks(2)
-            .map(|pair| match pair {
-                [x, y] => net.gate(Gate::And, *x, *y),
-                [x] => *x,
-                _ => unreachable!(),
-            })
-            .collect();
-    }
-    net.mark_output(layer[0]);
-    net
+    let mut w = WordNetlist::new();
+    let a = w.input_word(width);
+    let b = w.input_word(width);
+    let diffs: Vec<NetBit> = (0..width).map(|i| w.gate(Gate::Xnor, a[i], b[i])).collect();
+    let eq = w.and_reduce(&diffs);
+    w.mark_output(eq);
+    w.finish()
 }
 
 /// A `2^index_bits`-way, `width`-bit-word selection tree, gate-for-gate
@@ -124,34 +541,325 @@ pub fn eq_comparator(width: usize) -> CircuitNetlist {
 pub fn mux_tree(index_bits: usize, width: usize) -> CircuitNetlist {
     assert!(index_bits > 0, "need at least one index bit");
     assert!(width > 0, "empty words");
-    let mut net = CircuitNetlist::new();
-    let index: Vec<usize> = (0..index_bits).map(|_| net.input()).collect();
-    let mut layer: Vec<Vec<usize>> = (0..1usize << index_bits)
-        .map(|_| (0..width).map(|_| net.input()).collect())
+    let mut w = WordNetlist::new();
+    let index: Vec<NetBit> = (0..index_bits).map(|_| w.input_bit()).collect();
+    let words: Vec<NetWord> = (0..1usize << index_bits)
+        .map(|_| w.input_word(width))
         .collect();
-    for &bit in &index {
-        let mut next = Vec::with_capacity(layer.len() / 2);
-        for pair in layer.chunks(2) {
-            // bit == 1 selects the odd (higher-index) word.
-            next.push(
-                pair[0]
-                    .iter()
-                    .zip(pair[1].iter())
-                    .map(|(&lo, &hi)| net.mux(bit, hi, lo))
-                    .collect(),
-            );
+    let selected = w.select_one_of(&index, &words);
+    w.mark_output_word(&selected);
+    w.finish()
+}
+
+/// A full `width × width → 2·width` schoolbook multiplier, gate-for-gate
+/// [`multiplier::mul`](crate::multiplier::mul): `width²` partial-product
+/// ANDs and `width−1` folded ripple adds. Constant-zero partial-product
+/// columns (the zero-extension outside each shifted window) never touch a
+/// full adder — the fold builder skips them at build time, so the netlist
+/// contains no trivial-zero arithmetic for [`simplify`](matcha_tfhe::analyze::simplify)
+/// to clean up.
+///
+/// # Panics
+///
+/// Panics if `width` is 0.
+pub fn mul(width: usize) -> CircuitNetlist {
+    assert!(width > 0, "empty operands");
+    let mut w = WordNetlist::new();
+    let a = w.input_word(width);
+    let b = w.input_word(width);
+    let out_width = 2 * width;
+    let mut acc = NetWord::from_bits(
+        (0..out_width)
+            .map(|i| {
+                if i < width {
+                    w.gate(Gate::And, a[i], b[0])
+                } else {
+                    NetBit::Const(false)
+                }
+            })
+            .collect(),
+    );
+    for j in 1..width {
+        let partial = NetWord::from_bits(
+            (0..out_width)
+                .map(|i| {
+                    if i >= j && i - j < width {
+                        w.gate(Gate::And, a[i - j], b[j])
+                    } else {
+                        NetBit::Const(false)
+                    }
+                })
+                .collect(),
+        );
+        let (sums, _carry) = w.fold_ripple_add(&acc, &partial, NetBit::Const(false));
+        acc = sums;
+    }
+    w.mark_output_word(&acc);
+    w.finish()
+}
+
+/// The low `width` bits of the schoolbook product, gate-for-gate
+/// [`multiplier::mul_low`](crate::multiplier::mul_low): each partial
+/// product is truncated to the bits that land below `width`, and the
+/// ripple chains drop their carry out.
+///
+/// # Panics
+///
+/// Panics if `width` is 0.
+pub fn mul_low(width: usize) -> CircuitNetlist {
+    assert!(width > 0, "empty operands");
+    let mut w = WordNetlist::new();
+    let a = w.input_word(width);
+    let b = w.input_word(width);
+    let mut acc = NetWord::from_bits((0..width).map(|i| w.gate(Gate::And, a[i], b[0])).collect());
+    for j in 1..width {
+        let partial = NetWord::from_bits(
+            (0..width)
+                .map(|i| {
+                    if i >= j {
+                        w.gate(Gate::And, a[i - j], b[j])
+                    } else {
+                        NetBit::Const(false)
+                    }
+                })
+                .collect(),
+        );
+        acc = w.fold_ripple_add_no_carry(&acc, &partial, NetBit::Const(false));
+    }
+    w.mark_output_word(&acc);
+    w.finish()
+}
+
+/// The shared ALU body: all four ops computed, then an opcode-decoded
+/// selection tree, gate-for-gate [`alu::execute`](crate::alu::execute).
+/// `opcode` is LSB first (`Add=00`, `Sub=01`, `And=10`, `Xor=11`).
+fn alu_word(w: &mut WordNetlist, opcode: &[NetBit], a: &NetWord, b: &NetWord) -> NetWord {
+    let add = w.ripple_add_no_carry(a, b, NetBit::Const(false));
+    let not_b = w.not_word(b);
+    let sub = w.ripple_add_no_carry(a, &not_b, NetBit::Const(true));
+    let and = w.bitwise(Gate::And, a, b);
+    let xor = w.bitwise(Gate::Xor, a, b);
+    w.select_one_of(opcode, &[add, sub, and, xor])
+}
+
+/// A `width`-bit ALU with an encrypted 2-bit opcode, gate-for-gate
+/// [`alu::execute`](crate::alu::execute): adder and subtractor chains
+/// (carry out dropped), word-wise AND and XOR, and a 4-way opcode
+/// selection tree. Inputs: the 2 opcode bits (LSB first, matching
+/// [`AluOp::opcode_bits`](crate::alu::AluOp::opcode_bits)), then `a`, then
+/// `b`.
+///
+/// # Panics
+///
+/// Panics if `width` is 0.
+pub fn alu(width: usize) -> CircuitNetlist {
+    assert!(width > 0, "empty operands");
+    let mut w = WordNetlist::new();
+    let opcode = [w.input_bit(), w.input_bit()];
+    let a = w.input_word(width);
+    let b = w.input_word(width);
+    let out = alu_word(&mut w, &opcode, &a, &b);
+    w.mark_output_word(&out);
+    w.finish()
+}
+
+/// A carry-save population count over `n_bits` inputs, gate-for-gate
+/// [`popcount::popcount`](crate::popcount::popcount): per weight column,
+/// triples compress through full adders and leftover pairs through half
+/// adders; carries feed the next column. Outputs are the
+/// `⌈log2(n+1)⌉`-bit count (missing columns are constant zero).
+///
+/// # Panics
+///
+/// Panics if `n_bits` is 0.
+pub fn popcount(n_bits: usize) -> CircuitNetlist {
+    assert!(n_bits > 0, "empty input");
+    let mut w = WordNetlist::new();
+    let out_width = (usize::BITS - n_bits.leading_zeros()) as usize;
+    let mut columns: Vec<Vec<NetBit>> = vec![Vec::new(); out_width + 1];
+    columns[0] = (0..n_bits).map(|_| w.input_bit()).collect();
+    for weight in 0..out_width {
+        while columns[weight].len() >= 3 {
+            let a = columns[weight].pop().expect("len >= 3");
+            let b = columns[weight].pop().expect("len >= 3");
+            let c = columns[weight].pop().expect("len >= 3");
+            let (sum, carry) = w.full_add(a, b, c);
+            columns[weight].push(sum);
+            columns[weight + 1].push(carry);
         }
-        layer = next;
+        if columns[weight].len() == 2 {
+            let a = columns[weight].pop().expect("len == 2");
+            let b = columns[weight].pop().expect("len == 2");
+            let (sum, carry) = w.half_add(a, b);
+            columns[weight].push(sum);
+            columns[weight + 1].push(carry);
+        }
     }
-    for &out in &layer[0] {
-        net.mark_output(out);
+    for column in columns.iter().take(out_width) {
+        let bit = column.first().copied().unwrap_or(NetBit::Const(false));
+        w.mark_output(bit);
     }
-    net
+    w.finish()
+}
+
+/// One barrel-shifter level: where the shifted source bit exists, a MUX
+/// between shifted and unshifted; where the source is past the word (a
+/// known zero), the MUX collapses to `¬bit ∧ cur` — one bootstrap instead
+/// of two. `shifted_src(i)` returns the source position for output `i`,
+/// or `None` when the shift pulls in a zero.
+fn barrel_level(
+    w: &mut WordNetlist,
+    bit: NetBit,
+    cur: &NetWord,
+    shifted_src: impl Fn(usize) -> Option<usize>,
+) -> NetWord {
+    NetWord::from_bits(
+        (0..cur.width())
+            .map(|i| match shifted_src(i) {
+                Some(src) => w.mux(bit, cur[src], cur[i]),
+                // bit ? 0 : cur[i]  =  ¬bit ∧ cur[i]
+                None => w.gate(Gate::AndNY, bit, cur[i]),
+            })
+            .collect(),
+    )
+}
+
+/// A `width`-bit left barrel shifter with an encrypted `amount_bits`-bit
+/// shift amount, gate-for-gate [`shifter::shl`](crate::shifter::shl): one
+/// level per amount bit (LSB first); positions whose shifted source falls
+/// off the word use the collapsed one-bootstrap AND-with-NOT form.
+/// Inputs: the amount bits, then the word.
+///
+/// # Panics
+///
+/// Panics if `width` or `amount_bits` is 0.
+pub fn shl(width: usize, amount_bits: usize) -> CircuitNetlist {
+    assert!(width > 0, "empty operands");
+    assert!(amount_bits > 0, "need at least one amount bit");
+    let mut w = WordNetlist::new();
+    let amount: Vec<NetBit> = (0..amount_bits).map(|_| w.input_bit()).collect();
+    let mut cur = w.input_word(width);
+    for (j, &bit) in amount.iter().enumerate() {
+        let shift = 1usize.checked_shl(j as u32).unwrap_or(usize::MAX);
+        cur = barrel_level(&mut w, bit, &cur, |i| i.checked_sub(shift));
+    }
+    w.mark_output_word(&cur);
+    w.finish()
+}
+
+/// A `width`-bit logical right barrel shifter with an encrypted
+/// `amount_bits`-bit shift amount, gate-for-gate
+/// [`shifter::shr`](crate::shifter::shr); same level structure and
+/// collapsed zero-fill form as [`shl`]. Inputs: the amount bits, then the
+/// word.
+///
+/// # Panics
+///
+/// Panics if `width` or `amount_bits` is 0.
+pub fn shr(width: usize, amount_bits: usize) -> CircuitNetlist {
+    assert!(width > 0, "empty operands");
+    assert!(amount_bits > 0, "need at least one amount bit");
+    let mut w = WordNetlist::new();
+    let amount: Vec<NetBit> = (0..amount_bits).map(|_| w.input_bit()).collect();
+    let mut cur = w.input_word(width);
+    for (j, &bit) in amount.iter().enumerate() {
+        let shift = 1usize.checked_shl(j as u32).unwrap_or(usize::MAX);
+        cur = barrel_level(&mut w, bit, &cur, |i| {
+            let src = i.checked_add(shift)?;
+            (src < width).then_some(src)
+        });
+    }
+    w.mark_output_word(&cur);
+    w.finish()
+}
+
+/// The plaintext *shape* of one processor instruction for
+/// [`processor_cycle`]: which registers are read and written. The
+/// operation itself stays encrypted — the ALU opcode (or CMov flag)
+/// arrives as ciphertext input bits at execution time, exactly as in
+/// [`Processor::step`](crate::processor::Processor::step).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CycleInstruction {
+    /// `r[dst] ← ALU(opcode, r[src1], r[src2])`; the 2 encrypted opcode
+    /// bits (LSB first) are the netlist's trailing inputs.
+    Alu {
+        /// Destination register index.
+        dst: usize,
+        /// First (left) operand register.
+        src1: usize,
+        /// Second (right) operand register.
+        src2: usize,
+    },
+    /// `r[dst] ← flag ? r[src_true] : r[src_false]`; the encrypted flag
+    /// bit is the netlist's trailing input.
+    CMov {
+        /// Destination register index.
+        dst: usize,
+        /// Register selected when the flag is set.
+        src_true: usize,
+        /// Register selected when the flag is clear.
+        src_false: usize,
+    },
+}
+
+/// One full [`Processor::step`](crate::processor::Processor::step) as a
+/// single netlist, gate-for-gate the eager step. Inputs: the entire
+/// register file `r0, r1, …` (each `width` bits, LSB first), then the
+/// instruction's encrypted control bits (2 opcode bits for
+/// [`CycleInstruction::Alu`], 1 flag bit for
+/// [`CycleInstruction::CMov`]). Outputs: the *entire* new register file
+/// in order — the destination register carries the computed word, every
+/// other register passes its input bits straight through, so consecutive
+/// cycles chain by feeding one circuit's outputs to the next one's
+/// register inputs.
+///
+/// # Panics
+///
+/// Panics if `reg_count` or `width` is 0, or an instruction register
+/// index is out of range.
+pub fn processor_cycle(reg_count: usize, width: usize, instr: CycleInstruction) -> CircuitNetlist {
+    assert!(reg_count > 0, "need at least one register");
+    assert!(width > 0, "empty operands");
+    let mut w = WordNetlist::new();
+    let regs: Vec<NetWord> = (0..reg_count).map(|_| w.input_word(width)).collect();
+    let (dst, out) = match instr {
+        CycleInstruction::Alu { dst, src1, src2 } => {
+            assert!(
+                dst < reg_count && src1 < reg_count && src2 < reg_count,
+                "register index out of range"
+            );
+            let opcode = [w.input_bit(), w.input_bit()];
+            let out = alu_word(&mut w, &opcode, &regs[src1], &regs[src2]);
+            (dst, out)
+        }
+        CycleInstruction::CMov {
+            dst,
+            src_true,
+            src_false,
+        } => {
+            assert!(
+                dst < reg_count && src_true < reg_count && src_false < reg_count,
+                "register index out of range"
+            );
+            let flag = w.input_bit();
+            let out = w.mux_word(flag, &regs[src_true], &regs[src_false]);
+            (dst, out)
+        }
+    };
+    for (r, reg) in regs.iter().enumerate() {
+        if r == dst {
+            w.mark_output_word(&out);
+        } else {
+            w.mark_output_word(reg);
+        }
+    }
+    w.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use matcha_tfhe::circuit::GateOp;
 
     #[test]
     fn adder_shape_matches_eager_cost() {
@@ -199,5 +907,187 @@ mod tests {
     #[should_panic(expected = "empty operands")]
     fn zero_width_adder_rejected() {
         let _ = ripple_adder(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty operands")]
+    fn zero_width_multiplier_rejected() {
+        let _ = mul(0);
+    }
+
+    #[test]
+    fn fold_gate_eliminates_constant_operands() {
+        let mut w = WordNetlist::new();
+        let a = w.input_bit();
+        // Both constant → constant, no node.
+        assert_eq!(
+            w.fold_gate(Gate::And, NetBit::Const(true), NetBit::Const(false)),
+            NetBit::Const(false)
+        );
+        // Identity operand → alias.
+        assert_eq!(w.fold_gate(Gate::Xor, a, NetBit::Const(false)), a);
+        assert_eq!(w.fold_gate(Gate::And, NetBit::Const(true), a), a);
+        // Inverting operand → free NOT.
+        assert!(matches!(
+            w.fold_gate(Gate::Xor, NetBit::Const(true), a),
+            NetBit::Node(_)
+        ));
+        // Absorbing operand → constant.
+        assert_eq!(
+            w.fold_gate(Gate::And, a, NetBit::Const(false)),
+            NetBit::Const(false)
+        );
+        assert_eq!(
+            w.fold_gate(Gate::Or, NetBit::Const(true), a),
+            NetBit::Const(true)
+        );
+        let net = w.finish();
+        assert_eq!(net.bootstraps(), 0, "no fold may bootstrap");
+    }
+
+    #[test]
+    fn fold_mux_collapses_constant_arms_to_one_bootstrap() {
+        let mut w = WordNetlist::new();
+        let sel = w.input_bit();
+        let a = w.input_bit();
+        assert_eq!(w.fold_mux(NetBit::Const(true), a, sel), a);
+        assert_eq!(
+            w.fold_mux(sel, NetBit::Const(true), NetBit::Const(false)),
+            sel
+        );
+        let before = {
+            let mut probe = WordNetlist::new();
+            probe.input_bit();
+            probe.input_bit();
+            probe.finish().bootstraps()
+        };
+        assert_eq!(before, 0);
+        // Each constant-arm form costs exactly one bootstrap.
+        w.fold_mux(sel, NetBit::Const(false), a);
+        w.fold_mux(sel, NetBit::Const(true), a);
+        w.fold_mux(sel, a, NetBit::Const(false));
+        w.fold_mux(sel, a, NetBit::Const(true));
+        let net = w.finish();
+        assert_eq!(net.bootstraps(), 4);
+    }
+
+    #[test]
+    fn fold_ripple_add_of_zero_word_is_free() {
+        let mut w = WordNetlist::new();
+        let a = w.input_word(4);
+        let (sums, carry) = w.fold_ripple_add(&a, &NetWord::zeros(4), NetBit::Const(false));
+        assert_eq!(sums.bits(), a.bits(), "x + 0 aliases x");
+        assert_eq!(carry, NetBit::Const(false));
+        assert_eq!(w.finish().bootstraps(), 0);
+    }
+
+    #[test]
+    fn multiplier_shape_skips_zero_columns() {
+        // 8×8: 64 partial-product ANDs; j=1 window rows cost 34, later
+        // windows 37 (the leading half-adder pair only appears once).
+        let net = mul(8);
+        assert_eq!(net.num_inputs(), 16);
+        assert_eq!(net.outputs().len(), 16);
+        assert_eq!(net.bootstraps(), 320);
+        // The fold builder never materialized a constant: every zero
+        // column was skipped at build time, not cleaned up afterwards.
+        assert!(net
+            .ops()
+            .iter()
+            .all(|op| !matches!(op, GateOp::Constant(_))));
+
+        assert_eq!(mul(2).bootstraps(), 8);
+        assert_eq!(mul(4).bootstraps(), 64);
+    }
+
+    #[test]
+    fn mul_low_shape() {
+        let net = mul_low(8);
+        assert_eq!(net.num_inputs(), 16);
+        assert_eq!(net.outputs().len(), 8);
+        assert_eq!(net.bootstraps(), 136);
+        // Degenerate width: a single AND.
+        assert_eq!(mul_low(1).bootstraps(), 1);
+    }
+
+    #[test]
+    fn alu_shape() {
+        let net = alu(8);
+        assert_eq!(net.num_inputs(), 2 + 16);
+        assert_eq!(net.outputs().len(), 8);
+        // Carry-free adder and subtractor chains (7 full adders + 2 sum
+        // XORs = 37 each), word-wise AND/XOR (8 each), and the 4-way
+        // selection tree ((2+1) word-muxes × 8 bits × 2 bootstraps = 48).
+        assert_eq!(net.bootstraps(), 37 + 37 + 8 + 8 + 48);
+    }
+
+    #[test]
+    fn popcount_shape() {
+        let net = popcount(16);
+        assert_eq!(net.num_inputs(), 16);
+        assert_eq!(net.outputs().len(), 5);
+        // 11 full adders (5 gates) + 4 half adders (2 gates).
+        assert_eq!(net.bootstraps(), 63);
+        // The count of 16 bits needs 5 output columns; the top one only
+        // ever receives the final carry, so no gate lands there.
+        assert_eq!(popcount(4).outputs().len(), 3);
+    }
+
+    #[test]
+    fn shifter_shape_collapses_zero_fill_levels() {
+        // Width 8, 4 amount bits: levels shift by 1/2/4/8. The shift-by-8
+        // level sources nothing from the word — all 8 positions collapse
+        // to single-bootstrap ANDs; partial levels collapse per position.
+        let net = shl(8, 4);
+        assert_eq!(net.num_inputs(), 4 + 8);
+        assert_eq!(net.outputs().len(), 8);
+        assert_eq!(net.bootstraps(), 2 * (7 + 6 + 4) + (1 + 2 + 4 + 8));
+        // The all-mux construction would cost 2 bootstraps everywhere.
+        assert!(net.bootstraps() < 2 * 8 * 4);
+        // Right shifts mirror left shifts exactly.
+        assert_eq!(shr(8, 4).bootstraps(), net.bootstraps());
+        assert_eq!(shr(4, 3).bootstraps(), shl(4, 3).bootstraps());
+    }
+
+    #[test]
+    fn processor_cycle_shape() {
+        let instr = CycleInstruction::Alu {
+            dst: 0,
+            src1: 0,
+            src2: 1,
+        };
+        let net = processor_cycle(2, 8, instr);
+        assert_eq!(net.num_inputs(), 2 * 8 + 2);
+        // The whole register file comes back out.
+        assert_eq!(net.outputs().len(), 2 * 8);
+        // Cost is exactly the ALU body: passthrough registers are free.
+        assert_eq!(net.bootstraps(), alu(8).bootstraps());
+
+        let cmov = processor_cycle(
+            3,
+            4,
+            CycleInstruction::CMov {
+                dst: 2,
+                src_true: 0,
+                src_false: 1,
+            },
+        );
+        assert_eq!(cmov.num_inputs(), 3 * 4 + 1);
+        assert_eq!(cmov.outputs().len(), 3 * 4);
+        assert_eq!(cmov.bootstraps(), 2 * 4); // one word-wise mux
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn processor_cycle_rejects_bad_register() {
+        let _ = processor_cycle(
+            2,
+            4,
+            CycleInstruction::Alu {
+                dst: 2,
+                src1: 0,
+                src2: 1,
+            },
+        );
     }
 }

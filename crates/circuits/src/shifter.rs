@@ -2,12 +2,15 @@
 //!
 //! Shifting by a *plaintext* amount is free (bit re-wiring); shifting by an
 //! *encrypted* amount uses one mux layer per index bit, the classic barrel
-//! construction.
+//! construction. Positions whose shifted source falls off the word would
+//! mux in a known zero, so the two-bootstrap MUX collapses to a single
+//! `¬bit ∧ cur` there — in particular a whole level collapses once
+//! `2^j ≥ width`. [`netlist::shl`](crate::netlist::shl)/[`shr`](crate::netlist::shr)
+//! build the same shape, so the scheduled path stays bit-identical.
 
-use crate::mux;
 use crate::word::EncryptedWord;
 use matcha_fft::FftEngine;
-use matcha_tfhe::{LweCiphertext, ServerKey};
+use matcha_tfhe::{Gate, LweCiphertext, ServerKey};
 
 /// Logical left shift by a plaintext amount (zero fill, free).
 pub fn shl_const<E: FftEngine>(
@@ -54,10 +57,21 @@ pub fn shl<E: FftEngine>(
     a: &EncryptedWord,
     amount: &[LweCiphertext],
 ) -> EncryptedWord {
+    let width = a.len();
     let mut cur = a.to_vec();
     for (j, bit) in amount.iter().enumerate() {
-        let shifted = shl_const(server, &cur, 1 << j);
-        cur = mux::select_word(server, bit, &shifted, &cur);
+        let shift = 1usize.checked_shl(j as u32).unwrap_or(usize::MAX);
+        cur = (0..width)
+            .map(|i| {
+                if i >= shift {
+                    server.mux(bit, &cur[i - shift], &cur[i])
+                } else {
+                    // The shifted-in source is a known zero:
+                    // bit ? 0 : cur[i]  =  ¬bit ∧ cur[i], one bootstrap.
+                    server.apply(Gate::AndNY, bit, &cur[i])
+                }
+            })
+            .collect();
     }
     cur
 }
@@ -68,10 +82,16 @@ pub fn shr<E: FftEngine>(
     a: &EncryptedWord,
     amount: &[LweCiphertext],
 ) -> EncryptedWord {
+    let width = a.len();
     let mut cur = a.to_vec();
     for (j, bit) in amount.iter().enumerate() {
-        let shifted = shr_const(server, &cur, 1 << j);
-        cur = mux::select_word(server, bit, &shifted, &cur);
+        let shift = 1usize.checked_shl(j as u32).unwrap_or(usize::MAX);
+        cur = (0..width)
+            .map(|i| match i.checked_add(shift).filter(|&src| src < width) {
+                Some(src) => server.mux(bit, &cur[src], &cur[i]),
+                None => server.apply(Gate::AndNY, bit, &cur[i]),
+            })
+            .collect();
     }
     cur
 }
@@ -79,8 +99,76 @@ pub fn shr<E: FftEngine>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mux;
     use crate::testutil::setup;
     use crate::word;
+
+    /// The pre-collapse barrel: a full two-bootstrap `select_word` layer
+    /// per amount bit, muxing against an explicitly built shifted word.
+    fn all_mux_shl<E: matcha_fft::FftEngine>(
+        server: &ServerKey<E>,
+        a: &EncryptedWord,
+        amount: &[LweCiphertext],
+    ) -> EncryptedWord {
+        let mut cur = a.to_vec();
+        for (j, bit) in amount.iter().enumerate() {
+            let shifted = shl_const(
+                server,
+                &cur,
+                1usize.checked_shl(j as u32).unwrap_or(usize::MAX),
+            );
+            cur = mux::select_word(server, bit, &shifted, &cur);
+        }
+        cur
+    }
+
+    fn all_mux_shr<E: matcha_fft::FftEngine>(
+        server: &ServerKey<E>,
+        a: &EncryptedWord,
+        amount: &[LweCiphertext],
+    ) -> EncryptedWord {
+        let mut cur = a.to_vec();
+        for (j, bit) in amount.iter().enumerate() {
+            let shifted = shr_const(
+                server,
+                &cur,
+                1usize.checked_shl(j as u32).unwrap_or(usize::MAX),
+            );
+            cur = mux::select_word(server, bit, &shifted, &cur);
+        }
+        cur
+    }
+
+    #[test]
+    fn collapsed_levels_match_the_all_mux_barrel() {
+        // 3 amount bits over a 4-bit word: the 2^2 = 4 ≥ width level is
+        // entirely zero-fill, and lower levels collapse per position.
+        let (client, server, mut rng) = setup(504);
+        let a = word::encrypt(&client, 0b1011, 4, &mut rng);
+        for amt in 0..8u64 {
+            let enc_amt = word::encrypt(&client, amt, 3, &mut rng);
+            let new_l = shl(&server, &a, &enc_amt);
+            let old_l = all_mux_shl(&server, &a, &enc_amt);
+            assert_eq!(
+                word::decrypt(&client, &new_l),
+                word::decrypt(&client, &old_l),
+                "shl amt={amt}"
+            );
+            let new_r = shr(&server, &a, &enc_amt);
+            let old_r = all_mux_shr(&server, &a, &enc_amt);
+            assert_eq!(
+                word::decrypt(&client, &new_r),
+                word::decrypt(&client, &old_r),
+                "shr amt={amt}"
+            );
+            let expected_l = if amt >= 4 { 0 } else { (0b1011 << amt) & 0xF };
+            assert_eq!(word::decrypt(&client, &new_l), expected_l);
+            assert_eq!(
+                word::decrypt(&client, &new_r),
+                0b1011u64.checked_shr(amt as u32).unwrap_or(0)
+            );
+        }
+    }
 
     #[test]
     fn constant_shifts() {

@@ -15,7 +15,9 @@
 //!   one circuit at a time (the PR 4 behavior), measured structurally
 //!   via the scheduler's task/slot counters.
 
-use matcha_circuits::{netlist, word};
+use matcha_circuits::netlist::CycleInstruction;
+use matcha_circuits::processor::{EncryptedOpcode, Instruction, Processor};
+use matcha_circuits::{alu, netlist, word};
 use matcha_fft::F64Fft;
 use matcha_tfhe::{
     CircuitNetlist, CircuitServer, ClientKey, LweCiphertext, ParameterSet, PendingCircuit,
@@ -174,6 +176,173 @@ fn long_circuit_does_not_starve_a_short_one() {
         long_bits.iter().fold(false, |a, &b| a ^ b)
     );
     server.shutdown();
+}
+
+#[test]
+fn mul8_interleaves_without_starving_short_circuits() {
+    let f = fixture();
+    let mut rng = StdRng::seed_from_u64(51);
+    // An 8×8 multiplier is the deepest, widest DAG the scheduler serves:
+    // 320 bootstraps over a ~70-wave critical path. Short circuits from
+    // other clients submitted behind it must complete while it is still
+    // in flight, even on a single worker.
+    let server = CircuitServer::start(Arc::clone(&f.server), 1);
+    let (x, y) = (201u64, 174u64);
+    let a = word::encrypt(&f.client, x, 8, &mut rng);
+    let b = word::encrypt(&f.client, y, 8, &mut rng);
+    let mul_net = netlist::mul(8);
+    let mul_inputs: Vec<LweCiphertext> = a.iter().chain(b.iter()).cloned().collect();
+    let expected = mul_net
+        .execute_sequential(f.server.as_ref(), &mul_inputs)
+        .outputs;
+
+    let heavy_client = server.client();
+    let mul_ticket = heavy_client.submit(mul_net, mul_inputs);
+
+    // Two other clients with short circuits behind the deep DAG.
+    let light_client = server.client();
+    let short_and = {
+        let mut net = CircuitNetlist::new();
+        let (p, q) = (net.input(), net.input());
+        let g = net.gate(matcha_tfhe::Gate::And, p, q);
+        net.mark_output(g);
+        light_client.submit(
+            net,
+            vec![
+                f.client.encrypt_with(true, &mut rng),
+                f.client.encrypt_with(false, &mut rng),
+            ],
+        )
+    };
+    let cmp_client = server.client();
+    let cmp_ticket = {
+        let u = word::encrypt(&f.client, 9, 4, &mut rng);
+        let v = word::encrypt(&f.client, 9, 4, &mut rng);
+        cmp_client.submit(
+            netlist::eq_comparator(4),
+            u.into_iter().chain(v).collect::<Vec<LweCiphertext>>(),
+        )
+    };
+
+    let run = short_and.wait().completed().expect("short AND completes");
+    assert!(!f.client.decrypt(&run.outputs[0]));
+    assert!(
+        mul_ticket.try_wait().is_none(),
+        "the multiplier must still be in flight when the 1-gate circuit resolves"
+    );
+    let run = cmp_ticket.wait().completed().expect("comparator completes");
+    assert!(f.client.decrypt(&run.outputs[0]), "9 == 9");
+
+    let run = mul_ticket.wait().completed().expect("multiplier completes");
+    assert_eq!(
+        run.outputs, expected,
+        "interleaved mul8 must be bit-identical to sequential"
+    );
+    assert_eq!(word::decrypt(&f.client, &run.outputs), x * y);
+    server.shutdown();
+}
+
+#[test]
+fn encrypted_cpu_program_on_the_server_matches_processor_run() {
+    let f = fixture();
+    let mut rng = StdRng::seed_from_u64(61);
+    // A 3-instruction straight-line program on a 3-register, 4-bit
+    // machine: r2 ← r0 + r1; r0 ← flag ? r2 : r0; r1 ← r2 XOR r0. Each
+    // cycle is one submitted circuit whose register-file outputs feed the
+    // next cycle's inputs — the encrypted-CPU serving story.
+    let width = 4;
+    let (v0, v1) = (9u64, 5u64);
+    let r0 = word::encrypt(&f.client, v0, width, &mut rng);
+    let r1 = word::encrypt(&f.client, v1, width, &mut rng);
+    let r2 = word::encrypt(&f.client, 0, width, &mut rng);
+
+    let add_op = EncryptedOpcode::encrypt(&f.client, alu::AluOp::Add, &mut rng);
+    let xor_op = EncryptedOpcode::encrypt(&f.client, alu::AluOp::Xor, &mut rng);
+    let flag = f.client.encrypt_with(true, &mut rng);
+
+    // The eager oracle: the same program through Processor::run.
+    let mut cpu = Processor::new(vec![r0.clone(), r1.clone(), r2.clone()]);
+    cpu.run(
+        f.server.as_ref(),
+        &[
+            Instruction::Alu {
+                op: add_op.clone(),
+                dst: 2,
+                src1: 0,
+                src2: 1,
+            },
+            Instruction::CMov {
+                flag: flag.clone(),
+                dst: 0,
+                src_true: 2,
+                src_false: 0,
+            },
+            Instruction::Alu {
+                op: xor_op.clone(),
+                dst: 1,
+                src1: 2,
+                src2: 0,
+            },
+        ],
+    );
+
+    // The served version: consecutive processor-cycle netlists, the
+    // register file threading through as ciphertext.
+    let server = CircuitServer::start(Arc::clone(&f.server), 2);
+    let handle = server.client();
+    let mut regs: Vec<LweCiphertext> = r0
+        .iter()
+        .chain(r1.iter())
+        .chain(r2.iter())
+        .cloned()
+        .collect();
+    let program = [
+        (
+            CycleInstruction::Alu {
+                dst: 2,
+                src1: 0,
+                src2: 1,
+            },
+            add_op.bits().to_vec(),
+        ),
+        (
+            CycleInstruction::CMov {
+                dst: 0,
+                src_true: 2,
+                src_false: 0,
+            },
+            vec![flag.clone()],
+        ),
+        (
+            CycleInstruction::Alu {
+                dst: 1,
+                src1: 2,
+                src2: 0,
+            },
+            xor_op.bits().to_vec(),
+        ),
+    ];
+    for (instr, control) in program {
+        let net = netlist::processor_cycle(3, width, instr);
+        let inputs: Vec<LweCiphertext> = regs.iter().cloned().chain(control).collect();
+        let run = handle
+            .submit(net, inputs)
+            .wait()
+            .completed()
+            .expect("cycle completes");
+        regs = run.outputs;
+    }
+    server.shutdown();
+
+    // Register state bit-identical to the eager machine, and
+    // decrypt-equal to the plaintext semantics.
+    for (i, reg) in (0..3).map(|i| (i, &regs[i * width..(i + 1) * width])) {
+        assert_eq!(reg, &cpu.register(i)[..], "r{i} bitwise");
+    }
+    let sum = (v0 + v1) & 0xF;
+    assert_eq!(word::decrypt(&f.client, &regs[..width]), sum); // r0 ← CMov picked r2
+    assert_eq!(word::decrypt(&f.client, &regs[width..2 * width]), sum ^ sum); // r1 ← r2^r0
+    assert_eq!(word::decrypt(&f.client, &regs[2 * width..]), sum); // r2 ← v0+v1
 }
 
 #[test]

@@ -7,14 +7,21 @@
 //! Since PR 6 the server also practices admission control: malformed
 //! submissions and unmeetable deadlines come back as structured
 //! `Rejected` outcomes instead of panics, and the scheduler stats count
-//! every way a ticket can resolve.
+//! every way a ticket can resolve. And since the word-level library
+//! lowered to netlists, the server runs whole encrypted-CPU cycles: each
+//! `processor_cycle` circuit takes the register file plus the encrypted
+//! opcode and returns the next register file, so a straight-line program
+//! is just consecutive submissions — the paper's §1 TFHE RISC-V workload
+//! in miniature.
 //!
 //! Run with: `cargo run --release --example circuit_server [-- --fast]`
 //! (`--fast` uses the small test parameters instead of the paper's.)
 
 use matcha::accel::schedule;
-use matcha::circuits::{netlist, word};
-use matcha::tfhe::{CircuitServer, PendingCircuit, RejectReason};
+use matcha::circuits::netlist::{self, CycleInstruction};
+use matcha::circuits::processor::EncryptedOpcode;
+use matcha::circuits::{alu, word};
+use matcha::tfhe::{CircuitServer, LweCiphertext, PendingCircuit, RejectReason};
 use matcha::{ClientKey, F64Fft, ParameterSet, ServerKey};
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -85,6 +92,76 @@ fn main() {
         );
         assert_eq!(picked, 10 + idx);
     }
+    // The encrypted CPU: consecutive processor cycles as submitted
+    // circuits. The server never learns the operations — the ALU opcodes
+    // and the CMov flag are ciphertext inputs like everything else; only
+    // the register routing (which registers are read/written) is public.
+    println!("running an encrypted 3-instruction program on the server:");
+    let width = 4;
+    let (v0, v1) = (9u64, 5u64);
+    let add_op = EncryptedOpcode::encrypt(&client, alu::AluOp::Add, &mut rng);
+    let xor_op = EncryptedOpcode::encrypt(&client, alu::AluOp::Xor, &mut rng);
+    let flag = client.encrypt_with(true, &mut rng);
+    let mut regs: Vec<LweCiphertext> = [v0, v1, 0]
+        .iter()
+        .flat_map(|&v| word::encrypt(&client, v, width, &mut rng))
+        .collect();
+    let program = [
+        (
+            "r2 <- r0 ADD r1",
+            CycleInstruction::Alu {
+                dst: 2,
+                src1: 0,
+                src2: 1,
+            },
+            add_op.bits().to_vec(),
+        ),
+        (
+            "r0 <- flag ? r2 : r0",
+            CycleInstruction::CMov {
+                dst: 0,
+                src_true: 2,
+                src_false: 0,
+            },
+            vec![flag],
+        ),
+        (
+            "r1 <- r2 XOR r0",
+            CycleInstruction::Alu {
+                dst: 1,
+                src1: 2,
+                src2: 0,
+            },
+            xor_op.bits().to_vec(),
+        ),
+    ];
+    let cpu_client = server.client();
+    for (asm, instr, control) in program {
+        let net = netlist::processor_cycle(3, width, instr);
+        let inputs: Vec<LweCiphertext> = regs.iter().cloned().chain(control).collect();
+        let run = cpu_client
+            .submit(net, inputs)
+            .wait()
+            .completed()
+            .expect("server is live");
+        regs = run.outputs;
+        println!(
+            "  cycle: {asm:22}  [{} bootstraps, {} waves, {:.1?}]",
+            run.bootstraps,
+            run.waves,
+            std::time::Duration::from_secs_f64(run.elapsed_s),
+        );
+    }
+    let sum = (v0 + v1) & 0xF;
+    let r: Vec<u64> = (0..3)
+        .map(|i| word::decrypt(&client, &regs[i * width..(i + 1) * width]))
+        .collect();
+    println!("  final registers: r0={} r1={} r2={}", r[0], r[1], r[2]);
+    assert_eq!(
+        r,
+        vec![sum, 0, sum],
+        "(r0 takes the CMov'd sum, r1 = sum^sum)"
+    );
     let wall = t0.elapsed();
 
     // Cross-check the analytical scheduler against one measured circuit.
