@@ -43,6 +43,10 @@
 //! `processor_cycle8`) — the fold-built lowerings record 1.0× there by
 //! design (the builder already skipped what the simplifier would fold),
 //! while the ALU-shaped rows record the CSE + constant-carry savings.
+//! Since PR 9 the wire-session layer adds `packed_vs_lwe_upload/MATCHA`
+//! (**bytes per bit on the wire**, per-LWE vs packed-TRLWE upload, from
+//! real codec encodings) and `packed_unpack_cost/MATCHA_f64` (server-side
+//! sample-extract + key-switch per packed bit, allocating vs warmed).
 //!
 //! Run with:
 //! `cargo run --release -p matcha-bench --bin bench_pbs`
@@ -780,6 +784,89 @@ fn bench_netlist_analysis(rows: &mut Vec<Row>) {
     });
 }
 
+/// Packed-transport rows for the wire-session layer.
+///
+/// `packed_vs_lwe_upload/MATCHA` carries **bytes per bit on the wire,
+/// not nanoseconds** (`alloc_ns` = per-LWE upload, `scratch_ns` = packed
+/// TRLWE upload at a full `N`-bit payload, both measured from real codec
+/// encodings): `(n + 1)` torus words per bit against 2, so the honest
+/// ratio at the paper's parameters is `(n + 1) / 2 ≈ 251×` — counts, so
+/// the row survives container noise perfectly.
+/// `packed_unpack_cost/MATCHA_f64` is the server-side cost of turning one
+/// packed bit into a gate-level LWE sample (sample extraction + key
+/// switch): `alloc_ns` = the allocating `packing::extract_bit` the
+/// admission path calls, `scratch_ns` = the warmed
+/// `sample_extract_at_into` + `switch_into` pair — the floor a future
+/// scratch-reusing ingest loop would hit.
+fn bench_packed_transport(rows: &mut Vec<Row>) {
+    use matcha::tfhe::{packing, BootstrapKit, Codec, LweCiphertext};
+
+    let params = ParameterSet::MATCHA;
+
+    // Upload bytes per bit, from actual encodings. A trivial LWE sample
+    // and an all-zero TRLWE sample encode exactly like encrypted ones —
+    // the codec is dimension-driven.
+    let lwe_bytes = LweCiphertext::trivial(Torus32::ZERO, params.lwe_dimension)
+        .to_bytes()
+        .len();
+    let packed_bytes = TrlweCiphertext::zero(params.ring_degree).to_bytes().len();
+    let lwe_per_bit = lwe_bytes as f64;
+    let packed_per_bit = packed_bytes as f64 / params.ring_degree as f64;
+    println!(
+        "packed transport: per-LWE {lwe_bytes} B/bit vs packed {:.2} B/bit at a \
+         full {}-bit payload — {:.0}× less upload",
+        packed_per_bit,
+        params.ring_degree,
+        lwe_per_bit / packed_per_bit,
+    );
+    rows.push(Row {
+        id: "packed_vs_lwe_upload/MATCHA".into(),
+        alloc_ns: lwe_per_bit,
+        scratch_ns: packed_per_bit,
+    });
+
+    // Server-side unpack cost per bit.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(91);
+    let client = ClientKey::generate(params, &mut rng);
+    let engine = F64Fft::new(params.ring_degree);
+    let kit = BootstrapKit::generate(&client, &engine, 2, &mut rng);
+    let ksk = kit.key_switch_key();
+    let bits: Vec<bool> = (0..64).map(|i| i % 5 == 0).collect();
+    let packed = packing::pack_bits(&client, &bits, &engine, &mut rng);
+
+    let mut extracted = packed.sample_extract_at(0);
+    let mut switched = ksk.switch(&extracted);
+    let mut i_alloc = 0usize;
+    let mut i_warm = 0usize;
+    let (alloc_ns, scratch_ns) = measure_paired(
+        15,
+        20,
+        || {
+            i_alloc = (i_alloc + 1) % bits.len();
+            std::hint::black_box(packing::extract_bit(&packed, i_alloc, ksk, &params));
+        },
+        || {
+            i_warm = (i_warm + 1) % bits.len();
+            packed.sample_extract_at_into(i_warm, &mut extracted);
+            ksk.switch_into(&extracted, &mut switched);
+            std::hint::black_box(&switched);
+        },
+    );
+    println!(
+        "packed unpack: {:.1} µs per bit allocating, {:.1} µs warmed \
+         (sample extraction + key switch at n = {}, N = {})",
+        alloc_ns / 1e3,
+        scratch_ns / 1e3,
+        params.lwe_dimension,
+        params.ring_degree,
+    );
+    rows.push(Row {
+        id: "packed_unpack_cost/MATCHA_f64".into(),
+        alloc_ns,
+        scratch_ns,
+    });
+}
+
 fn bench_gate<E: FftEngine>(name: &str, engine: E, unroll: usize) -> Row {
     let mut rng = rand::rngs::StdRng::seed_from_u64(9);
     let client = ClientKey::generate(ParameterSet::MATCHA, &mut rng);
@@ -841,6 +928,7 @@ fn main() {
         bench_gate("approx38_m2", ApproxIntFft::new(1024, 38), 2),
     ];
     bench_netlist_analysis(&mut rows);
+    bench_packed_transport(&mut rows);
     bench_circuit_sched(&mut rows);
     bench_circuit_interleaved(&mut rows);
     bench_adversarial_mix(&mut rows);

@@ -1,0 +1,176 @@
+//! Wire-vs-in-process equivalence for the session layer, across the
+//! lowered netlist library and server pool sizes:
+//!
+//! * A **packed** submission through a framed duplex-pipe session must be
+//!   **bit-identical** to submitting the very same TRLWE samples through
+//!   the in-process [`CircuitClient::submit_packed`] — the wire adds
+//!   framing, never arithmetic (the unpack is a deterministic sample
+//!   extraction plus key switch, and bootstrapping is deterministic given
+//!   the keys).
+//! * Both must **decrypt identically** to the per-LWE in-process
+//!   submission of the same plaintext bits — packing is transport, not
+//!   semantics.
+//!
+//! Case counts are small: every binary gate is a full bootstrap.
+
+use matcha_circuits::analysis;
+use matcha_fft::F64Fft;
+use matcha_tfhe::server::CircuitServer;
+use matcha_tfhe::session::{duplex, SessionClient, SessionServer};
+use matcha_tfhe::{packing, CircuitNetlist, ClientKey, LweCiphertext, ParameterSet, ServerKey};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::{Arc, OnceLock};
+
+struct Fixture {
+    client: ClientKey,
+    /// One persistent circuit server per tested pool size (1, 2, 4
+    /// worker threads), all sharing one server key.
+    servers: Vec<CircuitServer>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0x5E5510);
+        let client = ClientKey::generate(ParameterSet::TEST_FAST, &mut rng);
+        let engine = F64Fft::new(client.params().ring_degree);
+        let key = Arc::new(ServerKey::new(&client, engine, &mut rng));
+        let servers = [1, 2, 4]
+            .iter()
+            .map(|&t| CircuitServer::start(Arc::clone(&key), t))
+            .collect();
+        Fixture { client, servers }
+    })
+}
+
+/// Serves one session over a duplex pipe and runs `drive` against its
+/// client end; returns after the serving thread has drained.
+fn with_session<T>(
+    server: &CircuitServer,
+    drive: impl FnOnce(&mut SessionClient<matcha_tfhe::session::PipeEnd>) -> T,
+) -> T {
+    let (near, far) = duplex();
+    let sess = SessionServer::new(server.client(), *server.params());
+    let handle = std::thread::spawn(move || sess.serve(far));
+    let mut wire = SessionClient::connect(near).expect("handshake");
+    let out = drive(&mut wire);
+    drop(wire);
+    handle.join().expect("serving thread").expect("clean close");
+    out
+}
+
+fn library_entry(index: usize) -> (&'static str, CircuitNetlist) {
+    let lib = analysis::library();
+    let pick = index % lib.len();
+    lib.into_iter().nth(pick).expect("index in range")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The headline acceptance property: for a random library circuit,
+    /// random input bits, and every pool size, the session-served packed
+    /// submission is bit-identical to the in-process packed submission
+    /// and decrypt-equal to the in-process per-LWE submission.
+    #[test]
+    fn wire_packed_equals_in_process(entry in any::<usize>(), seed in any::<u64>()) {
+        let f = fixture();
+        let (name, net) = library_entry(entry);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let engine = F64Fft::new(f.client.params().ring_degree);
+        let bits: Vec<bool> = (0..net.num_inputs()).map(|_| rng.gen_bool(0.5)).collect();
+        // One packed transport sample carries the whole input vector
+        // (every library circuit has ≤ N inputs at TEST_FAST).
+        let samples = vec![packing::pack_bits(&f.client, &bits, &engine, &mut rng)];
+        let lwe_inputs: Vec<LweCiphertext> = bits
+            .iter()
+            .map(|&b| f.client.encrypt_with(b, &mut rng))
+            .collect();
+
+        // Per-LWE in-process run: the reference semantics.
+        let reference = f.servers[1]
+            .client()
+            .submit(net.clone(), lwe_inputs)
+            .wait()
+            .completed()
+            .unwrap_or_else(|| panic!("{name}: per-LWE run must complete"));
+        let expected: Vec<bool> = reference
+            .outputs
+            .iter()
+            .map(|c| f.client.decrypt(c))
+            .collect();
+
+        for server in &f.servers {
+            let over_wire = with_session(server, |wire| {
+                wire.submit_packed(&net, samples.clone()).expect("submit");
+                let (_, outcome) = wire.wait().expect("outcome");
+                outcome
+                    .completed()
+                    .unwrap_or_else(|| panic!("{name}: wire run must complete"))
+            });
+            let in_process = server
+                .client()
+                .submit_packed(net.clone(), samples.clone())
+                .wait()
+                .completed()
+                .unwrap_or_else(|| panic!("{name}: in-process packed run must complete"));
+            prop_assert_eq!(
+                &over_wire.outputs,
+                &in_process.outputs,
+                "{}: wire and in-process packed outputs must be bit-identical",
+                name
+            );
+            let decrypted: Vec<bool> = over_wire
+                .outputs
+                .iter()
+                .map(|c| f.client.decrypt(c))
+                .collect();
+            prop_assert_eq!(
+                &decrypted,
+                &expected,
+                "{}: packed transport must not change circuit semantics",
+                name
+            );
+        }
+    }
+
+    /// `submit_bits` (client-side packing inside the session layer)
+    /// agrees with packing by hand.
+    #[test]
+    fn submit_bits_equals_manual_packing(entry in any::<usize>(), seed in any::<u64>()) {
+        let f = fixture();
+        let (name, net) = library_entry(entry);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let engine = F64Fft::new(f.client.params().ring_degree);
+        let bits: Vec<bool> = (0..net.num_inputs()).map(|_| rng.gen_bool(0.5)).collect();
+
+        let run = with_session(&f.servers[1], |wire| {
+            wire.submit_bits(&f.client, &net, &bits, &engine, &mut rng)
+                .expect("submit");
+            let (_, outcome) = wire.wait().expect("outcome");
+            outcome
+                .completed()
+                .unwrap_or_else(|| panic!("{name}: submit_bits run must complete"))
+        });
+        let reference = f.servers[0]
+            .client()
+            .submit(
+                net.clone(),
+                bits.iter()
+                    .map(|&b| f.client.encrypt_with(b, &mut rng))
+                    .collect(),
+            )
+            .wait()
+            .completed()
+            .unwrap_or_else(|| panic!("{name}: reference run must complete"));
+        let got: Vec<bool> = run.outputs.iter().map(|c| f.client.decrypt(c)).collect();
+        let want: Vec<bool> = reference
+            .outputs
+            .iter()
+            .map(|c| f.client.decrypt(c))
+            .collect();
+        prop_assert_eq!(got, want, "{}", name);
+    }
+}

@@ -106,7 +106,7 @@ impl GateOp {
 /// assert!(!client.decrypt(&run.outputs[0])); // 1 ^ 1
 /// assert!(client.decrypt(&run.outputs[1])); // 1 & 1
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CircuitNetlist {
     ops: Vec<GateOp>,
     /// Wave level per node: 0 for sources, `1 + max(operand levels)` else.
@@ -119,6 +119,72 @@ impl CircuitNetlist {
     /// An empty netlist.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Reassembles a netlist from raw parts — the wire decoder's entry
+    /// point, returning `Err` (instead of the builder's panics) so a
+    /// malformed remote submission cannot take down a server thread.
+    ///
+    /// Validity requires the builder's canonical form: every operand
+    /// references an earlier node, input slots are numbered `0, 1, 2, …`
+    /// in node order (each exactly once), and every output marks an
+    /// existing node.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn from_parts(ops: Vec<GateOp>, outputs: Vec<usize>) -> Result<Self, String> {
+        let mut next_slot = 0usize;
+        for (id, op) in ops.iter().enumerate() {
+            for operand in op.operands().into_iter().flatten() {
+                if operand >= id {
+                    return Err(format!(
+                        "node {id}: operand {operand} references a not-yet-defined node"
+                    ));
+                }
+            }
+            if let GateOp::Input(slot) = *op {
+                if slot != next_slot {
+                    return Err(format!(
+                        "node {id}: input slot {slot}, expected {next_slot} \
+                         (slots are numbered in node order)"
+                    ));
+                }
+                next_slot += 1;
+            }
+        }
+        for &o in &outputs {
+            if o >= ops.len() {
+                return Err(format!("output {o} not in a {}-node netlist", ops.len()));
+            }
+        }
+        // Everything is pre-validated, so the builder's panics are
+        // unreachable; replaying through it keeps the level bookkeeping
+        // in one place.
+        let mut net = Self::new();
+        for op in ops {
+            match op {
+                GateOp::Input(_) => {
+                    net.input();
+                }
+                GateOp::Constant(v) => {
+                    net.constant(v);
+                }
+                GateOp::Binary(g, a, b) => {
+                    net.gate(g, a, b);
+                }
+                GateOp::Not(a) => {
+                    net.not(a);
+                }
+                GateOp::Mux { sel, a, b } => {
+                    net.mux(sel, a, b);
+                }
+            }
+        }
+        for o in outputs {
+            net.mark_output(o);
+        }
+        Ok(net)
     }
 
     /// Number of nodes.
@@ -482,6 +548,28 @@ impl CircuitFrontier {
             net.inputs,
             inputs.len()
         );
+        Self::with_tag_from(net, server, tag, |slot| inputs[slot].clone())
+    }
+
+    /// Like [`CircuitFrontier::with_tag`], but sourcing each input slot
+    /// from `fill` instead of cloning out of a slice — the wire-ingest
+    /// path: a packed TRLWE submission sample-extracts and key-switches
+    /// each bit in `fill` and the resulting sample lands in the slab
+    /// directly, with no intermediate ciphertext vector or clone. `fill`
+    /// is called exactly once per input slot, in node order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fill` panics (a malformed slot count surfaces there).
+    pub fn with_tag_from<E: FftEngine, F>(
+        net: Arc<CircuitNetlist>,
+        server: &ServerKey<E>,
+        tag: u64,
+        mut fill: F,
+    ) -> Self
+    where
+        F: FnMut(usize) -> LweCiphertext,
+    {
         let n = net.ops.len();
         let mut pending = vec![0usize; n];
         let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -507,7 +595,7 @@ impl CircuitFrontier {
         for id in 0..n {
             match frontier.net.ops[id] {
                 GateOp::Input(slot) => {
-                    frontier.slab.set(id, inputs[slot].clone());
+                    frontier.slab.set(id, fill(slot));
                     frontier.mark_available(id);
                 }
                 GateOp::Constant(v) => {

@@ -11,6 +11,8 @@
 //! bootstrapping keys are engine-specific spectra and are regenerated via
 //! [`crate::BootstrapKit::generate`] instead of shipped.
 
+use crate::circuit::{CircuitNetlist, GateOp};
+use crate::gates::Gate;
 use crate::lwe::LweCiphertext;
 use crate::params::ParameterSet;
 use crate::secret::{LweSecretKey, RingSecretKey};
@@ -86,31 +88,54 @@ pub trait Codec: Sized {
         out
     }
 
-    /// Deserializes from a byte slice.
+    /// Deserializes from a byte slice that holds exactly one value.
+    ///
+    /// Unlike [`Codec::decode`] — which reads one value off a stream and
+    /// leaves whatever follows for the caller — this rejects input with
+    /// trailing bytes after the payload: a blob that is "a valid value
+    /// plus garbage" is not a valid blob.
     ///
     /// # Errors
     ///
-    /// Returns `InvalidData` for malformed input.
+    /// Returns `InvalidData` for malformed input or a non-empty remainder.
     fn from_bytes(bytes: &[u8]) -> io::Result<Self> {
-        Self::decode(bytes)
+        let mut r = bytes;
+        let value = Self::decode(&mut r)?;
+        if !r.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{} trailing bytes after payload", r.len()),
+            ));
+        }
+        Ok(value)
     }
 }
 
-fn write_u32<W: Write>(mut w: W, v: u32) -> io::Result<()> {
+pub(crate) fn write_u32<W: Write>(mut w: W, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-fn read_u32<R: Read>(mut r: R) -> io::Result<u32> {
+pub(crate) fn read_u32<R: Read>(mut r: R) -> io::Result<u32> {
     let mut buf = [0u8; 4];
     r.read_exact(&mut buf)?;
     Ok(u32::from_le_bytes(buf))
 }
 
-fn write_f64<W: Write>(mut w: W, v: f64) -> io::Result<()> {
+pub(crate) fn write_u64<W: Write>(mut w: W, v: u64) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-fn read_f64<R: Read>(mut r: R) -> io::Result<f64> {
+pub(crate) fn read_u64<R: Read>(mut r: R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+pub(crate) fn write_f64<W: Write>(mut w: W, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+pub(crate) fn read_f64<R: Read>(mut r: R) -> io::Result<f64> {
     let mut buf = [0u8; 8];
     r.read_exact(&mut buf)?;
     Ok(f64::from_le_bytes(buf))
@@ -127,8 +152,51 @@ fn read_len<R: Read>(r: R, max: u32) -> io::Result<usize> {
     Ok(len as usize)
 }
 
+/// Like [`read_len`] but admitting zero (for counts that may be empty).
+pub(crate) fn read_count<R: Read>(r: R, max: u32) -> io::Result<usize> {
+    let len = read_u32(r)?;
+    if len > max {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("count {len} exceeds {max}"),
+        ));
+    }
+    Ok(len as usize)
+}
+
 /// Largest dimension/degree the decoder accepts (DoS guard).
-const MAX_LEN: u32 = 1 << 20;
+pub(crate) const MAX_LEN: u32 = 1 << 20;
+
+/// Speculative-preallocation cap while decoding. Lengths are
+/// attacker-controlled: a decoder may reserve at most this many bytes
+/// ahead of payload actually received, so a truncated stream with a huge
+/// claimed length fails on the read, not after a huge allocation. Growth
+/// past the cap is the collection's amortized doubling — by then the
+/// sender has paid for it in delivered bytes.
+pub(crate) const PREALLOC_BYTES: usize = 1 << 14;
+
+/// Reads exactly `n` torus words with capped speculative preallocation.
+fn read_torus_words<R: Read>(mut r: R, n: usize) -> io::Result<Vec<Torus32>> {
+    let mut v = Vec::with_capacity(n.min(PREALLOC_BYTES / 4));
+    for _ in 0..n {
+        v.push(Torus32::from_raw(read_u32(&mut r)?));
+    }
+    Ok(v)
+}
+
+/// Reads exactly `n` raw bytes with capped speculative preallocation.
+pub(crate) fn read_bytes_exact<R: Read>(mut r: R, n: usize) -> io::Result<Vec<u8>> {
+    let mut v = Vec::with_capacity(n.min(PREALLOC_BYTES));
+    let mut chunk = [0u8; 1024];
+    let mut remaining = n;
+    while remaining > 0 {
+        let take = remaining.min(chunk.len());
+        r.read_exact(&mut chunk[..take])?;
+        v.extend_from_slice(&chunk[..take]);
+        remaining -= take;
+    }
+    Ok(v)
+}
 
 impl Codec for LweCiphertext {
     const MAGIC: [u8; 4] = *b"MLWE";
@@ -143,10 +211,7 @@ impl Codec for LweCiphertext {
 
     fn decode_body<R: Read>(mut r: R) -> io::Result<Self> {
         let n = read_len(&mut r, MAX_LEN)?;
-        let mut a = Vec::with_capacity(n);
-        for _ in 0..n {
-            a.push(Torus32::from_raw(read_u32(&mut r)?));
-        }
+        let a = read_torus_words(&mut r, n)?;
         let b = Torus32::from_raw(read_u32(&mut r)?);
         Ok(LweCiphertext::from_parts(a, b))
     }
@@ -175,11 +240,7 @@ impl Codec for TrlweCiphertext {
             ));
         }
         let read_poly = |r: &mut R| -> io::Result<TorusPolynomial> {
-            let mut coeffs = Vec::with_capacity(n);
-            for _ in 0..n {
-                coeffs.push(Torus32::from_raw(read_u32(&mut *r)?));
-            }
-            Ok(TorusPolynomial::from_coeffs(coeffs))
+            Ok(TorusPolynomial::from_coeffs(read_torus_words(&mut *r, n)?))
         };
         let a = read_poly(&mut r)?;
         let b = read_poly(&mut r)?;
@@ -211,8 +272,15 @@ impl Codec for LweSecretKey {
 
     fn decode_body<R: Read>(mut r: R) -> io::Result<Self> {
         let n = read_len(&mut r, MAX_LEN)?;
-        let mut bytes = vec![0u8; n.div_ceil(8)];
-        r.read_exact(&mut bytes)?;
+        let bytes = read_bytes_exact(&mut r, n.div_ceil(8))?;
+        // Canonical-form check: padding bits past `n` must be zero, so a
+        // key has exactly one accepted encoding.
+        if !n.is_multiple_of(8) && bytes[n / 8] >> (n % 8) != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "nonzero padding bits in packed key",
+            ));
+        }
         let bits = (0..n).map(|i| bytes[i / 8] >> (i % 8) & 1 == 1).collect();
         Ok(LweSecretKey::from_bits(bits))
     }
@@ -269,6 +337,105 @@ impl Codec for ParameterSet {
             .validate()
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         Ok(params)
+    }
+}
+
+/// Stable wire index of a gate: its position in [`Gate::ALL`].
+fn gate_code(gate: Gate) -> u8 {
+    Gate::ALL
+        .iter()
+        .position(|&g| g == gate)
+        .expect("Gate::ALL covers every gate") as u8
+}
+
+fn gate_from_code(code: u8) -> io::Result<Gate> {
+    Gate::ALL
+        .get(code as usize)
+        .copied()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("unknown gate {code}")))
+}
+
+impl Codec for CircuitNetlist {
+    const MAGIC: [u8; 4] = *b"MNET";
+
+    fn encode_body<W: Write>(&self, mut w: W) -> io::Result<()> {
+        write_u32(&mut w, self.len() as u32)?;
+        for op in self.ops() {
+            match *op {
+                GateOp::Input(slot) => {
+                    w.write_all(&[0])?;
+                    write_u32(&mut w, slot as u32)?;
+                }
+                GateOp::Constant(v) => w.write_all(&[1, u8::from(v)])?,
+                GateOp::Binary(gate, a, b) => {
+                    w.write_all(&[2, gate_code(gate)])?;
+                    write_u32(&mut w, a as u32)?;
+                    write_u32(&mut w, b as u32)?;
+                }
+                GateOp::Not(a) => {
+                    w.write_all(&[3])?;
+                    write_u32(&mut w, a as u32)?;
+                }
+                GateOp::Mux { sel, a, b } => {
+                    w.write_all(&[4])?;
+                    write_u32(&mut w, sel as u32)?;
+                    write_u32(&mut w, a as u32)?;
+                    write_u32(&mut w, b as u32)?;
+                }
+            }
+        }
+        write_u32(&mut w, self.outputs().len() as u32)?;
+        for &o in self.outputs() {
+            write_u32(&mut w, o as u32)?;
+        }
+        Ok(())
+    }
+
+    fn decode_body<R: Read>(mut r: R) -> io::Result<Self> {
+        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let n = read_count(&mut r, MAX_LEN)?;
+        // Ops are at least 2 bytes each on the wire, so cap the
+        // speculative reserve at half the prealloc budget in *entries*
+        // (each entry is larger in memory than on the wire; the claimed
+        // count is attacker-controlled).
+        let mut ops = Vec::with_capacity(n.min(PREALLOC_BYTES / std::mem::size_of::<GateOp>()));
+        let mut tag = [0u8; 1];
+        for _ in 0..n {
+            r.read_exact(&mut tag)?;
+            let op = match tag[0] {
+                0 => GateOp::Input(read_u32(&mut r)? as usize),
+                1 => {
+                    r.read_exact(&mut tag)?;
+                    match tag[0] {
+                        0 => GateOp::Constant(false),
+                        1 => GateOp::Constant(true),
+                        v => return Err(bad(format!("constant byte {v} is not 0/1"))),
+                    }
+                }
+                2 => {
+                    r.read_exact(&mut tag)?;
+                    let gate = gate_from_code(tag[0])?;
+                    let a = read_u32(&mut r)? as usize;
+                    let b = read_u32(&mut r)? as usize;
+                    GateOp::Binary(gate, a, b)
+                }
+                3 => GateOp::Not(read_u32(&mut r)? as usize),
+                4 => {
+                    let sel = read_u32(&mut r)? as usize;
+                    let a = read_u32(&mut r)? as usize;
+                    let b = read_u32(&mut r)? as usize;
+                    GateOp::Mux { sel, a, b }
+                }
+                t => return Err(bad(format!("unknown op tag {t}"))),
+            };
+            ops.push(op);
+        }
+        let n_out = read_count(&mut r, MAX_LEN)?;
+        let mut outputs = Vec::with_capacity(n_out.min(PREALLOC_BYTES / 8));
+        for _ in 0..n_out {
+            outputs.push(read_u32(&mut r)? as usize);
+        }
+        CircuitNetlist::from_parts(ops, outputs).map_err(bad)
     }
 }
 
@@ -366,6 +533,105 @@ mod tests {
             out
         };
         assert!(ParameterSet::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected_for_every_impl() {
+        let mut s = sampler();
+        let lwe = LweCiphertext::encrypt(
+            Torus32::ZERO,
+            &LweSecretKey::generate(16, &mut s),
+            1e-8,
+            &mut s,
+        );
+        let trlwe = TrlweCiphertext::from_parts(s.uniform_poly(32), s.uniform_poly(32));
+        let lsk = LweSecretKey::generate(19, &mut s);
+        let rsk = RingSecretKey::generate(32, &mut s);
+        let mut net = CircuitNetlist::new();
+        let a = net.input();
+        let b = net.input();
+        let g = net.gate(Gate::Nand, a, b);
+        net.mark_output(g);
+
+        fn check<T: Codec + std::fmt::Debug>(value: &T) {
+            let mut bytes = value.to_bytes();
+            bytes.push(0xAB);
+            let err = T::from_bytes(&bytes).unwrap_err();
+            assert_eq!(
+                err.kind(),
+                io::ErrorKind::InvalidData,
+                "{}",
+                std::any::type_name::<T>()
+            );
+            // The stream-friendly decode still accepts a value with data
+            // after it, leaving the remainder unread.
+            let mut r: &[u8] = &bytes;
+            T::decode(&mut r).expect("decode tolerates trailing stream data");
+            assert_eq!(r, [0xAB]);
+        }
+        check(&lwe);
+        check(&trlwe);
+        check(&lsk);
+        check(&rsk);
+        check(&ParameterSet::MATCHA);
+        check(&net);
+    }
+
+    #[test]
+    fn netlist_roundtrip() {
+        let mut net = CircuitNetlist::new();
+        let a = net.input();
+        let b = net.input();
+        let c = net.constant(true);
+        let x = net.gate(Gate::Xor, a, b);
+        let nx = net.not(x);
+        let m = net.mux(c, nx, a);
+        net.mark_output(x);
+        net.mark_output(m);
+        let back = CircuitNetlist::from_bytes(&net.to_bytes()).unwrap();
+        assert_eq!(back.ops(), net.ops());
+        assert_eq!(back.outputs(), net.outputs());
+        assert_eq!(back.num_inputs(), net.num_inputs());
+        assert_eq!(back.depth(), net.depth());
+    }
+
+    #[test]
+    fn empty_netlist_roundtrip() {
+        let net = CircuitNetlist::new();
+        let back = CircuitNetlist::from_bytes(&net.to_bytes()).unwrap();
+        assert!(back.is_empty());
+        assert!(back.outputs().is_empty());
+    }
+
+    #[test]
+    fn forward_referencing_netlist_rejected() {
+        // Hand-craft a netlist whose gate references a later node.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"MNET");
+        bytes.push(1); // version
+        bytes.extend_from_slice(&2u32.to_le_bytes()); // two nodes
+        bytes.push(0); // Input
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&[2, 0]); // Binary And
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // a = 0: fine
+        bytes.extend_from_slice(&5u32.to_le_bytes()); // b = 5: forward
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // no outputs
+        let err = CircuitNetlist::from_bytes(&bytes).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn unknown_gate_and_op_tags_rejected() {
+        for (tag, extra) in [(2u8, vec![99u8]), (7u8, vec![])] {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(b"MNET");
+            bytes.push(1);
+            bytes.extend_from_slice(&1u32.to_le_bytes());
+            bytes.push(tag);
+            bytes.extend_from_slice(&extra);
+            bytes.extend_from_slice(&[0u8; 8]); // operands
+            assert!(CircuitNetlist::from_bytes(&bytes).is_err(), "tag {tag}");
+        }
     }
 
     #[test]

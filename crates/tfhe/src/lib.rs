@@ -19,6 +19,10 @@
 //! * [`batch`] / [`circuit`] / [`server`] — the serving stack: persistent
 //!   heterogeneous gate-batch pool, executable netlists wave-scheduled onto
 //!   it, and the multi-client circuit request server.
+//! * [`codec`] / [`packing`] / [`session`] — the wire: versioned
+//!   serialization for every key and ciphertext, packed TRLWE transport
+//!   (2 torus words per bit instead of `n + 1`), and framed sessions
+//!   serving whole circuits over any `Read + Write` transport.
 //! * [`analyze`] — netlist static analysis: structural lints, the
 //!   `simplify` rewriter, analytic worst-case noise certification, and
 //!   critical-path cost ranks — run at server admission via
@@ -68,6 +72,7 @@ pub mod profile;
 pub mod scratch;
 pub mod secret;
 pub mod server;
+pub mod session;
 pub mod tgsw;
 pub mod tlwe;
 
@@ -93,5 +98,6 @@ pub use server::{
     CircuitClient, CircuitOutcome, CircuitServer, ClientTally, PendingCircuit, RejectReason,
     SchedulerStats, ServerConfig,
 };
+pub use session::{SessionClient, SessionOutcome, SessionRun, SessionServer};
 pub use tgsw::{TgswCiphertext, TgswSpectrum};
 pub use tlwe::{TrlweCiphertext, TrlweSpectrum};

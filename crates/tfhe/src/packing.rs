@@ -82,14 +82,32 @@ pub fn unpack_bits<E: FftEngine>(
 ///
 /// # Panics
 ///
-/// Panics if `index` is out of range or the key-switch key does not match
-/// the ring degree.
+/// Panics if `index` is out of range, if the packed sample's ring degree
+/// does not match `params`, or if the key-switch key does not switch from
+/// that ring degree — each checked here, at the API boundary, so a
+/// mismatched wire submission fails with a message naming the mismatch
+/// instead of indexing the wrong coefficient or tripping an assertion
+/// deep inside [`KeySwitchKey::switch`].
 pub fn extract_bit(
     packed: &TrlweCiphertext,
     index: usize,
     ksk: &KeySwitchKey,
     params: &ParameterSet,
 ) -> LweCiphertext {
+    assert_eq!(
+        packed.ring_degree(),
+        params.ring_degree,
+        "packed sample ring degree {} does not match parameter ring degree {}",
+        packed.ring_degree(),
+        params.ring_degree
+    );
+    assert_eq!(
+        ksk.from_dimension(),
+        params.ring_degree,
+        "key-switch key switches from dimension {}, not ring degree {}",
+        ksk.from_dimension(),
+        params.ring_degree
+    );
     assert!(index < params.ring_degree, "index {index} out of range");
     let extracted = packed.sample_extract_at(index);
     ksk.switch(&extracted)
@@ -158,5 +176,35 @@ mod tests {
         let (client, engine, _, mut rng) = setup();
         let bits = vec![true; 257];
         let _ = pack_bits(&client, &bits, &engine, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match parameter ring degree")]
+    fn mismatched_packed_degree_rejected() {
+        let (client, _, kit, _) = setup();
+        // A sample from some other parameter set: half the ring degree.
+        let packed = TrlweCiphertext::zero(client.params().ring_degree / 2);
+        let _ = extract_bit(&packed, 0, kit.key_switch_key(), client.params());
+    }
+
+    #[test]
+    #[should_panic(expected = "key-switch key switches from dimension")]
+    fn mismatched_keyswitch_key_rejected() {
+        let (client, _, kit, _) = setup();
+        // Params claiming a smaller ring: the packed sample matches them,
+        // but the key-switch key was built for the real ring degree.
+        let mut params = *client.params();
+        params.ring_degree /= 2;
+        let packed = TrlweCiphertext::zero(params.ring_degree);
+        let _ = extract_bit(&packed, 0, kit.key_switch_key(), &params);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_rejected() {
+        let (client, engine, kit, mut rng) = setup();
+        let packed = pack_bits(&client, &[true], &engine, &mut rng);
+        let n = client.params().ring_degree;
+        let _ = extract_bit(&packed, n, kit.key_switch_key(), client.params());
     }
 }

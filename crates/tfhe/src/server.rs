@@ -62,6 +62,9 @@ use crate::circuit::{CircuitFrontier, CircuitNetlist, CircuitRun};
 use crate::faults::FaultPlan;
 use crate::gates::ServerKey;
 use crate::lwe::LweCiphertext;
+use crate::packing;
+use crate::params::ParameterSet;
+use crate::tlwe::TrlweCiphertext;
 use matcha_fft::FftEngine;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -143,10 +146,18 @@ pub enum RejectReason {
     Shutdown,
 }
 
+/// The input payload of one queued circuit: gate-level samples per slot,
+/// or packed TRLWE transport samples the scheduler unpacks at admission
+/// (sample-extract + key switch straight into the run's slab).
+enum CircuitInputs {
+    Lwe(Vec<LweCiphertext>),
+    Packed(Vec<TrlweCiphertext>),
+}
+
 /// One queued circuit execution request.
 struct CircuitJob {
     netlist: CircuitNetlist,
-    inputs: Vec<LweCiphertext>,
+    inputs: CircuitInputs,
     reply: mpsc::Sender<CircuitOutcome>,
     /// Submitting client handle's identity, for quotas and tallies.
     client: u64,
@@ -402,7 +413,7 @@ pub struct CircuitServer {
     tx: mpsc::Sender<Msg>,
     scheduler: Option<JoinHandle<()>>,
     stats: Arc<StatsCells>,
-    lwe_dimension: usize,
+    params: ParameterSet,
     default_deadline: Option<Duration>,
     next_client: AtomicU64,
 }
@@ -486,7 +497,7 @@ fn admit<E>(
         }
     }
     match catch_unwind(AssertUnwindSafe(|| {
-        CircuitFrontier::with_tag(Arc::new(netlist), pool.server(), &inputs, *next_tag)
+        build_frontier(netlist, inputs, pool.server(), *next_tag)
     })) {
         Ok(frontier) => {
             *next_tag += 1;
@@ -504,6 +515,55 @@ fn admit<E>(
         Err(payload) => {
             stats.faulted.fetch_add(1, Ordering::Relaxed);
             let _ = reply.send(CircuitOutcome::Faulted(panic_message(payload)));
+        }
+    }
+}
+
+/// Builds the frontier for an admitted job, moving or unpacking its
+/// inputs straight into the run's [`ValueSlab`](crate::batch::ValueSlab):
+/// per-LWE inputs are *moved* out of the submission (no clone), and
+/// packed TRLWE inputs are unpacked on the fly — sample `slot / N`,
+/// coefficient `slot % N`, sample-extracted and key-switched directly
+/// into the slot's slab cell, with no intermediate ciphertext vector.
+/// Dimension mismatches panic (with the [`packing::extract_bit`]
+/// boundary messages) and surface as [`CircuitOutcome::Faulted`] through
+/// the caller's `catch_unwind`; validated submissions never hit them.
+fn build_frontier<E: FftEngine>(
+    netlist: CircuitNetlist,
+    inputs: CircuitInputs,
+    server: &ServerKey<E>,
+    tag: u64,
+) -> CircuitFrontier {
+    let net = Arc::new(netlist);
+    match inputs {
+        CircuitInputs::Lwe(inputs) => {
+            assert_eq!(
+                inputs.len(),
+                net.num_inputs(),
+                "circuit expects {} inputs, got {}",
+                net.num_inputs(),
+                inputs.len()
+            );
+            let mut inputs: Vec<Option<LweCiphertext>> = inputs.into_iter().map(Some).collect();
+            CircuitFrontier::with_tag_from(net, server, tag, |slot| {
+                inputs[slot].take().expect("input slots fill exactly once")
+            })
+        }
+        CircuitInputs::Packed(samples) => {
+            let params = *server.params();
+            let n = params.ring_degree;
+            assert_eq!(
+                samples.len(),
+                net.num_inputs().div_ceil(n),
+                "{} packed samples carry {} input slots, circuit expects {}",
+                samples.len(),
+                samples.len() * n,
+                net.num_inputs()
+            );
+            let ksk = server.kit().key_switch_key();
+            CircuitFrontier::with_tag_from(net, server, tag, |slot| {
+                packing::extract_bit(&samples[slot / n], slot % n, ksk, &params)
+            })
         }
     }
 }
@@ -719,7 +779,7 @@ impl CircuitServer {
         E: FftEngine + Send + Sync + 'static,
     {
         assert!(threads > 0, "need at least one worker");
-        let lwe_dimension = key.params().lwe_dimension;
+        let params = *key.params();
         let default_deadline = config.default_deadline;
         let (tx, rx) = mpsc::channel::<Msg>();
         let stats = Arc::new(StatsCells::default());
@@ -730,10 +790,17 @@ impl CircuitServer {
             tx,
             scheduler: Some(scheduler),
             stats,
-            lwe_dimension,
+            params,
             default_deadline,
             next_client: AtomicU64::new(0),
         }
+    }
+
+    /// The parameter set the server key was generated under — what a
+    /// wire session advertises in its handshake, and what client-side
+    /// encryption must match.
+    pub fn params(&self) -> &ParameterSet {
+        &self.params
     }
 
     /// A new client handle with a fresh client identity (used for quotas
@@ -743,7 +810,7 @@ impl CircuitServer {
     pub fn client(&self) -> CircuitClient {
         CircuitClient {
             tx: self.tx.clone(),
-            lwe_dimension: self.lwe_dimension,
+            params: self.params,
             id: self.next_client.fetch_add(1, Ordering::Relaxed),
             stats: Arc::clone(&self.stats),
             default_deadline: self.default_deadline,
@@ -808,7 +875,7 @@ impl Drop for CircuitServer {
 #[derive(Clone)]
 pub struct CircuitClient {
     tx: mpsc::Sender<Msg>,
-    lwe_dimension: usize,
+    params: ParameterSet,
     id: u64,
     stats: Arc<StatsCells>,
     default_deadline: Option<Duration>,
@@ -836,7 +903,30 @@ impl CircuitClient {
             return self.reject_invalid();
         }
         let deadline = self.default_deadline.map(|d| Instant::now() + d);
-        self.enqueue(netlist, inputs, deadline)
+        self.enqueue(netlist, CircuitInputs::Lwe(inputs), deadline)
+    }
+
+    /// Submits a circuit whose inputs arrive as packed TRLWE transport
+    /// samples ([`packing::pack_bits`] on the client side): sample `k`
+    /// carries input slots `k·N .. (k+1)·N` in its coefficients, at 2
+    /// torus words per bit on the wire instead of `n + 1`. The scheduler
+    /// unpacks each slot at admission — sample-extract plus key switch,
+    /// straight into the run's slab — after which the circuit runs
+    /// exactly as a per-LWE submission. Malformed submissions — a sample
+    /// count other than `ceil(num_inputs / N)` or a wrong ring degree on
+    /// any sample — resolve to [`CircuitOutcome::Rejected`] with
+    /// [`RejectReason::InvalidInput`] without being queued. The server's
+    /// [`ServerConfig::default_deadline`], if any, applies.
+    pub fn submit_packed(
+        &self,
+        netlist: CircuitNetlist,
+        samples: Vec<TrlweCiphertext>,
+    ) -> PendingCircuit {
+        if !self.valid_packed(&netlist, &samples) {
+            return self.reject_invalid();
+        }
+        let deadline = self.default_deadline.map(|d| Instant::now() + d);
+        self.enqueue(netlist, CircuitInputs::Packed(samples), deadline)
     }
 
     /// Like [`CircuitClient::submit`], but bounding the circuit's
@@ -854,7 +944,11 @@ impl CircuitClient {
         if !self.valid(&netlist, &inputs) {
             return self.reject_invalid();
         }
-        self.enqueue(netlist, inputs, Some(Instant::now() + deadline))
+        self.enqueue(
+            netlist,
+            CircuitInputs::Lwe(inputs),
+            Some(Instant::now() + deadline),
+        )
     }
 
     /// [`CircuitClient::submit`] without the boundary validation — the
@@ -868,12 +962,20 @@ impl CircuitClient {
         inputs: Vec<LweCiphertext>,
     ) -> PendingCircuit {
         let deadline = self.default_deadline.map(|d| Instant::now() + d);
-        self.enqueue(netlist, inputs, deadline)
+        self.enqueue(netlist, CircuitInputs::Lwe(inputs), deadline)
     }
 
     fn valid(&self, netlist: &CircuitNetlist, inputs: &[LweCiphertext]) -> bool {
         inputs.len() == netlist.num_inputs()
-            && inputs.iter().all(|i| i.dimension() == self.lwe_dimension)
+            && inputs
+                .iter()
+                .all(|i| i.dimension() == self.params.lwe_dimension)
+    }
+
+    fn valid_packed(&self, netlist: &CircuitNetlist, samples: &[TrlweCiphertext]) -> bool {
+        let n = self.params.ring_degree;
+        samples.len() == netlist.num_inputs().div_ceil(n)
+            && samples.iter().all(|s| s.ring_degree() == n)
     }
 
     /// Resolves an `InvalidInput` rejection immediately, tallying it
@@ -891,7 +993,7 @@ impl CircuitClient {
     fn enqueue(
         &self,
         netlist: CircuitNetlist,
-        inputs: Vec<LweCiphertext>,
+        inputs: CircuitInputs,
         deadline: Option<Instant>,
     ) -> PendingCircuit {
         let (reply, rx) = mpsc::channel();
@@ -1071,7 +1173,17 @@ mod tests {
     #[test]
     fn interleaves_circuits_and_reports_in_flight_high_water() {
         let (client, key, mut rng) = setup(147);
-        let server = CircuitServer::start(Arc::clone(&key), 2);
+        // Hold the deep circuit's first gate (tag 0, node 2) on a scripted
+        // delay so the short submissions are guaranteed to be admitted
+        // while it is still in flight — without the delay this races the
+        // scheduler under a loaded test host.
+        let faults = FaultPlan::new().inject(0, 2, FaultAction::Delay(Duration::from_millis(100)));
+        let server = CircuitServer::start_with_faults(
+            Arc::clone(&key),
+            2,
+            ServerConfig::default(),
+            Arc::new(faults),
+        );
         let handle = server.client();
         // A deep chain first: while its first wave runs, the two short
         // circuits are admitted and ride the subsequent super-waves.
