@@ -46,7 +46,14 @@
 //! Since PR 9 the wire-session layer adds `packed_vs_lwe_upload/MATCHA`
 //! (**bytes per bit on the wire**, per-LWE vs packed-TRLWE upload, from
 //! real codec encodings) and `packed_unpack_cost/MATCHA_f64` (server-side
-//! sample-extract + key-switch per packed bit, allocating vs warmed).
+//! sample-extract + key-switch per packed bit, allocating vs warmed). And
+//! since PR 10, formal verification: the `netlist_equiv_cost/*` rows
+//! (`adder8`, `mul8`, `processor_cycle8`) price a full BDD equivalence
+//! proof of raw-vs-simplified — `alloc_ns` = wall-clock nanoseconds for
+//! the whole proof, `scratch_ns` = **peak BDD node count** (the space
+//! axis of the same check, against the default 2^20-node budget), so
+//! `speedup` is meaningless there and the two columns are read
+//! side by side.
 //!
 //! Run with:
 //! `cargo run --release -p matcha-bench --bin bench_pbs`
@@ -784,6 +791,49 @@ fn bench_netlist_analysis(rows: &mut Vec<Row>) {
     });
 }
 
+/// Formal-equivalence rows. Each `netlist_equiv_cost/*` row prices one
+/// full BDD proof that a library lowering equals its simplified form on
+/// every output: `alloc_ns` = wall-clock nanoseconds for the whole check
+/// (both compilations plus the verdict), `scratch_ns` = **peak BDD node
+/// count**, the space the proof needed under the default 2^20-node
+/// budget. Mixed units by design — time tells whether admission-time
+/// proving is affordable, nodes tell how much budget headroom the
+/// hardest entries leave.
+fn bench_netlist_equiv(rows: &mut Vec<Row>) {
+    use matcha::circuits::analysis;
+    use matcha::tfhe::analyze::equiv::{self, EquivBudget};
+    use matcha::tfhe::analyze::simplify;
+
+    let budget = EquivBudget::default();
+    for (name, net) in analysis::library() {
+        if !matches!(name, "adder8" | "mul8" | "processor_cycle8") {
+            continue;
+        }
+        let (simplified, _) = simplify(&net);
+        let report = equiv::check(&net, &simplified, budget);
+        assert!(
+            report.is_equivalent(),
+            "{name}: the shipped simplifier must prove out — {report}"
+        );
+        let nodes = report.nodes;
+        let check_ns = measure(5, 1, || {
+            std::hint::black_box(equiv::check(&net, &simplified, budget));
+        });
+        println!(
+            "netlist equiv: {name} proven raw ≡ simplified in {:.2} ms with \
+             {nodes} BDD nodes ({:.1}% of the {}-node budget)",
+            check_ns / 1e6,
+            nodes as f64 / budget.max_nodes as f64 * 100.0,
+            budget.max_nodes,
+        );
+        rows.push(Row {
+            id: format!("netlist_equiv_cost/{name}"),
+            alloc_ns: check_ns,
+            scratch_ns: nodes as f64,
+        });
+    }
+}
+
 /// Packed-transport rows for the wire-session layer.
 ///
 /// `packed_vs_lwe_upload/MATCHA` carries **bytes per bit on the wire,
@@ -928,6 +978,7 @@ fn main() {
         bench_gate("approx38_m2", ApproxIntFft::new(1024, 38), 2),
     ];
     bench_netlist_analysis(&mut rows);
+    bench_netlist_equiv(&mut rows);
     bench_packed_transport(&mut rows);
     bench_circuit_sched(&mut rows);
     bench_circuit_interleaved(&mut rows);

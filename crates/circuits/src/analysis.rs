@@ -12,6 +12,7 @@
 
 use crate::netlist;
 use matcha_accel::schedule::{self, ScheduleResult};
+use matcha_tfhe::analyze::equiv::{push_word, word_at, Spec};
 use matcha_tfhe::circuit::CircuitNetlist;
 use matcha_tfhe::params::ParameterSet;
 use matcha_tfhe::{analyze, simplify, NetlistReport, SimplifyReport};
@@ -88,6 +89,136 @@ pub fn library() -> Vec<(&'static str, CircuitNetlist)> {
                     src2: 1,
                 },
             ),
+        ),
+    ]
+}
+
+/// The plaintext arithmetic specification of every [`library`] entry, by
+/// the same names and in the same order: what each lowering is *supposed*
+/// to compute, as a closure over the flat input assignment (input-slot
+/// order, LSB-first within each word). `matcha_tfhe::analyze::equiv`
+/// proves each lowering equal to its spec on **all** inputs — the
+/// word-level layer is verified against textbook arithmetic, not merely
+/// against its own eager evaluation.
+pub fn library_specs() -> Vec<(&'static str, Spec)> {
+    vec![
+        // ripple_adder(8): a(8), b(8) → the 9-bit sum a + b
+        // (8 sum bits then the final carry).
+        (
+            "adder8",
+            Spec::new(vec![8, 8], 9, |bits| {
+                let (a, b) = (word_at(bits, 0, 8), word_at(bits, 8, 8));
+                let mut out = Vec::new();
+                push_word(&mut out, a + b, 9);
+                out
+            }),
+        ),
+        // ripple_subtractor(8): a + ¬b + 1 — 8 difference bits
+        // (a − b mod 2⁸) then the carry (1 iff a ≥ b).
+        (
+            "subtractor8",
+            Spec::new(vec![8, 8], 9, |bits| {
+                let (a, b) = (word_at(bits, 0, 8), word_at(bits, 8, 8));
+                let mut out = Vec::new();
+                push_word(&mut out, a + (b ^ 0xff) + 1, 9);
+                out
+            }),
+        ),
+        // eq_comparator(8): one bit, [a == b].
+        (
+            "comparator8",
+            Spec::new(vec![8, 8], 1, |bits| {
+                vec![word_at(bits, 0, 8) == word_at(bits, 8, 8)]
+            }),
+        ),
+        // mux_tree(2, 4): a 2-bit index (LSB-first) then four 4-bit
+        // words; the output is words[index].
+        (
+            "mux4x4",
+            Spec::new(vec![2, 4, 4, 4, 4], 4, |bits| {
+                let index = word_at(bits, 0, 2) as usize;
+                bits[2 + 4 * index..2 + 4 * index + 4].to_vec()
+            }),
+        ),
+        // mul(8): the full 16-bit product.
+        (
+            "mul8",
+            Spec::new(vec![8, 8], 16, |bits| {
+                let (a, b) = (word_at(bits, 0, 8), word_at(bits, 8, 8));
+                let mut out = Vec::new();
+                push_word(&mut out, a * b, 16);
+                out
+            }),
+        ),
+        // mul_low(8): the low 8 bits of the product.
+        (
+            "mul_low8",
+            Spec::new(vec![8, 8], 8, |bits| {
+                let (a, b) = (word_at(bits, 0, 8), word_at(bits, 8, 8));
+                let mut out = Vec::new();
+                push_word(&mut out, a * b, 8);
+                out
+            }),
+        ),
+        // alu(8): 2 opcode bits (LSB-first: 0 add, 1 sub, 2 and, 3 xor)
+        // then a(8) then b(8); 8 result bits, add/sub mod 2⁸.
+        (
+            "alu8",
+            Spec::new(vec![2, 8, 8], 8, |bits| {
+                let op = word_at(bits, 0, 2);
+                let (a, b) = (word_at(bits, 2, 8), word_at(bits, 10, 8));
+                let r = match op {
+                    0 => a + b,
+                    1 => a + (b ^ 0xff) + 1,
+                    2 => a & b,
+                    _ => a ^ b,
+                };
+                let mut out = Vec::new();
+                push_word(&mut out, r, 8);
+                out
+            }),
+        ),
+        // popcount(16): the 5-bit count of set inputs, LSB-first.
+        (
+            "popcount16",
+            Spec::new(vec![16], 5, |bits| {
+                let count = bits.iter().filter(|&&b| b).count() as u128;
+                let mut out = Vec::new();
+                push_word(&mut out, count, 5);
+                out
+            }),
+        ),
+        // shl(8, 4): 4 amount bits (LSB-first) then the 8-bit word;
+        // (a << amount) mod 2⁸, so over-shifts flush to zero.
+        (
+            "shifter8",
+            Spec::new(vec![4, 8], 8, |bits| {
+                let amount = word_at(bits, 0, 4) as u32;
+                let a = word_at(bits, 4, 8);
+                let mut out = Vec::new();
+                push_word(&mut out, a << amount, 8);
+                out
+            }),
+        ),
+        // processor_cycle(2, 8, Alu{dst:0, src1:0, src2:1}): r0(8),
+        // r1(8), then 2 opcode bits; the new register file in order —
+        // r0' = alu(op, r0, r1), r1' passes through.
+        (
+            "processor_cycle8",
+            Spec::new(vec![8, 8, 2], 16, |bits| {
+                let (r0, r1) = (word_at(bits, 0, 8), word_at(bits, 8, 8));
+                let op = word_at(bits, 16, 2);
+                let alu = match op {
+                    0 => r0 + r1,
+                    1 => r0 + (r1 ^ 0xff) + 1,
+                    2 => r0 & r1,
+                    _ => r0 ^ r1,
+                };
+                let mut out = Vec::new();
+                push_word(&mut out, alu, 8);
+                push_word(&mut out, r1, 8);
+                out
+            }),
         ),
     ]
 }

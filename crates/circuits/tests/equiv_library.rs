@@ -1,0 +1,175 @@
+//! Formal verification of the circuit library: every shipped lowering is
+//! **proven** — not sampled — equivalent to its simplified form (BDD
+//! function identity per output) and to its plaintext arithmetic spec
+//! (exhaustive over all input assignments). A deliberately broken rewrite
+//! must be refuted with a counterexample that replays, and the proofs
+//! must degrade to `Unknown` (never a wrong verdict, never a blowup)
+//! under a starved budget.
+//!
+//! This is the suite the CI `netlist-equiv` job runs. It spends zero
+//! bootstraps: everything here is plaintext static analysis.
+
+use matcha_circuits::analysis::{library, library_specs};
+use matcha_tfhe::analyze::equiv::{
+    self, check_spec, check_with_words, eval_netlist, EquivBudget, Verdict,
+};
+use matcha_tfhe::circuit::{CircuitNetlist, GateOp};
+use matcha_tfhe::{simplify, Gate};
+
+#[test]
+fn every_library_entry_simplifies_to_a_proven_equivalent() {
+    let budget = EquivBudget::default();
+    let specs = library_specs();
+    for ((name, raw), (spec_name, spec)) in library().into_iter().zip(&specs) {
+        assert_eq!(name, *spec_name, "library and specs must stay aligned");
+        let (simplified, _) = simplify(&raw);
+        let report = check_with_words(&raw, &simplified, budget, &spec.input_widths);
+        assert!(
+            report.is_equivalent(),
+            "{name}: simplify must be sound — {report}"
+        );
+        assert!(
+            report.nodes <= budget.max_nodes,
+            "{name}: {} nodes exceed the budget",
+            report.nodes
+        );
+    }
+}
+
+#[test]
+fn every_library_entry_matches_its_plaintext_spec_on_all_inputs() {
+    let budget = EquivBudget::default();
+    for ((name, raw), (spec_name, spec)) in library().into_iter().zip(library_specs()) {
+        assert_eq!(name, spec_name);
+        let report = check_spec(&raw, &spec, budget);
+        assert!(
+            report.is_equivalent(),
+            "{name}: lowering must compute its spec — {report}"
+        );
+        assert_eq!(
+            report.outputs_checked,
+            raw.outputs().len(),
+            "{name}: every output proven"
+        );
+    }
+}
+
+#[test]
+fn simplify_is_idempotent_on_the_whole_library() {
+    for (name, raw) in library() {
+        let (once, _) = simplify(&raw);
+        let (twice, report) = simplify(&once);
+        assert_eq!(once, twice, "{name}: simplify must be a fixpoint");
+        assert_eq!(
+            report.bootstraps_saved(),
+            0,
+            "{name}: a second pass must find nothing"
+        );
+    }
+}
+
+/// Flips the first XOR of a netlist to XNOR — an unsound "rewrite" that
+/// must be refuted.
+fn flip_first_xor(net: &CircuitNetlist) -> CircuitNetlist {
+    let mut ops = net.ops().to_vec();
+    let flipped = ops.iter_mut().find_map(|op| {
+        if let GateOp::Binary(Gate::Xor, a, b) = *op {
+            *op = GateOp::Binary(Gate::Xnor, a, b);
+            Some(())
+        } else {
+            None
+        }
+    });
+    assert!(flipped.is_some(), "netlist has an XOR to break");
+    CircuitNetlist::from_parts(ops, net.outputs().to_vec())
+        .expect("mutated netlist keeps the canonical shape")
+}
+
+#[test]
+fn broken_rewrites_are_refuted_with_replayable_counterexamples() {
+    let budget = EquivBudget::default();
+    let specs = library_specs();
+    // Every XOR-bearing entry: break it and demand a counterexample that
+    // actually distinguishes the two netlists under eager evaluation.
+    for ((name, raw), (_, spec)) in library().into_iter().zip(&specs) {
+        if !raw
+            .ops()
+            .iter()
+            .any(|op| matches!(op, GateOp::Binary(Gate::Xor, _, _)))
+        {
+            continue;
+        }
+        let broken = flip_first_xor(&raw);
+        let report = check_with_words(&raw, &broken, budget, &spec.input_widths);
+        match report.verdict {
+            Verdict::NotEquivalent {
+                output,
+                counterexample,
+            } => {
+                let want = eval_netlist(&raw, &counterexample.bits);
+                let got = eval_netlist(&broken, &counterexample.bits);
+                assert_ne!(
+                    want[output], got[output],
+                    "{name}: counterexample {counterexample} must distinguish output {output}"
+                );
+                // The rendering is per-input-word hex in slot order.
+                assert!(
+                    counterexample.to_string().starts_with("in[0]=0x"),
+                    "{name}: {counterexample}"
+                );
+            }
+            other => panic!("{name}: expected NotEquivalent, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn starved_budgets_degrade_to_unknown_not_wrong_verdicts() {
+    let tiny = EquivBudget {
+        max_nodes: 8,
+        max_inputs: 64,
+    };
+    for (name, raw) in library() {
+        let (simplified, _) = simplify(&raw);
+        let report = equiv::check(&raw, &simplified, tiny);
+        assert!(
+            matches!(
+                report.verdict,
+                Verdict::Equivalent | Verdict::Unknown { .. }
+            ),
+            "{name}: a starved check may give up but never mis-decide: {report}"
+        );
+    }
+    // And the input cap refuses up front.
+    let narrow = EquivBudget {
+        max_nodes: 1 << 20,
+        max_inputs: 4,
+    };
+    let (_, adder) = &library()[0];
+    let (simplified, _) = simplify(adder);
+    assert!(
+        matches!(
+            equiv::check(adder, &simplified, narrow).verdict,
+            Verdict::Unknown { .. }
+        ),
+        "16 inputs must exceed a 4-input budget"
+    );
+}
+
+#[test]
+fn processor_cycle_proof_fits_the_default_node_budget() {
+    // The acceptance bar: the largest library entry (18 inputs, a full
+    // register-file update) verifies within the default budget.
+    let budget = EquivBudget::default();
+    let (name, raw) = library().into_iter().last().expect("library is non-empty");
+    assert_eq!(name, "processor_cycle8");
+    let (simplified, _) = simplify(&raw);
+    let report = equiv::check(&raw, &simplified, budget);
+    assert!(report.is_equivalent(), "{name}: {report}");
+    assert!(
+        report.nodes < budget.max_nodes / 4,
+        "{name}: {} nodes leaves headroom under the {} budget",
+        report.nodes,
+        budget.max_nodes
+    );
+}

@@ -32,9 +32,13 @@
 //! bootstrapped gate into a trivial constant or an alias is
 //! decrypt-equivalent only, and the report says so).
 //!
-//! [`AnalysisPolicy`] packages the two admission knobs
-//! (`CircuitServer`-side): the minimum lint severity to reject on and the
-//! per-output failure-probability budget.
+//! [`AnalysisPolicy`] packages the admission knobs (`CircuitServer`-side):
+//! the minimum lint severity to reject on, the per-output
+//! failure-probability budget, and — optionally — a formal-equivalence
+//! requirement on the rewrite the server schedules in place of the
+//! submitted netlist, proven by the [`equiv`] BDD engine.
+
+pub mod equiv;
 
 use crate::circuit::{CircuitNetlist, GateOp};
 use crate::gates::Gate;
@@ -86,6 +90,13 @@ pub enum LintKind {
     MuxIdenticalArms,
     /// `NOT(NOT(x))` — free, but pure slab traffic.
     DoubleNot,
+    /// An admission-time equivalence check came back
+    /// [`equiv::Verdict::Unknown`] — the rewrite could not be proven (or
+    /// refuted) within its [`equiv::EquivBudget`]. Emitted by the server's
+    /// admission path, never by [`lint`] itself; under a strict policy
+    /// (`deny <= Warning`) the circuit is rejected, otherwise the
+    /// *submitted* netlist is scheduled unrewritten.
+    EquivUnknown,
 }
 
 impl LintKind {
@@ -96,7 +107,8 @@ impl LintKind {
             LintKind::UnusedInput
             | LintKind::ConstantFoldable
             | LintKind::DuplicateGate
-            | LintKind::MuxIdenticalArms => Severity::Warning,
+            | LintKind::MuxIdenticalArms
+            | LintKind::EquivUnknown => Severity::Warning,
             LintKind::DoubleNot => Severity::Info,
         }
     }
@@ -112,6 +124,7 @@ impl fmt::Display for LintKind {
             LintKind::DuplicateGate => "duplicate-gate",
             LintKind::MuxIdenticalArms => "mux-identical-arms",
             LintKind::DoubleNot => "double-not",
+            LintKind::EquivUnknown => "equiv-unknown",
         })
     }
 }
@@ -913,15 +926,27 @@ pub struct AnalysisPolicy {
     /// Reject circuits whose analytic per-output failure bound exceeds
     /// this probability.
     pub max_failure_prob: f64,
+    /// When set, the server runs its rewrite pass (by default
+    /// [`simplify`]) on every admitted netlist and **proves** the result
+    /// function-identical to the submission with the [`equiv`] BDD engine
+    /// under this budget before scheduling it. A refuted rewrite is
+    /// rejected with a structured counterexample
+    /// (`RejectReason::NotEquivalent`); a check that exhausts the budget
+    /// surfaces as a [`LintKind::EquivUnknown`] warning — rejected only
+    /// under a strict `deny`, otherwise the submitted netlist runs
+    /// unrewritten. `None` skips the proof and schedules the submission
+    /// as-is.
+    pub require_equivalence: Option<equiv::EquivBudget>,
 }
 
 impl Default for AnalysisPolicy {
     /// Rejects on [`Severity::Error`] lints and on outputs past
-    /// [`DEFAULT_FAILURE_BUDGET`].
+    /// [`DEFAULT_FAILURE_BUDGET`]; no equivalence requirement.
     fn default() -> Self {
         Self {
             deny: Severity::Error,
             max_failure_prob: DEFAULT_FAILURE_BUDGET,
+            require_equivalence: None,
         }
     }
 }

@@ -213,6 +213,14 @@ impl CircuitNetlist {
         &self.ops
     }
 
+    /// Per-node wave levels, parallel to [`CircuitNetlist::ops`]: 0 for
+    /// sources (and free `NOT`s of sources), `1 + max(operand levels)`
+    /// otherwise. The structural signal `analyze::equiv` derives its
+    /// static BDD variable order from.
+    pub fn levels(&self) -> &[usize] {
+        &self.level
+    }
+
     /// Total gate bootstraps in the circuit (binary gates count one, muxes
     /// two, `NOT`/sources none).
     pub fn bootstraps(&self) -> usize {

@@ -76,6 +76,7 @@ pub mod session;
 pub mod tgsw;
 pub mod tlwe;
 
+pub use analyze::equiv::{Counterexample, EquivBudget, EquivReport, Spec, Verdict};
 pub use analyze::{
     analyze, lint, simplify, AnalysisPolicy, CostReport, Lint, LintKind, NetlistReport, NoiseModel,
     NoiseReport, OutputNoise, Severity, SimplifyReport,
@@ -96,7 +97,7 @@ pub use scratch::{BootstrapScratch, EpScratch};
 pub use secret::{ClientKey, LweSecretKey, RingSecretKey};
 pub use server::{
     CircuitClient, CircuitOutcome, CircuitServer, ClientTally, PendingCircuit, RejectReason,
-    SchedulerStats, ServerConfig,
+    RewritePass, SchedulerStats, ServerConfig,
 };
 pub use session::{SessionClient, SessionOutcome, SessionRun, SessionServer};
 pub use tgsw::{TgswCiphertext, TgswSpectrum};

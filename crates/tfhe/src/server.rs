@@ -56,7 +56,8 @@
 //! still run to completion, later submissions resolve to
 //! [`CircuitOutcome::Rejected`] with [`RejectReason::Shutdown`].
 
-use crate::analyze::{self, AnalysisPolicy, LintKind};
+use crate::analyze::equiv::{self, Counterexample, Verdict};
+use crate::analyze::{self, AnalysisPolicy, LintKind, SimplifyReport};
 use crate::batch::{panic_message, GateBatchPool, SlabTask};
 use crate::circuit::{CircuitFrontier, CircuitNetlist, CircuitRun};
 use crate::faults::FaultPlan;
@@ -109,8 +110,19 @@ impl Default for ServerConfig {
     }
 }
 
+/// A netlist rewrite pass the scheduler may substitute for a submission
+/// at admission, returning the rewritten netlist and what it changed.
+/// The default pass is [`analyze::simplify`]; the point of the type is
+/// that **any** pass plugged in here (e.g. a future multi-input-gate
+/// fusion pass) is automatically subject to the
+/// [`AnalysisPolicy::require_equivalence`] BDD proof: the server only
+/// schedules a rewrite it has proven function-identical to the
+/// submission, and an unproven one is either rejected (strict policies)
+/// or ignored in favor of the submitted netlist.
+pub type RewritePass = fn(&CircuitNetlist) -> (CircuitNetlist, SimplifyReport);
+
 /// Why a circuit was turned away without running.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum RejectReason {
     /// The in-flight set was at [`ServerConfig::queue_depth`].
     QueueFull,
@@ -142,8 +154,48 @@ pub enum RejectReason {
         /// The [`AnalysisPolicy::max_failure_prob`] budget it exceeded.
         budget: f64,
     },
+    /// The admission-time equivalence proof **refuted** the server's
+    /// rewrite pass on this circuit: the rewrite and the submission
+    /// disagree on an output, and the counterexample is an input
+    /// assignment on which they differ. Scheduling either would be
+    /// gambling, so the circuit is turned away with the evidence.
+    NotEquivalent {
+        /// Index into the netlist's output list (marking order) of the
+        /// first output the BDD diff refuted.
+        output: usize,
+        /// A concrete distinguishing input assignment.
+        counterexample: Counterexample,
+    },
     /// The server shut down before admitting the circuit.
     Shutdown,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::QueueFull => f.write_str("admission queue full"),
+            RejectReason::QuotaExceeded => f.write_str("per-client quota exceeded"),
+            RejectReason::DeadlineUnmeetable => f.write_str("deadline already passed"),
+            RejectReason::InvalidInput => f.write_str("invalid input payload"),
+            RejectReason::Lint { kind, node } => write!(f, "lint {kind} at node {node}"),
+            RejectReason::NoiseBudget {
+                output,
+                bound,
+                budget,
+            } => write!(
+                f,
+                "output {output} failure bound {bound:.3e} exceeds budget {budget:.3e}"
+            ),
+            RejectReason::NotEquivalent {
+                output,
+                counterexample,
+            } => write!(
+                f,
+                "rewrite not equivalent: output {output} differs on {counterexample}"
+            ),
+            RejectReason::Shutdown => f.write_str("server shut down"),
+        }
+    }
 }
 
 /// The input payload of one queued circuit: gate-level samples per slot,
@@ -222,7 +274,7 @@ impl CircuitOutcome {
     /// The structured rejection reason, if the circuit was rejected.
     pub fn reject_reason(&self) -> Option<RejectReason> {
         match self {
-            CircuitOutcome::Rejected(reason) => Some(*reason),
+            CircuitOutcome::Rejected(reason) => Some(reason.clone()),
             _ => None,
         }
     }
@@ -438,12 +490,13 @@ fn admit<E>(
     pool: &GateBatchPool<E>,
     stats: &StatsCells,
     config: &ServerConfig,
+    rewrite: RewritePass,
     next_tag: &mut u64,
 ) where
     E: FftEngine + Send + Sync + 'static,
 {
     let CircuitJob {
-        netlist,
+        mut netlist,
         inputs,
         reply,
         client,
@@ -494,6 +547,39 @@ fn admit<E>(
             };
             stats.reject(client, reason, &reply);
             return;
+        }
+        // Formal-equivalence gate: run the rewrite pass and schedule its
+        // output only under a BDD proof that it computes the submitted
+        // function. A refuted rewrite is rejected with the distinguishing
+        // input; an unprovable one (budget exhausted) surfaces as an
+        // `EquivUnknown` warning — fatal under a strict `deny`, otherwise
+        // the submission runs unrewritten.
+        if let Some(budget) = policy.require_equivalence {
+            let (rewritten, _) = rewrite(&netlist);
+            match equiv::check(&netlist, &rewritten, budget).verdict {
+                Verdict::Equivalent => netlist = rewritten,
+                Verdict::NotEquivalent {
+                    output,
+                    counterexample,
+                } => {
+                    let reason = RejectReason::NotEquivalent {
+                        output,
+                        counterexample,
+                    };
+                    stats.reject(client, reason, &reply);
+                    return;
+                }
+                Verdict::Unknown { .. } => {
+                    if LintKind::EquivUnknown.severity() >= policy.deny {
+                        let reason = RejectReason::Lint {
+                            kind: LintKind::EquivUnknown,
+                            node: 0,
+                        };
+                        stats.reject(client, reason, &reply);
+                        return;
+                    }
+                }
+            }
         }
     }
     match catch_unwind(AssertUnwindSafe(|| {
@@ -607,6 +693,7 @@ fn scheduler_loop<E>(
     rx: mpsc::Receiver<Msg>,
     stats: Arc<StatsCells>,
     config: ServerConfig,
+    rewrite: RewritePass,
     faults: Option<Arc<FaultPlan>>,
 ) where
     E: FftEngine + Send + Sync + 'static,
@@ -629,9 +716,15 @@ fn scheduler_loop<E>(
         // the very next super-wave.
         if in_flight.is_empty() && !draining {
             match rx.recv() {
-                Ok(Msg::Job(job)) => {
-                    admit(&mut in_flight, *job, &pool, &stats, &config, &mut next_tag)
-                }
+                Ok(Msg::Job(job)) => admit(
+                    &mut in_flight,
+                    *job,
+                    &pool,
+                    &stats,
+                    &config,
+                    rewrite,
+                    &mut next_tag,
+                ),
                 // Graceful by FIFO: every job submitted before the
                 // Shutdown message was enqueued ahead of it and already
                 // admitted; anything racing in after it is explicitly
@@ -641,9 +734,15 @@ fn scheduler_loop<E>(
         }
         while !draining {
             match rx.try_recv() {
-                Ok(Msg::Job(job)) => {
-                    admit(&mut in_flight, *job, &pool, &stats, &config, &mut next_tag)
-                }
+                Ok(Msg::Job(job)) => admit(
+                    &mut in_flight,
+                    *job,
+                    &pool,
+                    &stats,
+                    &config,
+                    rewrite,
+                    &mut next_tag,
+                ),
                 Ok(Msg::Shutdown) | Err(TryRecvError::Disconnected) => draining = true,
                 Err(TryRecvError::Empty) => break,
             }
@@ -744,7 +843,30 @@ impl CircuitServer {
     where
         E: FftEngine + Send + Sync + 'static,
     {
-        Self::launch(key, threads, config, None)
+        Self::launch(key, threads, config, analyze::simplify, None)
+    }
+
+    /// Starts the scheduler with a custom [`RewritePass`] in place of the
+    /// default [`analyze::simplify`]. Under
+    /// [`AnalysisPolicy::require_equivalence`] the pass's output is only
+    /// ever scheduled behind a BDD proof of function identity with the
+    /// submission — this is the hook a future optimization pass (e.g.
+    /// multi-input gate fusion) plugs into, and the hook the equivalence
+    /// tests drive with a deliberately broken pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is 0.
+    pub fn start_with_rewrite<E>(
+        key: Arc<ServerKey<E>>,
+        threads: usize,
+        config: ServerConfig,
+        rewrite: RewritePass,
+    ) -> Self
+    where
+        E: FftEngine + Send + Sync + 'static,
+    {
+        Self::launch(key, threads, config, rewrite, None)
     }
 
     /// Starts the scheduler with a scripted [`FaultPlan`] wired into the
@@ -766,13 +888,14 @@ impl CircuitServer {
     where
         E: FftEngine + Send + Sync + 'static,
     {
-        Self::launch(key, threads, config, Some(faults))
+        Self::launch(key, threads, config, analyze::simplify, Some(faults))
     }
 
     fn launch<E>(
         key: Arc<ServerKey<E>>,
         threads: usize,
         config: ServerConfig,
+        rewrite: RewritePass,
         faults: Option<Arc<FaultPlan>>,
     ) -> Self
     where
@@ -784,8 +907,9 @@ impl CircuitServer {
         let (tx, rx) = mpsc::channel::<Msg>();
         let stats = Arc::new(StatsCells::default());
         let cells = Arc::clone(&stats);
-        let scheduler =
-            std::thread::spawn(move || scheduler_loop(key, threads, rx, cells, config, faults));
+        let scheduler = std::thread::spawn(move || {
+            scheduler_loop(key, threads, rx, cells, config, rewrite, faults)
+        });
         Self {
             tx,
             scheduler: Some(scheduler),
@@ -1778,6 +1902,147 @@ mod tests {
                 node: g
             })
         );
+        server.shutdown();
+    }
+
+    /// A [`RewritePass`] that runs the real [`analyze::simplify`] and then
+    /// flips the first XOR it finds to XNOR — a deliberately unsound
+    /// rewrite the equivalence gate must refute.
+    fn broken_pass(net: &CircuitNetlist) -> (CircuitNetlist, SimplifyReport) {
+        let (simplified, report) = analyze::simplify(net);
+        let mut ops = simplified.ops().to_vec();
+        for op in ops.iter_mut() {
+            if let crate::circuit::GateOp::Binary(Gate::Xor, a, b) = *op {
+                *op = crate::circuit::GateOp::Binary(Gate::Xnor, a, b);
+                break;
+            }
+        }
+        let broken = CircuitNetlist::from_parts(ops, simplified.outputs().to_vec())
+            .expect("mutated netlist keeps the canonical shape");
+        (broken, report)
+    }
+
+    fn equiv_policy(deny: crate::analyze::Severity, budget: equiv::EquivBudget) -> ServerConfig {
+        ServerConfig {
+            analysis: Some(AnalysisPolicy {
+                deny,
+                require_equivalence: Some(budget),
+                ..AnalysisPolicy::default()
+            }),
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn equiv_policy_schedules_the_proven_simplification() {
+        let (client, key, mut rng) = setup(180);
+        // Submission: x AND true — one bootstrap as submitted, zero after
+        // the (proven) constant fold.
+        let mut net = CircuitNetlist::new();
+        let x = net.input();
+        let t = net.constant(true);
+        let g = net.gate(Gate::And, x, t);
+        net.mark_output(g);
+        let config = equiv_policy(
+            crate::analyze::Severity::Error,
+            equiv::EquivBudget::default(),
+        );
+        let server = CircuitServer::start_with(Arc::clone(&key), 1, config);
+        let handle = server.client();
+        let run = handle
+            .submit(net, encrypt_bits(&client, &[true], &mut rng))
+            .wait()
+            .completed()
+            .expect("proven rewrite admitted and completed");
+        assert!(client.decrypt(&run.outputs[0]));
+        assert_eq!(
+            run.bootstraps, 0,
+            "the scheduled netlist must be the simplified one"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn broken_rewrite_pass_is_refuted_with_a_replayable_counterexample() {
+        let (client, key, mut rng) = setup(181);
+        let config = equiv_policy(
+            crate::analyze::Severity::Error,
+            equiv::EquivBudget::default(),
+        );
+        let server = CircuitServer::start_with_rewrite(Arc::clone(&key), 1, config, broken_pass);
+        let handle = server.client();
+        let submitted = xor_chain(2);
+        let ticket = handle.submit(
+            submitted.clone(),
+            encrypt_bits(&client, &[true, false, true], &mut rng),
+        );
+        match ticket.wait().reject_reason() {
+            Some(RejectReason::NotEquivalent {
+                output,
+                counterexample,
+            }) => {
+                assert_eq!(output, 0);
+                // Replay the counterexample through eager evaluation: it
+                // must actually distinguish the submission from what the
+                // broken pass produced.
+                let (broken, _) = broken_pass(&submitted);
+                let want = equiv::eval_netlist(&submitted, &counterexample.bits);
+                let got = equiv::eval_netlist(&broken, &counterexample.bits);
+                assert_ne!(
+                    want[output], got[output],
+                    "counterexample on {counterexample}"
+                );
+            }
+            other => panic!("expected NotEquivalent, got {other:?}"),
+        }
+        assert_eq!(server.stats().rejected, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn equiv_unknown_rejects_strict_policies_and_admits_lenient_ones() {
+        let (client, key, mut rng) = setup(182);
+        // An input budget of 1 makes every 3-input check come back
+        // Unknown without spending any BDD work.
+        let tiny = equiv::EquivBudget {
+            max_nodes: 1 << 20,
+            max_inputs: 1,
+        };
+        // Strict (deny: Warning): the unproven rewrite is fatal.
+        let server = CircuitServer::start_with(
+            Arc::clone(&key),
+            1,
+            equiv_policy(crate::analyze::Severity::Warning, tiny),
+        );
+        let handle = server.client();
+        let ticket = handle.submit(
+            xor_chain(2),
+            encrypt_bits(&client, &[true, false, true], &mut rng),
+        );
+        assert_eq!(
+            ticket.wait().reject_reason(),
+            Some(RejectReason::Lint {
+                kind: LintKind::EquivUnknown,
+                node: 0
+            })
+        );
+        server.shutdown();
+
+        // Lenient (deny: Error): the submission runs unrewritten.
+        let server = CircuitServer::start_with(
+            Arc::clone(&key),
+            1,
+            equiv_policy(crate::analyze::Severity::Error, tiny),
+        );
+        let handle = server.client();
+        let bits = [true, false, true];
+        let run = handle
+            .submit(xor_chain(2), encrypt_bits(&client, &bits, &mut rng))
+            .wait()
+            .completed()
+            .expect("unknown equivalence is only a warning by default");
+        assert_eq!(client.decrypt(&run.outputs[0]), xor_all(&bits));
+        assert_eq!(run.bootstraps, 2, "the submitted netlist ran unrewritten");
         server.shutdown();
     }
 }

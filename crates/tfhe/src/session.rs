@@ -77,6 +77,7 @@
 //! assert_eq!(serve.join().unwrap().unwrap(), 1);
 //! ```
 
+use crate::analyze::equiv::{self, Counterexample};
 use crate::analyze::LintKind;
 use crate::circuit::CircuitNetlist;
 use crate::codec::{
@@ -353,7 +354,8 @@ impl From<CircuitOutcome> for SessionOutcome {
 }
 
 /// Stable wire codes for [`LintKind`] (appendix of the outcome frame).
-const LINT_KINDS: [LintKind; 7] = [
+/// Append-only: existing codes never change meaning.
+const LINT_KINDS: [LintKind; 8] = [
     LintKind::DeadNode,
     LintKind::NoOutputs,
     LintKind::UnusedInput,
@@ -361,6 +363,7 @@ const LINT_KINDS: [LintKind; 7] = [
     LintKind::DuplicateGate,
     LintKind::MuxIdenticalArms,
     LintKind::DoubleNot,
+    LintKind::EquivUnknown,
 ];
 
 fn lint_code(kind: LintKind) -> u8 {
@@ -377,15 +380,15 @@ fn lint_from_code(code: u8) -> io::Result<LintKind> {
         .ok_or_else(|| bad(format!("unknown lint kind {code}")))
 }
 
-fn encode_reason<W: Write>(mut w: W, reason: RejectReason) -> io::Result<()> {
+fn encode_reason<W: Write>(mut w: W, reason: &RejectReason) -> io::Result<()> {
     match reason {
         RejectReason::QueueFull => w.write_all(&[0]),
         RejectReason::QuotaExceeded => w.write_all(&[1]),
         RejectReason::DeadlineUnmeetable => w.write_all(&[2]),
         RejectReason::InvalidInput => w.write_all(&[3]),
         RejectReason::Lint { kind, node } => {
-            w.write_all(&[4, lint_code(kind)])?;
-            write_u32(&mut w, node as u32)
+            w.write_all(&[4, lint_code(*kind)])?;
+            write_u32(&mut w, *node as u32)
         }
         RejectReason::NoiseBudget {
             output,
@@ -393,11 +396,28 @@ fn encode_reason<W: Write>(mut w: W, reason: RejectReason) -> io::Result<()> {
             budget,
         } => {
             w.write_all(&[5])?;
-            write_u32(&mut w, output as u32)?;
-            write_f64(&mut w, bound)?;
-            write_f64(&mut w, budget)
+            write_u32(&mut w, *output as u32)?;
+            write_f64(&mut w, *bound)?;
+            write_f64(&mut w, *budget)
         }
         RejectReason::Shutdown => w.write_all(&[6]),
+        RejectReason::NotEquivalent {
+            output,
+            counterexample,
+        } => {
+            w.write_all(&[7])?;
+            write_u32(&mut w, *output as u32)?;
+            write_u32(&mut w, counterexample.widths.len() as u32)?;
+            w.write_all(&counterexample.widths)?;
+            // Bit count is implied by the widths (they partition the
+            // assignment); only the packed bits follow, LSB-first within
+            // each byte, padding bits zero.
+            let mut packed = vec![0u8; counterexample.bits.len().div_ceil(8)];
+            for (i, &bit) in counterexample.bits.iter().enumerate() {
+                packed[i / 8] |= (bit as u8) << (i % 8);
+            }
+            w.write_all(&packed)
+        }
     }
 }
 
@@ -422,6 +442,32 @@ fn decode_reason<R: Read>(mut r: R) -> io::Result<RejectReason> {
             budget: read_f64(&mut r)?,
         },
         6 => RejectReason::Shutdown,
+        7 => {
+            let output = read_u32(&mut r)? as usize;
+            let widths_len = read_count(&mut r, codec::MAX_LEN)?;
+            let widths = read_bytes_exact(&mut r, widths_len)?;
+            let mut bit_count = 0usize;
+            for &w in &widths {
+                if w == 0 || w as usize > equiv::MAX_WORD_WIDTH {
+                    return Err(bad(format!("counterexample word width {w} out of range")));
+                }
+                bit_count += w as usize;
+            }
+            let packed = read_bytes_exact(&mut r, bit_count.div_ceil(8))?;
+            let mut bits = Vec::with_capacity(bit_count.min(codec::MAX_LEN as usize));
+            for i in 0..bit_count {
+                bits.push(packed[i / 8] >> (i % 8) & 1 == 1);
+            }
+            // Canonical form: padding bits in the last byte must be zero
+            // (otherwise two encodings decode to the same value).
+            if !bit_count.is_multiple_of(8) && packed[bit_count / 8] >> (bit_count % 8) != 0 {
+                return Err(bad("counterexample padding bits must be zero"));
+            }
+            RejectReason::NotEquivalent {
+                output,
+                counterexample: Counterexample::with_widths(bits, widths),
+            }
+        }
         t => return Err(bad(format!("unknown reject reason {t}"))),
     })
 }
@@ -460,7 +506,7 @@ impl Codec for OutcomeFrame {
             }
             SessionOutcome::Rejected(reason) => {
                 w.write_all(&[2])?;
-                encode_reason(&mut w, *reason)
+                encode_reason(&mut w, reason)
             }
             SessionOutcome::Expired => w.write_all(&[3]),
             SessionOutcome::Cancelled => w.write_all(&[4]),
@@ -981,6 +1027,83 @@ mod tests {
     }
 
     #[test]
+    fn refuted_rewrite_crosses_the_wire_with_its_counterexample() {
+        use crate::analyze::equiv::EquivBudget;
+        use crate::analyze::{AnalysisPolicy, SimplifyReport};
+        use crate::circuit::GateOp;
+
+        /// An unsound rewrite pass: simplify, then flip the first XOR to
+        /// XNOR — the equivalence gate must refute it at admission.
+        fn broken_pass(net: &CircuitNetlist) -> (CircuitNetlist, SimplifyReport) {
+            let (simplified, report) = crate::analyze::simplify(net);
+            let mut ops = simplified.ops().to_vec();
+            for op in ops.iter_mut() {
+                if let GateOp::Binary(Gate::Xor, a, b) = *op {
+                    *op = GateOp::Binary(Gate::Xnor, a, b);
+                    break;
+                }
+            }
+            let broken = CircuitNetlist::from_parts(ops, simplified.outputs().to_vec())
+                .expect("mutated netlist keeps the canonical shape");
+            (broken, report)
+        }
+
+        let (client, key) = keys(11);
+        let mut rng = StdRng::seed_from_u64(110);
+        let config = ServerConfig {
+            analysis: Some(AnalysisPolicy {
+                require_equivalence: Some(EquivBudget::default()),
+                ..AnalysisPolicy::default()
+            }),
+            ..ServerConfig::default()
+        };
+        let server = CircuitServer::start_with_rewrite(key, 1, config, broken_pass);
+        let (near, handle) = serve_on_thread(&server);
+        let mut wire = SessionClient::connect(near).unwrap();
+
+        let net = xor_chain(2);
+        let inputs = vec![
+            client.encrypt_with(true, &mut rng),
+            client.encrypt_with(false, &mut rng),
+            client.encrypt_with(true, &mut rng),
+        ];
+        wire.submit(&net, inputs).unwrap();
+        let (_, outcome) = wire.wait().unwrap();
+        let reason = match &outcome {
+            SessionOutcome::Rejected(reason) => reason.clone(),
+            other => panic!("expected a rejection, got {other:?}"),
+        };
+        match &reason {
+            RejectReason::NotEquivalent {
+                output,
+                counterexample,
+            } => {
+                assert_eq!(*output, 0);
+                assert_eq!(counterexample.bits.len(), 3, "one bit per input slot");
+                // The structured reason survived the wire bit-exactly:
+                // re-framing it reproduces the received frame.
+                let frame = OutcomeFrame {
+                    id: 0,
+                    outcome: outcome.clone(),
+                };
+                let back = OutcomeFrame::from_bytes(&frame.to_bytes()).unwrap();
+                assert_eq!(back, frame);
+                // And the replayed counterexample distinguishes the
+                // submission from the broken rewrite.
+                let (broken, _) = broken_pass(&net);
+                let want = crate::analyze::equiv::eval_netlist(&net, &counterexample.bits);
+                let got = crate::analyze::equiv::eval_netlist(&broken, &counterexample.bits);
+                assert_ne!(want[*output], got[*output]);
+                // The human-readable reason renders per-word hex.
+                assert!(reason.to_string().contains("in[0]=0x"), "display: {reason}");
+            }
+            other => panic!("expected NotEquivalent over the wire, got {other:?}"),
+        }
+        drop(wire);
+        assert_eq!(handle.join().unwrap().unwrap(), 1);
+    }
+
+    #[test]
     fn several_submissions_share_one_session() {
         let (client, key) = keys(8);
         let mut rng = StdRng::seed_from_u64(80);
@@ -1039,6 +1162,19 @@ mod tests {
                 output: 1,
                 bound: 2.5e-3,
                 budget: 1e-6,
+            }),
+            SessionOutcome::Rejected(RejectReason::NotEquivalent {
+                output: 3,
+                counterexample: Counterexample::with_widths(
+                    vec![
+                        true, false, true, true, false, true, false, false, true, false,
+                    ],
+                    vec![8, 2],
+                ),
+            }),
+            SessionOutcome::Rejected(RejectReason::NotEquivalent {
+                output: 0,
+                counterexample: Counterexample::with_widths(vec![], vec![]),
             }),
             SessionOutcome::Rejected(RejectReason::Shutdown),
             SessionOutcome::Expired,

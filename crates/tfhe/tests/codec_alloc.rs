@@ -9,7 +9,11 @@
 //! This integration test is its own binary, so the `#[global_allocator]`
 //! hook is isolated from the rest of the suite.
 
-use matcha_tfhe::{CircuitNetlist, Codec, LweCiphertext, LweSecretKey, TrlweCiphertext};
+use matcha_tfhe::session::{OutcomeFrame, SessionOutcome};
+use matcha_tfhe::{
+    CircuitNetlist, Codec, Counterexample, LweCiphertext, LweSecretKey, RejectReason,
+    TrlweCiphertext,
+};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
@@ -115,6 +119,24 @@ fn huge_netlist_claim_fails_without_large_allocation() {
     net.mark_output(a);
     let bytes = truncated_huge_claim(&net);
     assert_bounded_failure::<CircuitNetlist>(bytes);
+}
+
+#[test]
+fn huge_counterexample_claim_fails_without_large_allocation() {
+    // The `NotEquivalent` reject payload's first count (the widths list)
+    // sits deeper than the generic helper patches: 4 magic + 1 version +
+    // 8 id + 1 outcome tag + 1 reason tag + 4 output = offset 19.
+    let frame = OutcomeFrame {
+        id: 7,
+        outcome: SessionOutcome::Rejected(RejectReason::NotEquivalent {
+            output: 0,
+            counterexample: Counterexample::from_bits(vec![true; 16]),
+        }),
+    };
+    let valid = frame.to_bytes();
+    let mut bytes = valid[..23].to_vec();
+    bytes[19..23].copy_from_slice(&HUGE.to_le_bytes());
+    assert_bounded_failure::<OutcomeFrame>(bytes);
 }
 
 #[test]

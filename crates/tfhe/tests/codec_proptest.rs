@@ -11,9 +11,10 @@
 //!   is rejected).
 
 use matcha_math::{Torus32, TorusSampler};
+use matcha_tfhe::session::{OutcomeFrame, SessionOutcome};
 use matcha_tfhe::{
-    CircuitNetlist, Codec, Gate, LweCiphertext, LweSecretKey, ParameterSet, RingSecretKey,
-    TrlweCiphertext,
+    CircuitNetlist, Codec, Counterexample, Gate, LweCiphertext, LweSecretKey, ParameterSet,
+    RejectReason, RingSecretKey, TrlweCiphertext,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -101,6 +102,28 @@ fn arb_netlist(rng: &mut StdRng, nodes: usize) -> CircuitNetlist {
     net
 }
 
+/// An outcome frame carrying the `NotEquivalent` reject payload: a
+/// random word partition (widths 1..=12) with matching random bits.
+fn arb_notequiv_frame(rng: &mut StdRng) -> OutcomeFrame {
+    let words = 1 + pick(rng, 4);
+    let mut widths = Vec::new();
+    let mut bits = Vec::new();
+    for _ in 0..words {
+        let w = 1 + pick(rng, 12) as u8;
+        widths.push(w);
+        for _ in 0..w {
+            bits.push(rng.gen_bool(0.5));
+        }
+    }
+    OutcomeFrame {
+        id: rng.gen(),
+        outcome: SessionOutcome::Rejected(RejectReason::NotEquivalent {
+            output: pick(rng, 64),
+            counterexample: Counterexample::with_widths(bits, widths),
+        }),
+    }
+}
+
 fn arb_params(rng: &mut StdRng) -> ParameterSet {
     let mut p = ParameterSet::TEST_FAST;
     p.lwe_dimension = 1 + pick(rng, 1024);
@@ -149,8 +172,14 @@ proptest! {
     }
 
     #[test]
+    fn notequivalent_reject_frames_roundtrip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        assert_roundtrip(&arb_notequiv_frame(&mut rng));
+    }
+
+    #[test]
     fn corruption_never_panics_and_stays_canonical(
-        which in 0usize..5,
+        which in 0usize..6,
         seed in any::<u64>(),
         index in any::<usize>(),
         flip in 1u8..=255,
@@ -175,6 +204,8 @@ proptest! {
             }
             3 => assert_corruption_contained::<ParameterSet>(
                 &arb_params(&mut rng).to_bytes(), index, flip),
+            4 => assert_corruption_contained::<OutcomeFrame>(
+                &arb_notequiv_frame(&mut rng).to_bytes(), index, flip),
             _ => {
                 let nodes = 1 + pick(&mut rng, 24);
                 assert_corruption_contained::<CircuitNetlist>(
@@ -184,7 +215,7 @@ proptest! {
     }
 
     #[test]
-    fn truncation_rejected_at_every_prefix(which in 0usize..5, seed in any::<u64>()) {
+    fn truncation_rejected_at_every_prefix(which in 0usize..6, seed in any::<u64>()) {
         let mut rng = StdRng::seed_from_u64(seed);
         match which {
             0 => {
@@ -204,6 +235,8 @@ proptest! {
             }
             3 => assert_truncation_rejected::<ParameterSet>(
                 &arb_params(&mut rng).to_bytes()),
+            4 => assert_truncation_rejected::<OutcomeFrame>(
+                &arb_notequiv_frame(&mut rng).to_bytes()),
             _ => {
                 let nodes = 1 + pick(&mut rng, 12);
                 assert_truncation_rejected::<CircuitNetlist>(
@@ -221,6 +254,7 @@ fn exhaustive_single_bit_flips_on_small_messages() {
     let lwe = arb_lwe(&mut rng, 4).to_bytes();
     let trlwe = arb_trlwe(&mut rng, 8).to_bytes();
     let net = arb_netlist(&mut rng, 6).to_bytes();
+    let frame = arb_notequiv_frame(&mut rng).to_bytes();
     for bit in 0..8u8 {
         let flip = 1 << bit;
         for i in 0..lwe.len() {
@@ -231,6 +265,9 @@ fn exhaustive_single_bit_flips_on_small_messages() {
         }
         for i in 0..net.len() {
             assert_corruption_contained::<CircuitNetlist>(&net, i, flip);
+        }
+        for i in 0..frame.len() {
+            assert_corruption_contained::<OutcomeFrame>(&frame, i, flip);
         }
     }
 }
